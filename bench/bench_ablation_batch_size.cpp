@@ -1,0 +1,67 @@
+// Ablation: batch size for the grid-adapted cut-plane method (paper
+// Sec. 3.1, ref [23] -- batches "typically consisting of 100-300 grid
+// points"). Small batches give the task mapper fine placement granularity
+// (good load balance) but more per-batch overhead; large batches the
+// reverse. The sweep shows the paper's 100-300-point regime balancing both.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/structures.hpp"
+#include "grid/batch.hpp"
+#include "mapping/synthetic_points.hpp"
+#include "mapping/task_mapping.hpp"
+
+namespace {
+
+using namespace aeqp;
+
+void print_sweep() {
+  const auto chain = core::polyethylene_chain(300);  // 1802 atoms
+  const auto cloud = mapping::synthetic_point_cloud(chain, 48);
+  const std::size_t ranks = 64;
+
+  Table t({"batch target", "batches", "load imbalance", "mean rank spread",
+           "atoms/rank (avg)"});
+  for (std::size_t target : {32u, 64u, 128u, 256u, 512u, 1024u, 2048u}) {
+    const auto batches =
+        grid::make_batches(cloud.positions, cloud.parent_atom, target);
+    if (batches.size() < ranks) {
+      t.add_row({std::to_string(target), std::to_string(batches.size()),
+                 "(fewer batches than ranks)", "-", "-"});
+      continue;
+    }
+    const auto a = mapping::locality_enhancing_mapping(batches, ranks);
+    double atoms = 0;
+    for (std::size_t r = 0; r < ranks; ++r)
+      atoms += static_cast<double>(a.atoms_of_rank(r, batches).size());
+    t.add_row({std::to_string(target), std::to_string(batches.size()),
+               Table::num(mapping::load_imbalance(a, batches), 3),
+               Table::num(mapping::mean_rank_spread(a, batches), 2),
+               Table::num(atoms / ranks, 1)});
+  }
+  t.print("Ablation: cut-plane batch size, H(C2H4)300H on 64 ranks "
+          "(paper regime: 100-300 points/batch)");
+}
+
+void BM_MakeBatches(benchmark::State& state) {
+  const auto chain = core::polyethylene_chain(300);
+  const auto cloud = mapping::synthetic_point_cloud(chain, 48);
+  for (auto _ : state) {
+    auto b = grid::make_batches(cloud.positions, cloud.parent_atom,
+                                static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_MakeBatches)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Integration benchmark: the paper's full parallel decomposition executing
+// for real on the threaded simmpi runtime -- distributed Sumup/H phases,
+// replicated Poisson producers, packed (hierarchical) synthesis of the
+// response Hamiltonian -- across rank counts, reduce schemes, and the two
+// Hamiltonian storage modes of Fig. 3. Everything here is measured, not
+// modeled; the table shows how the communication-count savings and the
+// dense-storage advantage materialize in the real DFPT cycle.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/parallel_dfpt.hpp"
+#include "core/structures.hpp"
+#include "scf/scf_solver.hpp"
+
+namespace {
+
+using namespace aeqp;
+using namespace aeqp::core;
+
+const scf::ScfResult& ground_state() {
+  static const scf::ScfResult res = [] {
+    grid::Structure s;
+    s.add_atom(1, {0, 0, -0.7});
+    s.add_atom(1, {0, 0, 0.7});
+    scf::ScfOptions opt;
+    opt.tier = basis::BasisTier::Light;
+    opt.grid.radial_points = 36;
+    opt.grid.angular_degree = 9;
+    opt.poisson.radial_points = 72;
+    opt.mixer = scf::Mixer::Diis;
+    return scf::ScfSolver(s, opt).run();
+  }();
+  return res;
+}
+
+void print_table() {
+  const auto& ground = ground_state();
+  if (!ground.converged) {
+    std::printf("ground state failed to converge\n");
+    return;
+  }
+
+  Table t({"ranks", "reduce", "storage", "alpha_zz", "iters",
+           "collectives/rank", "wall (s)"});
+  struct Case {
+    std::size_t ranks;
+    comm::ReduceMode mode;
+    HamiltonianStorage storage;
+    const char* mode_name;
+    const char* storage_name;
+  };
+  const Case cases[] = {
+      {1, comm::ReduceMode::Flat, HamiltonianStorage::LocalDense, "flat", "dense"},
+      {2, comm::ReduceMode::Flat, HamiltonianStorage::LocalDense, "flat", "dense"},
+      {4, comm::ReduceMode::Flat, HamiltonianStorage::LocalDense, "flat", "dense"},
+      {4, comm::ReduceMode::Hierarchical, HamiltonianStorage::LocalDense,
+       "hierarchical", "dense"},
+      {8, comm::ReduceMode::Hierarchical, HamiltonianStorage::LocalDense,
+       "hierarchical", "dense"},
+      {4, comm::ReduceMode::Flat, HamiltonianStorage::GlobalSparseCsr, "flat",
+       "global CSR"},
+  };
+  for (const auto& c : cases) {
+    ParallelDfptOptions opt;
+    opt.ranks = c.ranks;
+    opt.ranks_per_node = 4;
+    opt.reduce_mode = c.mode;
+    opt.storage = c.storage;
+    opt.batch_points = 96;
+    Timer timer;
+    const auto r = solve_direction_parallel(ground, opt, 2);
+    t.add_row({std::to_string(c.ranks), c.mode_name, c.storage_name,
+               Table::num(r.direction.dipole_response.z, 6),
+               std::to_string(r.direction.iterations),
+               std::to_string(r.stats.collectives), Table::num(timer.seconds(), 2)});
+  }
+  t.print("Distributed DFPT on the threaded simmpi runtime (H2, light "
+          "settings) -- identical physics across all configurations");
+  std::printf("Note: this host has one core, so the *replicated* Poisson "
+              "producers make wall time\ngrow with rank count -- the honest "
+              "single-core cost of the paper's communication-\navoidance "
+              "trade; on real nodes the replicas run concurrently.\n");
+}
+
+void BM_DistributedIteration(benchmark::State& state) {
+  const auto& ground = ground_state();
+  ParallelDfptOptions opt;
+  opt.ranks = static_cast<std::size_t>(state.range(0));
+  opt.ranks_per_node = 4;
+  opt.dfpt.max_iterations = 3;  // fixed small cycle count per measurement
+  opt.dfpt.tolerance = 0.0;
+  for (auto _ : state) {
+    auto r = solve_direction_parallel(ground, opt, 2);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DistributedIteration)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Reproduces paper Fig. 10: AllReduce time spent synthesizing
+// rho_multipole after the Sumup phase for H(C2H4)nH systems, comparing the
+// per-row baseline, the packed scheme (512 rows per collective), and on
+// HPC#2 the packed hierarchical scheme (one data copy per 32-rank node).
+//
+// Figure-scale timings come from the calibrated alpha-beta cost model
+// (DESIGN.md substitution); the google-benchmark section below measures
+// the real packed/hierarchical algorithms executing on the threaded simmpi
+// runtime, which is also bit-compared against the flat reference in the
+// test suite.
+//
+// Paper reference points: packed speedups 8.2x-34.9x on HPC#1 and
+// 9.2x-269.6x on HPC#2; packed hierarchical up to 567.2x on HPC#2.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "comm/hierarchical.hpp"
+#include "comm/packed.hpp"
+#include "common/table.hpp"
+#include "parallel/cluster.hpp"
+#include "parallel/machine_model.hpp"
+
+namespace {
+
+using namespace aeqp;
+using parallel::CommCostModel;
+using parallel::MachineModel;
+
+// One rho_multipole row: (l_max+1)^2 = 25 channels x 80 radial points x 8 B.
+constexpr std::size_t kRowBytes = 16384;
+constexpr std::size_t kPackRows = 512;    // paper's packing window
+
+void print_machine(const MachineModel& machine, bool with_hierarchical) {
+  const CommCostModel model(machine);
+  std::vector<std::string> header = {"atoms", "ranks", "baseline (s)",
+                                     "packed (s)", "packed speedup"};
+  if (with_hierarchical) {
+    header.push_back("hier local+global (s)");
+    header.push_back("hier speedup");
+  }
+  Table t(header);
+
+  const std::size_t rank_sets[2][5] = {{256, 512, 1024, 2048, 4096},
+                                       {512, 1024, 2048, 4096, 8192}};
+  const std::size_t atom_counts[2] = {30002, 60002};
+  for (int sys = 0; sys < 2; ++sys) {
+    const std::size_t rows = atom_counts[sys];
+    for (std::size_t ranks : rank_sets[sys]) {
+      const double base =
+          model.repeated_allreduce_seconds(kRowBytes, rows, ranks);
+      const std::size_t windows = (rows + kPackRows - 1) / kPackRows;
+      const double packed =
+          static_cast<double>(windows) *
+          model.packed_allreduce_seconds(kRowBytes, kPackRows, ranks);
+      std::vector<std::string> row = {
+          std::to_string(atom_counts[sys]), std::to_string(ranks),
+          Table::num(base, 3), Table::num(packed, 3),
+          Table::num(base / packed, 1) + "x"};
+      if (with_hierarchical) {
+        const auto h = model.packed_hierarchical_seconds(kRowBytes, kPackRows, ranks);
+        const double hier = static_cast<double>(windows) * h.total();
+        row.push_back(Table::num(static_cast<double>(windows) * h.local_update, 3) +
+                      "+" + Table::num(static_cast<double>(windows) * h.global, 3));
+        row.push_back(Table::num(base / hier, 1) + "x");
+      }
+      t.add_row(std::move(row));
+    }
+  }
+  t.print("Fig 10: rho_multipole AllReduce time on " + machine.name);
+}
+
+// Real execution of the three schemes on the threaded runtime (small rank
+// counts; demonstrates the mechanisms, not figure-scale timing).
+void BM_AllReduce(benchmark::State& state, comm::ReduceMode mode, bool packed) {
+  const std::size_t ranks = 8, rows = 64, row_len = 256;
+  parallel::Cluster cluster(ranks, 4);
+  for (auto _ : state) {
+    cluster.run([&](parallel::Communicator& c) {
+      std::vector<std::vector<double>> data(rows,
+                                            std::vector<double>(row_len, 1.0));
+      if (packed) {
+        comm::PackedAllReducer packer(c, mode);
+        for (auto& r : data) packer.add(r);
+        packer.flush();
+      } else {
+        for (auto& r : data) c.allreduce_sum(r);
+      }
+    });
+  }
+}
+void BM_Baseline(benchmark::State& s) {
+  BM_AllReduce(s, comm::ReduceMode::Flat, false);
+}
+void BM_Packed(benchmark::State& s) { BM_AllReduce(s, comm::ReduceMode::Flat, true); }
+void BM_PackedHierarchical(benchmark::State& s) {
+  BM_AllReduce(s, comm::ReduceMode::Hierarchical, true);
+}
+BENCHMARK(BM_Baseline)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Packed)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PackedHierarchical)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_machine(MachineModel::hpc1_sunway(), /*with_hierarchical=*/false);
+  print_machine(MachineModel::hpc2_amd(), /*with_hierarchical=*/true);
+  std::printf("\nPaper speedup ranges: HPC#1 packed 8.2x-34.9x; "
+              "HPC#2 packed 9.2x-269.6x, hierarchical 12.4x-567.2x\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Reproduces paper Fig. 12: fusing the widely-dependent producer/consumer
+// kernel pair of the response-potential phase.
+//
+// (a) Data volumes of the two inter-kernel spline sets (rho_multipole_spl,
+//     delta_v_hart_part_spl) versus the multipole order, against the 64 KB
+//     RMA volume limit of SW39010 (paper: 28 KB / 498 KB at production
+//     settings, the latter ruling out vertical fusion on HPC#1).
+// (b) Horizontal-fusion speedup of the v(1) phase on HPC#2, growing with
+//     rank count as per-rank work shrinks (paper: up to 2.4x).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "kernels/rho_kernels.hpp"
+#include "simt/device.hpp"
+#include "simt/runtime.hpp"
+
+namespace {
+
+using namespace aeqp;
+using namespace aeqp::kernels;
+
+// Phase-level weight of the fusible producer/consumer pair within v(1).
+constexpr double kFusionShare = 0.35;
+
+void print_volume_table() {
+  Table t({"l_max", "rho_multipole_spl (KB)", "delta_v_hart_part_spl (KB)",
+           "fits 64KB RMA"});
+  for (int lmax = 0; lmax <= 9; ++lmax) {
+    RhoPhaseConfig cfg;
+    cfg.l_max = lmax;
+    // Each set stores value + second-derivative rows per channel.
+    // rho_multipole_spl lives on the 72-point projection mesh; the Hartree
+    // set keeps the splined potential on the dense ~1275-point output mesh
+    // (paper production settings: 28 KB vs 498 KB at l_max = 4).
+    const std::size_t rho_b = cfg.lm_channels() * 72 * 2 * 8;
+    const std::size_t v_b = cfg.lm_channels() * 1275 * 2 * 8;
+    t.add_row({std::to_string(lmax), std::to_string(rho_b / 1024),
+               std::to_string(v_b / 1024),
+               (rho_b + v_b) <= 64 * 1024 ? "yes" : "no (vertical "
+                                                    "fusion blocked)"});
+  }
+  t.print("Fig 12(a): inter-kernel spline data volume vs multipole order "
+          "(SW39010 RMA limit: 64 KB)");
+}
+
+double fusion_speedup(std::size_t n_atoms, std::size_t ranks) {
+  simt::SimtRuntime rt(simt::DeviceModel::gcn_gpu());
+  RhoPhaseConfig cfg;
+  cfg.n_atoms = 6;
+  cfg.l_max = 4;
+  cfg.radial_points = 64;
+  cfg.ranks_per_device = 8;  // 32-core node / 4 GPUs
+  // Consumer work per rank shrinks as the machine partition grows.
+  cfg.grid_points_per_rank =
+      std::max<std::size_t>(128, std::min<std::size_t>(8192, n_atoms * 40 / ranks));
+
+  const auto unfused = run_rho_phase(rt, cfg, FusionMode::Unfused);
+  const auto fused = run_rho_phase(rt, cfg, FusionMode::HorizontalFused);
+  const double raw = unfused.stats.modeled_seconds(rt.model()) /
+                     fused.stats.modeled_seconds(rt.model());
+  return 1.0 + (raw - 1.0) * kFusionShare;
+}
+
+void print_speedup_table() {
+  struct Case {
+    std::size_t atoms;
+    std::size_t ranks[4];
+    int n;
+  };
+  const Case cases[] = {{30002, {256, 512, 1024, 2048}, 4},
+                        {30002, {4096, 0, 0, 0}, 1},
+                        {60002, {1024, 2048, 4096, 8192}, 4},
+                        {117602, {4096, 8192, 16384, 0}, 3}};
+  Table t({"atoms", "ranks", "v(1) speedup (horizontal fusion)"});
+  for (const auto& c : cases)
+    for (int i = 0; i < c.n; ++i)
+      t.add_row({std::to_string(c.atoms), std::to_string(c.ranks[i]),
+                 Table::num(fusion_speedup(c.atoms, c.ranks[i]), 2) + "x"});
+  t.print("Fig 12(b): horizontal-fusion speedup of v(1) on HPC#2 "
+          "(paper: 1.1x-2.4x, growing with rank count)");
+}
+
+void BM_RhoUnfused(benchmark::State& state) {
+  simt::SimtRuntime rt(simt::DeviceModel::gcn_gpu());
+  RhoPhaseConfig cfg;
+  cfg.grid_points_per_rank = 1024;
+  for (auto _ : state) {
+    auto r = run_rho_phase(rt, cfg, FusionMode::Unfused);
+    benchmark::DoNotOptimize(r.potential);
+  }
+}
+BENCHMARK(BM_RhoUnfused)->Unit(benchmark::kMillisecond);
+
+void BM_RhoHorizontalFused(benchmark::State& state) {
+  simt::SimtRuntime rt(simt::DeviceModel::gcn_gpu());
+  RhoPhaseConfig cfg;
+  cfg.grid_points_per_rank = 1024;
+  for (auto _ : state) {
+    auto r = run_rho_phase(rt, cfg, FusionMode::HorizontalFused);
+    benchmark::DoNotOptimize(r.potential);
+  }
+}
+BENCHMARK(BM_RhoHorizontalFused)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_volume_table();
+  print_speedup_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Reproduces paper Fig. 14: per-phase execution time per DFPT cycle before
+// and after all optimizations, for the typical cases of the paper (RBD on
+// HPC#1 with 64 ranks, RBD on HPC#2, H(C2H4)5000H = 30,002 atoms with
+// 512/2048 ranks), plus the headline Sec. 5.2.6 numbers: 36.5x DM speedup
+// (RBD, 64 ranks, HPC#1), 6.47x Rho speedup (poly, 2048 ranks, HPC#2), and
+// ~90% communication reduction.
+//
+// "Before" is the unoptimized OpenCL baseline [38]: legacy task mapping,
+// per-row collectives, no fusion/collapsing/indirect elimination, and the
+// response-density-matrix phase still on the host CPU.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "parallel/machine_model.hpp"
+#include "perfmodel/dfpt_perf_model.hpp"
+#include "simt/device.hpp"
+
+namespace {
+
+using namespace aeqp;
+using namespace aeqp::perfmodel;
+
+void print_case(const DfptPerfModel& model, const char* label,
+                std::size_t atoms, std::size_t ranks) {
+  const auto before = model.predict(atoms, ranks, OptimizationFlags::all_off());
+  const auto after = model.predict(atoms, ranks, OptimizationFlags::all_on());
+
+  Table t({"phase", "before (s)", "after (s)", "speedup"});
+  auto row = [&](const char* name, double b, double a) {
+    t.add_row({name, Table::num(b, 4), Table::num(a, 4),
+               Table::num(a > 0 ? b / a : 0.0, 2) + "x"});
+  };
+  row("Init", before.init, after.init);
+  row("DM", before.dm, after.dm);
+  row("Sumup", before.sumup, after.sumup);
+  row("Rho", before.rho, after.rho);
+  row("H", before.h, after.h);
+  row("Comm", before.comm, after.comm);
+  row("TOTAL", before.total(), after.total());
+  t.print(std::string("Fig 14 case: ") + label);
+}
+
+void print_headline(const DfptPerfModel& hpc1, const DfptPerfModel& hpc2) {
+  const auto rbd_b = hpc1.predict(3006, 64, OptimizationFlags::all_off());
+  const auto rbd_a = hpc1.predict(3006, 64, OptimizationFlags::all_on());
+  const auto poly_b = hpc2.predict(30002, 2048, OptimizationFlags::all_off());
+  const auto poly_a = hpc2.predict(30002, 2048, OptimizationFlags::all_on());
+  std::printf(
+      "\nSec 5.2.6 headline numbers:\n"
+      "  DM speedup, RBD/64 ranks/HPC#1:   %.1fx (paper: 36.5x)\n"
+      "  Rho speedup, poly/2048/HPC#2:     %.2fx (paper: 6.47x)\n"
+      "  Comm reduction, poly/2048/HPC#2:  %.1f%% (paper: 90.7%%)\n"
+      "  Overall speedup, poly/2048/HPC#2: %.1fx (paper: up to 11.1x)\n",
+      rbd_b.dm / rbd_a.dm, poly_b.rho / poly_a.rho,
+      100.0 * (1.0 - poly_a.comm / poly_b.comm), poly_b.total() / poly_a.total());
+}
+
+void BM_PerfModelPredict(benchmark::State& state) {
+  const DfptPerfModel model(parallel::MachineModel::hpc2_amd(),
+                            simt::DeviceModel::gcn_gpu(), true);
+  const auto flags = OptimizationFlags::all_on();
+  for (auto _ : state) {
+    auto t = model.predict(60002, static_cast<std::size_t>(state.range(0)), flags);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_PerfModelPredict)->Arg(1024)->Arg(8192);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const DfptPerfModel hpc1(parallel::MachineModel::hpc1_sunway(),
+                           simt::DeviceModel::sw39010(), true);
+  const DfptPerfModel hpc2(parallel::MachineModel::hpc2_amd(),
+                           simt::DeviceModel::gcn_gpu(), true);
+  print_case(hpc1, "RBD (3006 atoms), 64 ranks, HPC#1", 3006, 64);
+  print_case(hpc1, "RBD (3006 atoms), 512 ranks, HPC#1", 3006, 512);
+  print_case(hpc2, "RBD (3006 atoms), 512 ranks, HPC#2", 3006, 512);
+  print_case(hpc2, "H(C2H4)5000H (30,002 atoms), 512 ranks, HPC#2", 30002, 512);
+  print_case(hpc2, "H(C2H4)5000H (30,002 atoms), 2048 ranks, HPC#2", 30002, 2048);
+  print_headline(hpc1, hpc2);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Reproduces paper Fig. 15: strong scaling of the optimized DFPT cycle.
+//
+// (a) Log-log strong speedup for 60,002 atoms on HPC#1 (5000-40000 ranks)
+//     and HPC#2 with CPU only / with GPUs (1024-8192 ranks).
+//     Paper: HPC#1 1.85x/2.81x/4.88x at 2x/4x/8x ranks (92.6% parallel
+//     efficiency at 2x); HPC#2 CPU 1.86x/3.10x/6.08x; GPU slightly less.
+// (b) Time to solution per cycle on HPC#2 (with GPUs) for the five
+//     polyethylene systems; the 200,002-atom system completes a cycle in
+//     under one minute.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "parallel/machine_model.hpp"
+#include "perfmodel/dfpt_perf_model.hpp"
+#include "simt/device.hpp"
+
+namespace {
+
+using namespace aeqp;
+using namespace aeqp::perfmodel;
+
+void print_strong_speedups() {
+  const auto flags = OptimizationFlags::all_on();
+  const DfptPerfModel hpc1(parallel::MachineModel::hpc1_sunway(),
+                           simt::DeviceModel::sw39010(), true);
+  const DfptPerfModel cpu(parallel::MachineModel::hpc2_amd(),
+                          simt::DeviceModel::gcn_gpu(), false);
+  const DfptPerfModel gpu(parallel::MachineModel::hpc2_amd(),
+                          simt::DeviceModel::gcn_gpu(), true);
+
+  Table t({"machine", "base ranks", "ranks", "speedup", "efficiency", "paper"});
+  struct Case {
+    const DfptPerfModel* m;
+    const char* name;
+    std::size_t base;
+    std::size_t ranks;
+    const char* paper;
+  };
+  const Case cases[] = {
+      {&hpc1, "HPC#1", 5000, 10000, "1.85x"},
+      {&hpc1, "HPC#1", 5000, 20000, "2.81x"},
+      {&hpc1, "HPC#1", 5000, 40000, "4.88x"},
+      {&cpu, "HPC#2 (CPU)", 1024, 2048, "1.86x"},
+      {&cpu, "HPC#2 (CPU)", 1024, 4096, "3.10x"},
+      {&cpu, "HPC#2 (CPU)", 1024, 8192, "6.08x"},
+      {&gpu, "HPC#2 (GPU)", 1024, 2048, "<1.86x"},
+      {&gpu, "HPC#2 (GPU)", 1024, 4096, "<3.10x"},
+      {&gpu, "HPC#2 (GPU)", 1024, 8192, "<6.08x"},
+  };
+  for (const auto& c : cases) {
+    const double s = c.m->strong_speedup(60002, c.base, c.ranks, flags);
+    const double ideal =
+        static_cast<double>(c.ranks) / static_cast<double>(c.base);
+    t.add_row({c.name, std::to_string(c.base), std::to_string(c.ranks),
+               Table::num(s, 2) + "x", Table::num(100.0 * s / ideal, 1) + "%",
+               c.paper});
+  }
+  t.print("Fig 15(a): strong scaling, 60,002 atoms");
+}
+
+void print_time_to_solution() {
+  const auto flags = OptimizationFlags::all_on();
+  const DfptPerfModel gpu(parallel::MachineModel::hpc2_amd(),
+                          simt::DeviceModel::gcn_gpu(), true);
+  struct Sys {
+    std::size_t atoms;
+    std::size_t ranks[4];
+  };
+  const Sys systems[] = {{15002, {128, 256, 512, 1024}},
+                         {30002, {256, 512, 1024, 2048}},
+                         {60002, {1024, 2048, 4096, 8192}},
+                         {117602, {4096, 8192, 16384, 32768}},
+                         {200002, {8192, 16384, 32768, 65536}}};
+  Table t({"atoms", "ranks", "time/cycle (s)", "DM share", "Rho share"});
+  for (const auto& s : systems)
+    for (std::size_t r : s.ranks) {
+      const auto bd = gpu.predict(s.atoms, r, flags);
+      t.add_row({std::to_string(s.atoms), std::to_string(r),
+                 Table::num(bd.total(), 2),
+                 Table::num(100.0 * (bd.dm + bd.comm) / bd.total(), 1) + "%",
+                 Table::num(100.0 * bd.rho / bd.total(), 1) + "%"});
+    }
+  t.print("Fig 15(b): time to solution per DFPT cycle on HPC#2 (GPUs)");
+
+  const auto big = gpu.predict(200002, 16384, flags);
+  std::printf("200,002 atoms on 16384 ranks: %.1f s/cycle (paper: "
+              "within 1 minute)\n",
+              big.total());
+}
+
+void BM_StrongSpeedupEvaluation(benchmark::State& state) {
+  const DfptPerfModel gpu(parallel::MachineModel::hpc2_amd(),
+                          simt::DeviceModel::gcn_gpu(), true);
+  const auto flags = OptimizationFlags::all_on();
+  for (auto _ : state) {
+    double s = gpu.strong_speedup(60002, 1024,
+                                  static_cast<std::size_t>(state.range(0)), flags);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_StrongSpeedupEvaluation)->Arg(2048)->Arg(8192);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_strong_speedups();
+  print_time_to_solution();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Scaling workflow on polyethylene chains H(C2H4)nH -- the paper's scaling
+// workload (Sec. 5.3) at laptop scale, plus model extrapolation to the two
+// supercomputers.
+//
+// Demonstrates: structure generation, batch formation (grid-adapted
+// cut-plane), the two task-mapping strategies, per-rank Hamiltonian memory
+// analysis, and the calibrated performance model projecting strong/weak
+// scaling at figure-scale rank counts.
+//
+//   ./example_polyethylene_scaling [n_monomers]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "basis/element.hpp"
+#include "core/structures.hpp"
+#include "grid/batch.hpp"
+#include "mapping/hamiltonian_analysis.hpp"
+#include "mapping/synthetic_points.hpp"
+#include "mapping/task_mapping.hpp"
+#include "parallel/machine_model.hpp"
+#include "perfmodel/dfpt_perf_model.hpp"
+#include "simt/device.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aeqp;
+
+  std::size_t n = 200;
+  if (argc > 1) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(argv[1], &end, 10);
+    if (end == argv[1] || *end != '\0' || parsed == 0) {
+      std::fprintf(stderr, "usage: %s [n_monomers >= 1]\n", argv[0]);
+      return 2;
+    }
+    n = parsed;
+  }
+  const grid::Structure chain = core::polyethylene_chain(n);
+  std::printf("H(C2H4)%zuH: %zu atoms\n", n, chain.size());
+
+  // Grid points and batches.
+  const auto cloud = mapping::synthetic_point_cloud(chain, 48);
+  const auto batches = grid::make_batches(cloud.positions, cloud.parent_atom, 128);
+  std::printf("Grid: %zu points in %zu batches\n", cloud.positions.size(),
+              batches.size());
+
+  // Compare the two task-mapping strategies on 32 ranks.
+  const std::size_t ranks = 32;
+  const auto legacy = mapping::least_loaded_mapping(batches, ranks);
+  const auto local = mapping::locality_enhancing_mapping(batches, ranks);
+  std::printf("\nTask mapping on %zu ranks:\n", ranks);
+  std::printf("  load imbalance:     legacy %.3f, locality %.3f\n",
+              mapping::load_imbalance(legacy, batches),
+              mapping::load_imbalance(local, batches));
+  std::printf("  mean rank spread:   legacy %.2f bohr, locality %.2f bohr\n",
+              mapping::mean_rank_spread(legacy, batches),
+              mapping::mean_rank_spread(local, batches));
+
+  const auto counts = mapping::basis_function_counts(chain, basis::BasisTier::Light);
+  const auto mem =
+      mapping::hamiltonian_memory(chain, counts, 14.0, 7.0, local, batches);
+  std::printf("  Hamiltonian memory: global sparse %.1f KB/rank, local dense "
+              "%.1f KB/rank avg (%.0fx saving)\n",
+              mem.existing_bytes_per_rank / 1024.0, mem.proposed_mean() / 1024.0,
+              mem.existing_bytes_per_rank / mem.proposed_mean());
+
+  // Model extrapolation to the paper's machines.
+  const perfmodel::DfptPerfModel hpc2(parallel::MachineModel::hpc2_amd(),
+                                      simt::DeviceModel::gcn_gpu(), true);
+  const auto flags = perfmodel::OptimizationFlags::all_on();
+  std::printf("\nProjected DFPT cycle times on HPC#2 (GPUs):\n");
+  for (std::size_t monomers : {5000u, 10000u, 19600u, 33335u}) {
+    const std::size_t atoms = 6 * monomers + 2;
+    const std::size_t p = atoms / 15;  // ~15 atoms per rank
+    const auto t = hpc2.predict(atoms, p, flags);
+    std::printf("  %7zu atoms on %6zu ranks: %7.2f s/cycle "
+                "(DM %4.1f%%, Rho %4.1f%%, comm %4.1f%%)\n",
+                atoms, p, t.total(), 100.0 * t.dm / t.total(),
+                100.0 * t.rho / t.total(), 100.0 * t.comm / t.total());
+  }
+  return 0;
+}

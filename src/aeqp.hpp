@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file aeqp.hpp
+/// Umbrella header: the whole public API of the AEQP library.
+///
+/// Typical usage pulls three layers:
+///   - problem setup: grid::Structure (or core::from_xyz / core:: generators)
+///   - ground state: scf::ScfSolver
+///   - response: core::DfptSolver (serial) or core::solve_direction_parallel
+///     (distributed on the simulated cluster)
+/// plus the substrate APIs (parallel::, comm::, mapping::, simt::,
+/// perfmodel::) for the scaling and portability experiments.
+
+#include "basis/basis_set.hpp"
+#include "basis/element.hpp"
+#include "basis/radial_function.hpp"
+#include "basis/spherical_harmonics.hpp"
+#include "basis/spline.hpp"
+#include "comm/hierarchical.hpp"
+#include "comm/packed.hpp"
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "common/vec3.hpp"
+#include "core/cube.hpp"
+#include "core/dfpt.hpp"
+#include "core/parallel_dfpt.hpp"
+#include "core/polarizability_invariants.hpp"
+#include "core/relax.hpp"
+#include "core/spectrum.hpp"
+#include "core/structures.hpp"
+#include "core/vibrations.hpp"
+#include "core/xyz.hpp"
+#include "grid/angular_grid.hpp"
+#include "grid/batch.hpp"
+#include "grid/molecular_grid.hpp"
+#include "grid/partition.hpp"
+#include "grid/quadrature.hpp"
+#include "grid/radial_grid.hpp"
+#include "grid/structure.hpp"
+#include "kernels/batch_kernels.hpp"
+#include "kernels/density_kernels.hpp"
+#include "kernels/hartree_pm_kernel.hpp"
+#include "kernels/init_kernel.hpp"
+#include "kernels/rho_kernels.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
+#include "mapping/hamiltonian_analysis.hpp"
+#include "mapping/synthetic_points.hpp"
+#include "mapping/task_mapping.hpp"
+#include "parallel/cluster.hpp"
+#include "parallel/machine_model.hpp"
+#include "perfmodel/dfpt_perf_model.hpp"
+#include "poisson/adams_moulton.hpp"
+#include "poisson/multipole.hpp"
+#include "scf/diis.hpp"
+#include "scf/integrator.hpp"
+#include "scf/occupations.hpp"
+#include "scf/scf_solver.hpp"
+#include "simt/device.hpp"
+#include "simt/runtime.hpp"
+#include "xc/lda.hpp"

@@ -1,0 +1,110 @@
+#include "basis/basis_set.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "basis/spherical_harmonics.hpp"
+
+namespace aeqp::basis {
+
+BasisSet::BasisSet(const grid::Structure& structure, BasisTier tier, double r_cut)
+    : structure_(structure),
+      tier_(tier),
+      r_cut_(r_cut),
+      mesh_(220, 1e-5, r_cut) {
+  AEQP_CHECK(structure_.size() > 0, "BasisSet: empty structure");
+
+  for (std::size_t a = 0; a < structure_.size(); ++a) {
+    const int z = structure_.atom(a).z;
+    if (!elements_.contains(z)) {
+      ElementEntry entry;
+      entry.def = ElementBasis::standard(z, tier);
+      for (const auto& shell : entry.def.shells) {
+        entry.radial_indices.push_back(radials_.size());
+        radials_.push_back(
+            std::make_unique<NumericRadialFunction>(shell, mesh_, r_cut));
+        l_max_ = std::max(l_max_, shell.l);
+      }
+      elements_.emplace(z, std::move(entry));
+    }
+  }
+
+  atom_first_.reserve(structure_.size() + 1);
+  for (std::size_t a = 0; a < structure_.size(); ++a) {
+    atom_first_.push_back(functions_.size());
+    const ElementEntry& entry = elements_.at(structure_.atom(a).z);
+    for (std::size_t s = 0; s < entry.def.shells.size(); ++s) {
+      const int l = entry.def.shells[s].l;
+      for (int m = -l; m <= l; ++m) {
+        BasisFunction f;
+        f.atom = static_cast<std::uint32_t>(a);
+        f.radial = static_cast<std::uint32_t>(entry.radial_indices[s]);
+        f.l = l;
+        f.m = m;
+        functions_.push_back(f);
+      }
+    }
+  }
+  atom_first_.push_back(functions_.size());
+}
+
+std::pair<std::size_t, std::size_t> BasisSet::atom_range(std::size_t a) const {
+  AEQP_CHECK(a < structure_.size(), "atom_range: atom index out of range");
+  return {atom_first_[a], atom_first_[a + 1]};
+}
+
+void BasisSet::evaluate(const Vec3& p, bool with_laplacian, PointEval& out) const {
+  out.clear();
+  std::vector<double> ylm;
+  for (std::size_t a = 0; a < structure_.size(); ++a) {
+    const Vec3 d = p - structure_.atom(a).pos;
+    const double r2 = d.norm2();
+    if (r2 >= r_cut_ * r_cut_) continue;
+    const double r = std::sqrt(r2);
+    const ElementEntry& entry = elements_.at(structure_.atom(a).z);
+
+    const Vec3 u = (r > 1e-12) ? d / r : Vec3{0.0, 0.0, 1.0};
+    real_ylm_all(entry.def.l_max(), u, ylm);
+    // Clamp the radius used in the Laplacian's 1/r terms to the innermost
+    // mesh point; integration weights (~r^2) vanish there anyway.
+    const double r_safe = std::max(r, mesh_.r_min());
+
+    std::size_t mu = atom_first_[a];
+    for (std::size_t s = 0; s < entry.def.shells.size(); ++s) {
+      const NumericRadialFunction& rad = *radials_[entry.radial_indices[s]];
+      const int l = rad.l();
+      const double rv = rad.value(r);
+      double lap_radial = 0.0;
+      if (with_laplacian) {
+        const double d1 = rad.derivative(r);
+        const double d2 = rad.second_derivative(r);
+        lap_radial = d2 + 2.0 * d1 / r_safe -
+                     static_cast<double>(l * (l + 1)) * rv / (r_safe * r_safe);
+      }
+      for (int m = -l; m <= l; ++m, ++mu) {
+        const double y = ylm[lm_index(l, m)];
+        const double v = rv * y;
+        if (v == 0.0 && (!with_laplacian || lap_radial == 0.0)) continue;
+        out.indices.push_back(static_cast<std::uint32_t>(mu));
+        out.values.push_back(v);
+        if (with_laplacian) out.laplacians.push_back(lap_radial * y);
+      }
+    }
+  }
+}
+
+double BasisSet::free_atom_density(int z, double r) const {
+  const auto it = elements_.find(z);
+  AEQP_CHECK(it != elements_.end(), "free_atom_density: element not in basis");
+  double n = 0.0;
+  for (std::size_t s = 0; s < it->second.def.shells.size(); ++s) {
+    const double occ = it->second.def.shells[s].occupation;
+    if (occ == 0.0) continue;
+    const double rv = radials_[it->second.radial_indices[s]]->value(r);
+    n += occ * rv * rv / constants::four_pi;
+  }
+  return n;
+}
+
+}  // namespace aeqp::basis

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file basis_set.hpp
+/// The molecular basis set: every atom contributes the numeric atomic
+/// orbitals of its element, chi_mu(r) = R(|r-R_A|) * Y_lm(r-R_A). This is
+/// the finite basis of paper Eq. (4); overlap/Hamiltonian/density matrices
+/// are indexed by mu over this set.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "basis/element.hpp"
+#include "basis/radial_function.hpp"
+#include "common/vec3.hpp"
+#include "grid/radial_grid.hpp"
+#include "grid/structure.hpp"
+
+namespace aeqp::basis {
+
+/// Metadata of one basis function.
+struct BasisFunction {
+  std::uint32_t atom = 0;    ///< owning atom index in the structure
+  std::uint32_t radial = 0;  ///< index into BasisSet radial table
+  int l = 0;
+  int m = 0;
+};
+
+/// Scratch/result container for evaluating all nonzero basis functions at a
+/// point. Reused across points to avoid allocation in the integration loop.
+struct PointEval {
+  std::vector<std::uint32_t> indices;  ///< global basis indices mu
+  std::vector<double> values;          ///< chi_mu(point)
+  std::vector<double> laplacians;      ///< nabla^2 chi_mu(point) (if requested)
+  void clear() {
+    indices.clear();
+    values.clear();
+    laplacians.clear();
+  }
+};
+
+/// All-electron numeric atomic orbital basis over a structure.
+class BasisSet {
+public:
+  /// Build the basis. `r_cut` is the orbital confinement radius in bohr and
+  /// controls the sparsity/locality trade-off.
+  BasisSet(const grid::Structure& structure, BasisTier tier, double r_cut = 7.0);
+
+  [[nodiscard]] std::size_t size() const { return functions_.size(); }
+  [[nodiscard]] const BasisFunction& function(std::size_t mu) const {
+    return functions_[mu];
+  }
+  [[nodiscard]] const NumericRadialFunction& radial(std::size_t idx) const {
+    return *radials_[idx];
+  }
+  [[nodiscard]] const grid::Structure& structure() const { return structure_; }
+  [[nodiscard]] double r_cut() const { return r_cut_; }
+  [[nodiscard]] BasisTier tier() const { return tier_; }
+
+  /// Contiguous [first, last) basis-function range of atom a.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> atom_range(std::size_t a) const;
+
+  /// Highest angular momentum over all elements present.
+  [[nodiscard]] int l_max() const { return l_max_; }
+
+  /// Evaluate every basis function that is nonzero at `p`; optionally also
+  /// the Laplacians needed for kinetic-energy integrals.
+  void evaluate(const Vec3& p, bool with_laplacian, PointEval& out) const;
+
+  /// Spherical free-atom density n_atom(r) of element z (occupied shells,
+  /// 1/(4 pi) angular average); the SCF initial guess superposes these.
+  [[nodiscard]] double free_atom_density(int z, double r) const;
+
+  /// Number of electrons for the neutral system.
+  [[nodiscard]] int electron_count() const { return structure_.total_charge(); }
+
+private:
+  struct ElementEntry {
+    ElementBasis def;
+    std::vector<std::size_t> radial_indices;  // one per shell
+  };
+
+  grid::Structure structure_;
+  BasisTier tier_;
+  double r_cut_;
+  grid::RadialGrid mesh_;
+  std::map<int, ElementEntry> elements_;
+  std::vector<std::unique_ptr<NumericRadialFunction>> radials_;
+  std::vector<BasisFunction> functions_;
+  std::vector<std::size_t> atom_first_;  // first function of each atom, +sentinel
+  int l_max_ = 0;
+};
+
+}  // namespace aeqp::basis

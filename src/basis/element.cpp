@@ -1,0 +1,67 @@
+#include "basis/element.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace aeqp::basis {
+
+int ElementBasis::l_max() const {
+  int l = 0;
+  for (const auto& s : shells) l = std::max(l, s.l);
+  return l;
+}
+
+std::size_t ElementBasis::function_count() const {
+  std::size_t n = 0;
+  for (const auto& s : shells) n += static_cast<std::size_t>(2 * s.l + 1);
+  return n;
+}
+
+ElementBasis ElementBasis::standard(int z, BasisTier tier) {
+  ElementBasis e;
+  e.z = z;
+  const bool light = tier == BasisTier::Light;
+  switch (z) {
+    case 1:
+      e.symbol = "H";
+      e.shells = {{1, 0, 1.00, 1.0}};
+      if (light) {
+        e.shells.push_back({2, 0, 0.65, 0.0});   // diffuse s
+        e.shells.push_back({2, 1, 1.10, 0.0});   // p polarization
+      }
+      break;
+    case 6:
+      e.symbol = "C";
+      e.shells = {{1, 0, 5.67, 2.0}, {2, 0, 1.61, 2.0}, {2, 1, 1.57, 2.0}};
+      if (light) e.shells.push_back({3, 2, 1.80, 0.0});  // d polarization
+      break;
+    case 7:
+      e.symbol = "N";
+      e.shells = {{1, 0, 6.67, 2.0}, {2, 0, 1.92, 2.0}, {2, 1, 1.92, 3.0}};
+      if (light) e.shells.push_back({3, 2, 2.00, 0.0});
+      break;
+    case 8:
+      e.symbol = "O";
+      e.shells = {{1, 0, 7.66, 2.0}, {2, 0, 2.25, 2.0}, {2, 1, 2.27, 4.0}};
+      if (light) e.shells.push_back({3, 2, 2.20, 0.0});
+      break;
+    case 15:
+      e.symbol = "P";
+      e.shells = {{1, 0, 14.56, 2.0}, {2, 0, 4.62, 2.0}, {2, 1, 5.52, 6.0},
+                  {3, 0, 1.88, 2.0}, {3, 1, 1.63, 3.0}};
+      if (light) e.shells.push_back({3, 2, 1.40, 0.0});
+      break;
+    case 16:
+      e.symbol = "S";
+      e.shells = {{1, 0, 15.54, 2.0}, {2, 0, 5.31, 2.0}, {2, 1, 5.99, 6.0},
+                  {3, 0, 2.12, 2.0}, {3, 1, 1.83, 4.0}};
+      if (light) e.shells.push_back({3, 2, 1.50, 0.0});
+      break;
+    default:
+      AEQP_THROW("ElementBasis: unparameterized element Z=" + std::to_string(z));
+  }
+  return e;
+}
+
+}  // namespace aeqp::basis

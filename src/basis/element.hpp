@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file element.hpp
+/// Per-element numeric atomic orbital definitions. AEQP parameterizes the
+/// biomolecular elements the paper's systems contain (H, C, N, O) with
+/// Slater-type radial shells (Clementi-Raimondi-style exponents) that are
+/// tabulated, smoothly truncated, and renormalized on a logarithmic mesh --
+/// the same construction FHI-aims applies to its all-electron NAO basis.
+
+#include <string>
+#include <vector>
+
+namespace aeqp::basis {
+
+/// Basis-set quality tier. `Light` mirrors the paper's "light settings":
+/// occupied shells plus one polarization shell per element.
+enum class BasisTier { Minimal, Light };
+
+/// One radial shell: principal quantum number n, angular momentum l, Slater
+/// exponent zeta, and the free-atom electron count occupying the shell
+/// (summed over its 2l+1 members; zero for polarization shells).
+struct RadialShell {
+  int n = 1;
+  int l = 0;
+  double zeta = 1.0;
+  double occupation = 0.0;
+};
+
+/// Basis definition for one element.
+struct ElementBasis {
+  int z = 1;
+  std::string symbol;
+  std::vector<RadialShell> shells;
+
+  /// Highest angular momentum in the set.
+  [[nodiscard]] int l_max() const;
+
+  /// Number of basis functions (sum of 2l+1 over shells).
+  [[nodiscard]] std::size_t function_count() const;
+
+  /// Standard parameterization for H, C, N, O; throws for other elements.
+  static ElementBasis standard(int z, BasisTier tier);
+};
+
+}  // namespace aeqp::basis

@@ -1,0 +1,61 @@
+#include "basis/radial_function.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace aeqp::basis {
+
+double cutoff_function(double r, double on, double off) {
+  if (r <= on) return 1.0;
+  if (r >= off) return 0.0;
+  const double t = (r - on) / (off - on);
+  return 0.5 * (1.0 + std::cos(constants::pi * t));
+}
+
+NumericRadialFunction::NumericRadialFunction(const RadialShell& shell,
+                                             const grid::RadialGrid& mesh,
+                                             double r_cut, double cutoff_onset)
+    : shell_(shell), r_cut_(r_cut) {
+  AEQP_CHECK(shell.n >= 1 && shell.l >= 0 && shell.l < shell.n,
+             "NumericRadialFunction: invalid quantum numbers");
+  AEQP_CHECK(shell.zeta > 0.0, "NumericRadialFunction: zeta must be positive");
+  AEQP_CHECK(r_cut > mesh.r_min(), "NumericRadialFunction: cutoff inside mesh");
+  AEQP_CHECK(cutoff_onset > 0.0 && cutoff_onset < 1.0,
+             "NumericRadialFunction: onset fraction must be in (0,1)");
+
+  const double on = cutoff_onset * r_cut;
+  samples_.resize(mesh.size());
+  for (std::size_t i = 0; i < mesh.size(); ++i) {
+    const double r = mesh.r(i);
+    const double sto = std::pow(r, shell.n - 1) * std::exp(-shell.zeta * r);
+    samples_[i] = sto * cutoff_function(r, on, r_cut);
+  }
+  // Renormalize numerically on the mesh: \int R^2 r^2 dr = 1.
+  std::vector<double> r2(samples_.size());
+  for (std::size_t i = 0; i < samples_.size(); ++i) r2[i] = samples_[i] * samples_[i];
+  const double norm2 = mesh.integrate_volume(r2);
+  AEQP_CHECK(norm2 > 1e-30, "NumericRadialFunction: vanishing norm");
+  const double inv = 1.0 / std::sqrt(norm2);
+  for (auto& v : samples_) v *= inv;
+
+  spline_ = CubicSpline(mesh.points(), samples_);
+}
+
+double NumericRadialFunction::value(double r) const {
+  if (r >= r_cut_) return 0.0;
+  return spline_.value(r);
+}
+
+double NumericRadialFunction::derivative(double r) const {
+  if (r >= r_cut_) return 0.0;
+  return spline_.derivative(r);
+}
+
+double NumericRadialFunction::second_derivative(double r) const {
+  if (r >= r_cut_) return 0.0;
+  return spline_.second_derivative(r);
+}
+
+}  // namespace aeqp::basis

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file radial_function.hpp
+/// Numeric radial functions: Slater-type shells tabulated on a logarithmic
+/// mesh, smoothly truncated at a cutoff radius and renormalized. The cutoff
+/// is what makes the Hamiltonian sparse at scale -- atoms only interact with
+/// neighbours whose orbital spheres overlap -- which is the entire premise
+/// of the paper's locality-enhancing task mapping.
+
+#include <vector>
+
+#include "basis/element.hpp"
+#include "basis/spline.hpp"
+#include "grid/radial_grid.hpp"
+
+namespace aeqp::basis {
+
+/// One tabulated radial function R(r) with spline interpolation.
+class NumericRadialFunction {
+public:
+  /// Tabulate the shell on `mesh`, multiply by a cosine cutoff switched on
+  /// at `cutoff_onset * r_cut` and zero beyond `r_cut`, then renormalize so
+  /// \int R^2 r^2 dr = 1.
+  NumericRadialFunction(const RadialShell& shell, const grid::RadialGrid& mesh,
+                        double r_cut, double cutoff_onset = 0.7);
+
+  /// R(r); exactly zero beyond the cutoff radius.
+  [[nodiscard]] double value(double r) const;
+
+  /// dR/dr (zero beyond cutoff).
+  [[nodiscard]] double derivative(double r) const;
+
+  /// d^2R/dr^2 (zero beyond cutoff).
+  [[nodiscard]] double second_derivative(double r) const;
+
+  [[nodiscard]] double cutoff() const { return r_cut_; }
+  [[nodiscard]] int l() const { return shell_.l; }
+  [[nodiscard]] const RadialShell& shell() const { return shell_; }
+
+  /// Tabulated samples aligned with the construction mesh.
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+private:
+  RadialShell shell_;
+  double r_cut_ = 0.0;
+  std::vector<double> samples_;
+  CubicSpline spline_;
+};
+
+/// Smooth cosine cutoff: 1 for r <= on, 0 for r >= off, C^1 in between.
+double cutoff_function(double r, double on, double off);
+
+}  // namespace aeqp::basis

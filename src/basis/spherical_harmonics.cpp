@@ -1,0 +1,77 @@
+#include "basis/spherical_harmonics.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace aeqp::basis {
+namespace {
+
+/// Normalization sqrt((2l+1)/(4 pi) (l-m)!/(l+m)!) for m >= 0.
+double ylm_norm(int l, int m) {
+  double ratio = 1.0;  // (l-m)! / (l+m)!
+  for (int k = l - m + 1; k <= l + m; ++k) ratio /= static_cast<double>(k);
+  return std::sqrt((2.0 * l + 1.0) / constants::four_pi * ratio);
+}
+
+}  // namespace
+
+double assoc_legendre(int l, int m, double x) {
+  AEQP_CHECK(m >= 0 && m <= l, "assoc_legendre requires 0 <= m <= l");
+  AEQP_CHECK(std::fabs(x) <= 1.0 + 1e-12, "assoc_legendre requires |x| <= 1");
+  // P_m^m by the closed form, then upward recurrence in l.
+  double pmm = 1.0;
+  if (m > 0) {
+    const double somx2 = std::sqrt(std::max(0.0, (1.0 - x) * (1.0 + x)));
+    double fact = 1.0;
+    for (int i = 1; i <= m; ++i) {
+      pmm *= -fact * somx2;  // Condon-Shortley phase
+      fact += 2.0;
+    }
+  }
+  if (l == m) return pmm;
+  double pmmp1 = x * (2.0 * m + 1.0) * pmm;
+  if (l == m + 1) return pmmp1;
+  double pll = 0.0;
+  for (int ll = m + 2; ll <= l; ++ll) {
+    pll = (x * (2.0 * ll - 1.0) * pmmp1 - (ll + m - 1.0) * pmm) / (ll - m);
+    pmm = pmmp1;
+    pmmp1 = pll;
+  }
+  return pll;
+}
+
+double real_ylm(int l, int m, const Vec3& u) {
+  const int am = std::abs(m);
+  const double ct = u.z;
+  const double st = std::sqrt(std::max(0.0, 1.0 - ct * ct));
+  const double plm = assoc_legendre(l, am, ct);
+  if (m == 0) return ylm_norm(l, 0) * plm;
+
+  double cphi = 1.0, sphi = 0.0;
+  if (st > 1e-15) {
+    cphi = u.x / st;
+    sphi = u.y / st;
+  }
+  // cos(am*phi), sin(am*phi) by Chebyshev-style recurrence.
+  double c = cphi, s = sphi;
+  for (int k = 1; k < am; ++k) {
+    const double cn = c * cphi - s * sphi;
+    s = s * cphi + c * sphi;
+    c = cn;
+  }
+  // Cancel the Condon-Shortley phase carried by assoc_legendre so the real
+  // harmonics follow the solid-harmonic convention (Y_11 ~ +x, Y_1-1 ~ +y).
+  const double cs = (am % 2 == 1) ? -1.0 : 1.0;
+  const double norm = cs * std::sqrt(2.0) * ylm_norm(l, am) * plm;
+  return m > 0 ? norm * c : norm * s;
+}
+
+void real_ylm_all(int l_max, const Vec3& u, std::vector<double>& out) {
+  out.resize(lm_count(l_max));
+  for (int l = 0; l <= l_max; ++l)
+    for (int m = -l; m <= l; ++m) out[lm_index(l, m)] = real_ylm(l, m, u);
+}
+
+}  // namespace aeqp::basis

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file spherical_harmonics.hpp
+/// Real spherical harmonics Y_lm used both by the numeric atomic orbitals
+/// (chi = R(r) Y_lm) and the multipole expansion of densities/potentials in
+/// the Poisson solver. Normalized so that \int Y_lm Y_l'm' dOmega = delta.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/vec3.hpp"
+
+namespace aeqp::basis {
+
+/// Flat index of (l, m): l^2 + l + m; m runs -l..l.
+constexpr std::size_t lm_index(int l, int m) {
+  return static_cast<std::size_t>(l * l + l + m);
+}
+
+/// Total number of (l, m) channels with l <= l_max: (l_max + 1)^2.
+constexpr std::size_t lm_count(int l_max) {
+  return static_cast<std::size_t>((l_max + 1) * (l_max + 1));
+}
+
+/// Evaluate one real Y_lm for the *unit* direction d.
+double real_ylm(int l, int m, const Vec3& unit_dir);
+
+/// Evaluate all real Y_lm with l <= l_max for a unit direction, in
+/// lm_index order. `out` is resized to lm_count(l_max).
+void real_ylm_all(int l_max, const Vec3& unit_dir, std::vector<double>& out);
+
+/// Associated Legendre P_l^m(x) (m >= 0) with Condon-Shortley phase.
+double assoc_legendre(int l, int m, double x);
+
+}  // namespace aeqp::basis

@@ -1,0 +1,91 @@
+#include "basis/spline.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/error.hpp"
+
+namespace aeqp::basis {
+namespace {
+std::atomic<std::size_t> g_spline_constructions{0};
+}
+
+std::size_t CubicSpline::constructions() { return g_spline_constructions.load(); }
+void CubicSpline::reset_construction_counter() { g_spline_constructions.store(0); }
+
+CubicSpline::CubicSpline(std::vector<double> x, std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)) {
+  AEQP_CHECK(x_.size() == y_.size(), "CubicSpline: knot/value count mismatch");
+  AEQP_CHECK(x_.size() >= 2, "CubicSpline: need at least 2 knots");
+  for (std::size_t i = 1; i < x_.size(); ++i)
+    AEQP_CHECK(x_[i] > x_[i - 1], "CubicSpline: knots must strictly increase");
+
+  // Solve the tridiagonal system for second derivatives, natural boundary
+  // conditions (y'' = 0 at both ends).
+  const std::size_t n = x_.size();
+  y2_.assign(n, 0.0);
+  std::vector<double> u(n, 0.0);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const double sig = (x_[i] - x_[i - 1]) / (x_[i + 1] - x_[i - 1]);
+    const double p = sig * y2_[i - 1] + 2.0;
+    y2_[i] = (sig - 1.0) / p;
+    u[i] = (y_[i + 1] - y_[i]) / (x_[i + 1] - x_[i]) -
+           (y_[i] - y_[i - 1]) / (x_[i] - x_[i - 1]);
+    u[i] = (6.0 * u[i] / (x_[i + 1] - x_[i - 1]) - sig * u[i - 1]) / p;
+  }
+  for (std::size_t k = n - 1; k-- > 0;) y2_[k] = y2_[k] * y2_[k + 1] + u[k];
+
+  g_spline_constructions.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t CubicSpline::interval(double x) const {
+  // Binary search for the segment containing x, clamped to the span.
+  const auto it = std::upper_bound(x_.begin(), x_.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - x_.begin());
+  if (hi == 0) return 0;
+  if (hi >= x_.size()) return x_.size() - 2;
+  return hi - 1;
+}
+
+double CubicSpline::value(double x) const {
+  AEQP_ASSERT(!x_.empty());
+  if (x <= x_.front()) {
+    // Linear extrapolation using the boundary slope keeps values finite.
+    const double slope = derivative(x_.front());
+    return y_.front() + slope * (x - x_.front());
+  }
+  if (x >= x_.back()) {
+    const double slope = derivative(x_.back());
+    return y_.back() + slope * (x - x_.back());
+  }
+  const std::size_t i = interval(x);
+  const double h = x_[i + 1] - x_[i];
+  const double a = (x_[i + 1] - x) / h;
+  const double b = (x - x_[i]) / h;
+  return a * y_[i] + b * y_[i + 1] +
+         ((a * a * a - a) * y2_[i] + (b * b * b - b) * y2_[i + 1]) * (h * h) / 6.0;
+}
+
+double CubicSpline::derivative(double x) const {
+  AEQP_ASSERT(!x_.empty());
+  const double xc = std::clamp(x, x_.front(), x_.back());
+  const std::size_t i = interval(xc);
+  const double h = x_[i + 1] - x_[i];
+  const double a = (x_[i + 1] - xc) / h;
+  const double b = (xc - x_[i]) / h;
+  return (y_[i + 1] - y_[i]) / h -
+         (3.0 * a * a - 1.0) / 6.0 * h * y2_[i] +
+         (3.0 * b * b - 1.0) / 6.0 * h * y2_[i + 1];
+}
+
+double CubicSpline::second_derivative(double x) const {
+  AEQP_ASSERT(!x_.empty());
+  const double xc = std::clamp(x, x_.front(), x_.back());
+  const std::size_t i = interval(xc);
+  const double h = x_[i + 1] - x_[i];
+  const double a = (x_[i + 1] - xc) / h;
+  const double b = (xc - x_[i]) / h;
+  return a * y2_[i] + b * y2_[i + 1];
+}
+
+}  // namespace aeqp::basis

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file spline.hpp
+/// Natural cubic spline interpolation. Splines are the central data object
+/// of the paper's Rho phase: the multipole expansion of the response density
+/// (`rho_multipole_spl`) and the partitioned Hartree potential
+/// (`delta_v_hart_part_spl`) are both stored as radial cubic splines, built
+/// by the producer kernel and interpolated by the consumer kernel.
+
+#include <cstddef>
+#include <vector>
+
+namespace aeqp::basis {
+
+/// Natural cubic spline over strictly increasing knots.
+class CubicSpline {
+public:
+  CubicSpline() = default;
+
+  /// Build from knots x (strictly increasing) and samples y.
+  CubicSpline(std::vector<double> x, std::vector<double> y);
+
+  [[nodiscard]] bool empty() const { return x_.empty(); }
+  [[nodiscard]] std::size_t size() const { return x_.size(); }
+
+  /// Interpolated value; clamped linear extrapolation outside the knot span.
+  [[nodiscard]] double value(double x) const;
+
+  /// First derivative of the interpolant.
+  [[nodiscard]] double derivative(double x) const;
+
+  /// Second derivative of the interpolant.
+  [[nodiscard]] double second_derivative(double x) const;
+
+  /// Number of spline segments (knots - 1).
+  [[nodiscard]] std::size_t segments() const { return x_.empty() ? 0 : x_.size() - 1; }
+
+  /// Bytes of coefficient storage; used by the Fig. 12(a) data-volume model.
+  [[nodiscard]] std::size_t bytes() const {
+    return (x_.size() + y_.size() + y2_.size()) * sizeof(double);
+  }
+
+  /// Total CubicSpline constructions since process start (the "number of
+  /// cubic splines performed" counter behind paper Fig. 9(c)).
+  static std::size_t constructions();
+  static void reset_construction_counter();
+
+private:
+  [[nodiscard]] std::size_t interval(double x) const;
+
+  std::vector<double> x_, y_, y2_;
+};
+
+}  // namespace aeqp::basis

@@ -1,0 +1,56 @@
+#include "comm/packed.hpp"
+
+#include "comm/hierarchical.hpp"
+#include "common/error.hpp"
+
+namespace aeqp::comm {
+
+PackedAllReducer::PackedAllReducer(parallel::Communicator& comm, ReduceMode mode,
+                                   std::size_t max_bytes)
+    : comm_(&comm), mode_(mode), max_bytes_(max_bytes) {
+  AEQP_CHECK(max_bytes_ >= sizeof(double),
+             "PackedAllReducer: byte budget too small");
+}
+
+PackedAllReducer::~PackedAllReducer() {
+  // Collective destructors are a deadlock hazard; require explicit flush.
+  AEQP_ASSERT(pending_.empty());
+}
+
+void PackedAllReducer::add(std::span<double> row) {
+  if ((buffer_.size() + row.size()) * sizeof(double) > max_bytes_ &&
+      !pending_.empty())
+    flush();
+  buffer_.insert(buffer_.end(), row.begin(), row.end());
+  pending_.push_back(row);
+  ++rows_total_;
+  // A single oversized row still has to go out in one piece.
+  if (buffer_.size() * sizeof(double) >= max_bytes_) flush();
+}
+
+void PackedAllReducer::flush() {
+  if (pending_.empty()) return;
+  switch (mode_) {
+    case ReduceMode::Flat:
+      comm_->allreduce_sum(buffer_);
+      break;
+    case ReduceMode::Hierarchical:
+      hierarchical_allreduce_sum(*comm_, buffer_);
+      break;
+  }
+  ++flushes_;
+  std::size_t offset = 0;
+  for (auto row : pending_) {
+    for (std::size_t i = 0; i < row.size(); ++i) row[i] = buffer_[offset + i];
+    offset += row.size();
+  }
+  AEQP_ASSERT(offset == buffer_.size());
+  buffer_.clear();
+  pending_.clear();
+}
+
+void flat_allreduce_sum(parallel::Communicator& comm, std::span<double> data) {
+  comm.allreduce_sum(data);
+}
+
+}  // namespace aeqp::comm

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file packed.hpp
+/// Packed collective communication (paper Sec. 3.2.1): several invocations
+/// of the same MPI collective are fused into one call that synthesizes all
+/// their payloads at once. The paper's driving use case is the row-by-row
+/// AllReduce of rho_multipole after the Sumup phase; packing every c rows
+/// turns c collectives into one, bounded by a ~30 MB memory heuristic so
+/// the staging buffer stays inside the last-level cache budget.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "parallel/cluster.hpp"
+
+namespace aeqp::comm {
+
+/// How a packed buffer is synthesized when flushed.
+enum class ReduceMode {
+  Flat,          ///< one AllReduce over all ranks
+  Hierarchical,  ///< node-local SHM update + leader AllReduce (Sec. 3.2.2)
+};
+
+/// Default packing budget from the paper: 30 MB.
+inline constexpr std::size_t kDefaultPackBytes = 30u * 1024u * 1024u;
+
+/// Accumulates rows destined for sum-AllReduce and flushes them as a single
+/// packed collective. Row memory is scattered back in place on flush.
+class PackedAllReducer {
+public:
+  PackedAllReducer(parallel::Communicator& comm, ReduceMode mode,
+                   std::size_t max_bytes = kDefaultPackBytes);
+  ~PackedAllReducer();
+
+  PackedAllReducer(const PackedAllReducer&) = delete;
+  PackedAllReducer& operator=(const PackedAllReducer&) = delete;
+
+  /// Queue one row. All ranks must queue rows in the same order with the
+  /// same sizes (collective contract). Triggers a flush when the buffer
+  /// would exceed the byte budget. The row memory must stay valid until the
+  /// next flush() (or destruction).
+  void add(std::span<double> row);
+
+  /// Reduce everything queued in ONE collective and scatter results back to
+  /// the original row storage. No-op when empty. Collective: all ranks must
+  /// call flush the same number of times (add() keeps this aligned because
+  /// every rank sees the same row sequence).
+  void flush();
+
+  /// Number of collective invocations so far (the count packing minimizes).
+  [[nodiscard]] std::size_t collective_count() const { return flushes_; }
+
+  /// Rows accepted so far.
+  [[nodiscard]] std::size_t rows_packed() const { return rows_total_; }
+
+  /// Bytes currently staged.
+  [[nodiscard]] std::size_t queued_bytes() const {
+    return buffer_.size() * sizeof(double);
+  }
+
+private:
+  parallel::Communicator* comm_;
+  ReduceMode mode_;
+  std::size_t max_bytes_;
+  std::vector<double> buffer_;
+  std::vector<std::span<double>> pending_;
+  std::size_t flushes_ = 0;
+  std::size_t rows_total_ = 0;
+};
+
+/// One-shot convenience: flat sum-AllReduce of `data` (baseline of Fig. 10).
+void flat_allreduce_sum(parallel::Communicator& comm, std::span<double> data);
+
+}  // namespace aeqp::comm

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file constants.hpp
+/// Physical constants and unit conversions. AEQP works internally in
+/// Hartree atomic units: length in bohr, energy in hartree, ħ = m_e = e = 1.
+
+namespace aeqp::constants {
+
+inline constexpr double pi = 3.14159265358979323846;
+inline constexpr double four_pi = 4.0 * pi;
+inline constexpr double sqrt_pi = 1.7724538509055160273;
+
+/// 1 bohr in angstrom.
+inline constexpr double bohr_to_angstrom = 0.529177210903;
+inline constexpr double angstrom_to_bohr = 1.0 / bohr_to_angstrom;
+
+/// 1 hartree in electron volt.
+inline constexpr double hartree_to_ev = 27.211386245988;
+
+/// Polarizability conversion: 1 bohr^3 in angstrom^3.
+inline constexpr double bohr3_to_angstrom3 =
+    bohr_to_angstrom * bohr_to_angstrom * bohr_to_angstrom;
+
+}  // namespace aeqp::constants

@@ -1,0 +1,20 @@
+#include "common/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace aeqp::detail {
+
+void throw_error(const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " (" << file << ":" << line << ")";
+  throw Error(os.str());
+}
+
+void assert_fail(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "AEQP_ASSERT failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace aeqp::detail

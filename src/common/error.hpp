@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file error.hpp
+/// Error handling primitives shared by every AEQP module.
+///
+/// Library code throws aeqp::Error for recoverable misuse and uses
+/// AEQP_ASSERT for internal invariants that indicate a programming bug.
+
+#include <stdexcept>
+#include <string>
+
+namespace aeqp {
+
+/// Exception type thrown by all AEQP components on invalid input or
+/// unsatisfiable requests (bad dimensions, non-convergence, ...).
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* file, int line, const std::string& msg);
+[[noreturn]] void assert_fail(const char* file, int line, const char* expr);
+}  // namespace detail
+
+}  // namespace aeqp
+
+/// Throw aeqp::Error with file/line context.
+#define AEQP_THROW(msg) ::aeqp::detail::throw_error(__FILE__, __LINE__, (msg))
+
+/// Validate a user-facing precondition; throws aeqp::Error when violated.
+#define AEQP_CHECK(cond, msg)                                  \
+  do {                                                         \
+    if (!(cond)) ::aeqp::detail::throw_error(__FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Internal invariant check; enabled in all build types because the library
+/// is numerical and silent corruption is worse than an abort.
+#define AEQP_ASSERT(expr)                                      \
+  do {                                                         \
+    if (!(expr)) ::aeqp::detail::assert_fail(__FILE__, __LINE__, #expr); \
+  } while (0)

@@ -1,0 +1,27 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace aeqp {
+
+std::mutex Log::mutex_;
+LogLevel Log::level_ = LogLevel::Warn;
+
+void Log::set_level(LogLevel lvl) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  level_ = lvl;
+}
+
+LogLevel Log::level() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return level_;
+}
+
+void Log::write(LogLevel lvl, const std::string& msg) {
+  static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (static_cast<int>(lvl) < static_cast<int>(level_)) return;
+  std::fprintf(stderr, "[aeqp %s] %s\n", names[static_cast<int>(lvl)], msg.c_str());
+}
+
+}  // namespace aeqp

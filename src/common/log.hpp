@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file log.hpp
+/// Minimal leveled logger. Thread-safe, writes to stderr. Benchmarks and
+/// examples raise the level to keep figure output clean.
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace aeqp {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log configuration. Levels below the threshold are discarded.
+class Log {
+public:
+  static void set_level(LogLevel lvl);
+  static LogLevel level();
+  static void write(LogLevel lvl, const std::string& msg);
+
+private:
+  static std::mutex mutex_;
+  static LogLevel level_;
+};
+
+namespace detail {
+class LogLine {
+public:
+  explicit LogLine(LogLevel lvl) : lvl_(lvl) {}
+  ~LogLine() { Log::write(lvl_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+private:
+  LogLevel lvl_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace aeqp
+
+#define AEQP_LOG_DEBUG ::aeqp::detail::LogLine(::aeqp::LogLevel::Debug)
+#define AEQP_LOG_INFO ::aeqp::detail::LogLine(::aeqp::LogLevel::Info)
+#define AEQP_LOG_WARN ::aeqp::detail::LogLine(::aeqp::LogLevel::Warn)
+#define AEQP_LOG_ERROR ::aeqp::detail::LogLine(::aeqp::LogLevel::Error)

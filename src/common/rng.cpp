@@ -1,0 +1,15 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace aeqp {
+
+double Rng::normal() {
+  // Box–Muller; guard against log(0).
+  double u1 = uniform();
+  while (u1 <= 1e-300) u1 = uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+}  // namespace aeqp

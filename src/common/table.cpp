@@ -1,0 +1,61 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace aeqp {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  AEQP_CHECK(!header_.empty(), "Table requires at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  AEQP_CHECK(row.size() == header_.size(), "Table row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(const std::string& title) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::size_t total = 1;
+  for (auto w : width) total += w + 3;
+
+  std::string bar(total, '-');
+  std::printf("\n== %s ==\n%s\n", title.c_str(), bar.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("|");
+    for (std::size_t c = 0; c < row.size(); ++c)
+      std::printf(" %-*s |", static_cast<int>(width[c]), row[c].c_str());
+    std::printf("\n");
+  };
+  print_row(header_);
+  std::printf("%s\n", bar.c_str());
+  for (const auto& row : rows_) print_row(row);
+  std::printf("%s\n", bar.c_str());
+  std::fflush(stdout);
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string Table::sci(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::scientific);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+}  // namespace aeqp

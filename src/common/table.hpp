@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file table.hpp
+/// Console table printer used by the bench harnesses to emit the rows and
+/// series of each paper table/figure in a uniform, diff-friendly format.
+
+#include <string>
+#include <vector>
+
+namespace aeqp {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class Table {
+public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render to stdout with a title banner.
+  void print(const std::string& title) const;
+
+  /// Format helper: fixed-point double.
+  static std::string num(double v, int precision = 3);
+  /// Format helper: scientific double.
+  static std::string sci(double v, int precision = 3);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aeqp

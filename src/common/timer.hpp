@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock timing utilities used by benchmarks and the performance model
+/// calibration pass.
+
+#include <chrono>
+
+namespace aeqp {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+public:
+  Timer() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace aeqp

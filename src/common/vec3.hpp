@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file vec3.hpp
+/// Small 3-vector used for atomic coordinates and grid points.
+
+#include <array>
+#include <cmath>
+#include <ostream>
+
+namespace aeqp {
+
+/// Plain 3-D Cartesian vector in atomic units (bohr).
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  constexpr double& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr const double& operator[](int i) const {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x; y -= o.y; z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s; y *= s; z *= s;
+    return *this;
+  }
+
+  [[nodiscard]] constexpr double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] constexpr double norm2() const { return dot(*this); }
+  [[nodiscard]] double norm() const { return std::sqrt(norm2()); }
+  [[nodiscard]] Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+/// Euclidean distance between two points.
+inline double distance(const Vec3& a, const Vec3& b) { return (a - b).norm(); }
+
+}  // namespace aeqp

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file cube.hpp
+/// Gaussian cube-file export of scalar fields (densities, response
+/// densities, potentials) evaluated on a regular grid around a structure --
+/// the standard route for visualizing n(r) and n^(1)(r) in any molecular
+/// viewer.
+
+#include <functional>
+#include <string>
+
+#include "common/vec3.hpp"
+#include "grid/structure.hpp"
+
+namespace aeqp::core {
+
+/// Regular-grid description for cube export.
+struct CubeSpec {
+  std::size_t points_per_axis = 24;  ///< grid points along each axis
+  double margin = 4.0;               ///< bohr of padding around the structure
+};
+
+/// Scalar field callback.
+using ScalarField = std::function<double(const Vec3&)>;
+
+/// Render `field` over a regular grid enclosing the structure into the
+/// Gaussian cube format (atomic units throughout, as the format requires).
+std::string to_cube(const grid::Structure& structure, const ScalarField& field,
+                    const CubeSpec& spec = {},
+                    const std::string& title = "AEQP scalar field");
+
+}  // namespace aeqp::core

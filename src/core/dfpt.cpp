@@ -1,0 +1,209 @@
+#include "core/dfpt.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/timer.hpp"
+#include "xc/lda.hpp"
+
+namespace aeqp::core {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+std::string phase_name(Phase p) {
+  switch (p) {
+    case Phase::DM: return "DM";
+    case Phase::Sumup: return "Sumup";
+    case Phase::Rho: return "Rho";
+    case Phase::H: return "H";
+    case Phase::Sternheimer: return "Sternheimer";
+  }
+  return "?";
+}
+
+PhaseTimes DfptResult::total_phase_seconds() const {
+  PhaseTimes total;
+  for (const auto& dir : directions)
+    for (const auto& [phase, sec] : dir.phase_seconds) total[phase] += sec;
+  return total;
+}
+
+DfptSolver::DfptSolver(const scf::ScfResult& ground, DfptOptions options)
+    : ground_(ground), options_(options) {
+  AEQP_CHECK(ground_.converged, "DfptSolver: ground state is not converged");
+  AEQP_CHECK(ground_.basis && ground_.grid && ground_.integrator && ground_.hartree,
+             "DfptSolver: ground state lacks shared machinery");
+  const std::size_t nb = ground_.coefficients.rows();
+  const std::size_t n_occ = static_cast<std::size_t>(ground_.n_occupied);
+  AEQP_CHECK(n_occ >= 1 && n_occ < nb,
+             "DfptSolver: need at least one occupied and one virtual orbital");
+  // Finite gap required by the sum-over-states Sternheimer solution.
+  AEQP_CHECK(ground_.lumo - ground_.homo > 1e-8,
+             "DfptSolver: vanishing HOMO-LUMO gap");
+
+  c_occ_ = Matrix(nb, n_occ);
+  c_virt_ = Matrix(nb, nb - n_occ);
+  for (std::size_t mu = 0; mu < nb; ++mu) {
+    for (std::size_t i = 0; i < n_occ; ++i) c_occ_(mu, i) = ground_.coefficients(mu, i);
+    for (std::size_t a = n_occ; a < nb; ++a)
+      c_virt_(mu, a - n_occ) = ground_.coefficients(mu, a);
+  }
+
+  fxc_.resize(ground_.density_samples.size());
+  for (std::size_t p = 0; p < fxc_.size(); ++p)
+    fxc_[p] = xc::lda_evaluate(std::max(ground_.density_samples[p], 0.0)).fxc;
+
+  if (options_.device) {
+    // Device engine: precompute batches and per-batch basis supports once
+    // (the initialization phase the paper's Fig. 11 targets).
+    device_batches_ = grid::make_batches(*ground_.grid, options_.device_batch_points);
+    device_supports_ = kernels::build_batch_supports(*ground_.basis, *ground_.grid,
+                                                     device_batches_);
+  }
+}
+
+DfptDirectionResult DfptSolver::solve_direction(int j) const {
+  AEQP_CHECK(j >= 0 && j < 3, "solve_direction: direction must be 0..2");
+  const auto& integ = *ground_.integrator;
+  const auto& grid = *ground_.grid;
+  const auto& basis = *ground_.basis;
+  const auto& hartree = *ground_.hartree;
+
+  const std::size_t nb = ground_.coefficients.rows();
+  const std::size_t n_occ = c_occ_.cols();
+  const std::size_t n_virt = c_virt_.cols();
+  const std::size_t np = grid.size();
+
+  DfptDirectionResult res;
+  auto& t = res.phase_seconds;
+  t[Phase::DM] = t[Phase::Sumup] = t[Phase::Rho] = t[Phase::H] =
+      t[Phase::Sternheimer] = 0.0;
+
+  // Bare perturbation matrix: -r_J (paper Eq. 11).
+  Matrix h1_ext = integ.dipole_matrix(j);
+  h1_ext.scale(-1.0);
+
+  Matrix p1(nb, nb);                   // response density matrix
+  std::vector<double> n1(np, 0.0);     // response density on the grid
+  std::vector<double> v1(np, 0.0);     // v^(1)_es,tot + v^(1)_xc on the grid
+  bool have_response = false;
+
+  for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+    Timer timer;
+
+    // --- H phase: response Hamiltonian H^(1) (Eqs. 10-12), on the host
+    //     integrator or through the SIMT batch kernel. ---
+    timer.reset();
+    Matrix h1 = h1_ext;
+    if (have_response) {
+      if (options_.device) {
+        Matrix vmat(nb, nb);
+        kernels::h_kernel(*options_.device, grid, device_supports_, v1, vmat);
+        h1.axpy(1.0, vmat);
+      } else {
+        h1.axpy(1.0, integ.potential_matrix(v1));
+      }
+      h1.symmetrize();
+    }
+    t[Phase::H] += timer.seconds();
+
+    // --- Sternheimer update. Static: U_ai = H^(1)_ai / (eps_i - eps_a).
+    //     Dynamic (omega != 0): the +omega and -omega amplitudes
+    //     X_ai, Y_ai of the coupled-perturbed equations. ---
+    timer.reset();
+    const double omega = options_.frequency;
+    const Matrix h1_vo = linalg::matmul_tn(c_virt_, linalg::matmul(h1, c_occ_));
+    Matrix x(n_virt, n_occ), y(n_virt, n_occ);
+    for (std::size_t a = 0; a < n_virt; ++a)
+      for (std::size_t i = 0; i < n_occ; ++i) {
+        const double gap =
+            ground_.eigenvalues[i] - ground_.eigenvalues[n_occ + a];
+        AEQP_CHECK(std::fabs(gap + omega) > 1e-10 && std::fabs(gap - omega) > 1e-10,
+                   "DfptSolver: frequency hits an excitation resonance");
+        x(a, i) = h1_vo(a, i) / (gap + omega);
+        y(a, i) = h1_vo(a, i) / (gap - omega);
+      }
+    // C^(1)+ = C_virt X, C^(1)- = C_virt Y (equal in the static limit).
+    const Matrix c1x = linalg::matmul(c_virt_, x);
+    const Matrix c1y = linalg::matmul(c_virt_, y);
+    t[Phase::Sternheimer] += timer.seconds();
+
+    // --- DM phase: P^(1) = sum_i f_i (C^(1)+ C^T + C C^(1)-T), the
+    //     omega-generalization of Eq. (7). ---
+    timer.reset();
+    Matrix p1_new(nb, nb);
+    for (std::size_t i = 0; i < n_occ; ++i) {
+      const double f = ground_.occupations[i];
+      for (std::size_t mu = 0; mu < nb; ++mu) {
+        const double c1xmi = c1x(mu, i), cmi = c_occ_(mu, i);
+        for (std::size_t nu = 0; nu < nb; ++nu)
+          p1_new(mu, nu) += f * (c1xmi * c_occ_(nu, i) + cmi * c1y(nu, i));
+      }
+    }
+    // Linear mixing stabilizes the CPSCF cycle.
+    if (have_response) {
+      p1_new.scale(options_.mixing);
+      p1_new.axpy(1.0 - options_.mixing, p1);
+    }
+    const double delta = p1_new.max_abs_diff(p1);
+    p1 = std::move(p1_new);
+    t[Phase::DM] += timer.seconds();
+
+    // --- Sumup phase: n^(1)(r) on the grid (Eq. 8). ---
+    timer.reset();
+    if (options_.device) {
+      kernels::sumup_kernel(*options_.device, grid, device_supports_, p1, n1);
+    } else {
+      n1 = integ.density(p1);
+    }
+    t[Phase::Sumup] += timer.seconds();
+
+    // --- Rho phase: v^(1)_H by multipole Poisson solve (Eq. 9) plus the
+    //     XC kernel term f_xc n^(1) (Eq. 12). ---
+    timer.reset();
+    const poisson::DensityFn n1_fn = [&](const Vec3& pos) {
+      basis::PointEval ev;
+      basis.evaluate(pos, false, ev);
+      double n = 0.0;
+      for (std::size_t a = 0; a < ev.indices.size(); ++a)
+        for (std::size_t b = 0; b < ev.indices.size(); ++b)
+          n += p1(ev.indices[a], ev.indices[b]) * ev.values[a] * ev.values[b];
+      return n;
+    };
+    const auto v1_part = hartree.solve_density(n1_fn);
+    for (std::size_t p = 0; p < np; ++p)
+      v1[p] = hartree.potential(v1_part, grid.point(p).pos) + fxc_[p] * n1[p];
+    t[Phase::Rho] += timer.seconds();
+
+    have_response = true;
+    res.iterations = iter;
+    if (options_.verbose)
+      AEQP_LOG_INFO << "DFPT dir " << j << " iter " << iter
+                    << " max|dP1|=" << delta;
+    if (delta < options_.tolerance && iter > 1) {
+      res.converged = true;
+      break;
+    }
+  }
+
+  res.p1 = p1;
+  res.n1_samples = n1;
+  for (int axis = 0; axis < 3; ++axis) {
+    res.dipole_response[axis] = integ.moment(n1, axis);
+    // Independent path: mu_I = Tr(P D_I) => alpha_IJ = Tr(P^(1)_J D_I).
+    res.dipole_response_trace[axis] =
+        linalg::trace_product(p1, integ.dipole_matrix(axis));
+  }
+  return res;
+}
+
+DfptResult DfptSolver::solve_all() const {
+  DfptResult res;
+  for (int j = 0; j < 3; ++j)
+    res.directions[static_cast<std::size_t>(j)] = solve_direction(j);
+  return res;
+}
+
+}  // namespace aeqp::core

@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file dfpt.hpp
+/// Density-functional perturbation theory for homogeneous electric fields
+/// (paper Sec. 2.1, Eqs. 7-13) -- the quantum perturbation self-consistency
+/// cycle of Fig. 1, organized in the four OpenCL-accelerated phases of the
+/// paper's artifact:
+///
+///   DM     response of the density matrix P^(1)            (Eq. 7)
+///   Sumup  real-space response density n^(1)(r)            (Eq. 8)
+///   Rho    response electrostatic potential v^(1)_es,tot   (Eq. 9)
+///   H      response Hamiltonian H^(1)                      (Eqs. 10-12)
+///
+/// The cycle updates the coefficient response C^(1) through the Sternheimer
+/// (sum-over-states) solution and iterates until self-consistency, then
+/// forms the polarizability (Eq. 13).
+
+#include <array>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "grid/batch.hpp"
+#include "kernels/batch_kernels.hpp"
+#include "linalg/matrix.hpp"
+#include "scf/scf_solver.hpp"
+#include "simt/runtime.hpp"
+
+namespace aeqp::core {
+
+/// Names of the timed DFPT phases, matching the paper's Fig. 14 legend.
+enum class Phase { DM, Sumup, Rho, H, Sternheimer };
+
+/// Wall-clock seconds accumulated per phase.
+using PhaseTimes = std::map<Phase, double>;
+
+[[nodiscard]] std::string phase_name(Phase p);
+
+/// DFPT configuration.
+struct DfptOptions {
+  int max_iterations = 40;
+  double tolerance = 1e-6;     ///< max |Delta P^(1)| convergence threshold
+  double mixing = 0.5;         ///< linear mixing of P^(1) between cycles
+  /// Perturbation frequency omega in hartree (0 = static response). The
+  /// dynamic Sternheimer amplitudes X_ai = H1_ai/(eps_i - eps_a + omega)
+  /// and Y_ai = H1_ai/(eps_i - eps_a - omega) yield the frequency-dependent
+  /// polarizability alpha(omega); omega must stay below the first
+  /// excitation (|eps_i - eps_a| > omega) for a real response.
+  double frequency = 0.0;
+  /// Execute the grid-heavy Sumup and H phases through the OpenCL-style
+  /// SIMT runtime (work-group per batch, __local dense blocks) instead of
+  /// the host integrator. Results are identical; the runtime's counters
+  /// feed the device models. Null = host execution.
+  std::shared_ptr<simt::SimtRuntime> device;
+  /// Batch size used when `device` is set.
+  std::size_t device_batch_points = 128;
+  bool verbose = false;
+};
+
+/// Result of one perturbation direction J.
+struct DfptDirectionResult {
+  bool converged = false;
+  int iterations = 0;
+  Vec3 dipole_response{};            ///< d mu_I / d xi_J via \int r_I n^(1)
+  /// Same quantity via the matrix trace Tr(P^(1) D_I) -- an independent
+  /// code path (density-matrix contraction instead of grid moments); the
+  /// two agree to grid accuracy and are cross-checked in the tests.
+  Vec3 dipole_response_trace{};
+  linalg::Matrix p1;                 ///< converged P^(1)
+  std::vector<double> n1_samples;    ///< n^(1) on the integration grid
+  PhaseTimes phase_seconds;
+};
+
+/// Full polarizability run.
+struct DfptResult {
+  std::array<DfptDirectionResult, 3> directions;
+  /// alpha_IJ = d mu_I / d xi_J (Eq. 13), bohr^3.
+  [[nodiscard]] double polarizability(int i, int j) const {
+    return directions[static_cast<std::size_t>(j)].dipole_response[i];
+  }
+  [[nodiscard]] double isotropic_polarizability() const {
+    return (polarizability(0, 0) + polarizability(1, 1) + polarizability(2, 2)) /
+           3.0;
+  }
+  [[nodiscard]] PhaseTimes total_phase_seconds() const;
+};
+
+/// DFPT driver bound to a converged ground state.
+class DfptSolver {
+public:
+  /// `ground` must come from a converged ScfSolver::run() on the same
+  /// structure; its basis/grid/integrator/Hartree machinery is reused.
+  DfptSolver(const scf::ScfResult& ground, DfptOptions options);
+
+  /// Solve the CPSCF cycle for one field direction J in {0,1,2}.
+  [[nodiscard]] DfptDirectionResult solve_direction(int j) const;
+
+  /// All three directions -> polarizability tensor.
+  [[nodiscard]] DfptResult solve_all() const;
+
+private:
+  const scf::ScfResult& ground_;
+  DfptOptions options_;
+  linalg::Matrix c_occ_;   ///< occupied orbital coefficients
+  linalg::Matrix c_virt_;  ///< virtual orbital coefficients
+  std::vector<double> fxc_;  ///< LDA kernel f_xc(n_0(r)) per grid point
+  // Device-engine state (populated when options.device is set).
+  std::vector<grid::Batch> device_batches_;
+  std::vector<kernels::BatchSupport> device_supports_;
+};
+
+}  // namespace aeqp::core

@@ -1,0 +1,246 @@
+#include "core/parallel_dfpt.hpp"
+
+#include <cmath>
+
+#include "basis/basis_set.hpp"
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "linalg/sparse.hpp"
+#include "parallel/cluster.hpp"
+#include "xc/lda.hpp"
+
+namespace aeqp::core {
+
+using linalg::Matrix;
+
+ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
+                                            const ParallelDfptOptions& options,
+                                            int direction) {
+  AEQP_CHECK(direction >= 0 && direction < 3,
+             "solve_direction_parallel: direction must be 0..2");
+  AEQP_CHECK(ground.converged, "solve_direction_parallel: unconverged ground state");
+  AEQP_CHECK(ground.basis && ground.grid && ground.integrator && ground.hartree,
+             "solve_direction_parallel: ground state lacks shared machinery");
+
+  const auto& basis = *ground.basis;
+  const auto& grid = *ground.grid;
+  const auto& integ = *ground.integrator;
+  const auto& hartree = *ground.hartree;
+  const std::size_t nb = ground.coefficients.rows();
+  const std::size_t n_occ = static_cast<std::size_t>(ground.n_occupied);
+  const std::size_t n_virt = nb - n_occ;
+  const std::size_t np = grid.size();
+
+  // Shared, read-only setup: batches, locality mapping, XC kernel, the
+  // occupied/virtual splits and the bare perturbation (identical to the
+  // serial DfptSolver; see dfpt.cpp).
+  const auto batches = grid::make_batches(grid, options.batch_points);
+  AEQP_CHECK(batches.size() >= options.ranks,
+             "solve_direction_parallel: more ranks than batches");
+  const auto assignment =
+      mapping::locality_enhancing_mapping(batches, options.ranks);
+
+  std::vector<double> fxc(np);
+  for (std::size_t p = 0; p < np; ++p)
+    fxc[p] = xc::lda_evaluate(std::max(ground.density_samples[p], 0.0)).fxc;
+
+  Matrix c_occ(nb, n_occ), c_virt(nb, n_virt);
+  for (std::size_t mu = 0; mu < nb; ++mu) {
+    for (std::size_t i = 0; i < n_occ; ++i) c_occ(mu, i) = ground.coefficients(mu, i);
+    for (std::size_t a = 0; a < n_virt; ++a)
+      c_virt(mu, a - 0) = ground.coefficients(mu, n_occ + a);
+  }
+  Matrix h1_ext = integ.dipole_matrix(direction);
+  h1_ext.scale(-1.0);
+
+  ParallelDfptResult out;
+  out.stats.batches = batches.size();
+  std::size_t total_pts = 0, max_pts = 0;
+  for (std::size_t r = 0; r < options.ranks; ++r) {
+    const std::size_t pts = assignment.points_of_rank(r, batches);
+    total_pts += pts;
+    max_pts = std::max(max_pts, pts);
+  }
+  out.stats.max_rank_points_share =
+      static_cast<double>(max_pts) * options.ranks / static_cast<double>(total_pts);
+
+  // Shared output buffers; ranks write disjoint point sets.
+  std::vector<double> n1_full(np, 0.0);
+  std::vector<std::size_t> collectives(options.ranks, 0);
+  std::vector<std::size_t> rows(options.ranks, 0);
+  DfptDirectionResult result;
+  result.phase_seconds[Phase::DM] = result.phase_seconds[Phase::Sumup] =
+      result.phase_seconds[Phase::Rho] = result.phase_seconds[Phase::H] =
+          result.phase_seconds[Phase::Sternheimer] = 0.0;
+
+  parallel::Cluster cluster(options.ranks, options.ranks_per_node);
+  cluster.run([&](parallel::Communicator& comm) {
+    const auto& my_batches = assignment.batches_of_rank[comm.rank()];
+    // Cache this rank's point ids and basis values.
+    std::vector<std::uint32_t> my_points;
+    for (auto b : my_batches)
+      my_points.insert(my_points.end(), batches[b].points.begin(),
+                       batches[b].points.end());
+    std::vector<basis::PointEval> my_eval(my_points.size());
+    for (std::size_t k = 0; k < my_points.size(); ++k)
+      basis.evaluate(grid.point(my_points[k]).pos, false, my_eval[k]);
+
+    Matrix p1(nb, nb);
+    std::vector<double> v1_own(my_points.size(), 0.0);
+    std::vector<double> n1_own(my_points.size(), 0.0);
+    bool have_response = false;
+    Timer timer;
+
+    for (int iter = 1; iter <= options.dfpt.max_iterations; ++iter) {
+      // --- H phase (distributed): partial response-Hamiltonian integrals
+      //     over this rank's grid points, synthesized by packed AllReduce.
+      timer.reset();
+      Matrix h1 = h1_ext;
+      if (have_response) {
+        Matrix partial(nb, nb);
+        for (std::size_t k = 0; k < my_points.size(); ++k) {
+          const double w = grid.point(my_points[k]).weight * v1_own[k];
+          const auto& ev = my_eval[k];
+          for (std::size_t i = 0; i < ev.indices.size(); ++i) {
+            const double wi = w * ev.values[i];
+            for (std::size_t j = 0; j < ev.indices.size(); ++j)
+              partial(ev.indices[i], ev.indices[j]) += wi * ev.values[j];
+          }
+        }
+        comm::PackedAllReducer packer(comm, options.reduce_mode);
+        for (std::size_t row = 0; row < nb; ++row)
+          packer.add(std::span<double>(partial.data() + row * nb, nb));
+        packer.flush();
+        collectives[comm.rank()] += packer.collective_count();
+        rows[comm.rank()] += packer.rows_packed();
+        h1.axpy(1.0, partial);
+        h1.symmetrize();
+      }
+      if (comm.rank() == 0) result.phase_seconds[Phase::H] += timer.seconds();
+
+      // --- Sternheimer + DM (replicated; identical on every rank). ---
+      timer.reset();
+      const Matrix h1_vo = linalg::matmul_tn(c_virt, linalg::matmul(h1, c_occ));
+      Matrix u(n_virt, n_occ);
+      for (std::size_t a = 0; a < n_virt; ++a)
+        for (std::size_t i = 0; i < n_occ; ++i)
+          u(a, i) = h1_vo(a, i) / (ground.eigenvalues[i] -
+                                   ground.eigenvalues[n_occ + a]);
+      const Matrix c1 = linalg::matmul(c_virt, u);
+      if (comm.rank() == 0)
+        result.phase_seconds[Phase::Sternheimer] += timer.seconds();
+
+      timer.reset();
+      Matrix p1_new(nb, nb);
+      for (std::size_t i = 0; i < n_occ; ++i) {
+        const double f = ground.occupations[i];
+        for (std::size_t mu = 0; mu < nb; ++mu) {
+          const double c1mi = c1(mu, i), cmi = c_occ(mu, i);
+          for (std::size_t nu = 0; nu < nb; ++nu)
+            p1_new(mu, nu) += f * (c1mi * c_occ(nu, i) + cmi * c1(nu, i));
+        }
+      }
+      if (have_response) {
+        p1_new.scale(options.dfpt.mixing);
+        p1_new.axpy(1.0 - options.dfpt.mixing, p1);
+      }
+      const double delta = p1_new.max_abs_diff(p1);
+      p1 = std::move(p1_new);
+      if (comm.rank() == 0) result.phase_seconds[Phase::DM] += timer.seconds();
+
+      // --- Sumup phase (distributed): n^(1) on this rank's points. Under
+      //     the legacy storage mode the contraction fetches every matrix
+      //     element from a CSR copy (row pointer + column search + value,
+      //     the inefficiency Fig. 3(a) illustrates); the values are
+      //     identical either way. ---
+      timer.reset();
+      linalg::CsrMatrix p1_csr;
+      if (options.storage == HamiltonianStorage::GlobalSparseCsr) {
+        std::vector<linalg::Triplet> trips;
+        trips.reserve(nb * nb);
+        for (std::size_t i = 0; i < nb; ++i)
+          for (std::size_t j = 0; j < nb; ++j)
+            if (p1(i, j) != 0.0) trips.push_back({i, j, p1(i, j)});
+        p1_csr = linalg::CsrMatrix(nb, nb, std::move(trips));
+      }
+      for (std::size_t k = 0; k < my_points.size(); ++k) {
+        const auto& ev = my_eval[k];
+        double acc = 0.0;
+        if (options.storage == HamiltonianStorage::GlobalSparseCsr) {
+          for (std::size_t i = 0; i < ev.indices.size(); ++i) {
+            double rowsum = 0.0;
+            for (std::size_t j = 0; j < ev.indices.size(); ++j)
+              rowsum += p1_csr.fetch(ev.indices[i], ev.indices[j]) * ev.values[j];
+            acc += ev.values[i] * rowsum;
+          }
+        } else {
+          for (std::size_t i = 0; i < ev.indices.size(); ++i) {
+            const double* prow = p1.data() + ev.indices[i] * nb;
+            double rowsum = 0.0;
+            for (std::size_t j = 0; j < ev.indices.size(); ++j)
+              rowsum += prow[ev.indices[j]] * ev.values[j];
+            acc += ev.values[i] * rowsum;
+          }
+        }
+        n1_own[k] = acc;
+      }
+      if (comm.rank() == 0) result.phase_seconds[Phase::Sumup] += timer.seconds();
+
+      // --- Rho phase: the Poisson producer is replicated on every rank
+      //     (communication avoidance), the consumer runs on own points. ---
+      timer.reset();
+      const poisson::DensityFn n1_fn = [&](const Vec3& pos) {
+        basis::PointEval ev;
+        basis.evaluate(pos, false, ev);
+        double n = 0.0;
+        for (std::size_t a = 0; a < ev.indices.size(); ++a)
+          for (std::size_t b = 0; b < ev.indices.size(); ++b)
+            n += p1(ev.indices[a], ev.indices[b]) * ev.values[a] * ev.values[b];
+        return n;
+      };
+      const auto v1_part = hartree.solve_density(n1_fn);
+      for (std::size_t k = 0; k < my_points.size(); ++k)
+        v1_own[k] = hartree.potential(v1_part, grid.point(my_points[k]).pos) +
+                    fxc[my_points[k]] * n1_own[k];
+      if (comm.rank() == 0) result.phase_seconds[Phase::Rho] += timer.seconds();
+
+      have_response = true;
+      if (comm.rank() == 0) result.iterations = iter;
+      if (delta < options.dfpt.tolerance && iter > 1) {
+        if (comm.rank() == 0) result.converged = true;
+        break;
+      }
+    }
+
+    // Publish this rank's share of n^(1) (disjoint indices) and the moment.
+    for (std::size_t k = 0; k < my_points.size(); ++k)
+      n1_full[my_points[k]] = n1_own[k];
+    std::vector<double> moments(3, 0.0);
+    for (std::size_t k = 0; k < my_points.size(); ++k) {
+      const grid::GridPoint& gp = grid.point(my_points[k]);
+      for (int axis = 0; axis < 3; ++axis)
+        moments[static_cast<std::size_t>(axis)] +=
+            gp.weight * gp.pos[axis] * n1_own[k];
+    }
+    comm.allreduce_sum(moments);
+    if (comm.rank() == 0) {
+      result.dipole_response = {moments[0], moments[1], moments[2]};
+      result.p1 = p1;
+      for (int axis = 0; axis < 3; ++axis)
+        result.dipole_response_trace[axis] =
+            linalg::trace_product(p1, integ.dipole_matrix(axis));
+    }
+  });
+
+  result.n1_samples = std::move(n1_full);
+  out.direction = std::move(result);
+  for (std::size_t r = 0; r < options.ranks; ++r) {
+    out.stats.collectives += collectives[r];
+    out.stats.rows_reduced += rows[r];
+  }
+  out.stats.collectives /= options.ranks;  // same count on every rank
+  out.stats.rows_reduced /= options.ranks;
+  return out;
+}
+
+}  // namespace aeqp::core

@@ -1,0 +1,32 @@
+#include "core/polarizability_invariants.hpp"
+
+namespace aeqp::core {
+namespace {
+constexpr int kXX = 0, kXY = 1, kXZ = 2, kYY = 4, kYZ = 5, kZZ = 8;
+}
+
+double isotropic_mean(const Tensor3& t) {
+  return (t[kXX] + t[kYY] + t[kZZ]) / 3.0;
+}
+
+double anisotropy_squared(const Tensor3& t) {
+  const double dxy = t[kXX] - t[kYY];
+  const double dyz = t[kYY] - t[kZZ];
+  const double dzx = t[kZZ] - t[kXX];
+  return 0.5 * (dxy * dxy + dyz * dyz + dzx * dzx) +
+         3.0 * (t[kXY] * t[kXY] + t[kXZ] * t[kXZ] + t[kYZ] * t[kYZ]);
+}
+
+double raman_activity(const Tensor3& d) {
+  const double a = isotropic_mean(d);
+  return 45.0 * a * a + 7.0 * anisotropy_squared(d);
+}
+
+double depolarization_ratio(const Tensor3& d) {
+  const double a = isotropic_mean(d);
+  const double g2 = anisotropy_squared(d);
+  const double denom = 45.0 * a * a + 4.0 * g2;
+  return denom > 0.0 ? 3.0 * g2 / denom : 0.0;
+}
+
+}  // namespace aeqp::core

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file polarizability_invariants.hpp
+/// Rotational invariants of (derivatives of) the polarizability tensor and
+/// the standard Raman activity combination, shared by the Raman examples
+/// and downstream spectrum tools.
+
+#include <array>
+
+namespace aeqp::core {
+
+/// Row-major 3x3 tensor.
+using Tensor3 = std::array<double, 9>;
+
+/// Isotropic mean a = (a_xx + a_yy + a_zz)/3.
+double isotropic_mean(const Tensor3& t);
+
+/// Anisotropy invariant gamma^2 = 1/2[(xx-yy)^2 + (yy-zz)^2 + (zz-xx)^2]
+///                              + 3[xy^2 + xz^2 + yz^2].
+double anisotropy_squared(const Tensor3& t);
+
+/// Raman activity of a mode with polarizability derivative da/dQ:
+/// 45 a'^2 + 7 gamma'^2 (the invariant combination entering scattering
+/// cross sections for randomly oriented molecules).
+double raman_activity(const Tensor3& dalpha_dq);
+
+/// Depolarization ratio rho = 3 gamma'^2 / (45 a'^2 + 4 gamma'^2);
+/// 0 for a purely isotropic derivative, 0.75 for purely anisotropic.
+double depolarization_ratio(const Tensor3& dalpha_dq);
+
+}  // namespace aeqp::core

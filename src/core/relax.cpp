@@ -1,0 +1,91 @@
+#include "core/relax.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace aeqp::core {
+namespace {
+
+grid::Structure with_coords(const grid::Structure& ref,
+                            const std::vector<double>& x) {
+  std::vector<grid::Atom> atoms = ref.atoms();
+  for (std::size_t k = 0; k < x.size(); ++k)
+    atoms[k / 3].pos[static_cast<int>(k % 3)] = x[k];
+  return grid::Structure(atoms);
+}
+
+}  // namespace
+
+RelaxResult relax_structure(const grid::Structure& structure,
+                            const RelaxOptions& options) {
+  AEQP_CHECK(structure.size() >= 2, "relax_structure: need at least two atoms");
+  const std::size_t dof = 3 * structure.size();
+
+  RelaxResult res;
+  std::vector<double> x(dof);
+  for (std::size_t k = 0; k < dof; ++k)
+    x[k] = structure.atom(k / 3).pos[static_cast<int>(k % 3)];
+
+  auto energy_at = [&](const std::vector<double>& coords) {
+    const auto r = scf::ScfSolver(with_coords(structure, coords), options.scf).run();
+    AEQP_CHECK(r.converged, "relax_structure: SCF failed at a trial geometry");
+    ++res.energy_evaluations;
+    return r.total_energy;
+  };
+
+  double e = energy_at(x);
+  double trial_step = options.initial_step;
+
+  for (res.steps = 1; res.steps <= options.max_steps; ++res.steps) {
+    // Central-difference gradient.
+    std::vector<double> g(dof);
+    res.max_force = 0.0;
+    for (std::size_t k = 0; k < dof; ++k) {
+      auto xp = x, xm = x;
+      xp[k] += options.gradient_step;
+      xm[k] -= options.gradient_step;
+      g[k] = (energy_at(xp) - energy_at(xm)) / (2.0 * options.gradient_step);
+      res.max_force = std::max(res.max_force, std::fabs(g[k]));
+    }
+    if (res.max_force < options.force_tolerance) {
+      res.converged = true;
+      break;
+    }
+
+    // Normalized steepest-descent direction with backtracking line search.
+    double gnorm = 0.0;
+    for (double v : g) gnorm += v * v;
+    gnorm = std::sqrt(gnorm);
+    double step = trial_step;
+    bool improved = false;
+    for (int bt = 0; bt < 8; ++bt) {
+      auto xt = x;
+      for (std::size_t k = 0; k < dof; ++k) xt[k] -= step * g[k] / gnorm;
+      const double et = energy_at(xt);
+      if (et < e - 1e-10) {
+        x = std::move(xt);
+        e = et;
+        improved = true;
+        trial_step = step * 1.3;  // be braver next time
+        break;
+      }
+      step *= 0.4;
+    }
+    if (!improved) {
+      // The surface is flat below the line-search resolution; declare
+      // convergence at the measured residual force.
+      res.converged = res.max_force < 5.0 * options.force_tolerance;
+      break;
+    }
+    AEQP_LOG_DEBUG << "relax step " << res.steps << " E=" << e
+                   << " max|F|=" << res.max_force;
+  }
+
+  res.structure = with_coords(structure, x);
+  res.energy = e;
+  return res;
+}
+
+}  // namespace aeqp::core

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file relax.hpp
+/// Geometry relaxation by finite-difference gradient descent with
+/// backtracking line search. Forces come from central differences of SCF
+/// total energies (no analytic Pulay forces needed), which is affordable
+/// for the molecule sizes the examples and tests optimize and is the
+/// natural preparation step for the vibrational/Raman workflow (the Hessian
+/// must be evaluated at a minimum).
+
+#include "grid/structure.hpp"
+#include "scf/scf_solver.hpp"
+
+namespace aeqp::core {
+
+/// Relaxation configuration.
+struct RelaxOptions {
+  scf::ScfOptions scf;            ///< settings for every energy evaluation
+  double gradient_step = 0.01;    ///< FD displacement for forces (bohr)
+  double force_tolerance = 2e-3;  ///< max |dE/dR| convergence (hartree/bohr)
+  double initial_step = 0.3;      ///< first line-search trial step (bohr)
+  int max_steps = 40;             ///< geometry steps
+};
+
+/// Result of a relaxation run.
+struct RelaxResult {
+  grid::Structure structure;   ///< final geometry
+  double energy = 0.0;         ///< final SCF total energy
+  double max_force = 0.0;      ///< final max |gradient| component
+  int steps = 0;               ///< geometry steps taken
+  int energy_evaluations = 0;  ///< SCF runs consumed
+  bool converged = false;
+};
+
+/// Relax all Cartesian coordinates of `structure`.
+RelaxResult relax_structure(const grid::Structure& structure,
+                            const RelaxOptions& options);
+
+}  // namespace aeqp::core

@@ -1,0 +1,39 @@
+#include "core/spectrum.hpp"
+
+#include "common/error.hpp"
+
+namespace aeqp::core {
+
+Spectrum lorentzian_spectrum(const std::vector<SpectralLine>& lines,
+                             double freq_min, double freq_max,
+                             std::size_t points, double hwhm) {
+  AEQP_CHECK(points >= 2, "lorentzian_spectrum: need >= 2 grid points");
+  AEQP_CHECK(freq_max > freq_min, "lorentzian_spectrum: empty frequency window");
+  AEQP_CHECK(hwhm > 0.0, "lorentzian_spectrum: hwhm must be positive");
+
+  Spectrum s;
+  s.freq_min = freq_min;
+  s.freq_step = (freq_max - freq_min) / static_cast<double>(points - 1);
+  s.intensity.assign(points, 0.0);
+  const double g2 = hwhm * hwhm;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double w = s.frequency_at(i);
+    double acc = 0.0;
+    for (const auto& line : lines) {
+      const double d = w - line.frequency;
+      acc += line.intensity * g2 / (d * d + g2);
+    }
+    s.intensity[i] = acc;
+  }
+  return s;
+}
+
+std::vector<std::size_t> find_peaks(const Spectrum& spectrum) {
+  std::vector<std::size_t> peaks;
+  const auto& y = spectrum.intensity;
+  for (std::size_t i = 1; i + 1 < y.size(); ++i)
+    if (y[i] > y[i - 1] && y[i] >= y[i + 1]) peaks.push_back(i);
+  return peaks;
+}
+
+}  // namespace aeqp::core

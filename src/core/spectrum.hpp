@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file spectrum.hpp
+/// Broadened spectra from discrete (frequency, intensity) sticks -- the
+/// last step of the Raman pipeline (and of any simulated vibrational
+/// spectrum): convolve the stick spectrum with a Lorentzian line shape on
+/// a uniform frequency grid.
+
+#include <cstddef>
+#include <vector>
+
+namespace aeqp::core {
+
+/// One discrete transition.
+struct SpectralLine {
+  double frequency = 0.0;  ///< cm^-1
+  double intensity = 0.0;  ///< arbitrary units (e.g. Raman activity)
+};
+
+/// Uniformly sampled broadened spectrum.
+struct Spectrum {
+  double freq_min = 0.0;
+  double freq_step = 0.0;
+  std::vector<double> intensity;
+
+  [[nodiscard]] double frequency_at(std::size_t i) const {
+    return freq_min + freq_step * static_cast<double>(i);
+  }
+};
+
+/// Convolve sticks with Lorentzians of half-width-at-half-maximum `hwhm`:
+/// I(w) = sum_k I_k * (hwhm^2 / ((w - w_k)^2 + hwhm^2)).
+Spectrum lorentzian_spectrum(const std::vector<SpectralLine>& lines,
+                             double freq_min, double freq_max,
+                             std::size_t points, double hwhm);
+
+/// Indices of local maxima of a spectrum (peak picking).
+std::vector<std::size_t> find_peaks(const Spectrum& spectrum);
+
+}  // namespace aeqp::core

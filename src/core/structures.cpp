@@ -1,0 +1,172 @@
+#include "core/structures.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace aeqp::core {
+
+using constants::angstrom_to_bohr;
+
+grid::Structure water() {
+  // r(OH) = 0.9572 A, angle 104.52 deg; oxygen at origin, C2v axis = z.
+  grid::Structure s;
+  const double r = 0.9572 * angstrom_to_bohr;
+  const double half = 0.5 * 104.52 * constants::pi / 180.0;
+  s.add_atom(8, {0.0, 0.0, 0.0});
+  s.add_atom(1, {0.0, r * std::sin(half), r * std::cos(half)});
+  s.add_atom(1, {0.0, -r * std::sin(half), r * std::cos(half)});
+  return s;
+}
+
+grid::Structure methane() {
+  grid::Structure s;
+  const double d = 1.087 * angstrom_to_bohr / std::sqrt(3.0);
+  s.add_atom(6, {0, 0, 0});
+  s.add_atom(1, {d, d, d});
+  s.add_atom(1, {d, -d, -d});
+  s.add_atom(1, {-d, d, -d});
+  s.add_atom(1, {-d, -d, d});
+  return s;
+}
+
+grid::Structure polyethylene_chain(std::size_t n) {
+  AEQP_CHECK(n >= 1, "polyethylene_chain: n must be >= 1");
+  grid::Structure s;
+  // All-trans zigzag backbone in the xz plane: C-C 1.54 A, angle 113.5 deg,
+  // C-H 1.09 A perpendicular to the local backbone plane.
+  const double cc = 1.54 * angstrom_to_bohr;
+  const double ch = 1.09 * angstrom_to_bohr;
+  const double half_angle = 0.5 * 113.5 * constants::pi / 180.0;
+  const double dz = cc * std::sin(half_angle);   // advance along the chain
+  const double dx = cc * std::cos(half_angle);   // zigzag amplitude
+
+  const std::size_t n_carbon = 2 * n;
+  std::vector<Vec3> carbons(n_carbon);
+  for (std::size_t k = 0; k < n_carbon; ++k) {
+    carbons[k] = {(k % 2 == 0) ? 0.0 : dx, 0.0, dz * static_cast<double>(k)};
+  }
+
+  // Terminal H capping the first carbon (placed along -z).
+  s.add_atom(1, carbons.front() + Vec3{0.0, 0.0, -ch});
+  for (std::size_t k = 0; k < n_carbon; ++k) {
+    s.add_atom(6, carbons[k]);
+    // Two H atoms per carbon, splayed in +-y.
+    const double xoff = (k % 2 == 0) ? -0.4 * ch : 0.4 * ch;
+    s.add_atom(1, carbons[k] + Vec3{xoff, ch * 0.9, 0.0});
+    s.add_atom(1, carbons[k] + Vec3{xoff, -ch * 0.9, 0.0});
+  }
+  s.add_atom(1, carbons.back() + Vec3{0.0, 0.0, ch});
+  AEQP_ASSERT(s.size() == 6 * n + 2);
+  return s;
+}
+
+grid::Structure rbd_like_cluster(std::size_t n_atoms, std::uint64_t seed) {
+  AEQP_CHECK(n_atoms >= 1, "rbd_like_cluster: need at least one atom");
+  Rng rng(seed);
+  // Protein-like packing: ~0.0156 atoms/bohr^3 (one atom per ~9.5 A^3).
+  const double density = 0.0156;
+  const double radius =
+      std::cbrt(3.0 * static_cast<double>(n_atoms) / (4.0 * constants::pi * density));
+  const double min_dist = 1.9;  // shortest heavy-atom/H contact, bohr
+
+  // Hash-grid rejection sampling keeps generation O(n).
+  const double cell = min_dist;
+  const int ncell = std::max(1, static_cast<int>(std::ceil(2.0 * radius / cell)));
+  std::vector<std::vector<std::uint32_t>> cells(
+      static_cast<std::size_t>(ncell) * ncell * ncell);
+  std::vector<Vec3> placed;
+  placed.reserve(n_atoms);
+
+  auto cell_of = [&](const Vec3& p) {
+    auto idx = [&](double x) {
+      return std::clamp(static_cast<int>((x + radius) / cell), 0, ncell - 1);
+    };
+    return (static_cast<std::size_t>(idx(p.x)) * ncell + idx(p.y)) * ncell +
+           idx(p.z);
+  };
+  auto clashes = [&](const Vec3& p) {
+    auto idx = [&](double x) {
+      return std::clamp(static_cast<int>((x + radius) / cell), 0, ncell - 1);
+    };
+    const int cx = idx(p.x), cy = idx(p.y), cz = idx(p.z);
+    for (int ix = std::max(0, cx - 1); ix <= std::min(ncell - 1, cx + 1); ++ix)
+      for (int iy = std::max(0, cy - 1); iy <= std::min(ncell - 1, cy + 1); ++iy)
+        for (int iz = std::max(0, cz - 1); iz <= std::min(ncell - 1, cz + 1); ++iz)
+          for (std::uint32_t id :
+               cells[(static_cast<std::size_t>(ix) * ncell + iy) * ncell + iz])
+            if (distance(placed[id], p) < min_dist) return true;
+    return false;
+  };
+
+  grid::Structure s;
+  int guard = 0;
+  while (placed.size() < n_atoms) {
+    Vec3 p{rng.uniform(-radius, radius), rng.uniform(-radius, radius),
+           rng.uniform(-radius, radius)};
+    if (p.norm() > radius || clashes(p)) {
+      AEQP_CHECK(++guard < 100000000, "rbd_like_cluster: packing failed");
+      continue;
+    }
+    cells[cell_of(p)].push_back(static_cast<std::uint32_t>(placed.size()));
+    placed.push_back(p);
+    // Protein atom composition: ~49% H, 32% C, 9% N, 10% O.
+    const double u = rng.uniform();
+    const int z = (u < 0.49) ? 1 : (u < 0.81) ? 6 : (u < 0.90) ? 7 : 8;
+    s.add_atom(z, p);
+  }
+  return s;
+}
+
+grid::Structure ligand_like(std::size_t n_atoms, std::uint64_t seed) {
+  AEQP_CHECK(n_atoms >= 2, "ligand_like: need at least two atoms");
+  Rng rng(seed);
+  grid::Structure s;
+  // Self-avoiding random walk of heavy atoms with hydrogens attached:
+  // roughly half heavy, half hydrogen, like a drug-sized organic.
+  const double bond = 1.5 * angstrom_to_bohr;
+  std::vector<Vec3> heavy;
+  heavy.push_back({0, 0, 0});
+  s.add_atom(6, heavy.back());
+
+  auto random_unit = [&]() {
+    // Marsaglia rejection for a uniform direction.
+    for (;;) {
+      const double x = rng.uniform(-1, 1), y = rng.uniform(-1, 1),
+                   z = rng.uniform(-1, 1);
+      const double n2 = x * x + y * y + z * z;
+      if (n2 > 0.05 && n2 <= 1.0) {
+        const double inv = 1.0 / std::sqrt(n2);
+        return Vec3{x * inv, y * inv, z * inv};
+      }
+    }
+  };
+  auto far_enough = [&](const Vec3& p, double d) {
+    for (std::size_t i = 0; i < s.size(); ++i)
+      if (distance(s.atom(i).pos, p) < d) return false;
+    return true;
+  };
+
+  while (s.size() < n_atoms) {
+    // Grow from a random existing heavy atom.
+    const Vec3 base = heavy[rng.uniform_index(heavy.size())];
+    const Vec3 p = base + bond * random_unit();
+    if (!far_enough(p, 0.85 * bond)) continue;
+    const double u = rng.uniform();
+    if (u < 0.5 && s.size() + 1 < n_atoms) {
+      const double v = rng.uniform();
+      const int z = (v < 0.70) ? 6 : (v < 0.85) ? 7 : 8;
+      heavy.push_back(p);
+      s.add_atom(z, p);
+    } else {
+      s.add_atom(1, p);
+    }
+  }
+  return s;
+}
+
+}  // namespace aeqp::core

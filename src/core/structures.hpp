@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file structures.hpp
+/// Generators for the evaluation systems of paper Fig. 8 and Sec. 5.1.
+///
+/// The polyethylene chains H(C2H4)nH are built exactly (they are defined by
+/// their chemistry). The two biomolecules -- the SARS-CoV-2 RBD (3006
+/// atoms) and the HIV-1 protease ligand (PDB 1a30, 49 atoms) -- are not
+/// redistributable here, so synthetic stand-ins with matching atom counts,
+/// element composition and spatial statistics (globular packing vs small
+/// branched organic) are generated instead; the figures those systems feed
+/// depend only on these statistics (see DESIGN.md).
+
+#include <cstdint>
+
+#include "grid/structure.hpp"
+
+namespace aeqp::core {
+
+/// Bent water molecule (bohr units, experimental geometry).
+grid::Structure water();
+
+/// Tetrahedral methane.
+grid::Structure methane();
+
+/// Polyethylene H(C2H4)nH: zigzag all-trans backbone, 6n+2 atoms
+/// (n = 5000 gives the paper's 30,002-atom system).
+grid::Structure polyethylene_chain(std::size_t n);
+
+/// Globular H/C/N/O cluster with protein-like composition and packing
+/// density; n_atoms = 3006 reproduces the RBD-scale workload of Fig. 8(a).
+grid::Structure rbd_like_cluster(std::size_t n_atoms, std::uint64_t seed = 1);
+
+/// Small branched organic molecule standing in for the 49-atom HIV-1
+/// protease ligand of Fig. 8(b).
+grid::Structure ligand_like(std::size_t n_atoms = 49, std::uint64_t seed = 7);
+
+}  // namespace aeqp::core

@@ -1,0 +1,112 @@
+#include "core/vibrations.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/eigen.hpp"
+
+namespace aeqp::core {
+namespace {
+
+/// amu -> electron masses.
+constexpr double kAmuToMe = 1822.888486209;
+/// Angular frequency in atomic units -> wavenumbers (cm^-1).
+constexpr double kAuToCm = 219474.6313632;
+
+double scf_energy(const grid::Structure& s, const scf::ScfOptions& opt) {
+  const scf::ScfResult r = scf::ScfSolver(s, opt).run();
+  AEQP_CHECK(r.converged, "energy_hessian: displaced SCF did not converge");
+  return r.total_energy;
+}
+
+grid::Structure displaced(const grid::Structure& s, std::size_t coord,
+                          double delta) {
+  std::vector<grid::Atom> atoms = s.atoms();
+  atoms[coord / 3].pos[static_cast<int>(coord % 3)] += delta;
+  return grid::Structure(atoms);
+}
+
+}  // namespace
+
+double atomic_mass(int z) {
+  switch (z) {
+    case 1: return 1.008;
+    case 6: return 12.011;
+    case 7: return 14.007;
+    case 8: return 15.999;
+    case 15: return 30.974;
+    case 16: return 32.06;
+    default: AEQP_THROW("atomic_mass: unparameterized element Z=" + std::to_string(z));
+  }
+}
+
+linalg::Matrix energy_hessian(const grid::Structure& structure,
+                              const HessianOptions& options) {
+  AEQP_CHECK(structure.size() >= 2, "energy_hessian: need at least two atoms");
+  const double d = options.displacement;
+  AEQP_CHECK(d > 0.0, "energy_hessian: displacement must be positive");
+  const std::size_t dof = 3 * structure.size();
+
+  const double e0 = scf_energy(structure, options.scf);
+
+  // Singly displaced energies (reused by the diagonal and cross terms).
+  std::vector<double> ep(dof), em(dof);
+  for (std::size_t i = 0; i < dof; ++i) {
+    ep[i] = scf_energy(displaced(structure, i, +d), options.scf);
+    em[i] = scf_energy(displaced(structure, i, -d), options.scf);
+  }
+
+  linalg::Matrix h(dof, dof);
+  for (std::size_t i = 0; i < dof; ++i)
+    h(i, i) = (ep[i] - 2.0 * e0 + em[i]) / (d * d);
+
+  for (std::size_t i = 0; i < dof; ++i) {
+    for (std::size_t j = i + 1; j < dof; ++j) {
+      const double epp =
+          scf_energy(displaced(displaced(structure, i, +d), j, +d), options.scf);
+      const double emm =
+          scf_energy(displaced(displaced(structure, i, -d), j, -d), options.scf);
+      // Mixed second derivative from the compact 4-point stencil:
+      // d2E/didj = [E(+,+) + E(-,-) - E(+i) - E(-i) - E(+j) - E(-j) + 2E0]
+      //            / (2 d^2).
+      const double hij =
+          (epp + emm - ep[i] - em[i] - ep[j] - em[j] + 2.0 * e0) / (2.0 * d * d);
+      h(i, j) = h(j, i) = hij;
+    }
+  }
+  return h;
+}
+
+NormalModes harmonic_analysis(const grid::Structure& structure,
+                              const linalg::Matrix& hessian) {
+  const std::size_t dof = 3 * structure.size();
+  AEQP_CHECK(hessian.rows() == dof && hessian.cols() == dof,
+             "harmonic_analysis: Hessian shape mismatch");
+
+  // Mass-weight: H~_ij = H_ij / sqrt(m_i m_j)  (masses in electron masses).
+  std::vector<double> inv_sqrt_m(dof);
+  for (std::size_t i = 0; i < dof; ++i)
+    inv_sqrt_m[i] =
+        1.0 / std::sqrt(atomic_mass(structure.atom(i / 3).z) * kAmuToMe);
+  linalg::Matrix mw(dof, dof);
+  for (std::size_t i = 0; i < dof; ++i)
+    for (std::size_t j = 0; j < dof; ++j)
+      mw(i, j) = hessian(i, j) * inv_sqrt_m[i] * inv_sqrt_m[j];
+  mw.symmetrize();
+
+  const linalg::EigenSolution sol = linalg::symmetric_eigen(mw);
+  NormalModes modes;
+  modes.frequencies_cm.resize(dof);
+  modes.cartesian_modes = linalg::Matrix(dof, dof);
+  for (std::size_t p = 0; p < dof; ++p) {
+    const double lambda = sol.eigenvalues[p];
+    const double omega = std::sqrt(std::fabs(lambda)) * kAuToCm;
+    modes.frequencies_cm[p] = lambda >= 0.0 ? omega : -omega;
+    // Back-transform the mass-weighted eigenvector to Cartesian space.
+    for (std::size_t k = 0; k < dof; ++k)
+      modes.cartesian_modes(k, p) = sol.eigenvectors(k, p) * inv_sqrt_m[k];
+  }
+  return modes;
+}
+
+}  // namespace aeqp::core

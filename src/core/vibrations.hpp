@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file vibrations.hpp
+/// Harmonic vibrational analysis: finite-difference energy Hessians,
+/// mass-weighted normal modes and frequencies. Combined with the DFPT
+/// polarizability this completes the Raman workflow of the paper's lineage
+/// (its ref. [37] computed ab initio Raman spectra): frequencies come from
+/// the Hessian, intensities from d(alpha)/dQ along each normal mode.
+
+#include "grid/structure.hpp"
+#include "linalg/matrix.hpp"
+#include "scf/scf_solver.hpp"
+
+namespace aeqp::core {
+
+/// Configuration for the numeric Hessian.
+struct HessianOptions {
+  double displacement = 0.02;  ///< Cartesian step in bohr
+  scf::ScfOptions scf;         ///< settings used for every displaced SCF
+};
+
+/// Standard atomic mass (amu) of the parameterized elements.
+double atomic_mass(int z);
+
+/// 3N x 3N Cartesian Hessian d^2E/dR_i dR_j by central finite differences
+/// of SCF total energies (2*3N + 2*3N*(3N-1) displaced calculations).
+linalg::Matrix energy_hessian(const grid::Structure& structure,
+                              const HessianOptions& options);
+
+/// Result of the normal-mode analysis.
+struct NormalModes {
+  linalg::Vector frequencies_cm;   ///< harmonic frequencies (cm^-1); negative
+                                   ///< entries flag imaginary modes
+  linalg::Matrix cartesian_modes;  ///< columns: mass-weighted displacement
+                                   ///< patterns back-transformed to Cartesian
+};
+
+/// Diagonalize the mass-weighted Hessian. The six (five for linear
+/// molecules) smallest-|omega| modes are the translations/rotations.
+NormalModes harmonic_analysis(const grid::Structure& structure,
+                              const linalg::Matrix& hessian);
+
+}  // namespace aeqp::core

@@ -1,0 +1,56 @@
+#include "core/xyz.hpp"
+
+#include <sstream>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace aeqp::core {
+
+std::string to_xyz(const grid::Structure& structure, const std::string& comment) {
+  std::ostringstream os;
+  os << structure.size() << "\n" << comment << "\n";
+  os.setf(std::ios::fixed);
+  os.precision(8);
+  for (const auto& a : structure.atoms()) {
+    os << grid::element_symbol(a.z);
+    for (int d = 0; d < 3; ++d)
+      os << " " << a.pos[d] * constants::bohr_to_angstrom;
+    os << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+int z_of_symbol(const std::string& sym) {
+  if (sym == "H") return 1;
+  if (sym == "C") return 6;
+  if (sym == "N") return 7;
+  if (sym == "O") return 8;
+  if (sym == "P") return 15;
+  if (sym == "S") return 16;
+  AEQP_THROW("from_xyz: unsupported element symbol '" + sym + "'");
+}
+}  // namespace
+
+grid::Structure from_xyz(const std::string& text) {
+  std::istringstream is(text);
+  std::size_t n = 0;
+  AEQP_CHECK(static_cast<bool>(is >> n), "from_xyz: missing atom count");
+  std::string line;
+  std::getline(is, line);  // rest of count line
+  AEQP_CHECK(static_cast<bool>(std::getline(is, line)),
+             "from_xyz: missing comment line");
+
+  grid::Structure s;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string sym;
+    double x = 0, y = 0, z = 0;
+    AEQP_CHECK(static_cast<bool>(is >> sym >> x >> y >> z),
+               "from_xyz: truncated atom record " + std::to_string(i));
+    s.add_atom(z_of_symbol(sym), Vec3{x, y, z} * constants::angstrom_to_bohr);
+  }
+  return s;
+}
+
+}  // namespace aeqp::core

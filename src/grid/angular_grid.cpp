@@ -1,0 +1,111 @@
+#include "grid/angular_grid.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "grid/quadrature.hpp"
+
+namespace aeqp::grid {
+namespace {
+
+constexpr double k4pi = constants::four_pi;
+
+/// Octahedral point class a1: the 6 axis points (+-1, 0, 0) & perms.
+void add_a1(std::vector<Vec3>& d, std::vector<double>& w, double weight) {
+  for (int axis = 0; axis < 3; ++axis)
+    for (int sgn : {+1, -1}) {
+      Vec3 v{0, 0, 0};
+      v[axis] = sgn;
+      d.push_back(v);
+      w.push_back(weight * k4pi);
+    }
+}
+
+/// Octahedral point class a2: the 12 edge midpoints (+-1/sqrt2, +-1/sqrt2, 0).
+void add_a2(std::vector<Vec3>& d, std::vector<double>& w, double weight) {
+  const double s = 1.0 / std::sqrt(2.0);
+  for (int i = 0; i < 3; ++i) {
+    const int j = (i + 1) % 3;
+    for (int si : {+1, -1})
+      for (int sj : {+1, -1}) {
+        Vec3 v{0, 0, 0};
+        v[i] = si * s;
+        v[j] = sj * s;
+        d.push_back(v);
+        w.push_back(weight * k4pi);
+      }
+  }
+}
+
+/// Octahedral point class a3: the 8 cube corners (+-1, +-1, +-1)/sqrt3.
+void add_a3(std::vector<Vec3>& d, std::vector<double>& w, double weight) {
+  const double s = 1.0 / std::sqrt(3.0);
+  for (int sx : {+1, -1})
+    for (int sy : {+1, -1})
+      for (int sz : {+1, -1}) {
+        d.push_back({sx * s, sy * s, sz * s});
+        w.push_back(weight * k4pi);
+      }
+}
+
+}  // namespace
+
+AngularGrid AngularGrid::lebedev(std::size_t points) {
+  AngularGrid g;
+  switch (points) {
+    case 6:  // order 3
+      add_a1(g.dirs_, g.w_, 1.0 / 6.0);
+      g.degree_ = 3;
+      break;
+    case 14:  // order 5
+      add_a1(g.dirs_, g.w_, 1.0 / 15.0);
+      add_a3(g.dirs_, g.w_, 3.0 / 40.0);
+      g.degree_ = 5;
+      break;
+    case 26:  // order 7
+      add_a1(g.dirs_, g.w_, 1.0 / 21.0);
+      add_a2(g.dirs_, g.w_, 4.0 / 105.0);
+      add_a3(g.dirs_, g.w_, 27.0 / 840.0);
+      g.degree_ = 7;
+      break;
+    default:
+      AEQP_THROW("AngularGrid::lebedev: supported point counts are 6, 14, 26");
+  }
+  AEQP_ASSERT(g.dirs_.size() == points);
+  return g;
+}
+
+AngularGrid AngularGrid::product(std::size_t degree) {
+  // Gauss-Legendre in cos(theta) integrates degree <= 2*n_theta - 1;
+  // the uniform phi rule integrates trig polynomials of degree < n_phi.
+  const std::size_t n_theta = degree / 2 + 1;
+  const std::size_t n_phi = degree + 1;
+  const GaussLegendreRule gl = gauss_legendre(n_theta);
+
+  AngularGrid g;
+  g.degree_ = degree;
+  g.dirs_.reserve(n_theta * n_phi);
+  g.w_.reserve(n_theta * n_phi);
+  for (std::size_t it = 0; it < n_theta; ++it) {
+    const double ct = gl.nodes[it];
+    const double st = std::sqrt(std::max(0.0, 1.0 - ct * ct));
+    const double wt = gl.weights[it] * (2.0 * constants::pi / n_phi);
+    for (std::size_t ip = 0; ip < n_phi; ++ip) {
+      const double phi = 2.0 * constants::pi * (static_cast<double>(ip) + 0.5) /
+                         static_cast<double>(n_phi);
+      g.dirs_.push_back({st * std::cos(phi), st * std::sin(phi), ct});
+      g.w_.push_back(wt);
+    }
+  }
+  return g;
+}
+
+AngularGrid AngularGrid::for_degree(std::size_t degree) {
+  if (degree <= 3) return lebedev(6);
+  if (degree <= 5) return lebedev(14);
+  if (degree <= 7) return lebedev(26);
+  return product(degree);
+}
+
+}  // namespace aeqp::grid

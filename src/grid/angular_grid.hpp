@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file angular_grid.hpp
+/// Unit-sphere quadrature rules for the atom-centered grids (paper Sec. 3.1,
+/// refs [21, 22]).
+///
+/// Two families are provided:
+///  - Lebedev rules of octahedral symmetry for orders 3/5/7 (6/14/26 points)
+///    with exact rational weights; these are the small rules FHI-aims uses
+///    close to the nucleus.
+///  - Gauss-Legendre (in cos(theta)) x trapezoid (in phi) product rules of
+///    arbitrary degree, substituting for the large Lebedev orders whose
+///    tabulated coefficients are not redistributable here; they integrate
+///    spherical harmonics exactly up to the requested degree, which is the
+///    property the integrals rely on (documented in DESIGN.md).
+///
+/// Weights sum to 4*pi, so  \int_S2 f dOmega ~= sum_k w_k f(s_k).
+
+#include <cstddef>
+#include <vector>
+
+#include "common/vec3.hpp"
+
+namespace aeqp::grid {
+
+/// Quadrature rule on the unit sphere.
+class AngularGrid {
+public:
+  /// Lebedev rule with the given point count; supported: 6, 14, 26.
+  static AngularGrid lebedev(std::size_t points);
+
+  /// Product rule exact for spherical harmonics of degree <= degree.
+  static AngularGrid product(std::size_t degree);
+
+  /// Smallest available rule exact to at least the requested degree,
+  /// preferring Lebedev when one qualifies.
+  static AngularGrid for_degree(std::size_t degree);
+
+  [[nodiscard]] std::size_t size() const { return dirs_.size(); }
+  [[nodiscard]] const Vec3& direction(std::size_t k) const { return dirs_[k]; }
+  [[nodiscard]] double weight(std::size_t k) const { return w_[k]; }
+  [[nodiscard]] const std::vector<Vec3>& directions() const { return dirs_; }
+  [[nodiscard]] const std::vector<double>& weights() const { return w_; }
+
+  /// Polynomial exactness degree of this rule.
+  [[nodiscard]] std::size_t degree() const { return degree_; }
+
+private:
+  AngularGrid() = default;
+  std::vector<Vec3> dirs_;
+  std::vector<double> w_;
+  std::size_t degree_ = 0;
+};
+
+}  // namespace aeqp::grid

@@ -1,0 +1,94 @@
+#include "grid/batch.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace aeqp::grid {
+namespace {
+
+void bisect(const std::vector<Vec3>& pos, std::vector<std::uint32_t>& ids,
+            std::size_t begin, std::size_t end, std::size_t target,
+            std::vector<std::pair<std::size_t, std::size_t>>& out) {
+  const std::size_t count = end - begin;
+  if (count <= target) {
+    out.emplace_back(begin, end);
+    return;
+  }
+  // Widest dimension of the current point set's bounding box.
+  Vec3 lo = pos[ids[begin]], hi = pos[ids[begin]];
+  for (std::size_t k = begin + 1; k < end; ++k)
+    for (int d = 0; d < 3; ++d) {
+      lo[d] = std::min(lo[d], pos[ids[k]][d]);
+      hi[d] = std::max(hi[d], pos[ids[k]][d]);
+    }
+  int dim = 0;
+  double best = hi[0] - lo[0];
+  for (int d = 1; d < 3; ++d)
+    if (hi[d] - lo[d] > best) {
+      best = hi[d] - lo[d];
+      dim = d;
+    }
+  // Median split keeps both halves balanced regardless of clustering.
+  const std::size_t mid = begin + count / 2;
+  std::nth_element(ids.begin() + static_cast<std::ptrdiff_t>(begin),
+                   ids.begin() + static_cast<std::ptrdiff_t>(mid),
+                   ids.begin() + static_cast<std::ptrdiff_t>(end),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return pos[a][dim] < pos[b][dim];
+                   });
+  bisect(pos, ids, begin, mid, target, out);
+  bisect(pos, ids, mid, end, target, out);
+}
+
+std::vector<Batch> batches_from_cloud(const std::vector<Vec3>& positions,
+                                      const std::vector<std::uint32_t>& parent_atom,
+                                      std::size_t target_points) {
+  AEQP_CHECK(target_points >= 1, "make_batches: target must be >= 1");
+  AEQP_CHECK(positions.size() == parent_atom.size(),
+             "make_batches: positions/parents size mismatch");
+  std::vector<std::uint32_t> ids(positions.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  if (!ids.empty()) bisect(positions, ids, 0, ids.size(), target_points, ranges);
+
+  std::vector<Batch> batches;
+  batches.reserve(ranges.size());
+  for (const auto& [begin, end] : ranges) {
+    Batch b;
+    b.points.assign(ids.begin() + static_cast<std::ptrdiff_t>(begin),
+                    ids.begin() + static_cast<std::ptrdiff_t>(end));
+    Vec3 c{};
+    for (auto id : b.points) {
+      c += positions[id];
+      b.atoms.push_back(parent_atom[id]);
+    }
+    b.centroid = c / static_cast<double>(b.points.size());
+    std::sort(b.atoms.begin(), b.atoms.end());
+    b.atoms.erase(std::unique(b.atoms.begin(), b.atoms.end()), b.atoms.end());
+    batches.push_back(std::move(b));
+  }
+  return batches;
+}
+
+}  // namespace
+
+std::vector<Batch> make_batches(const MolecularGrid& grid, std::size_t target_points) {
+  std::vector<Vec3> pos(grid.size());
+  std::vector<std::uint32_t> parent(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    pos[i] = grid.point(i).pos;
+    parent[i] = grid.point(i).atom;
+  }
+  return batches_from_cloud(pos, parent, target_points);
+}
+
+std::vector<Batch> make_batches(const std::vector<Vec3>& positions,
+                                const std::vector<std::uint32_t>& parent_atom,
+                                std::size_t target_points) {
+  return batches_from_cloud(positions, parent_atom, target_points);
+}
+
+}  // namespace aeqp::grid

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file batch.hpp
+/// Batches of grid points (paper Fig. 2): disjoint, spatially compact groups
+/// formed with the grid-adapted cut-plane method of Havu et al. [23]. These
+/// batches are the unit of work the task-mapping strategies (src/mapping)
+/// distribute over MPI processes and the unit an OpenCL work-group handles
+/// in the kernels.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "grid/molecular_grid.hpp"
+
+namespace aeqp::grid {
+
+/// A batch of grid points. `points` index into the owning MolecularGrid.
+struct Batch {
+  std::vector<std::uint32_t> points;
+  Vec3 centroid{};                     ///< average position of member points
+  std::vector<std::uint32_t> atoms;   ///< sorted unique parent atoms touched
+
+  [[nodiscard]] std::size_t size() const { return points.size(); }
+};
+
+/// Cut the grid into batches of at most `target_points` points each by
+/// recursively bisecting along the widest spatial dimension at the point
+/// median, producing the variable-size compact batches of the paper
+/// (typically 100-300 points).
+std::vector<Batch> make_batches(const MolecularGrid& grid,
+                                std::size_t target_points);
+
+/// Same cut-plane batching over a bare point cloud (used by the synthetic
+/// large-scale mapping experiments where building full weights would be
+/// wasteful). parent_atom[i] labels each point.
+std::vector<Batch> make_batches(const std::vector<Vec3>& positions,
+                                const std::vector<std::uint32_t>& parent_atom,
+                                std::size_t target_points);
+
+}  // namespace aeqp::grid

@@ -1,0 +1,56 @@
+#include "grid/radial_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aeqp::grid {
+
+RadialGrid::RadialGrid(std::size_t n, double r_min, double r_max) {
+  AEQP_CHECK(n >= 4, "RadialGrid needs at least 4 points");
+  AEQP_CHECK(r_min > 0.0 && r_max > r_min, "RadialGrid needs 0 < r_min < r_max");
+  h_ = std::log(r_max / r_min) / static_cast<double>(n - 1);
+  r_.resize(n);
+  w_vol_.resize(n);
+  w_line_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    r_[i] = r_min * std::exp(static_cast<double>(i) * h_);
+    // dr = r * h * di; trapezoid endpoints carry half weight.
+    const double trap = (i == 0 || i == n - 1) ? 0.5 : 1.0;
+    w_line_[i] = r_[i] * h_ * trap;
+    w_vol_[i] = r_[i] * r_[i] * w_line_[i];
+  }
+}
+
+double RadialGrid::integrate_volume(const std::vector<double>& f) const {
+  AEQP_CHECK(f.size() == r_.size(), "integrate_volume: sample count mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < f.size(); ++i) s += w_vol_[i] * f[i];
+  return s;
+}
+
+double RadialGrid::integrate_line(const std::vector<double>& f) const {
+  AEQP_CHECK(f.size() == r_.size(), "integrate_line: sample count mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < f.size(); ++i) s += w_line_[i] * f[i];
+  return s;
+}
+
+std::vector<double> RadialGrid::tabulate(
+    const std::function<double(double)>& f) const {
+  std::vector<double> out(r_.size());
+  for (std::size_t i = 0; i < r_.size(); ++i) out[i] = f(r_[i]);
+  return out;
+}
+
+std::size_t RadialGrid::locate(double r, double& t) const {
+  const double u = std::log(std::max(r, r_.front()) / r_.front()) / h_;
+  const auto n = static_cast<double>(r_.size());
+  const double clamped = std::clamp(u, 0.0, n - 2.0 + 0.999999);
+  const auto i = static_cast<std::size_t>(clamped);
+  t = clamped - static_cast<double>(i);
+  return i;
+}
+
+}  // namespace aeqp::grid

@@ -1,0 +1,67 @@
+#include "grid/structure.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace aeqp::grid {
+
+int Structure::total_charge() const {
+  int q = 0;
+  for (const auto& a : atoms_) q += a.z;
+  return q;
+}
+
+double Structure::nuclear_repulsion() const {
+  double e = 0.0;
+  for (std::size_t i = 0; i < atoms_.size(); ++i)
+    for (std::size_t j = i + 1; j < atoms_.size(); ++j) {
+      const double d = distance(atoms_[i].pos, atoms_[j].pos);
+      AEQP_CHECK(d > 1e-8, "Structure: coincident nuclei");
+      e += static_cast<double>(atoms_[i].z) * atoms_[j].z / d;
+    }
+  return e;
+}
+
+std::vector<std::size_t> Structure::neighbors_of(std::size_t i, double cutoff) const {
+  AEQP_CHECK(i < atoms_.size(), "neighbors_of: atom index out of range");
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < atoms_.size(); ++j) {
+    if (j == i) continue;
+    if (distance(atoms_[i].pos, atoms_[j].pos) <= cutoff) out.push_back(j);
+  }
+  return out;
+}
+
+void Structure::bounding_box(Vec3& lo, Vec3& hi) const {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  lo = {inf, inf, inf};
+  hi = {-inf, -inf, -inf};
+  for (const auto& a : atoms_)
+    for (int d = 0; d < 3; ++d) {
+      lo[d] = std::min(lo[d], a.pos[d]);
+      hi[d] = std::max(hi[d], a.pos[d]);
+    }
+}
+
+Vec3 Structure::centroid() const {
+  Vec3 c{};
+  if (atoms_.empty()) return c;
+  for (const auto& a : atoms_) c += a.pos;
+  return c / static_cast<double>(atoms_.size());
+}
+
+std::string element_symbol(int z) {
+  switch (z) {
+    case 1: return "H";
+    case 6: return "C";
+    case 7: return "N";
+    case 8: return "O";
+    case 15: return "P";
+    case 16: return "S";
+    default: return "Z" + std::to_string(z);
+  }
+}
+
+}  // namespace aeqp::grid

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file structure.hpp
+/// Atomic structure description shared by the grid generator, the basis-set
+/// builder, the task-mapping experiments and the synthetic biomolecule
+/// generators.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/vec3.hpp"
+
+namespace aeqp::grid {
+
+/// One nucleus: atomic number and Cartesian position in bohr.
+struct Atom {
+  int z = 1;
+  Vec3 pos{};
+};
+
+/// A molecule / cluster. Positions are in bohr.
+class Structure {
+public:
+  Structure() = default;
+  explicit Structure(std::vector<Atom> atoms) : atoms_(std::move(atoms)) {}
+
+  void add_atom(int z, const Vec3& pos) { atoms_.push_back({z, pos}); }
+
+  [[nodiscard]] std::size_t size() const { return atoms_.size(); }
+  [[nodiscard]] const Atom& atom(std::size_t i) const { return atoms_[i]; }
+  [[nodiscard]] const std::vector<Atom>& atoms() const { return atoms_; }
+
+  /// Total nuclear charge == electron count for a neutral system.
+  [[nodiscard]] int total_charge() const;
+
+  /// Nucleus-nucleus repulsion energy, E_nuc-nuc of paper Eq. (1).
+  [[nodiscard]] double nuclear_repulsion() const;
+
+  /// Indices of atoms within cutoff of atom i (excluding i itself).
+  [[nodiscard]] std::vector<std::size_t> neighbors_of(std::size_t i,
+                                                      double cutoff) const;
+
+  /// Axis-aligned bounding box corners.
+  void bounding_box(Vec3& lo, Vec3& hi) const;
+
+  /// Geometric center.
+  [[nodiscard]] Vec3 centroid() const;
+
+private:
+  std::vector<Atom> atoms_;
+};
+
+/// Element symbol for the handful of species AEQP parameterizes.
+std::string element_symbol(int z);
+
+}  // namespace aeqp::grid

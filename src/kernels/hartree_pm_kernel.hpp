@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file hartree_pm_kernel.hpp
+/// Fine-grained parallelization of the Adams-Moulton (p, m) loop in the
+/// response-potential phase (paper Sec. 4.4 / Fig. 13).
+///
+/// The nested form carries a dependence from the outer angular-momentum
+/// loop into the inner magnetic loop (idx = p^2 + m + p), so it can only be
+/// parallelized over pmax+1 <= 10 threads. The collapsed form recovers
+/// (p, m) from the flat index (p = floor(sqrt(idx)), m = idx - p^2 - p) and
+/// parallelizes over (pmax+1)^2 threads.
+
+#include <cstddef>
+#include <vector>
+
+#include "simt/runtime.hpp"
+
+namespace aeqp::kernels {
+
+struct PmLoopResult {
+  std::vector<double> values;  ///< A[idx] per center, flattened
+  simt::KernelStats stats;
+};
+
+/// The per-(p,m) workload func(p, m) of the integrator: a deterministic
+/// arithmetic kernel standing in for the Adams-Moulton coefficient update.
+double pm_workload(std::size_t center, int p, int m);
+
+/// Nested two-level loop: SIMT width limited to pmax+1 (baseline).
+PmLoopResult run_pm_loop_nested(simt::SimtRuntime& rt, std::size_t n_centers,
+                                int pmax);
+
+/// Collapsed single loop: SIMT width (pmax+1)^2 (optimized).
+PmLoopResult run_pm_loop_collapsed(simt::SimtRuntime& rt, std::size_t n_centers,
+                                   int pmax);
+
+}  // namespace aeqp::kernels

@@ -1,0 +1,90 @@
+#include "kernels/init_kernel.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+
+namespace aeqp::kernels {
+
+InitKernelInput make_init_input(std::size_t n_atoms, std::size_t n_centers,
+                                std::uint64_t seed) {
+  AEQP_CHECK(n_atoms >= 1, "make_init_input: need at least one atom");
+  Rng rng(seed);
+  InitKernelInput in;
+  in.coord_center.resize(3 * n_atoms);
+  for (auto& v : in.coord_center) v = rng.uniform(-50.0, 50.0);
+  in.atom_list.resize(n_centers);
+  for (auto& id : in.atom_list)
+    id = static_cast<std::uint32_t>(rng.uniform_index(n_atoms));
+  return in;
+}
+
+std::vector<double> build_rearranged_coords(const InitKernelInput& in) {
+  std::vector<double> out(3 * in.atom_list.size());
+  for (std::size_t i = 0; i < in.atom_list.size(); ++i)
+    for (int d = 0; d < 3; ++d)
+      out[3 * i + d] = in.coord_center[3 * in.atom_list[i] + d];
+  return out;
+}
+
+namespace {
+constexpr std::size_t kGroupSize = 128;
+}
+
+InitKernelResult run_init_kernel_indirect(simt::SimtRuntime& rt,
+                                          const InitKernelInput& in) {
+  InitKernelResult res;
+  const std::size_t n = in.atom_list.size();
+  res.center_coords.resize(3 * n);
+
+  std::vector<double> coord_copy = in.coord_center;  // __global argument
+  auto coords = rt.bind(coord_copy);
+  auto out = rt.bind(res.center_coords);
+
+  const std::size_t n_groups = (n + kGroupSize - 1) / kGroupSize;
+  Timer timer;
+  rt.launch(n_groups, kGroupSize, [&](simt::WorkGroup& wg) {
+    const std::size_t begin = wg.group_id() * kGroupSize;
+    const std::size_t end = std::min(begin + kGroupSize, n);
+    for (std::size_t i = begin; i < end; ++i) {
+      // The mismatch of Sec. 4.3: global center id -> local atom id -> a
+      // scattered gather from the coordinate table.
+      const std::uint32_t local = in.atom_list[i];
+      for (int d = 0; d < 3; ++d)
+        out.store(3 * i + d, coords.load_dependent(3 * local + d));
+    }
+    wg.issue_simt(end - begin, 3);
+  });
+  res.host_seconds = timer.seconds();
+  return res;
+}
+
+InitKernelResult run_init_kernel_direct(simt::SimtRuntime& rt,
+                                        const InitKernelInput& in,
+                                        const std::vector<double>& rearranged) {
+  AEQP_CHECK(rearranged.size() == 3 * in.atom_list.size(),
+             "run_init_kernel_direct: rearranged table size mismatch");
+  InitKernelResult res;
+  const std::size_t n = in.atom_list.size();
+  res.center_coords.resize(3 * n);
+
+  std::vector<double> table = rearranged;  // __global argument
+  auto coords = rt.bind(table);
+  auto out = rt.bind(res.center_coords);
+
+  const std::size_t n_groups = (n + kGroupSize - 1) / kGroupSize;
+  Timer timer;
+  rt.launch(n_groups, kGroupSize, [&](simt::WorkGroup& wg) {
+    const std::size_t begin = wg.group_id() * kGroupSize;
+    const std::size_t end = std::min(begin + kGroupSize, n);
+    for (std::size_t i = begin; i < end; ++i)
+      for (int d = 0; d < 3; ++d) out.store(3 * i + d, coords.load(3 * i + d));
+    wg.issue_simt(end - begin, 3);
+  });
+  res.host_seconds = timer.seconds();
+  return res;
+}
+
+}  // namespace aeqp::kernels

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file init_kernel.hpp
+/// The grid-partitioning initialization kernel of paper Sec. 4.3 / Fig. 11.
+///
+/// The hot loop gathers atom coordinates through an index translation:
+/// coord_center[atom_list[i_center]] -- a dependent A[B[i]] access with weak
+/// spatial locality. The optimization builds, once per simulated system, a
+/// rearranged array indexed directly by the loop variable, turning the
+/// gather into a streaming read.
+
+#include <cstdint>
+#include <vector>
+
+#include "simt/runtime.hpp"
+
+namespace aeqp::kernels {
+
+/// Inputs of the initialization kernel: per-center global atom ids and the
+/// coordinate table indexed by local id.
+struct InitKernelInput {
+  std::vector<double> coord_center;     ///< 3 doubles per local atom id
+  std::vector<std::uint32_t> atom_list; ///< local id per global center
+};
+
+/// Build a synthetic input with `n_centers` centers over `n_atoms` atoms;
+/// the permutation is deterministic in `seed`.
+InitKernelInput make_init_input(std::size_t n_atoms, std::size_t n_centers,
+                                std::uint64_t seed = 99);
+
+/// The once-per-system mapping f of Sec. 4.3: rearranged coordinates
+/// directly indexed by center id (C[i] = A[B[i]]).
+std::vector<double> build_rearranged_coords(const InitKernelInput& in);
+
+struct InitKernelResult {
+  std::vector<double> center_coords;  ///< gathered output, 3 per center
+  double host_seconds = 0.0;          ///< measured wall time of the loop
+};
+
+/// Run the kernel with the indirect access pattern (baseline).
+InitKernelResult run_init_kernel_indirect(simt::SimtRuntime& rt,
+                                          const InitKernelInput& in);
+
+/// Run with indirect accesses eliminated via the rearranged table.
+InitKernelResult run_init_kernel_direct(simt::SimtRuntime& rt,
+                                        const InitKernelInput& in,
+                                        const std::vector<double>& rearranged);
+
+}  // namespace aeqp::kernels

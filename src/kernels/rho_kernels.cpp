@@ -1,0 +1,205 @@
+#include "kernels/rho_kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aeqp::kernels {
+namespace {
+
+constexpr double kR0 = 0.1, kR1 = 10.0;
+
+/// Natural cubic spline second derivatives for uniformly spaced samples.
+/// (Same math as basis::CubicSpline, expressed over counted buffers.)
+void solve_natural_spline_y2(simt::WorkGroup& wg, double h,
+                             const std::vector<double>& y,
+                             std::vector<double>& y2) {
+  const std::size_t n = y.size();
+  y2.assign(n, 0.0);
+  std::vector<double> u(n, 0.0);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const double p = 0.5 * y2[i - 1] + 2.0;
+    y2[i] = -0.5 / p;
+    u[i] = (y[i + 1] - 2.0 * y[i] + y[i - 1]) / h;
+    u[i] = (3.0 * u[i] / h - 0.5 * u[i - 1]) / p;
+  }
+  for (std::size_t k = n - 1; k-- > 0;) y2[k] = y2[k] * y2[k + 1] + u[k];
+  wg.flops(10 * n);
+}
+
+/// Uniform-knot natural-spline interpolation from counted coefficient rows.
+double spline_eval(simt::WorkGroup& wg, const simt::GlobalBuffer& yv,
+                   const simt::GlobalBuffer& y2v, std::size_t row_offset,
+                   std::size_t n, double h, double r) {
+  const double t = std::clamp((r - kR0) / h, 0.0, static_cast<double>(n - 1));
+  const std::size_t i = std::min(static_cast<std::size_t>(t), n - 2);
+  const double b = t - static_cast<double>(i);
+  const double a = 1.0 - b;
+  const double yi = yv.load(row_offset + i);
+  const double yi1 = yv.load(row_offset + i + 1);
+  const double y2i = y2v.load(row_offset + i);
+  const double y2i1 = y2v.load(row_offset + i + 1);
+  wg.flops(14);
+  return a * yi + b * yi1 +
+         ((a * a * a - a) * y2i + (b * b * b - b) * y2i1) * (h * h) / 6.0;
+}
+
+/// Deterministic synthetic multipole component of the response density.
+double rho_sample(std::size_t atom, std::size_t lm, double r) {
+  return std::exp(-r * (1.0 + 0.02 * static_cast<double>(lm))) *
+         (1.0 + 0.01 * static_cast<double>(atom)) /
+         (1.0 + static_cast<double>(lm));
+}
+
+/// Deterministic grid-point radius for consumer work item g of a rank.
+double point_radius(std::size_t rank, std::size_t g) {
+  const double golden = 0.6180339887498949;
+  const double frac = std::fmod(static_cast<double>(g + 131 * rank) * golden, 1.0);
+  return kR0 + (kR1 - kR0) * frac;
+}
+
+struct SplineSets {
+  // Flat rows: [atom][lm][radial]; rho value+y2, v value+y2.
+  std::vector<double> rho_val, rho_y2, v_val, v_y2;
+};
+
+}  // namespace
+
+std::size_t RhoPhaseConfig::spline_bytes_per_atom() const {
+  // Two sets (rho_multipole_spl, delta_v_hart_part_spl), each storing value
+  // and second-derivative rows per (l,m) channel.
+  return 2 * 2 * lm_channels() * radial_points * sizeof(double);
+}
+
+RhoPhaseResult run_rho_phase(simt::SimtRuntime& rt, const RhoPhaseConfig& cfg,
+                             FusionMode mode) {
+  AEQP_CHECK(cfg.radial_points >= 8, "run_rho_phase: need >= 8 radial points");
+  AEQP_CHECK(cfg.ranks_per_device >= 1, "run_rho_phase: need >= 1 rank");
+  rt.stats().reset();
+
+  RhoPhaseResult res;
+  const std::size_t nlm = cfg.lm_channels();
+  const std::size_t nr = cfg.radial_points;
+  const double h = (kR1 - kR0) / static_cast<double>(nr - 1);
+  const std::size_t rows = cfg.n_atoms * nlm;
+
+  res.vertical_applicable =
+      rt.model().has_rma &&
+      cfg.spline_bytes_per_atom() <= rt.model().rma_limit_bytes;
+  const FusionMode effective =
+      (mode == FusionMode::VerticalFused && !res.vertical_applicable)
+          ? FusionMode::Unfused
+          : mode;
+
+  SplineSets sets;
+  sets.rho_val.resize(rows * nr);
+  sets.rho_y2.resize(rows * nr);
+  sets.v_val.resize(rows * nr);
+  sets.v_y2.resize(rows * nr);
+
+  auto produce_atom = [&](simt::WorkGroup& wg, std::size_t atom) {
+    auto rho_val = rt.bind(sets.rho_val);
+    auto rho_y2b = rt.bind(sets.rho_y2);
+    auto v_val = rt.bind(sets.v_val);
+    auto v_y2b = rt.bind(sets.v_y2);
+    std::vector<double> y(nr), y2, vrow(nr);
+    for (std::size_t lm = 0; lm < nlm; ++lm) {
+      const std::size_t row = (atom * nlm + lm) * nr;
+      for (std::size_t i = 0; i < nr; ++i) {
+        y[i] = rho_sample(atom, lm, kR0 + h * static_cast<double>(i));
+        rho_val.store(row + i, y[i]);
+      }
+      solve_natural_spline_y2(wg, h, y, y2);
+      for (std::size_t i = 0; i < nr; ++i) rho_y2b.store(row + i, y2[i]);
+      // Radial Hartree integration (cumulative trapezoid stands in for the
+      // Adams-Moulton pass, which hartree_pm_kernel exercises in detail).
+      vrow[0] = 0.0;
+      for (std::size_t i = 1; i < nr; ++i)
+        vrow[i] = vrow[i - 1] + 0.5 * h * (y[i] + y[i - 1]);
+      wg.flops(3 * nr);
+      for (std::size_t i = 0; i < nr; ++i) v_val.store(row + i, vrow[i]);
+      solve_natural_spline_y2(wg, h, vrow, y2);
+      for (std::size_t i = 0; i < nr; ++i) v_y2b.store(row + i, y2[i]);
+      wg.issue_simt(nr, 4);
+    }
+  };
+  // One work-group per atom; items cover (l,m) channels.
+  auto producer_body = [&](simt::WorkGroup& wg) {
+    produce_atom(wg, wg.group_id());
+  };
+
+  auto consume_point = [&](simt::WorkGroup& wg, const simt::GlobalBuffer& v_val,
+                           const simt::GlobalBuffer& v_y2, std::size_t rank,
+                           std::size_t g) {
+    const double r = point_radius(rank, g);
+    double acc = 0.0;
+    for (std::size_t atom = 0; atom < cfg.n_atoms; ++atom)
+      for (std::size_t lm = 0; lm < nlm; ++lm)
+        acc += spline_eval(wg, v_val, v_y2, (atom * nlm + lm) * nr, nr, h, r);
+    return acc;
+  };
+
+  const std::size_t per_rank = cfg.grid_points_per_rank;
+  res.potential.assign(per_rank * cfg.ranks_per_device, 0.0);
+  auto out = rt.bind(res.potential);
+
+  switch (effective) {
+    case FusionMode::Unfused: {
+      // Every rank launches its own producer (redundant) and consumer; the
+      // spline sets round-trip through host memory as kernel arguments.
+      for (std::size_t rank = 0; rank < cfg.ranks_per_device; ++rank) {
+        rt.launch(cfg.n_atoms, nlm, producer_body);
+        ++res.producer_runs;
+        rt.host_transfer(cfg.spline_bytes_per_atom() * cfg.n_atoms);  // download
+        rt.host_transfer(cfg.spline_bytes_per_atom() * cfg.n_atoms);  // upload
+        auto v_val = rt.bind(sets.v_val);
+        auto v_y2 = rt.bind(sets.v_y2);
+        rt.launch(1, per_rank, [&](simt::WorkGroup& wg) {
+          for (std::size_t g = 0; g < per_rank; ++g)
+            out.store(rank * per_rank + g, consume_point(wg, v_val, v_y2, rank, g));
+          wg.issue_simt(per_rank, cfg.n_atoms * nlm);
+        });
+      }
+      break;
+    }
+    case FusionMode::VerticalFused: {
+      // One fused kernel per rank: produce into on-chip memory, barrier
+      // (RMA gather/broadcast), consume without any host round trip.
+      for (std::size_t rank = 0; rank < cfg.ranks_per_device; ++rank) {
+        auto v_val = rt.bind(sets.v_val);
+        auto v_y2 = rt.bind(sets.v_y2);
+        rt.launch(1, per_rank, [&](simt::WorkGroup& wg) {
+          for (std::size_t atom = 0; atom < cfg.n_atoms; ++atom)
+            produce_atom(wg, atom);  // same kernel, producer phase
+          wg.barrier();  // RMA-backed global barrier between the phases
+          for (std::size_t g = 0; g < per_rank; ++g)
+            out.store(rank * per_rank + g, consume_point(wg, v_val, v_y2, rank, g));
+          wg.issue_simt(per_rank, cfg.n_atoms * nlm);
+        });
+        ++res.producer_runs;
+      }
+      break;
+    }
+    case FusionMode::HorizontalFused: {
+      // One producer serves the fused consumer of all ranks; spline sets
+      // stay resident in device memory (no host transfers).
+      rt.launch(cfg.n_atoms, nlm, producer_body);
+      ++res.producer_runs;
+      auto v_val = rt.bind(sets.v_val);
+      auto v_y2 = rt.bind(sets.v_y2);
+      rt.launch(cfg.ranks_per_device, per_rank, [&](simt::WorkGroup& wg) {
+        const std::size_t rank = wg.group_id();
+        for (std::size_t g = 0; g < per_rank; ++g)
+          out.store(rank * per_rank + g, consume_point(wg, v_val, v_y2, rank, g));
+        wg.issue_simt(per_rank, cfg.n_atoms * nlm);
+      });
+      break;
+    }
+  }
+
+  res.stats = rt.stats();
+  return res;
+}
+
+}  // namespace aeqp::kernels

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file rho_kernels.hpp
+/// The widely-dependent producer/consumer kernel pair of the response-
+/// potential (Rho) phase and the fusion strategies of paper Sec. 4.2.
+///
+/// Producer: builds the two spline-coefficient sets (rho_multipole_spl and
+/// delta_v_hart_part_spl) for one atom. Every thread of the consumer needs
+/// ALL of them -> wide dependence. The same producer runs redundantly on
+/// every MPI process sharing a device (communication avoidance).
+///
+/// Consumer: interpolates the splined multipole components at its grid
+/// points and assembles the response potential.
+///
+/// Fusion variants:
+///  - Unfused: 2 launches per rank, spline sets round-trip to host memory.
+///  - VerticalFused (SW39010): producer+consumer in one kernel, data held
+///    on-chip and exchanged by RMA; applicable only if the sets fit the
+///    64 KB RMA volume limit (Fig. 12a).
+///  - HorizontalFused (GPU): one producer serves the fused consumers of all
+///    ranks sharing the GPU; spline sets stay resident in device memory.
+
+#include <cstddef>
+#include <vector>
+
+#include "simt/runtime.hpp"
+
+namespace aeqp::kernels {
+
+/// Workload shape of one Rho-phase invocation.
+struct RhoPhaseConfig {
+  std::size_t n_atoms = 8;        ///< atoms whose splines this device handles
+  int l_max = 4;                  ///< multipole order
+  std::size_t radial_points = 96; ///< spline knots per channel
+  std::size_t grid_points_per_rank = 4096;  ///< consumer work per rank
+  std::size_t ranks_per_device = 8;         ///< MPI processes sharing the device
+
+  [[nodiscard]] std::size_t lm_channels() const {
+    return static_cast<std::size_t>((l_max + 1) * (l_max + 1));
+  }
+  /// Bytes of one atom's two spline sets (the Fig. 12a quantity).
+  [[nodiscard]] std::size_t spline_bytes_per_atom() const;
+};
+
+enum class FusionMode { Unfused, VerticalFused, HorizontalFused };
+
+struct RhoPhaseResult {
+  /// Response-potential samples, one block of grid_points_per_rank per rank
+  /// (bit-identical across fusion modes).
+  std::vector<double> potential;
+  /// Counters accumulated on the runtime during this phase.
+  simt::KernelStats stats;
+  /// Vertical fusion feasibility: spline sets fit the device RMA limit.
+  bool vertical_applicable = false;
+  /// Producer kernel executions (redundancy eliminated by horizontal fusion).
+  std::size_t producer_runs = 0;
+};
+
+/// Execute the Rho phase under the given fusion mode. Resets and returns
+/// the runtime's counters for this phase only.
+RhoPhaseResult run_rho_phase(simt::SimtRuntime& rt, const RhoPhaseConfig& cfg,
+                             FusionMode mode);
+
+}  // namespace aeqp::kernels

@@ -1,0 +1,72 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aeqp::linalg {
+
+Matrix cholesky(const Matrix& a) {
+  AEQP_CHECK(a.rows() == a.cols(), "cholesky requires a square matrix");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    AEQP_CHECK(diag > 0.0, "cholesky: matrix is not positive definite");
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / ljj;
+    }
+  }
+  return l;
+}
+
+Vector solve_lower(const Matrix& l, const Vector& b) {
+  const std::size_t n = l.rows();
+  AEQP_CHECK(b.size() == n, "solve_lower shape mismatch");
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    y[i] = s / l(i, i);
+  }
+  return y;
+}
+
+Vector solve_lower_transposed(const Matrix& l, const Vector& y) {
+  const std::size_t n = l.rows();
+  AEQP_CHECK(y.size() == n, "solve_lower_transposed shape mismatch");
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+  return x;
+}
+
+Vector solve_spd(const Matrix& a, const Vector& b) {
+  const Matrix l = cholesky(a);
+  return solve_lower_transposed(l, solve_lower(l, b));
+}
+
+Matrix invert_lower(const Matrix& l) {
+  const std::size_t n = l.rows();
+  AEQP_CHECK(l.cols() == n, "invert_lower requires a square matrix");
+  Matrix inv(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    inv(j, j) = 1.0 / l(j, j);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = 0.0;
+      for (std::size_t k = j; k < i; ++k) s += l(i, k) * inv(k, j);
+      inv(i, j) = -s / l(i, i);
+    }
+  }
+  return inv;
+}
+
+}  // namespace aeqp::linalg

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file cholesky.hpp
+/// Cholesky factorization and triangular solves, used to reduce the
+/// generalized symmetric-definite eigenproblem H C = eps S C to standard
+/// form, and by the Pulay mixer's normal equations.
+
+#include "linalg/matrix.hpp"
+
+namespace aeqp::linalg {
+
+/// Lower-triangular Cholesky factor L with A = L L^T.
+/// Throws aeqp::Error if A is not (numerically) positive definite.
+Matrix cholesky(const Matrix& a);
+
+/// Solve L y = b for lower-triangular L (forward substitution).
+Vector solve_lower(const Matrix& l, const Vector& b);
+
+/// Solve L^T x = y for lower-triangular L (back substitution on transpose).
+Vector solve_lower_transposed(const Matrix& l, const Vector& y);
+
+/// Solve A x = b for symmetric positive definite A via Cholesky.
+Vector solve_spd(const Matrix& a, const Vector& b);
+
+/// Inverse of a lower-triangular matrix.
+Matrix invert_lower(const Matrix& l);
+
+}  // namespace aeqp::linalg

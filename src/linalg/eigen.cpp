@@ -1,0 +1,187 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "linalg/cholesky.hpp"
+
+namespace aeqp::linalg {
+namespace {
+
+double pythag(double a, double b) {
+  const double absa = std::fabs(a), absb = std::fabs(b);
+  if (absa > absb) {
+    const double r = absb / absa;
+    return absa * std::sqrt(1.0 + r * r);
+  }
+  if (absb == 0.0) return 0.0;
+  const double r = absa / absb;
+  return absb * std::sqrt(1.0 + r * r);
+}
+
+double sign_of(double a, double b) { return b >= 0.0 ? std::fabs(a) : -std::fabs(a); }
+
+/// Householder reduction of symmetric z to tridiagonal form (tred2),
+/// accumulating the orthogonal transform in z.
+void tridiagonalize(Matrix& z, Vector& d, Vector& e) {
+  const std::size_t n = z.rows();
+  d.assign(n, 0.0);
+  e.assign(n, 0.0);
+  if (n == 0) return;
+
+  for (std::size_t i = n - 1; i >= 1; --i) {
+    const std::size_t l = i - 1;
+    double h = 0.0, scale = 0.0;
+    if (l > 0) {
+      for (std::size_t k = 0; k <= l; ++k) scale += std::fabs(z(i, k));
+      if (scale == 0.0) {
+        e[i] = z(i, l);
+      } else {
+        for (std::size_t k = 0; k <= l; ++k) {
+          z(i, k) /= scale;
+          h += z(i, k) * z(i, k);
+        }
+        double f = z(i, l);
+        double g = (f >= 0.0) ? -std::sqrt(h) : std::sqrt(h);
+        e[i] = scale * g;
+        h -= f * g;
+        z(i, l) = f - g;
+        f = 0.0;
+        for (std::size_t j = 0; j <= l; ++j) {
+          z(j, i) = z(i, j) / h;
+          g = 0.0;
+          for (std::size_t k = 0; k <= j; ++k) g += z(j, k) * z(i, k);
+          for (std::size_t k = j + 1; k <= l; ++k) g += z(k, j) * z(i, k);
+          e[j] = g / h;
+          f += e[j] * z(i, j);
+        }
+        const double hh = f / (h + h);
+        for (std::size_t j = 0; j <= l; ++j) {
+          f = z(i, j);
+          e[j] = g = e[j] - hh * f;
+          for (std::size_t k = 0; k <= j; ++k) z(j, k) -= f * e[k] + g * z(i, k);
+        }
+      }
+    } else {
+      e[i] = z(i, l);
+    }
+    d[i] = h;
+  }
+  d[0] = 0.0;
+  e[0] = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (d[i] != 0.0) {
+      for (std::size_t j = 0; j < i; ++j) {
+        double g = 0.0;
+        for (std::size_t k = 0; k < i; ++k) g += z(i, k) * z(k, j);
+        for (std::size_t k = 0; k < i; ++k) z(k, j) -= g * z(k, i);
+      }
+    }
+    d[i] = z(i, i);
+    z(i, i) = 1.0;
+    for (std::size_t j = 0; j < i; ++j) z(j, i) = z(i, j) = 0.0;
+  }
+}
+
+/// Implicit-shift QL iteration on a tridiagonal matrix (tqli), rotating the
+/// accumulated transform z along.
+void ql_implicit(Vector& d, Vector& e, Matrix& z) {
+  const std::size_t n = d.size();
+  if (n <= 1) return;
+  for (std::size_t i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+
+  for (std::size_t l = 0; l < n; ++l) {
+    int iter = 0;
+    std::size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= 1e-15 * dd) break;
+      }
+      if (m != l) {
+        AEQP_CHECK(iter++ < 64, "symmetric_eigen: QL iteration failed to converge");
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = pythag(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + sign_of(r, g));
+        double s = 1.0, c = 1.0, p = 0.0;
+        for (std::size_t ii = m; ii-- > l;) {
+          double f = s * e[ii];
+          const double b = c * e[ii];
+          r = pythag(f, g);
+          e[ii + 1] = r;
+          if (r == 0.0) {
+            d[ii + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[ii + 1] - p;
+          r = (d[ii] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[ii + 1] = g + p;
+          g = c * r - b;
+          for (std::size_t k = 0; k < n; ++k) {
+            f = z(k, ii + 1);
+            z(k, ii + 1) = s * z(k, ii) + c * f;
+            z(k, ii) = c * z(k, ii) - s * f;
+          }
+        }
+        if (r == 0.0 && e[m] == 0.0 && m > l) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+}
+
+void sort_ascending(EigenSolution& sol) {
+  const std::size_t n = sol.eigenvalues.size();
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+    return sol.eigenvalues[a] < sol.eigenvalues[b];
+  });
+  Vector w(n);
+  Matrix v(n, n);
+  for (std::size_t p = 0; p < n; ++p) {
+    w[p] = sol.eigenvalues[perm[p]];
+    for (std::size_t k = 0; k < n; ++k) v(k, p) = sol.eigenvectors(k, perm[p]);
+  }
+  sol.eigenvalues = std::move(w);
+  sol.eigenvectors = std::move(v);
+}
+
+}  // namespace
+
+EigenSolution symmetric_eigen(const Matrix& a) {
+  AEQP_CHECK(a.rows() == a.cols(), "symmetric_eigen requires a square matrix");
+  EigenSolution sol;
+  sol.eigenvectors = a;
+  Vector d, e;
+  tridiagonalize(sol.eigenvectors, d, e);
+  ql_implicit(d, e, sol.eigenvectors);
+  sol.eigenvalues = std::move(d);
+  sort_ascending(sol);
+  return sol;
+}
+
+EigenSolution generalized_symmetric_eigen(const Matrix& h, const Matrix& s) {
+  AEQP_CHECK(h.rows() == h.cols() && s.rows() == s.cols() && h.rows() == s.rows(),
+             "generalized_symmetric_eigen shape mismatch");
+  // Reduce to standard form: A = L^-1 H L^-T with S = L L^T.
+  const Matrix l = cholesky(s);
+  const Matrix linv = invert_lower(l);
+  Matrix a = matmul_nt(matmul(linv, h), linv);
+  a.symmetrize();  // remove round-off asymmetry before QL
+  EigenSolution sol = symmetric_eigen(a);
+  // Back-transform eigenvectors: C = L^-T Y.
+  sol.eigenvectors = matmul_tn(linv, sol.eigenvectors);
+  return sol;
+}
+
+}  // namespace aeqp::linalg

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file eigen.hpp
+/// Symmetric and generalized symmetric-definite eigensolvers.
+///
+/// The Kohn–Sham equations in a non-orthogonal atomic-orbital basis are the
+/// generalized problem H C = eps S C (paper Eq. 5). We reduce it to standard
+/// form with the Cholesky factor of S, then run Householder tridiagonal
+/// reduction followed by the implicit-shift QL iteration. Basis dimensions
+/// per process are small (<= a few thousand), so the O(n^3) dense path is
+/// appropriate.
+
+#include "linalg/matrix.hpp"
+
+namespace aeqp::linalg {
+
+/// Result of a (generalized) symmetric eigendecomposition.
+/// Eigenvalues ascend; eigenvectors() column p pairs with eigenvalue p.
+struct EigenSolution {
+  Vector eigenvalues;
+  Matrix eigenvectors;  ///< column-major pairing: vector p is column p
+};
+
+/// Full eigendecomposition of a symmetric matrix (symmetry is assumed; only
+/// the lower triangle strictly needs to be valid but callers pass symmetric
+/// data). Throws on iteration failure (pathological input).
+EigenSolution symmetric_eigen(const Matrix& a);
+
+/// Generalized problem H C = eps S C with S symmetric positive definite.
+/// Returned eigenvectors are S-orthonormal: C^T S C = I.
+EigenSolution generalized_symmetric_eigen(const Matrix& h, const Matrix& s);
+
+}  // namespace aeqp::linalg

@@ -1,0 +1,73 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace aeqp::linalg {
+
+LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
+  AEQP_CHECK(lu_.rows() == lu_.cols(), "LuDecomposition: matrix must be square");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), 0u);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |a_ik| on or below the diagonal.
+    std::size_t piv = k;
+    double best = std::fabs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(lu_(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    AEQP_CHECK(best > 1e-300, "LuDecomposition: matrix is singular");
+    if (piv != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(piv, j));
+      std::swap(perm_[k], perm_[piv]);
+      perm_sign_ = -perm_sign_;
+    }
+    const double inv = 1.0 / lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = lu_(i, k) * inv;
+      lu_(i, k) = m;
+      if (m == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= m * lu_(k, j);
+    }
+  }
+}
+
+Vector LuDecomposition::solve(const Vector& b) const {
+  const std::size_t n = lu_.rows();
+  AEQP_CHECK(b.size() == n, "LuDecomposition::solve: size mismatch");
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  // Forward substitution with unit-diagonal L.
+  for (std::size_t i = 1; i < n; ++i) {
+    double s = x[i];
+    for (std::size_t k = 0; k < i; ++k) s -= lu_(i, k) * x[k];
+    x[i] = s;
+  }
+  // Back substitution with U.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= lu_(ii, k) * x[k];
+    x[ii] = s / lu_(ii, ii);
+  }
+  return x;
+}
+
+double LuDecomposition::determinant() const {
+  double d = perm_sign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) d *= lu_(i, i);
+  return d;
+}
+
+Vector solve_linear(const Matrix& a, const Vector& b) {
+  return LuDecomposition(a).solve(b);
+}
+
+}  // namespace aeqp::linalg

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file lu.hpp
+/// LU decomposition with partial pivoting for general square systems.
+/// Used where matrices are not symmetric positive definite, e.g. the
+/// bordered Lagrange system of the Pulay/DIIS mixer.
+
+#include "linalg/matrix.hpp"
+
+namespace aeqp::linalg {
+
+/// PA = LU factorization with partial pivoting.
+class LuDecomposition {
+public:
+  /// Factor a square matrix; throws aeqp::Error if singular to working
+  /// precision.
+  explicit LuDecomposition(Matrix a);
+
+  /// Solve A x = b.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// Determinant of A (including the permutation sign).
+  [[nodiscard]] double determinant() const;
+
+  [[nodiscard]] std::size_t size() const { return lu_.rows(); }
+
+private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  double perm_sign_ = 1.0;
+};
+
+/// One-shot convenience: solve A x = b by LU.
+Vector solve_linear(const Matrix& a, const Vector& b);
+
+}  // namespace aeqp::linalg

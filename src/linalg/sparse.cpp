@@ -1,0 +1,77 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace aeqp::linalg {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols, std::vector<Triplet> triplets)
+    : rows_(rows), cols_(cols) {
+  for (const auto& t : triplets)
+    AEQP_CHECK(t.row < rows && t.col < cols, "CsrMatrix: triplet out of range");
+  std::sort(triplets.begin(), triplets.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  row_ptr_.assign(rows + 1, 0);
+  col_idx_.reserve(triplets.size());
+  values_.reserve(triplets.size());
+  for (std::size_t k = 0; k < triplets.size();) {
+    const std::size_t r = triplets[k].row, c = triplets[k].col;
+    double sum = 0.0;
+    while (k < triplets.size() && triplets[k].row == r && triplets[k].col == c)
+      sum += triplets[k++].value;
+    col_idx_.push_back(static_cast<std::uint32_t>(c));
+    values_.push_back(sum);
+    row_ptr_[r + 1] = values_.size();
+  }
+  // Rows with no entries inherit the previous row's end offset.
+  for (std::size_t r = 1; r <= rows; ++r)
+    row_ptr_[r] = std::max(row_ptr_[r], row_ptr_[r - 1]);
+}
+
+double CsrMatrix::fetch(std::size_t i, std::size_t j) const {
+  AEQP_ASSERT(i < rows_ && j < cols_);
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[i]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[i + 1]);
+  const auto it = std::lower_bound(begin, end, static_cast<std::uint32_t>(j));
+  if (it == end || *it != j) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+Vector CsrMatrix::matvec(const Vector& x) const {
+  AEQP_CHECK(x.size() == cols_, "CsrMatrix::matvec shape mismatch");
+  Vector y(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      s += values_[k] * x[col_idx_[k]];
+    y[i] = s;
+  }
+  return y;
+}
+
+Matrix CsrMatrix::to_dense() const {
+  Matrix d(rows_, cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      d(i, col_idx_[k]) = values_[k];
+  return d;
+}
+
+Matrix CsrMatrix::gather_block(const std::vector<std::size_t>& row_ids,
+                               const std::vector<std::size_t>& col_ids) const {
+  Matrix block(row_ids.size(), col_ids.size());
+  for (std::size_t bi = 0; bi < row_ids.size(); ++bi)
+    for (std::size_t bj = 0; bj < col_ids.size(); ++bj)
+      block(bi, bj) = fetch(row_ids[bi], col_ids[bj]);
+  return block;
+}
+
+std::size_t CsrMatrix::bytes() const {
+  return values_.size() * sizeof(double) + col_idx_.size() * sizeof(std::uint32_t) +
+         row_ptr_.size() * sizeof(std::size_t);
+}
+
+}  // namespace aeqp::linalg

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file sparse.hpp
+/// Compressed sparse row (CSR) matrix.
+///
+/// The paper's scaling obstacle (Sec. 3.1.1) is a large *sparse* Hamiltonian
+/// kept per process under the legacy load-balancing mapping: fetching one
+/// element requires several dependent memory accesses (row pointer, column
+/// search, value). This class reproduces exactly that storage format and its
+/// access cost so the Fig. 9 experiments compare it against local dense
+/// blocks for real.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace aeqp::linalg {
+
+/// One (row, col, value) entry used to assemble a CSR matrix.
+struct Triplet {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double value = 0.0;
+};
+
+/// Immutable CSR matrix; duplicate triplets are summed at build time.
+class CsrMatrix {
+public:
+  CsrMatrix() = default;
+
+  /// Assemble from triplets (any order, duplicates summed).
+  CsrMatrix(std::size_t rows, std::size_t cols, std::vector<Triplet> triplets);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t nnz() const { return values_.size(); }
+
+  /// Element lookup via binary search within the row — the "at least 3
+  /// memory accesses" path from Fig. 3(a). Returns 0 for structural zeros.
+  [[nodiscard]] double fetch(std::size_t i, std::size_t j) const;
+
+  /// y = A x.
+  [[nodiscard]] Vector matvec(const Vector& x) const;
+
+  /// Dense copy (small matrices / tests).
+  [[nodiscard]] Matrix to_dense() const;
+
+  /// Extract the dense block A[rows x cols] for the given index subsets.
+  [[nodiscard]] Matrix gather_block(const std::vector<std::size_t>& row_ids,
+                                    const std::vector<std::size_t>& col_ids) const;
+
+  /// Payload bytes: values + column indices + row pointers. This is the
+  /// number the Fig. 9(a) memory experiment reports for the legacy mapping.
+  [[nodiscard]] std::size_t bytes() const;
+
+  [[nodiscard]] const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& col_idx() const { return col_idx_; }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace aeqp::linalg

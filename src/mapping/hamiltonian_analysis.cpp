@@ -1,0 +1,166 @@
+#include "mapping/hamiltonian_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace aeqp::mapping {
+namespace {
+
+/// Cell-list over atom positions for O(N) fixed-radius neighbour queries.
+class CellList {
+public:
+  CellList(const grid::Structure& s, double cutoff) : s_(s), cutoff_(cutoff) {
+    AEQP_CHECK(cutoff > 0.0, "CellList: cutoff must be positive");
+    s.bounding_box(lo_, hi_);
+    for (int d = 0; d < 3; ++d)
+      dims_[d] = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>((hi_[d] - lo_[d]) / cutoff) + 1);
+    for (std::size_t i = 0; i < s.size(); ++i)
+      cells_[key_of(s.atom(i).pos)].push_back(static_cast<std::uint32_t>(i));
+  }
+
+  /// Visit all atoms within the cutoff of atom i (including i itself).
+  template <typename Fn>
+  void for_neighbors(std::size_t i, Fn&& fn) const {
+    const Vec3 p = s_.atom(i).pos;
+    const auto [cx, cy, cz] = coords_of(p);
+    for (std::int64_t x = cx - 1; x <= cx + 1; ++x)
+      for (std::int64_t y = cy - 1; y <= cy + 1; ++y)
+        for (std::int64_t z = cz - 1; z <= cz + 1; ++z) {
+          const auto it = cells_.find(pack(x, y, z));
+          if (it == cells_.end()) continue;
+          for (std::uint32_t j : it->second)
+            if (distance(p, s_.atom(j).pos) <= cutoff_) fn(j);
+        }
+  }
+
+private:
+  [[nodiscard]] std::tuple<std::int64_t, std::int64_t, std::int64_t> coords_of(
+      const Vec3& p) const {
+    auto idx = [&](double v, int d) {
+      return std::clamp<std::int64_t>(
+          static_cast<std::int64_t>((v - lo_[d]) / cutoff_), 0, dims_[d] - 1);
+    };
+    return {idx(p.x, 0), idx(p.y, 1), idx(p.z, 2)};
+  }
+  [[nodiscard]] std::int64_t pack(std::int64_t x, std::int64_t y,
+                                  std::int64_t z) const {
+    // Offset by one and stride by dims+2 so the -1..dims scan range of
+    // for_neighbors maps to unique keys (no aliasing across coordinates).
+    return ((x + 1) * (dims_[1] + 2) + (y + 1)) * (dims_[2] + 2) + (z + 1);
+  }
+  [[nodiscard]] std::int64_t key_of(const Vec3& p) const {
+    const auto [x, y, z] = coords_of(p);
+    return pack(x, y, z);
+  }
+
+  const grid::Structure& s_;
+  double cutoff_;
+  Vec3 lo_{}, hi_{};
+  std::int64_t dims_[3] = {1, 1, 1};
+  std::unordered_map<std::int64_t, std::vector<std::uint32_t>> cells_;
+};
+
+}  // namespace
+
+std::vector<std::size_t> basis_function_counts(const grid::Structure& structure,
+                                               basis::BasisTier tier) {
+  std::map<int, std::size_t> per_element;
+  std::vector<std::size_t> out(structure.size());
+  for (std::size_t i = 0; i < structure.size(); ++i) {
+    const int z = structure.atom(i).z;
+    auto it = per_element.find(z);
+    if (it == per_element.end())
+      it = per_element
+               .emplace(z, basis::ElementBasis::standard(z, tier).function_count())
+               .first;
+    out[i] = it->second;
+  }
+  return out;
+}
+
+SparsityStats global_hamiltonian_sparsity(const grid::Structure& structure,
+                                          const std::vector<std::size_t>& nb_per_atom,
+                                          double interaction_cutoff) {
+  AEQP_CHECK(nb_per_atom.size() == structure.size(),
+             "global_hamiltonian_sparsity: per-atom count mismatch");
+  SparsityStats stats;
+  for (auto n : nb_per_atom) stats.n_basis += n;
+
+  const CellList cells(structure, interaction_cutoff);
+  for (std::size_t i = 0; i < structure.size(); ++i) {
+    std::size_t partner_funcs = 0;
+    cells.for_neighbors(i, [&](std::uint32_t j) { partner_funcs += nb_per_atom[j]; });
+    stats.nnz += nb_per_atom[i] * partner_funcs;
+  }
+  stats.csr_bytes = stats.nnz * (sizeof(double) + sizeof(std::uint32_t)) +
+                    (stats.n_basis + 1) * sizeof(std::size_t);
+  stats.dense_bytes = stats.n_basis * stats.n_basis * sizeof(double);
+  return stats;
+}
+
+std::size_t HamiltonianMemory::proposed_min() const {
+  return proposed_bytes_per_rank.empty()
+             ? 0
+             : *std::min_element(proposed_bytes_per_rank.begin(),
+                                 proposed_bytes_per_rank.end());
+}
+
+std::size_t HamiltonianMemory::proposed_max() const {
+  return proposed_bytes_per_rank.empty()
+             ? 0
+             : *std::max_element(proposed_bytes_per_rank.begin(),
+                                 proposed_bytes_per_rank.end());
+}
+
+double HamiltonianMemory::proposed_mean() const {
+  if (proposed_bytes_per_rank.empty()) return 0.0;
+  double s = 0.0;
+  for (auto b : proposed_bytes_per_rank) s += static_cast<double>(b);
+  return s / static_cast<double>(proposed_bytes_per_rank.size());
+}
+
+HamiltonianMemory hamiltonian_memory(const grid::Structure& structure,
+                                     const std::vector<std::size_t>& nb_per_atom,
+                                     double interaction_cutoff, double halo_cutoff,
+                                     const Assignment& assignment,
+                                     const std::vector<grid::Batch>& batches) {
+  AEQP_CHECK(nb_per_atom.size() == structure.size(),
+             "hamiltonian_memory: per-atom count mismatch");
+  HamiltonianMemory mem;
+  mem.existing_bytes_per_rank =
+      global_hamiltonian_sparsity(structure, nb_per_atom, interaction_cutoff)
+          .csr_bytes;
+
+  const CellList cells(structure, halo_cutoff);
+  mem.proposed_bytes_per_rank.resize(assignment.rank_count());
+  std::vector<char> relevant(structure.size());
+  for (std::size_t r = 0; r < assignment.rank_count(); ++r) {
+    // Local atoms plus the neighbours their orbitals interact with.
+    std::fill(relevant.begin(), relevant.end(), 0);
+    for (auto a : assignment.atoms_of_rank(r, batches))
+      cells.for_neighbors(a, [&](std::uint32_t j) { relevant[j] = 1; });
+    std::size_t local_nb = 0;
+    for (std::size_t i = 0; i < structure.size(); ++i)
+      if (relevant[i]) local_nb += nb_per_atom[i];
+    mem.proposed_bytes_per_rank[r] = local_nb * local_nb * sizeof(double);
+  }
+  return mem;
+}
+
+std::vector<std::size_t> splines_per_rank(const Assignment& assignment,
+                                          const std::vector<grid::Batch>& batches,
+                                          int poisson_l_max) {
+  const std::size_t nlm =
+      static_cast<std::size_t>((poisson_l_max + 1) * (poisson_l_max + 1));
+  std::vector<std::size_t> out(assignment.rank_count());
+  for (std::size_t r = 0; r < assignment.rank_count(); ++r)
+    out[r] = assignment.atoms_of_rank(r, batches).size() * nlm;
+  return out;
+}
+
+}  // namespace aeqp::mapping

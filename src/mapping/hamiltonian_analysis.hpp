@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file hamiltonian_analysis.hpp
+/// Memory and reuse analysis behind paper Fig. 9.
+///
+/// Fig. 9(a): per-process Hamiltonian storage. Under the legacy mapping a
+/// process touches delocalized atoms, so it must keep the full system's
+/// sparse Hamiltonian in CSR form; under the locality-enhancing mapping it
+/// keeps only the dense block over its local atoms plus their interacting
+/// neighbours.
+///
+/// Fig. 9(c): number of cubic splines performed in the Rho phase. Each
+/// process builds the rho_multipole / delta_v_hart_part splines of every
+/// atom relevant to its grid points, so scattering an atom's points across
+/// processes replicates its splines; gathering them enables reuse.
+
+#include <cstddef>
+#include <vector>
+
+#include "basis/element.hpp"
+#include "grid/structure.hpp"
+#include "mapping/task_mapping.hpp"
+
+namespace aeqp::mapping {
+
+/// Number of basis functions contributed by each atom of the structure.
+std::vector<std::size_t> basis_function_counts(const grid::Structure& structure,
+                                               basis::BasisTier tier);
+
+/// Sparsity pattern statistics of the global Hamiltonian: two orbitals
+/// interact when their atoms lie within `interaction_cutoff` (= 2 r_cut).
+struct SparsityStats {
+  std::size_t n_basis = 0;       ///< total orbital count N_b
+  std::size_t nnz = 0;           ///< nonzero elements of the global H
+  std::size_t csr_bytes = 0;     ///< CSR storage: values + col idx + row ptr
+  std::size_t dense_bytes = 0;   ///< N_b^2 doubles for comparison
+  [[nodiscard]] double fill_fraction() const {
+    return n_basis ? static_cast<double>(nnz) /
+                         (static_cast<double>(n_basis) * n_basis)
+                   : 0.0;
+  }
+};
+
+/// Analyze the global Hamiltonian sparsity with a cell-list neighbour
+/// search (O(N) for bounded density).
+SparsityStats global_hamiltonian_sparsity(const grid::Structure& structure,
+                                          const std::vector<std::size_t>& nb_per_atom,
+                                          double interaction_cutoff);
+
+/// Per-rank Hamiltonian memory under both strategies (Fig. 9a).
+struct HamiltonianMemory {
+  std::size_t existing_bytes_per_rank = 0;          ///< global CSR, same on all
+  std::vector<std::size_t> proposed_bytes_per_rank; ///< local dense blocks
+  [[nodiscard]] std::size_t proposed_min() const;
+  [[nodiscard]] std::size_t proposed_max() const;
+  [[nodiscard]] double proposed_mean() const;
+};
+
+/// Compute both strategies' memory: `assignment` must be the locality
+/// mapping for the proposed numbers; the existing number is the global CSR
+/// every rank must hold under the legacy mapping. `interaction_cutoff`
+/// (typically 2 r_cut) defines which orbital pairs produce nonzeros;
+/// `halo_cutoff` (typically r_cut) defines which atoms' orbitals reach a
+/// rank's grid points and hence belong in its local dense block.
+HamiltonianMemory hamiltonian_memory(const grid::Structure& structure,
+                                     const std::vector<std::size_t>& nb_per_atom,
+                                     double interaction_cutoff, double halo_cutoff,
+                                     const Assignment& assignment,
+                                     const std::vector<grid::Batch>& batches);
+
+/// Cubic splines performed per rank in the Rho phase: (l_max+1)^2 spline
+/// channels for every atom whose grid points the rank owns (Fig. 9c).
+std::vector<std::size_t> splines_per_rank(const Assignment& assignment,
+                                          const std::vector<grid::Batch>& batches,
+                                          int poisson_l_max);
+
+}  // namespace aeqp::mapping

@@ -1,0 +1,40 @@
+#include "mapping/synthetic_points.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace aeqp::mapping {
+
+PointCloud synthetic_point_cloud(const grid::Structure& structure,
+                                 std::size_t points_per_atom, std::uint64_t seed,
+                                 double max_radius) {
+  AEQP_CHECK(points_per_atom >= 1, "synthetic_point_cloud: need >= 1 point/atom");
+  Rng rng(seed);
+  PointCloud cloud;
+  cloud.positions.reserve(structure.size() * points_per_atom);
+  cloud.parent_atom.reserve(structure.size() * points_per_atom);
+  for (std::size_t a = 0; a < structure.size(); ++a) {
+    const Vec3 c = structure.atom(a).pos;
+    for (std::size_t k = 0; k < points_per_atom; ++k) {
+      // Log-distributed radius mimics the radial mesh density profile.
+      const double r = max_radius * std::pow(rng.uniform(), 2.5) + 1e-3;
+      // Uniform direction by rejection.
+      Vec3 u;
+      for (;;) {
+        u = {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+        const double n2 = u.norm2();
+        if (n2 > 0.05 && n2 <= 1.0) {
+          u = u / std::sqrt(n2);
+          break;
+        }
+      }
+      cloud.positions.push_back(c + r * u);
+      cloud.parent_atom.push_back(static_cast<std::uint32_t>(a));
+    }
+  }
+  return cloud;
+}
+
+}  // namespace aeqp::mapping

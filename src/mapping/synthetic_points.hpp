@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file synthetic_points.hpp
+/// Cheap stand-in grids for mapping experiments at large atom counts:
+/// instead of building the full weighted integration grid (what SCF needs),
+/// emit a fixed number of points per atom with the right spatial statistics
+/// (non-uniform radial shells). Positions and parent atoms are all the
+/// task-mapping strategies and memory models consume.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "grid/structure.hpp"
+
+namespace aeqp::mapping {
+
+/// Point cloud with parent-atom labels, compatible with grid::make_batches.
+struct PointCloud {
+  std::vector<Vec3> positions;
+  std::vector<std::uint32_t> parent_atom;
+};
+
+/// Generate `points_per_atom` points around every atom with a radial
+/// distribution mimicking the logarithmic shells (dense near nuclei).
+PointCloud synthetic_point_cloud(const grid::Structure& structure,
+                                 std::size_t points_per_atom,
+                                 std::uint64_t seed = 1234,
+                                 double max_radius = 4.0);
+
+}  // namespace aeqp::mapping

@@ -1,0 +1,159 @@
+#include "mapping/task_mapping.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace aeqp::mapping {
+
+std::size_t Assignment::points_of_rank(std::size_t r,
+                                       const std::vector<grid::Batch>& batches) const {
+  std::size_t n = 0;
+  for (auto b : batches_of_rank[r]) n += batches[b].size();
+  return n;
+}
+
+std::vector<std::uint32_t> Assignment::atoms_of_rank(
+    std::size_t r, const std::vector<grid::Batch>& batches) const {
+  std::vector<std::uint32_t> atoms;
+  for (auto b : batches_of_rank[r])
+    atoms.insert(atoms.end(), batches[b].atoms.begin(), batches[b].atoms.end());
+  std::sort(atoms.begin(), atoms.end());
+  atoms.erase(std::unique(atoms.begin(), atoms.end()), atoms.end());
+  return atoms;
+}
+
+Assignment least_loaded_mapping(const std::vector<grid::Batch>& batches,
+                                std::size_t n_ranks) {
+  AEQP_CHECK(n_ranks >= 1, "least_loaded_mapping: need at least one rank");
+  Assignment a;
+  a.batches_of_rank.resize(n_ranks);
+  // Min-heap keyed on current point load; ties by rank id for determinism.
+  using Entry = std::pair<std::size_t, std::size_t>;  // (points, rank)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::size_t r = 0; r < n_ranks; ++r) heap.emplace(0, r);
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    auto [pts, r] = heap.top();
+    heap.pop();
+    a.batches_of_rank[r].push_back(static_cast<std::uint32_t>(b));
+    heap.emplace(pts + batches[b].size(), r);
+  }
+  return a;
+}
+
+namespace {
+
+/// One round of the bisection of paper Fig. 5 / Algorithm 1 lines 5-13.
+void bisect_ranks(const std::vector<grid::Batch>& batches,
+                  std::vector<std::uint32_t>& ids, std::size_t id_begin,
+                  std::size_t id_end, std::size_t rank_begin, std::size_t rank_end,
+                  Assignment& out) {
+  const std::size_t n_ranks = rank_end - rank_begin;
+  if (n_ranks == 1) {  // Algorithm 1 line 2-3: map the whole set
+    auto& dest = out.batches_of_rank[rank_begin];
+    dest.assign(ids.begin() + static_cast<std::ptrdiff_t>(id_begin),
+                ids.begin() + static_cast<std::ptrdiff_t>(id_end));
+    return;
+  }
+
+  // Line 7: dimension with the largest centroid spread.
+  Vec3 lo = batches[ids[id_begin]].centroid, hi = lo;
+  for (std::size_t k = id_begin + 1; k < id_end; ++k) {
+    const Vec3& c = batches[ids[k]].centroid;
+    for (int d = 0; d < 3; ++d) {
+      lo[d] = std::min(lo[d], c[d]);
+      hi[d] = std::max(hi[d], c[d]);
+    }
+  }
+  int dim = 0;
+  double best = hi[0] - lo[0];
+  for (int d = 1; d < 3; ++d)
+    if (hi[d] - lo[d] > best) {
+      best = hi[d] - lo[d];
+      dim = d;
+    }
+
+  // Line 8: sort the batch projections along dim.
+  std::sort(ids.begin() + static_cast<std::ptrdiff_t>(id_begin),
+            ids.begin() + static_cast<std::ptrdiff_t>(id_end),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return batches[a].centroid[dim] < batches[b].centroid[dim];
+            });
+
+  // Lines 9-11: split where the cumulative point count crosses half, scaled
+  // by the uneven process split ceil(n/2) : floor(n/2).
+  const std::size_t ranks_left = (n_ranks + 1) / 2;
+  std::size_t total_points = 0;
+  for (std::size_t k = id_begin; k < id_end; ++k)
+    total_points += batches[ids[k]].size();
+  const double pivot = static_cast<double>(total_points) *
+                       static_cast<double>(ranks_left) /
+                       static_cast<double>(n_ranks);
+
+  std::size_t split = id_begin;
+  std::size_t acc = 0;
+  while (split < id_end) {
+    const std::size_t next = acc + batches[ids[split]].size();
+    if (static_cast<double>(next) > pivot) break;
+    acc = next;
+    ++split;
+  }
+  // Both halves must stay non-empty so every rank receives work.
+  split = std::clamp(split, id_begin + 1, id_end - 1);
+  // Never split fewer batches than processes on either side.
+  split = std::clamp(split, id_begin + ranks_left,
+                     id_end - (n_ranks - ranks_left));
+
+  bisect_ranks(batches, ids, id_begin, split, rank_begin, rank_begin + ranks_left,
+               out);
+  bisect_ranks(batches, ids, split, id_end, rank_begin + ranks_left, rank_end, out);
+}
+
+}  // namespace
+
+Assignment locality_enhancing_mapping(const std::vector<grid::Batch>& batches,
+                                      std::size_t n_ranks) {
+  AEQP_CHECK(n_ranks >= 1, "locality_enhancing_mapping: need at least one rank");
+  AEQP_CHECK(batches.size() >= n_ranks,
+             "locality_enhancing_mapping: need at least one batch per rank");
+  Assignment a;
+  a.batches_of_rank.resize(n_ranks);
+  std::vector<std::uint32_t> ids(batches.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  bisect_ranks(batches, ids, 0, ids.size(), 0, n_ranks, a);
+  return a;
+}
+
+double load_imbalance(const Assignment& a, const std::vector<grid::Batch>& batches) {
+  std::size_t total = 0, max_pts = 0;
+  for (std::size_t r = 0; r < a.rank_count(); ++r) {
+    const std::size_t pts = a.points_of_rank(r, batches);
+    total += pts;
+    max_pts = std::max(max_pts, pts);
+  }
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(a.rank_count());
+  return mean > 0.0 ? static_cast<double>(max_pts) / mean : 0.0;
+}
+
+double mean_rank_spread(const Assignment& a, const std::vector<grid::Batch>& batches) {
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t r = 0; r < a.rank_count(); ++r) {
+    const auto& ids = a.batches_of_rank[r];
+    if (ids.empty()) continue;
+    Vec3 mean{};
+    for (auto b : ids) mean += batches[b].centroid;
+    mean = mean / static_cast<double>(ids.size());
+    double rms = 0.0;
+    for (auto b : ids) rms += (batches[b].centroid - mean).norm2();
+    sum += std::sqrt(rms / static_cast<double>(ids.size()));
+    ++counted;
+  }
+  return counted ? sum / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace aeqp::mapping

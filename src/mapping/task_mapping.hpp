@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file task_mapping.hpp
+/// Batch-to-process task mapping strategies (paper Sec. 3.1).
+///
+/// - least_loaded_mapping: the legacy load-balancing strategy of FHI-aims
+///   [ref 6]: each batch goes to the process currently owning the fewest
+///   grid points, ignoring which atoms the batch touches. Balanced, but an
+///   atom's grid points scatter across many processes (Fig. 3a).
+/// - locality_enhancing_mapping: the paper's Algorithm 1: recursive
+///   bisection of batches by spatial projection, splitting the process set
+///   and the (point-weighted) batch set in half each round, so neighbouring
+///   atoms land on the same process (Fig. 3b).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "grid/batch.hpp"
+
+namespace aeqp::mapping {
+
+/// batches_of_rank[r] lists batch indices assigned to rank r.
+struct Assignment {
+  std::vector<std::vector<std::uint32_t>> batches_of_rank;
+
+  [[nodiscard]] std::size_t rank_count() const { return batches_of_rank.size(); }
+
+  /// Total grid points of rank r.
+  [[nodiscard]] std::size_t points_of_rank(
+      std::size_t r, const std::vector<grid::Batch>& batches) const;
+
+  /// Sorted unique atoms whose grid points rank r owns.
+  [[nodiscard]] std::vector<std::uint32_t> atoms_of_rank(
+      std::size_t r, const std::vector<grid::Batch>& batches) const;
+};
+
+/// Legacy strategy: greedy least-loaded assignment in batch order.
+Assignment least_loaded_mapping(const std::vector<grid::Batch>& batches,
+                                std::size_t n_ranks);
+
+/// Paper Algorithm 1: locality-enhancing recursive bisection.
+Assignment locality_enhancing_mapping(const std::vector<grid::Batch>& batches,
+                                      std::size_t n_ranks);
+
+/// Load imbalance: max points per rank / mean points per rank.
+double load_imbalance(const Assignment& a, const std::vector<grid::Batch>& batches);
+
+/// Mean spatial spread (RMS distance of batch centroids to their rank's
+/// mean centroid), the locality metric Algorithm 1 minimizes.
+double mean_rank_spread(const Assignment& a, const std::vector<grid::Batch>& batches);
+
+}  // namespace aeqp::mapping

@@ -1,0 +1,166 @@
+#include "parallel/cluster.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <limits>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace aeqp::parallel {
+
+Cluster::Cluster(std::size_t n_ranks, std::size_t ranks_per_node)
+    : n_ranks_(n_ranks), ranks_per_node_(ranks_per_node) {
+  AEQP_CHECK(n_ranks >= 1, "Cluster: need at least one rank");
+  AEQP_CHECK(ranks_per_node >= 1, "Cluster: need at least one rank per node");
+  global_barrier_ = std::make_unique<std::barrier<>>(
+      static_cast<std::ptrdiff_t>(n_ranks_));
+  const std::size_t n_nodes = node_count();
+  leader_barrier_ = std::make_unique<std::barrier<>>(
+      static_cast<std::ptrdiff_t>(n_nodes));
+  nodes_ = std::vector<NodeState>(n_nodes);
+  for (std::size_t nd = 0; nd < n_nodes; ++nd) {
+    const std::size_t first = nd * ranks_per_node_;
+    const std::size_t count = std::min(ranks_per_node_, n_ranks_ - first);
+    nodes_[nd].barrier =
+        std::make_unique<std::barrier<>>(static_cast<std::ptrdiff_t>(count));
+  }
+}
+
+std::size_t Cluster::node_count() const {
+  return (n_ranks_ + ranks_per_node_ - 1) / ranks_per_node_;
+}
+
+void Cluster::run(const std::function<void(Communicator&)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(n_ranks_);
+  std::vector<std::exception_ptr> errors(n_ranks_);
+  for (std::size_t r = 0; r < n_ranks_; ++r) {
+    threads.emplace_back([this, &fn, &errors, r] {
+      Communicator comm(*this, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[r] = std::current_exception();
+        // A dead rank would deadlock collectives; abort loudly instead.
+        std::fprintf(stderr, "simmpi: rank %zu threw; terminating cluster\n", r);
+        std::terminate();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+std::size_t Communicator::size() const { return cluster_->n_ranks_; }
+std::size_t Communicator::node() const { return rank_ / cluster_->ranks_per_node_; }
+std::size_t Communicator::node_rank() const {
+  return rank_ % cluster_->ranks_per_node_;
+}
+std::size_t Communicator::node_size() const {
+  const std::size_t first = node() * cluster_->ranks_per_node_;
+  return std::min(cluster_->ranks_per_node_, cluster_->n_ranks_ - first);
+}
+std::size_t Communicator::node_count() const { return cluster_->node_count(); }
+
+void Communicator::barrier() { cluster_->global_barrier_->arrive_and_wait(); }
+
+void Communicator::node_barrier() {
+  cluster_->nodes_[node()].barrier->arrive_and_wait();
+}
+
+void Communicator::allreduce_sum(std::span<double> data) {
+  {
+    std::lock_guard<std::mutex> lock(cluster_->reduce_mutex_);
+    if (cluster_->reduce_arrivals_ == 0)
+      cluster_->reduce_buffer_.assign(data.size(), 0.0);
+    AEQP_CHECK(cluster_->reduce_buffer_.size() == data.size(),
+               "allreduce_sum: ranks disagree on element count");
+    for (std::size_t i = 0; i < data.size(); ++i)
+      cluster_->reduce_buffer_[i] += data[i];
+    ++cluster_->reduce_arrivals_;
+  }
+  barrier();
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = cluster_->reduce_buffer_[i];
+  barrier();
+  if (rank_ == 0) cluster_->reduce_arrivals_ = 0;
+  barrier();
+}
+
+void Communicator::allreduce_max(std::span<double> data) {
+  {
+    std::lock_guard<std::mutex> lock(cluster_->reduce_mutex_);
+    if (cluster_->reduce_arrivals_ == 0)
+      cluster_->reduce_buffer_.assign(
+          data.size(), -std::numeric_limits<double>::infinity());
+    AEQP_CHECK(cluster_->reduce_buffer_.size() == data.size(),
+               "allreduce_max: ranks disagree on element count");
+    for (std::size_t i = 0; i < data.size(); ++i)
+      cluster_->reduce_buffer_[i] = std::max(cluster_->reduce_buffer_[i], data[i]);
+    ++cluster_->reduce_arrivals_;
+  }
+  barrier();
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = cluster_->reduce_buffer_[i];
+  barrier();
+  if (rank_ == 0) cluster_->reduce_arrivals_ = 0;
+  barrier();
+}
+
+void Communicator::allreduce_sum_leaders(std::span<double> data) {
+  const bool leader = node_rank() == 0;
+  if (leader) {
+    std::lock_guard<std::mutex> lock(cluster_->reduce_mutex_);
+    if (cluster_->reduce_arrivals_ == 0)
+      cluster_->reduce_buffer_.assign(data.size(), 0.0);
+    AEQP_CHECK(cluster_->reduce_buffer_.size() == data.size(),
+               "allreduce_sum_leaders: leaders disagree on element count");
+    for (std::size_t i = 0; i < data.size(); ++i)
+      cluster_->reduce_buffer_[i] += data[i];
+    ++cluster_->reduce_arrivals_;
+  }
+  barrier();
+  if (leader)
+    for (std::size_t i = 0; i < data.size(); ++i)
+      data[i] = cluster_->reduce_buffer_[i];
+  barrier();
+  if (rank_ == 0) cluster_->reduce_arrivals_ = 0;
+  barrier();
+}
+
+void Communicator::broadcast(std::span<double> data, std::size_t root) {
+  AEQP_CHECK(root < size(), "broadcast: root out of range");
+  if (rank_ == root)
+    cluster_->bcast_buffer_.assign(data.begin(), data.end());
+  barrier();
+  if (rank_ != root) {
+    AEQP_CHECK(cluster_->bcast_buffer_.size() == data.size(),
+               "broadcast: ranks disagree on element count");
+    for (std::size_t i = 0; i < data.size(); ++i)
+      data[i] = cluster_->bcast_buffer_[i];
+  }
+  barrier();
+}
+
+std::span<double> Communicator::node_window(std::size_t size) {
+  Cluster::NodeState& nd = cluster_->nodes_[node()];
+  {
+    std::lock_guard<std::mutex> lock(nd.mutex);
+    if (nd.window_size != size) {
+      nd.window.assign(size, 0.0);
+      nd.window_size = size;
+    }
+  }
+  node_barrier();
+  return {nd.window.data(), nd.window.size()};
+}
+
+void Communicator::node_critical(const std::function<void()>& fn) {
+  std::lock_guard<std::mutex> lock(cluster_->nodes_[node()].mutex);
+  fn();
+}
+
+}  // namespace aeqp::parallel

@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file cluster.hpp
+/// simmpi: a simulated MPI runtime. Ranks are host threads; collectives are
+/// executed for real (blocking semantics, actual data movement through
+/// shared buffers), so every communication algorithm in src/comm can be
+/// verified bit-for-bit at small scale. Node topology (ranks_per_node) maps
+/// ranks onto "shared-memory nodes", exposing the MPI SHM-style windows the
+/// paper's hierarchical scheme relies on (Sec. 3.2.2, ref [24]).
+
+#include <barrier>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace aeqp::parallel {
+
+class Cluster;
+
+/// Per-rank handle passed to the rank function; provides the collective
+/// operations of the simulated MPI world.
+class Communicator {
+public:
+  [[nodiscard]] std::size_t rank() const { return rank_; }
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t node() const;       ///< node index of this rank
+  [[nodiscard]] std::size_t node_rank() const;  ///< rank within the node
+  [[nodiscard]] std::size_t node_size() const;  ///< ranks on this node
+  [[nodiscard]] std::size_t node_count() const;
+
+  /// Global barrier across all ranks.
+  void barrier();
+
+  /// Barrier across the ranks of this node only.
+  void node_barrier();
+
+  /// In-place sum-AllReduce over all ranks; every rank must pass the same
+  /// element count.
+  void allreduce_sum(std::span<double> data);
+
+  /// In-place elementwise max-AllReduce (used for global convergence
+  /// criteria like max |delta n| across ranks).
+  void allreduce_max(std::span<double> data);
+
+  /// In-place sum-AllReduce across node leaders (node_rank 0); other ranks
+  /// wait at the enclosing barrier. `data` is ignored for non-leaders.
+  void allreduce_sum_leaders(std::span<double> data);
+
+  /// Broadcast from `root` to all ranks.
+  void broadcast(std::span<double> data, std::size_t root);
+
+  /// Node-shared buffer of `size` doubles (zero-initialized); all ranks of
+  /// a node receive the same span. Collective over the node.
+  std::span<double> node_window(std::size_t size);
+
+  /// Serialize a critical section among the ranks of this node.
+  void node_critical(const std::function<void()>& fn);
+
+private:
+  friend class Cluster;
+  Communicator(Cluster& cluster, std::size_t rank)
+      : cluster_(&cluster), rank_(rank) {}
+  Cluster* cluster_;
+  std::size_t rank_;
+};
+
+/// Simulated cluster: spawns one thread per rank and runs the given rank
+/// function to completion. Exceptions in rank functions are captured and
+/// rethrown from run().
+class Cluster {
+public:
+  Cluster(std::size_t n_ranks, std::size_t ranks_per_node);
+
+  [[nodiscard]] std::size_t size() const { return n_ranks_; }
+  [[nodiscard]] std::size_t ranks_per_node() const { return ranks_per_node_; }
+  [[nodiscard]] std::size_t node_count() const;
+
+  /// Execute fn on every rank concurrently; blocks until all finish.
+  void run(const std::function<void(Communicator&)>& fn);
+
+private:
+  friend class Communicator;
+
+  struct NodeState {
+    std::unique_ptr<std::barrier<>> barrier;
+    std::mutex mutex;
+    std::vector<double> window;
+    std::size_t window_size = 0;
+  };
+
+  std::size_t n_ranks_;
+  std::size_t ranks_per_node_;
+
+  std::unique_ptr<std::barrier<>> global_barrier_;
+  std::unique_ptr<std::barrier<>> leader_barrier_;
+  std::mutex reduce_mutex_;
+  std::vector<double> reduce_buffer_;
+  std::size_t reduce_arrivals_ = 0;
+  std::vector<double> bcast_buffer_;
+  std::vector<NodeState> nodes_;
+};
+
+}  // namespace aeqp::parallel

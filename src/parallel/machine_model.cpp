@@ -1,0 +1,101 @@
+#include "parallel/machine_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aeqp::parallel {
+namespace {
+
+double log2_ranks(std::size_t ranks) {
+  return ranks > 1 ? std::log2(static_cast<double>(ranks)) : 0.0;
+}
+
+/// Per-invocation overhead of a collective: tree latency plus a congestion
+/// term that grows superlinearly with participant count (stragglers, NIC
+/// contention). The exponents are calibrated against the speedup ranges the
+/// paper reports in Fig. 10 (see DESIGN.md on model substitution).
+double percall_overhead(const MachineModel& m, std::size_t ranks) {
+  // Congestion exponents/coefficients fitted to the Fig. 10 speedup ranges:
+  // HPC#2's fat InfiniBand tree degrades faster under full-system
+  // collectives (superlinear straggler term) than Sunway's custom network.
+  const double congestion_exp = m.has_shm ? 1.8 : 1.05;
+  const double jitter = m.has_shm ? 8.0e-11 : 6.0e-8;
+  return 2.0 * log2_ranks(ranks) * m.alpha_inter +
+         jitter * std::pow(static_cast<double>(ranks), congestion_exp);
+}
+
+}  // namespace
+
+MachineModel MachineModel::hpc1_sunway() {
+  MachineModel m;
+  m.name = "HPC#1 (Sunway SW39010)";
+  m.ranks_per_node = 6;       // one rank per core group
+  m.alpha_inter = 1.2e-5;     // custom network, deep topology
+  m.beta_inter = 1.0e-9;      // ~1 GB/s effective per rank
+  m.alpha_intra = 2.0e-6;
+  m.beta_intra = 1.0e-10;
+  m.has_shm = false;          // core-group memories are disconnected
+  m.offchip_latency = 6.0e-7; // long off-chip latency (paper Sec. 5.2.4)
+  m.flop_rate = 2.0e10;
+  m.host_flop_rate = 7.0e8;   // one managing core slice per rank
+  return m;
+}
+
+MachineModel MachineModel::hpc2_amd() {
+  MachineModel m;
+  m.name = "HPC#2 (AMD GPU)";
+  m.ranks_per_node = 32;
+  m.alpha_inter = 2.0e-6;     // InfiniBand + MPI software stack
+  m.beta_inter = 1.0e-10;     // ~10 GB/s effective per rank
+  m.alpha_intra = 3.0e-7;
+  m.beta_intra = 8.0e-12;     // shared-memory copy bandwidth
+  m.has_shm = true;
+  m.offchip_latency = 2.5e-7;
+  m.flop_rate = 6.0e10;
+  m.host_flop_rate = 6.0e9;   // one x86 core per rank
+  return m;
+}
+
+double CommCostModel::allreduce_seconds(std::size_t bytes, std::size_t ranks) const {
+  AEQP_CHECK(ranks >= 1, "allreduce_seconds: need at least one rank");
+  if (ranks == 1) return 0.0;
+  return percall_overhead(m_, ranks) +
+         2.0 * static_cast<double>(bytes) * m_.beta_inter;
+}
+
+double CommCostModel::repeated_allreduce_seconds(std::size_t bytes,
+                                                 std::size_t count,
+                                                 std::size_t ranks) const {
+  return static_cast<double>(count) * allreduce_seconds(bytes, ranks);
+}
+
+double CommCostModel::packed_allreduce_seconds(std::size_t bytes, std::size_t count,
+                                               std::size_t ranks) const {
+  return allreduce_seconds(bytes * count, ranks);
+}
+
+CommCostModel::HierarchicalCost CommCostModel::packed_hierarchical_seconds(
+    std::size_t bytes, std::size_t count, std::size_t ranks) const {
+  AEQP_CHECK(m_.has_shm,
+             "packed_hierarchical_seconds: machine has no SHM support");
+  HierarchicalCost cost;
+  const std::size_t m = m_.ranks_per_node;
+  const std::size_t packed = bytes * count;
+  // Local phase (Sec. 3.2.2): m chunk rounds sequenced by node barriers; in
+  // each round every rank updates one chunk of packed/m bytes concurrently,
+  // so the wall time is ~one full pass over the packed payload (read + add
+  // + write back) plus the barrier latencies.
+  cost.local_update = static_cast<double>(m) * m_.alpha_intra +
+                      2.0 * static_cast<double>(packed) * m_.beta_intra;
+  // Global phase: AllReduce across ranks/m node leaders only.
+  const std::size_t leaders = std::max<std::size_t>(1, ranks / m);
+  cost.global = allreduce_seconds(packed, leaders);
+  return cost;
+}
+
+double CommCostModel::barrier_seconds(std::size_t ranks) const {
+  return ranks > 1 ? log2_ranks(ranks) * m_.alpha_inter : 0.0;
+}
+
+}  // namespace aeqp::parallel

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file machine_model.hpp
+/// Analytic machine models of the paper's two evaluation systems
+/// (Sec. 5.1): HPC#1, the new-generation Sunway (SW39010, 390 cores/node,
+/// custom network, no MPI SHM between core groups), and HPC#2, the AMD-GPU
+/// machine (32-core x86 + 4 MI50-class GPUs per node, InfiniBand).
+///
+/// These models convert communication volumes and rank counts into seconds
+/// with the standard alpha-beta (latency-bandwidth) formulation. They are
+/// the documented substitute for running on the real machines (DESIGN.md):
+/// every *mechanism* (packing, hierarchy, mapping) is executed for real by
+/// the threaded runtime in cluster.hpp; only figure-scale timings flow
+/// through these models.
+
+#include <cstddef>
+#include <string>
+
+namespace aeqp::parallel {
+
+/// Latency/bandwidth description of one supercomputer.
+struct MachineModel {
+  std::string name;
+  std::size_t ranks_per_node = 32;
+  double alpha_inter = 0.0;   ///< inter-node message latency (s)
+  double beta_inter = 0.0;    ///< inter-node seconds per byte
+  double alpha_intra = 0.0;   ///< intra-node synchronization latency (s)
+  double beta_intra = 0.0;    ///< intra-node seconds per byte
+  bool has_shm = false;       ///< MPI SHM windows usable across node ranks
+  double offchip_latency = 0.0;  ///< accelerator off-chip access latency (s)
+  double flop_rate = 0.0;        ///< effective accelerator FLOP/s per rank
+  double host_flop_rate = 0.0;   ///< host-core FLOP/s per rank (no accel)
+
+  /// HPC#1: Sunway SW39010. Core groups have physically disconnected local
+  /// memories, so MPI SHM hierarchy is NOT applicable (paper Sec. 5.2.2),
+  /// and off-chip latency is high (paper Sec. 5.2.4).
+  static MachineModel hpc1_sunway();
+
+  /// HPC#2: AMD-GPU-accelerated system, 32 CPU cores + 4 GPUs per node,
+  /// InfiniBand; SHM hierarchy applicable with m = 32 ranks per copy.
+  static MachineModel hpc2_amd();
+};
+
+/// Alpha-beta cost model for the collectives AEQP uses.
+class CommCostModel {
+public:
+  explicit CommCostModel(MachineModel machine) : m_(std::move(machine)) {}
+
+  [[nodiscard]] const MachineModel& machine() const { return m_; }
+
+  /// Flat tree-based AllReduce of `bytes` across `ranks` processes:
+  /// 2 log2(P) rounds of (alpha + bytes * beta), inter-node terms dominant.
+  [[nodiscard]] double allreduce_seconds(std::size_t bytes, std::size_t ranks) const;
+
+  /// `count` back-to-back AllReduce calls of `bytes` each (the baseline of
+  /// Fig. 10: one MPI_Allreduce per rho_multipole row).
+  [[nodiscard]] double repeated_allreduce_seconds(std::size_t bytes,
+                                                  std::size_t count,
+                                                  std::size_t ranks) const;
+
+  /// One packed AllReduce moving count*bytes at once (Sec. 3.2.1).
+  [[nodiscard]] double packed_allreduce_seconds(std::size_t bytes,
+                                                std::size_t count,
+                                                std::size_t ranks) const;
+
+  /// Packed + hierarchical (Sec. 3.2.2): m-rank local SHM update followed
+  /// by an AllReduce across ranks/m node leaders. Requires has_shm.
+  /// Returns the local-update and global components separately.
+  struct HierarchicalCost {
+    double local_update = 0.0;
+    double global = 0.0;
+    [[nodiscard]] double total() const { return local_update + global; }
+  };
+  [[nodiscard]] HierarchicalCost packed_hierarchical_seconds(
+      std::size_t bytes, std::size_t count, std::size_t ranks) const;
+
+  /// Barrier among `ranks` processes.
+  [[nodiscard]] double barrier_seconds(std::size_t ranks) const;
+
+private:
+  MachineModel m_;
+};
+
+}  // namespace aeqp::parallel

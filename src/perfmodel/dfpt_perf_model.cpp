@@ -1,0 +1,186 @@
+#include "perfmodel/dfpt_perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "kernels/density_kernels.hpp"
+#include "kernels/hartree_pm_kernel.hpp"
+#include "kernels/init_kernel.hpp"
+#include "kernels/rho_kernels.hpp"
+#include "simt/runtime.hpp"
+
+namespace aeqp::perfmodel {
+namespace {
+
+// Effective work-unit constants fitted to the paper's absolute scales
+// (Sec. 5.3: ~O(N^1.2) response-density-matrix work, ~O(N^1.7) response-
+// potential work dominating at large N, sub-minute cycles for 200k atoms on
+// the full HPC#2 partition). They bundle flop counts with all constant-
+// factor inefficiencies of the real code, hence their magnitudes.
+constexpr double kInitWorkPerAtom = 4.4e9;
+constexpr double kDmWorkPerAtom12 = 2.3e9;   // x N^1.2
+constexpr double kSumupWorkPerAtom = 5.5e10;
+constexpr double kRhoWorkPerAtom17 = 8.6e6;  // x N^1.7
+constexpr double kHWorkPerAtom = 5.5e10;
+
+// Communication workload shapes.
+constexpr std::size_t kRhoMultipoleRowBytes = 16384;  // one atom's row
+constexpr std::size_t kPackWindowRows = 512;         // paper Sec. 5.2.2
+
+// Large-message reduces of the response density matrix (the P^(1)
+// communication the paper blames for strong-scaling deterioration,
+// Sec. 5.3.1): bandwidth-bound per-atom volume with a mild logarithmic
+// congestion growth, fitted to the 22.5% -> 39.1% DM time-share series.
+constexpr double kDmCommPerAtom = 7.35e-6;  // seconds x atoms at log2(P)=0
+constexpr double kDmCommLogGrowth = 2.4;    // x (log2(P)/10)^2
+
+// Work granularity: with N/P atoms per rank, integer batch granularity
+// leaves ~kGranularityAtoms/(N/P) relative imbalance in the compute phases.
+constexpr double kGranularityAtoms = 0.8;
+
+// Phase-level weight of the matrix-access path inside Sumup/H/DM (the rest
+// is basis-function arithmetic), and of the fusible producer/consumer pair
+// inside Rho; calibrated so the applied factors land in the ranges the
+// paper measures (Fig. 9b: 7.5%-26.4%; Fig. 12b: up to 2.4x).
+constexpr double kMatrixAccessShare = 0.02;
+constexpr double kMatrixAccessCap = 1.25;
+constexpr double kFusionShare = 0.4;
+
+}  // namespace
+
+DfptPerfModel::DfptPerfModel(parallel::MachineModel machine,
+                             simt::DeviceModel device, bool use_accelerator)
+    : machine_(std::move(machine)),
+      device_(std::move(device)),
+      use_accelerator_(use_accelerator),
+      comm_model_(machine_) {
+  // --- Calibrate optimization factors by running the kernel variants. ---
+  simt::SimtRuntime rt(device_);
+
+  {  // Dense vs sparse matrix access (Fig. 9b) -> Sumup/H/DM factor.
+    const auto w = kernels::DensityKernelWorkload::make(96, 1359, 512, 24);
+    const auto dense = kernels::run_sumup_dense(rt, w);
+    const auto sparse = kernels::run_sumup_sparse(rt, w);
+    const double raw = sparse.stats.modeled_seconds(device_) /
+                       dense.stats.modeled_seconds(device_);
+    // The access path is a slice of the whole phase; weight and cap to the
+    // phase level (Fig. 9b's 7.5-26.4% range).
+    dense_factor_ =
+        std::min(kMatrixAccessCap, 1.0 + (raw - 1.0) * kMatrixAccessShare);
+  }
+  {  // Kernel fusion (Fig. 12) -> Rho factor.
+    kernels::RhoPhaseConfig cfg;
+    cfg.n_atoms = 4;
+    cfg.l_max = 3;
+    cfg.radial_points = 48;
+    cfg.grid_points_per_rank = 512;
+    cfg.ranks_per_device = 8;
+    const auto unfused = kernels::run_rho_phase(rt, cfg, kernels::FusionMode::Unfused);
+    const auto fused = kernels::run_rho_phase(
+        rt, cfg,
+        device_.has_rma ? kernels::FusionMode::VerticalFused
+                        : kernels::FusionMode::HorizontalFused);
+    const double raw = unfused.stats.modeled_seconds(device_) /
+                       fused.stats.modeled_seconds(device_);
+    fusion_factor_ = 1.0 + (std::max(raw, 1.0) - 1.0) * kFusionShare;
+  }
+  {  // Loop collapsing (Fig. 13) -> Rho factor (SIMT devices only).
+    const auto nested = kernels::run_pm_loop_nested(rt, 64, 9);
+    const auto collapsed = kernels::run_pm_loop_collapsed(rt, 64, 9);
+    collapse_factor_ = nested.stats.modeled_seconds(device_) /
+                       collapsed.stats.modeled_seconds(device_);
+    if (collapse_factor_ < 1.0) collapse_factor_ = 1.0;
+  }
+  {  // Indirect-access elimination (Fig. 11) -> Init factor.
+    const auto in = kernels::make_init_input(8192, 400000);
+    const auto rearranged = kernels::build_rearranged_coords(in);
+    simt::SimtRuntime a(device_), b(device_);
+    kernels::run_init_kernel_indirect(a, in);
+    kernels::run_init_kernel_direct(b, in, rearranged);
+    indirect_factor_ = a.modeled_seconds() / b.modeled_seconds();
+  }
+}
+
+PhaseBreakdown DfptPerfModel::predict(std::size_t n_atoms, std::size_t ranks,
+                                      const OptimizationFlags& flags) const {
+  AEQP_CHECK(n_atoms >= 1 && ranks >= 1, "predict: empty problem");
+  const double n = static_cast<double>(n_atoms);
+  const double p = static_cast<double>(ranks);
+  const double rate =
+      use_accelerator_ ? 1.0 / device_.flop_time : machine_.host_flop_rate;
+
+  // Integer batch granularity stretches the slowest rank.
+  const double imbalance = 1.0 + kGranularityAtoms / std::max(1.0, n / p);
+
+  PhaseBreakdown t;
+  const double dm_rate = (flags.accelerated_dm && use_accelerator_)
+                             ? rate
+                             : machine_.host_flop_rate;
+  t.init = imbalance * kInitWorkPerAtom * n / p / rate;
+  t.dm = imbalance * kDmWorkPerAtom12 * std::pow(n, 1.2) / p / dm_rate;
+  t.sumup = imbalance * kSumupWorkPerAtom * n / p / rate;
+  t.rho = imbalance * kRhoWorkPerAtom17 * std::pow(n, 1.7) / p / rate;
+  t.h = imbalance * kHWorkPerAtom * n / p / rate;
+
+  // Optimization factors multiply the *unoptimized* path.
+  if (!flags.indirect_elimination) t.init *= indirect_factor_;
+  if (!flags.locality_mapping) {
+    // Sparse global Hamiltonian access penalizes density/Hamiltonian work
+    // (Fig. 9b) and forfeits the cubic-spline reuse in Rho (Fig. 9c).
+    t.sumup *= dense_factor_;
+    t.h *= dense_factor_;
+    t.dm *= dense_factor_;
+    t.rho *= 1.095;  // ~9.5% spline-reuse gain reported on HPC#1
+  }
+  if (!flags.kernel_fusion) t.rho *= fusion_factor_;
+  if (!flags.loop_collapsing && use_accelerator_) t.rho *= collapse_factor_;
+
+  // Communication: the rho_multipole synthesis after Sumup plus the
+  // response-density-matrix reduces in DM.
+  const std::size_t rows = n_atoms;
+  double rho_comm = 0.0;
+  if (!flags.packed_comm) {
+    rho_comm =
+        comm_model_.repeated_allreduce_seconds(kRhoMultipoleRowBytes, rows, ranks);
+  } else if (flags.hierarchical_comm && machine_.has_shm) {
+    const std::size_t windows = (rows + kPackWindowRows - 1) / kPackWindowRows;
+    rho_comm = static_cast<double>(windows) *
+               comm_model_
+                   .packed_hierarchical_seconds(kRhoMultipoleRowBytes,
+                                                kPackWindowRows, ranks)
+                   .total();
+  } else {
+    const std::size_t windows = (rows + kPackWindowRows - 1) / kPackWindowRows;
+    rho_comm = static_cast<double>(windows) *
+               comm_model_.packed_allreduce_seconds(kRhoMultipoleRowBytes,
+                                                    kPackWindowRows, ranks);
+  }
+  const double lg = ranks > 1 ? std::log2(p) / 10.0 : 0.0;
+  double dm_comm = kDmCommPerAtom * n * (1.0 + kDmCommLogGrowth * lg * lg);
+  // Without packing the P^(1) blocks also go out in many small reduces.
+  if (!flags.packed_comm) dm_comm *= 4.0;
+  t.comm = rho_comm + dm_comm;
+  return t;
+}
+
+double DfptPerfModel::strong_speedup(std::size_t n_atoms, std::size_t base_ranks,
+                                     std::size_t ranks,
+                                     const OptimizationFlags& flags) const {
+  return predict(n_atoms, base_ranks, flags).total() /
+         predict(n_atoms, ranks, flags).total();
+}
+
+double DfptPerfModel::weak_efficiency(std::size_t n0, std::size_t p0,
+                                      std::size_t n_atoms, std::size_t ranks,
+                                      const OptimizationFlags& flags) const {
+  // Efficiency of constant work per rank; the superlinear phases (DM, Rho)
+  // make it drop as the system grows (paper Sec. 5.3.2).
+  const double t0 = predict(n0, p0, flags).total();
+  const double t = predict(n_atoms, ranks, flags).total();
+  const double work0 = static_cast<double>(n0) / static_cast<double>(p0);
+  const double work = static_cast<double>(n_atoms) / static_cast<double>(ranks);
+  return (t0 / work0) / (t / work);
+}
+
+}  // namespace aeqp::perfmodel

@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file dfpt_perf_model.hpp
+/// End-to-end performance composition for the scaling figures (paper
+/// Figs. 14-16): per-cycle DFPT phase times for N atoms on P ranks of one
+/// of the two modeled machines.
+///
+/// The model is calibrated, not free-floating: the per-phase optimization
+/// factors (dense-vs-sparse access, kernel fusion, loop collapsing,
+/// indirect-access elimination) are obtained by actually executing the
+/// kernel variants from src/kernels on the device models and taking their
+/// modeled-time ratios, and communication times come from the alpha-beta
+/// CommCostModel. Only the raw per-atom work constants are fitted to the
+/// paper's absolute scales (Sec. 5.3: response density matrix ~O(N^1.2),
+/// response potential ~O(N^1.7) dominating at large N, <1 min/cycle for
+/// 200k atoms).
+
+#include <cstddef>
+
+#include "parallel/machine_model.hpp"
+#include "simt/device.hpp"
+
+namespace aeqp::perfmodel {
+
+/// Which of the paper's innovations are enabled (the before/after axis of
+/// Fig. 14 and the ablation benches).
+struct OptimizationFlags {
+  bool locality_mapping = true;   ///< Sec. 3.1
+  bool packed_comm = true;        ///< Sec. 3.2.1
+  bool hierarchical_comm = true;  ///< Sec. 3.2.2 (requires machine SHM)
+  bool kernel_fusion = true;      ///< Sec. 4.2
+  bool indirect_elimination = true;  ///< Sec. 4.3
+  bool loop_collapsing = true;    ///< Sec. 4.4
+  /// The pre-optimization OpenCL baseline [38] left the response-density-
+  /// matrix phase on the host CPU; the paper's Fig. 14 DM speedups (up to
+  /// 36.5x) are dominated by accelerating it.
+  bool accelerated_dm = true;
+
+  static OptimizationFlags all_on() { return {}; }
+  static OptimizationFlags all_off() {
+    return {false, false, false, false, false, false, false};
+  }
+};
+
+/// Seconds per DFPT cycle, split by phase (Fig. 14's stacked bars).
+struct PhaseBreakdown {
+  double init = 0.0;   ///< grid-partitioning initialization (amortized)
+  double dm = 0.0;     ///< response density matrix P^(1)
+  double sumup = 0.0;  ///< response density n^(1)
+  double rho = 0.0;    ///< response potential v^(1)
+  double h = 0.0;      ///< response Hamiltonian H^(1)
+  double comm = 0.0;   ///< collective communication
+
+  [[nodiscard]] double total() const {
+    return init + dm + sumup + rho + h + comm;
+  }
+};
+
+/// Performance model of one machine (CPU cluster + accelerator).
+class DfptPerfModel {
+public:
+  /// `use_accelerator` = false models the HPC#2 "CPU only" series.
+  DfptPerfModel(parallel::MachineModel machine, simt::DeviceModel device,
+                bool use_accelerator = true);
+
+  /// Per-cycle phase times for `n_atoms` on `ranks` MPI processes.
+  [[nodiscard]] PhaseBreakdown predict(std::size_t n_atoms, std::size_t ranks,
+                                       const OptimizationFlags& flags) const;
+
+  /// Strong-scaling speedup vs a baseline rank count.
+  [[nodiscard]] double strong_speedup(std::size_t n_atoms, std::size_t base_ranks,
+                                      std::size_t ranks,
+                                      const OptimizationFlags& flags) const;
+
+  /// Weak-scaling parallel efficiency vs a baseline (n0, p0) case.
+  [[nodiscard]] double weak_efficiency(std::size_t n0, std::size_t p0,
+                                       std::size_t n_atoms, std::size_t ranks,
+                                       const OptimizationFlags& flags) const;
+
+  // Calibrated optimization factors (exposed for the ablation benches).
+  [[nodiscard]] double dense_access_factor() const { return dense_factor_; }
+  [[nodiscard]] double fusion_factor() const { return fusion_factor_; }
+  [[nodiscard]] double collapse_factor() const { return collapse_factor_; }
+  [[nodiscard]] double indirect_factor() const { return indirect_factor_; }
+
+  [[nodiscard]] const parallel::MachineModel& machine() const { return machine_; }
+  [[nodiscard]] const simt::DeviceModel& device() const { return device_; }
+
+private:
+  parallel::MachineModel machine_;
+  simt::DeviceModel device_;
+  bool use_accelerator_;
+  parallel::CommCostModel comm_model_;
+
+  // Kernel-calibrated speedup factors (>= 1).
+  double dense_factor_ = 1.0;
+  double fusion_factor_ = 1.0;
+  double collapse_factor_ = 1.0;
+  double indirect_factor_ = 1.0;
+};
+
+}  // namespace aeqp::perfmodel

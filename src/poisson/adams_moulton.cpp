@@ -1,0 +1,32 @@
+#include "poisson/adams_moulton.hpp"
+
+#include "common/error.hpp"
+
+namespace aeqp::poisson {
+
+std::vector<double> cumulative_integral_am4(double h, const std::vector<double>& g) {
+  AEQP_CHECK(h > 0.0, "cumulative_integral_am4: step must be positive");
+  const std::size_t n = g.size();
+  std::vector<double> out(n, 0.0);
+  if (n < 2) return out;
+
+  // Bootstrap with cubic-exact interpolatory formulas so the whole scheme
+  // stays 4th order: forward AM-style step for I_1, Simpson for I_2.
+  if (n >= 4) {
+    out[1] = h / 24.0 * (9.0 * g[0] + 19.0 * g[1] - 5.0 * g[2] + g[3]);
+  } else {
+    out[1] = h * 0.5 * (g[0] + g[1]);
+  }
+  if (n > 2) out[2] = h / 3.0 * (g[0] + 4.0 * g[1] + g[2]);
+  for (std::size_t k = 3; k < n; ++k)
+    out[k] = out[k - 1] +
+             h / 24.0 * (9.0 * g[k] + 19.0 * g[k - 1] - 5.0 * g[k - 2] + g[k - 3]);
+  return out;
+}
+
+double integral_am4(double h, const std::vector<double>& g) {
+  if (g.empty()) return 0.0;
+  return cumulative_integral_am4(h, g).back();
+}
+
+}  // namespace aeqp::poisson

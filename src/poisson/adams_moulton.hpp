@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file adams_moulton.hpp
+/// Cumulative integration with the 4th-order Adams-Moulton linear multistep
+/// formula on a uniform mesh. The paper's response-potential phase computes
+/// the partitioned Hartree potential with exactly this integrator (Sec. 4.4
+/// shows its (p, m) loop); AEQP uses it for the radial Poisson integrals on
+/// the logarithmic mesh (uniform in t = log r).
+
+#include <vector>
+
+namespace aeqp::poisson {
+
+/// Cumulative integral I_k = \int_{t_0}^{t_k} g dt for uniformly spaced
+/// samples g with step h. I_0 = 0; the first two steps bootstrap with
+/// trapezoid and Simpson, then the AM4 corrector formula
+///   I_k = I_{k-1} + h/24 (9 g_k + 19 g_{k-1} - 5 g_{k-2} + g_{k-3})
+/// takes over.
+std::vector<double> cumulative_integral_am4(double h, const std::vector<double>& g);
+
+/// Convenience: the total integral (last element of the cumulative result).
+double integral_am4(double h, const std::vector<double>& g);
+
+}  // namespace aeqp::poisson

@@ -1,0 +1,172 @@
+#include "poisson/multipole.hpp"
+
+#include <cmath>
+
+#include "basis/spherical_harmonics.hpp"
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "grid/angular_grid.hpp"
+#include "poisson/adams_moulton.hpp"
+
+namespace aeqp::poisson {
+
+using basis::lm_count;
+using basis::lm_index;
+
+std::size_t MultipoleDensity::spline_bytes() const {
+  std::size_t b = 0;
+  for (const auto& per_atom : splines)
+    for (const auto& s : per_atom) b += s.bytes();
+  return b;
+}
+
+std::size_t PartitionedPotential::spline_bytes() const {
+  std::size_t b = 0;
+  for (const auto& per_atom : splines)
+    for (const auto& s : per_atom) b += s.bytes();
+  return b;
+}
+
+HartreeSolver::HartreeSolver(const grid::Structure& structure,
+                             const PoissonSpec& spec)
+    : structure_(structure),
+      spec_(spec),
+      mesh_(spec.radial_points, spec.r_min, spec.r_max),
+      partition_(structure) {
+  AEQP_CHECK(spec.l_max >= 0 && spec.l_max <= 9,
+             "HartreeSolver: l_max must be in [0, 9]");
+  // Projection must integrate Y_lm * Y_l'm' exactly through l = l_max.
+  const grid::AngularGrid ang =
+      grid::AngularGrid::for_degree(static_cast<std::size_t>(2 * spec.l_max + 2));
+  ang_dirs_ = ang.directions();
+  ang_weights_ = ang.weights();
+  ang_ylm_.resize(ang_dirs_.size());
+  std::vector<double> ylm;
+  for (std::size_t k = 0; k < ang_dirs_.size(); ++k) {
+    basis::real_ylm_all(spec.l_max, ang_dirs_[k], ylm);
+    ang_ylm_[k] = ylm;
+  }
+}
+
+MultipoleDensity HartreeSolver::project(const DensityFn& density) const {
+  const std::size_t n_atoms = structure_.size();
+  const std::size_t nlm = lm_count(spec_.l_max);
+  const std::size_t nr = mesh_.size();
+
+  MultipoleDensity rho;
+  rho.samples.assign(n_atoms,
+                     std::vector<std::vector<double>>(nlm, std::vector<double>(nr, 0.0)));
+  rho.splines.resize(n_atoms);
+
+  for (std::size_t a = 0; a < n_atoms; ++a) {
+    const Vec3 center = structure_.atom(a).pos;
+    for (std::size_t i = 0; i < nr; ++i) {
+      const double r = mesh_.r(i);
+      for (std::size_t k = 0; k < ang_dirs_.size(); ++k) {
+        const Vec3 p = center + r * ang_dirs_[k];
+        const double val =
+            density(p) * partition_.weight(a, p) * ang_weights_[k];
+        if (val == 0.0) continue;
+        const std::vector<double>& ylm = ang_ylm_[k];
+        auto& per_lm = rho.samples[a];
+        for (std::size_t lm = 0; lm < nlm; ++lm) per_lm[lm][i] += val * ylm[lm];
+      }
+    }
+    rho.splines[a].reserve(nlm);
+    for (std::size_t lm = 0; lm < nlm; ++lm)
+      rho.splines[a].emplace_back(mesh_.points(), rho.samples[a][lm]);
+  }
+  return rho;
+}
+
+PartitionedPotential HartreeSolver::solve(const MultipoleDensity& rho) const {
+  AEQP_CHECK(rho.atom_count() == structure_.size(),
+             "HartreeSolver::solve: density built for a different structure");
+  const std::size_t nlm = lm_count(spec_.l_max);
+  const std::size_t nr = mesh_.size();
+  const double h = mesh_.log_step();
+
+  PartitionedPotential out;
+  out.l_max = spec_.l_max;
+  out.r_max = mesh_.r_max();
+  out.splines.resize(structure_.size());
+  out.moments.assign(structure_.size(), std::vector<double>(nlm, 0.0));
+
+  std::vector<double> g_inner(nr), g_outer(nr), v(nr);
+  for (std::size_t a = 0; a < structure_.size(); ++a) {
+    out.splines[a].reserve(nlm);
+    for (int l = 0; l <= spec_.l_max; ++l) {
+      for (int m = -l; m <= l; ++m) {
+        const std::size_t lm = lm_index(l, m);
+        const std::vector<double>& rho_lm = rho.samples[a][lm];
+        // Integrands in t = log r: ds = s dt.
+        for (std::size_t i = 0; i < nr; ++i) {
+          const double s = mesh_.r(i);
+          g_inner[i] = std::pow(s, l + 3) * rho_lm[i];
+          g_outer[i] = std::pow(s, 2 - l) * rho_lm[i];
+        }
+        const std::vector<double> inner = cumulative_integral_am4(h, g_inner);
+        const std::vector<double> outer = cumulative_integral_am4(h, g_outer);
+        // Tail below r_min, where the density is treated as constant; only
+        // the inner integral reaches into [0, r_min).
+        const double r0 = mesh_.r_min();
+        const double inner0 = rho_lm[0] * std::pow(r0, l + 3) / (l + 3);
+
+        const double prefac = constants::four_pi / (2.0 * l + 1.0);
+        for (std::size_t i = 0; i < nr; ++i) {
+          const double r = mesh_.r(i);
+          const double q_in = inner0 + inner[i];
+          const double q_out = (outer.back() - outer[i]);
+          v[i] = prefac * (q_in / std::pow(r, l + 1) + std::pow(r, l) * q_out);
+        }
+        out.moments[a][lm] = inner0 + inner.back();
+        out.splines[a].emplace_back(mesh_.points(), v);
+      }
+    }
+  }
+  return out;
+}
+
+double HartreeSolver::potential(const PartitionedPotential& v, const Vec3& p) const {
+  AEQP_CHECK(v.splines.size() == structure_.size(),
+             "HartreeSolver::potential: potential built for a different structure");
+  const std::size_t nlm = lm_count(v.l_max);
+  double total = 0.0;
+  std::vector<double> ylm;
+  for (std::size_t a = 0; a < structure_.size(); ++a) {
+    const Vec3 d = p - structure_.atom(a).pos;
+    const double r = d.norm();
+    const Vec3 u = (r > 1e-12) ? d / r : Vec3{0.0, 0.0, 1.0};
+    basis::real_ylm_all(v.l_max, u, ylm);
+    if (r <= v.r_max) {
+      for (std::size_t lm = 0; lm < nlm; ++lm) {
+        const double ylm_v = ylm[lm];
+        if (ylm_v == 0.0) continue;
+        total += v.splines[a][lm].value(std::max(r, mesh_.r_min())) * ylm_v;
+      }
+    } else {
+      // Far field from the stored moments.
+      for (int l = 0; l <= v.l_max; ++l) {
+        const double radial =
+            constants::four_pi / (2.0 * l + 1.0) / std::pow(r, l + 1);
+        for (int m = -l; m <= l; ++m)
+          total += radial * v.moments[a][lm_index(l, m)] * ylm[lm_index(l, m)];
+      }
+    }
+  }
+  return total;
+}
+
+PartitionedPotential HartreeSolver::solve_density(const DensityFn& density) const {
+  return solve(project(density));
+}
+
+double HartreeSolver::total_charge(const MultipoleDensity& rho) const {
+  const double y00 = 1.0 / std::sqrt(constants::four_pi);
+  double q = 0.0;
+  for (std::size_t a = 0; a < rho.atom_count(); ++a)
+    q += mesh_.integrate_volume(rho.samples[a][0]) / y00;
+  return q;
+}
+
+}  // namespace aeqp::poisson

@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file multipole.hpp
+/// Per-atom multipole decomposition of a density and the partitioned
+/// Hartree potential (paper Eqs. 8-9 and the Rho phase of Fig. 1).
+///
+/// Pipeline (identical for the ground-state density and the DFPT response
+/// density):
+///   1. project():  partition the density with Becke weights and project
+///      each atom's share onto Y_lm per radial shell -> rho_multipole,
+///      splined as rho_multipole_spl (the producer kernel's first output).
+///   2. solve():    integrate the radial Poisson equation per (atom, l, m)
+///      with the Adams-Moulton integrator -> delta_v_hart_part_spl
+///      (the producer kernel's second output).
+///   3. potential(): interpolate and sum the per-atom splines at arbitrary
+///      points (the consumer kernel).
+
+#include <functional>
+#include <vector>
+
+#include "basis/spline.hpp"
+#include "common/vec3.hpp"
+#include "grid/partition.hpp"
+#include "grid/radial_grid.hpp"
+#include "grid/structure.hpp"
+
+namespace aeqp::poisson {
+
+/// Density callback n(r) evaluated at arbitrary Cartesian points.
+using DensityFn = std::function<double(const Vec3&)>;
+
+/// Configuration of the multipole Poisson solver.
+struct PoissonSpec {
+  int l_max = 4;                  ///< multipole expansion order
+  std::size_t radial_points = 96; ///< radial mesh points per atom
+  double r_min = 1e-4;
+  double r_max = 12.0;            ///< radial mesh extent (covers the density)
+};
+
+/// rho_multipole: per atom, per (l,m), the radial profile of the Becke-
+/// partitioned density component, plus its spline (rho_multipole_spl).
+struct MultipoleDensity {
+  // samples[a][lm][i] on the solver's radial mesh.
+  std::vector<std::vector<std::vector<double>>> samples;
+  // rho_multipole_spl[a][lm]
+  std::vector<std::vector<basis::CubicSpline>> splines;
+
+  [[nodiscard]] std::size_t atom_count() const { return samples.size(); }
+  /// Payload bytes of all splines (Fig. 12(a) volume accounting).
+  [[nodiscard]] std::size_t spline_bytes() const;
+};
+
+/// The partitioned Hartree potential: per atom, per (l,m), a radial spline
+/// (delta_v_hart_part_spl) plus the far-field multipole moment.
+struct PartitionedPotential {
+  std::vector<std::vector<basis::CubicSpline>> splines;  // [a][lm]
+  std::vector<std::vector<double>> moments;              // [a][lm] outer moments
+  int l_max = 0;
+  double r_max = 0.0;
+
+  [[nodiscard]] std::size_t spline_bytes() const;
+};
+
+/// Multipole-expansion Hartree solver over a fixed structure.
+class HartreeSolver {
+public:
+  HartreeSolver(const grid::Structure& structure, const PoissonSpec& spec);
+
+  /// Step 1: project a density onto per-atom multipole components.
+  [[nodiscard]] MultipoleDensity project(const DensityFn& density) const;
+
+  /// Step 2: radial Poisson solve for every (atom, l, m) channel.
+  [[nodiscard]] PartitionedPotential solve(const MultipoleDensity& rho) const;
+
+  /// Step 3: evaluate the summed potential at a point.
+  [[nodiscard]] double potential(const PartitionedPotential& v, const Vec3& p) const;
+
+  /// Convenience: all three steps.
+  [[nodiscard]] PartitionedPotential solve_density(const DensityFn& density) const;
+
+  [[nodiscard]] const PoissonSpec& spec() const { return spec_; }
+  [[nodiscard]] const grid::RadialGrid& mesh() const { return mesh_; }
+  [[nodiscard]] const grid::Structure& structure() const { return structure_; }
+
+  /// Total charge contained in a projected density (l=0 moments); a cheap
+  /// consistency diagnostic.
+  [[nodiscard]] double total_charge(const MultipoleDensity& rho) const;
+
+private:
+  grid::Structure structure_;
+  PoissonSpec spec_;
+  grid::RadialGrid mesh_;
+  grid::BeckePartition partition_;
+  // Angular rule used for the multipole projection (exact through 2*l_max).
+  std::vector<Vec3> ang_dirs_;
+  std::vector<double> ang_weights_;
+  std::vector<std::vector<double>> ang_ylm_;  // [k][lm]
+};
+
+}  // namespace aeqp::poisson

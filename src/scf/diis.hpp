@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file diis.hpp
+/// Pulay's Direct Inversion in the Iterative Subspace (DIIS) accelerator
+/// for the SCF cycle. The error vector is the commutator-like residual
+/// e = H P S - S P H, which vanishes exactly at self-consistency; the next
+/// Hamiltonian is the least-squares combination of the stored history that
+/// minimizes the extrapolated residual norm.
+
+#include <deque>
+
+#include "linalg/matrix.hpp"
+
+namespace aeqp::scf {
+
+/// DIIS history and extrapolation.
+class DiisMixer {
+public:
+  /// `max_history`: number of (H, e) pairs retained.
+  explicit DiisMixer(std::size_t max_history = 8);
+
+  /// The DIIS residual e = H P S - S P H.
+  static linalg::Matrix residual(const linalg::Matrix& h, const linalg::Matrix& p,
+                                 const linalg::Matrix& s);
+
+  /// Push the latest Hamiltonian/density pair and return the extrapolated
+  /// Hamiltonian. With fewer than two stored pairs (or an ill-conditioned
+  /// B matrix) the input H is returned unchanged.
+  [[nodiscard]] linalg::Matrix extrapolate(const linalg::Matrix& h,
+                                           const linalg::Matrix& p,
+                                           const linalg::Matrix& s);
+
+  /// Max |e_ij| of the most recent residual (a convergence diagnostic).
+  [[nodiscard]] double last_residual_norm() const { return last_residual_norm_; }
+
+  [[nodiscard]] std::size_t history_size() const { return history_.size(); }
+
+  void reset();
+
+private:
+  struct Entry {
+    linalg::Matrix h;
+    linalg::Matrix e;
+  };
+  std::size_t max_history_;
+  std::deque<Entry> history_;
+  double last_residual_norm_ = 0.0;
+};
+
+}  // namespace aeqp::scf

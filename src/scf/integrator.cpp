@@ -1,0 +1,134 @@
+#include "scf/integrator.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aeqp::scf {
+
+using linalg::Matrix;
+
+BatchIntegrator::BatchIntegrator(std::shared_ptr<const basis::BasisSet> basis,
+                                 std::shared_ptr<const grid::MolecularGrid> grid)
+    : basis_(std::move(basis)), grid_(std::move(grid)) {
+  AEQP_CHECK(basis_ && grid_, "BatchIntegrator: null basis or grid");
+  const std::size_t np = grid_->size();
+  offsets_.assign(np + 1, 0);
+  basis::PointEval ev;
+  for (std::size_t p = 0; p < np; ++p) {
+    basis_->evaluate(grid_->point(p).pos, /*with_laplacian=*/true, ev);
+    offsets_[p + 1] = offsets_[p] + static_cast<std::uint32_t>(ev.indices.size());
+    indices_.insert(indices_.end(), ev.indices.begin(), ev.indices.end());
+    values_.insert(values_.end(), ev.values.begin(), ev.values.end());
+    laplacians_.insert(laplacians_.end(), ev.laplacians.begin(),
+                       ev.laplacians.end());
+  }
+}
+
+template <typename Getter>
+Matrix BatchIntegrator::accumulate_weighted(Getter&& point_factor,
+                                            bool use_laplacian) const {
+  const std::size_t nb = basis_->size();
+  Matrix m(nb, nb);
+  for (std::size_t p = 0; p < grid_->size(); ++p) {
+    const double f = point_factor(p);
+    if (f == 0.0) continue;
+    const double w = grid_->point(p).weight * f;
+    const std::uint32_t begin = offsets_[p], end = offsets_[p + 1];
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const std::uint32_t mu = indices_[i];
+      const double xi = values_[i] * w;
+      for (std::uint32_t j = begin; j < end; ++j) {
+        const double yj = use_laplacian ? laplacians_[j] : values_[j];
+        m(mu, indices_[j]) += xi * yj;
+      }
+    }
+  }
+  return m;
+}
+
+Matrix BatchIntegrator::overlap() const {
+  return accumulate_weighted([](std::size_t) { return 1.0; }, false);
+}
+
+Matrix BatchIntegrator::kinetic() const {
+  Matrix t = accumulate_weighted([](std::size_t) { return -0.5; }, true);
+  // The asymmetric grid estimate of <mu|nabla^2|nu> is symmetrized, the
+  // standard practice for NAO grid integration (FHI-aims does the same).
+  t.symmetrize();
+  return t;
+}
+
+Matrix BatchIntegrator::external_potential() const {
+  const auto& atoms = basis_->structure().atoms();
+  return accumulate_weighted(
+      [&](std::size_t p) {
+        const Vec3 pos = grid_->point(p).pos;
+        double v = 0.0;
+        for (const auto& a : atoms) {
+          const double r = distance(pos, a.pos);
+          v += -static_cast<double>(a.z) / std::max(r, 1e-10);
+        }
+        return v;
+      },
+      false);
+}
+
+Matrix BatchIntegrator::potential_matrix(std::span<const double> v_samples) const {
+  AEQP_CHECK(v_samples.size() == grid_->size(),
+             "potential_matrix: sample count mismatch");
+  return accumulate_weighted([&](std::size_t p) { return v_samples[p]; }, false);
+}
+
+Matrix BatchIntegrator::dipole_matrix(int axis) const {
+  AEQP_CHECK(axis >= 0 && axis < 3, "dipole_matrix: axis must be 0..2");
+  return accumulate_weighted(
+      [&](std::size_t p) { return grid_->point(p).pos[axis]; }, false);
+}
+
+std::vector<double> BatchIntegrator::density(const Matrix& p_mat) const {
+  const std::size_t nb = basis_->size();
+  AEQP_CHECK(p_mat.rows() == nb && p_mat.cols() == nb,
+             "density: density matrix shape mismatch");
+  std::vector<double> n(grid_->size(), 0.0);
+  for (std::size_t p = 0; p < grid_->size(); ++p) {
+    const std::uint32_t begin = offsets_[p], end = offsets_[p + 1];
+    double acc = 0.0;
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const std::uint32_t mu = indices_[i];
+      const double* prow = p_mat.data() + mu * nb;
+      double row = 0.0;
+      for (std::uint32_t j = begin; j < end; ++j)
+        row += prow[indices_[j]] * values_[j];
+      acc += values_[i] * row;
+    }
+    n[p] = acc;
+  }
+  return n;
+}
+
+double BatchIntegrator::moment(std::span<const double> samples, int axis) const {
+  AEQP_CHECK(samples.size() == grid_->size(), "moment: sample count mismatch");
+  AEQP_CHECK(axis >= 0 && axis < 3, "moment: axis must be 0..2");
+  double s = 0.0;
+  for (std::size_t p = 0; p < grid_->size(); ++p)
+    s += grid_->point(p).weight * grid_->point(p).pos[axis] * samples[p];
+  return s;
+}
+
+double BatchIntegrator::integrate(std::span<const double> samples) const {
+  AEQP_CHECK(samples.size() == grid_->size(), "integrate: sample count mismatch");
+  double s = 0.0;
+  for (std::size_t p = 0; p < grid_->size(); ++p)
+    s += grid_->point(p).weight * samples[p];
+  return s;
+}
+
+std::size_t BatchIntegrator::active_points() const {
+  std::size_t n = 0;
+  for (std::size_t p = 0; p < grid_->size(); ++p)
+    n += (offsets_[p + 1] > offsets_[p]);
+  return n;
+}
+
+}  // namespace aeqp::scf

@@ -1,0 +1,66 @@
+#include "scf/occupations.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "scf/scf_solver.hpp"
+
+namespace aeqp::scf {
+namespace {
+
+double total_filling(const linalg::Vector& eigs, double mu, double sigma) {
+  double n = 0.0;
+  for (double e : eigs) {
+    const double x = (e - mu) / sigma;
+    // Guard exp overflow far from the Fermi level.
+    if (x > 40.0)
+      continue;
+    else if (x < -40.0)
+      n += 2.0;
+    else
+      n += 2.0 / (1.0 + std::exp(x));
+  }
+  return n;
+}
+
+}  // namespace
+
+double fermi_level(const linalg::Vector& eigenvalues, int n_electrons,
+                   double sigma) {
+  AEQP_CHECK(!eigenvalues.empty(), "fermi_level: empty spectrum");
+  AEQP_CHECK(sigma > 0.0, "fermi_level: sigma must be positive");
+  AEQP_CHECK(n_electrons >= 0 &&
+                 n_electrons <= static_cast<int>(2 * eigenvalues.size()),
+             "fermi_level: electron count outside basis capacity");
+  double lo = eigenvalues.front() - 50.0 * sigma - 1.0;
+  double hi = eigenvalues.back() + 50.0 * sigma + 1.0;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (total_filling(eigenvalues, mid, sigma) <
+        static_cast<double>(n_electrons))
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+linalg::Vector fermi_occupations(const linalg::Vector& eigenvalues,
+                                 int n_electrons, double sigma) {
+  if (sigma <= 0.0) return aufbau_occupations(eigenvalues.size(), n_electrons);
+  const double mu = fermi_level(eigenvalues, n_electrons, sigma);
+  linalg::Vector f(eigenvalues.size());
+  for (std::size_t p = 0; p < f.size(); ++p) {
+    const double x = (eigenvalues[p] - mu) / sigma;
+    if (x > 40.0)
+      f[p] = 0.0;
+    else if (x < -40.0)
+      f[p] = 2.0;
+    else
+      f[p] = 2.0 / (1.0 + std::exp(x));
+  }
+  return f;
+}
+
+}  // namespace aeqp::scf

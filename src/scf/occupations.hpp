@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file occupations.hpp
+/// Orbital occupation schemes. The paper's Eq. (3) populates states with
+/// the Fermi-Dirac distribution f_i; at sigma -> 0 this reduces to the
+/// aufbau filling used for gapped molecules.
+
+#include "linalg/matrix.hpp"
+
+namespace aeqp::scf {
+
+/// Fermi-Dirac occupations: f_p = 2 / (1 + exp((eps_p - mu)/sigma)), with
+/// the chemical potential mu determined by bisection so that
+/// sum_p f_p = n_electrons. `sigma` is the electronic temperature in
+/// hartree; sigma <= 0 falls back to aufbau filling.
+linalg::Vector fermi_occupations(const linalg::Vector& eigenvalues,
+                                 int n_electrons, double sigma);
+
+/// The chemical potential found for the given spectrum/filling.
+double fermi_level(const linalg::Vector& eigenvalues, int n_electrons,
+                   double sigma);
+
+}  // namespace aeqp::scf

@@ -1,0 +1,74 @@
+#include "simt/device.hpp"
+
+#include <cmath>
+
+namespace aeqp::simt {
+
+DeviceModel DeviceModel::sw39010() {
+  DeviceModel d;
+  d.name = "SW39010";
+  d.onchip_bytes = 64 * 1024;       // per-core scratchpad (LDM)
+  d.rma_limit_bytes = 64 * 1024;    // paper Sec. 4.2.1
+  d.wavefront = 1;                  // scalar cores, no lockstep SIMT
+  d.compute_units = 384;            // accelerating cores per chip
+  d.launch_overhead = 2.8e-4;       // Athread-style spawn across 384 cores
+  d.offchip_bandwidth = 4.0e10;
+  d.dependent_access_cost = 6.8e-9; // long off-chip latency (Fig. 11: bigger win)
+  d.flop_time = 5.0e-11;
+  d.host_transfer_bandwidth = 0.0;  // unified memory, no PCIe hop
+  d.persistent_device_buffers = false;
+  d.has_rma = true;
+  return d;
+}
+
+DeviceModel DeviceModel::gcn_gpu() {
+  DeviceModel d;
+  d.name = "AMD GCN GPU";
+  d.onchip_bytes = 64 * 1024;       // LDS per CU
+  d.rma_limit_bytes = 0;            // no inter-group RMA
+  d.wavefront = 64;
+  d.compute_units = 64;
+  d.launch_overhead = 1.5e-5;
+  d.offchip_bandwidth = 2.0e11;     // HBM2, effective per-kernel share
+  d.dependent_access_cost = 7.0e-10;  // deep multithreading hides most latency
+  d.flop_time = 1.5e-11;
+  d.host_transfer_bandwidth = 1.3e10;  // PCIe 3 x16
+  d.persistent_device_buffers = true;
+  d.has_rma = false;
+  return d;
+}
+
+KernelStats& KernelStats::operator+=(const KernelStats& o) {
+  launches += o.launches;
+  work_items += o.work_items;
+  offchip_read_bytes += o.offchip_read_bytes;
+  offchip_write_bytes += o.offchip_write_bytes;
+  dependent_accesses += o.dependent_accesses;
+  flops += o.flops;
+  barriers += o.barriers;
+  host_transfer_bytes += o.host_transfer_bytes;
+  wavefront_steps += o.wavefront_steps;
+  return *this;
+}
+
+double KernelStats::modeled_seconds(const DeviceModel& d) const {
+  const double launch = static_cast<double>(launches) * d.launch_overhead;
+  const double stream =
+      static_cast<double>(offchip_read_bytes + offchip_write_bytes) /
+      d.offchip_bandwidth;
+  const double chase =
+      static_cast<double>(dependent_accesses) * d.dependent_access_cost;
+  const double compute = static_cast<double>(flops) * d.flop_time;
+  const double host = d.host_transfer_bandwidth > 0.0
+                          ? static_cast<double>(host_transfer_bytes) /
+                                d.host_transfer_bandwidth
+                          : 0.0;
+  // A wavefront step occupies the full SIMD width of execution resources
+  // regardless of how many lanes are active, which is exactly the cost
+  // lane under-utilization incurs (Sec. 4.4).
+  const double issue = static_cast<double>(wavefront_steps) * d.flop_time *
+                       static_cast<double>(d.wavefront);
+  return launch + stream + chase + compute + host + issue;
+}
+
+}  // namespace aeqp::simt

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file device.hpp
+/// Device models for the two accelerator architectures of the paper's
+/// evaluation (Sec. 5.1): the SW39010 heterogeneous many-core CPU (HPC#1)
+/// and an AMD GCN GPU (HPC#2, MI50-class). The SIMT runtime executes
+/// kernels on the host for correctness and *counts* architectural events
+/// (launches, off-chip traffic, dependent accesses, host transfers,
+/// wavefront steps); these models convert the counts into seconds on each
+/// target, which is how the portability figures are reproduced without the
+/// hardware (DESIGN.md substitution table).
+
+#include <cstddef>
+#include <string>
+
+namespace aeqp::simt {
+
+/// Architectural parameters of one accelerator.
+struct DeviceModel {
+  std::string name;
+  std::size_t onchip_bytes = 0;       ///< __local / LDM capacity per group
+  std::size_t rma_limit_bytes = 0;    ///< on-chip RMA transfer cap (0 = none)
+  std::size_t wavefront = 1;          ///< SIMT lanes executing in lockstep
+  std::size_t compute_units = 1;      ///< parallel work-group slots
+  double launch_overhead = 0.0;       ///< seconds per kernel launch
+  double offchip_bandwidth = 1.0;     ///< bytes/s streaming
+  double dependent_access_cost = 0.0; ///< s per serialized (pointer-chase) access
+  double flop_time = 0.0;             ///< seconds per floating-point op
+  double host_transfer_bandwidth = 0.0;  ///< host<->device bytes/s (0 = n/a)
+  bool persistent_device_buffers = false;  ///< data may stay resident (GPU)
+  bool has_rma = false;               ///< on-chip RMA between cores (Sunway)
+
+  /// SW39010: 384 accelerating cores, 64 KB scratchpad per core, RMA up to
+  /// 64 KB between neighbouring cores, long off-chip latency (Sec. 5.2.4).
+  static DeviceModel sw39010();
+
+  /// AMD GCN GPU (MI50-class): 64 CUs x 64 lanes, device-resident HBM,
+  /// PCIe host link, no inter-group RMA.
+  static DeviceModel gcn_gpu();
+};
+
+/// Event counters accumulated while kernels execute on the host.
+struct KernelStats {
+  std::size_t launches = 0;
+  std::size_t work_items = 0;
+  std::size_t offchip_read_bytes = 0;
+  std::size_t offchip_write_bytes = 0;
+  std::size_t dependent_accesses = 0;  ///< serialized A[B[i]]-style reads
+  std::size_t flops = 0;
+  std::size_t barriers = 0;
+  std::size_t host_transfer_bytes = 0;  ///< host<->device copies
+  std::size_t wavefront_steps = 0;      ///< lockstep issue slots consumed
+
+  KernelStats& operator+=(const KernelStats& o);
+
+  /// Projected execution time on a device.
+  [[nodiscard]] double modeled_seconds(const DeviceModel& d) const;
+
+  void reset() { *this = KernelStats{}; }
+};
+
+}  // namespace aeqp::simt

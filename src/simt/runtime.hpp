@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file runtime.hpp
+/// Host-executed OpenCL-style kernel runtime (paper Sec. 4.1).
+///
+/// The execution model mirrors OpenCL: an NDRange of work-groups, each made
+/// of work-items; per-group __local scratch; barriers only within a group.
+/// Kernels run on the host (sequentially per group, preserving barrier
+/// semantics for group-phased code) and produce real numerical results,
+/// while every architectural event is counted in KernelStats so the device
+/// models can project execution time on SW39010 / GCN hardware.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "simt/device.hpp"
+
+namespace aeqp::simt {
+
+class SimtRuntime;
+
+/// A __global buffer whose accesses are charged to the runtime's counters.
+/// Wraps caller-owned storage; loads/stores move real data.
+class GlobalBuffer {
+public:
+  GlobalBuffer(SimtRuntime& rt, std::span<double> storage)
+      : rt_(&rt), data_(storage) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  /// Streaming (coalesced) read.
+  [[nodiscard]] double load(std::size_t i) const;
+
+  /// Dependent (pointer-chase) read, e.g. the A[B[i]] pattern of Sec. 4.3;
+  /// counted separately because latency cannot be hidden.
+  [[nodiscard]] double load_dependent(std::size_t i) const;
+
+  /// Streaming write.
+  void store(std::size_t i, double v);
+
+private:
+  SimtRuntime* rt_;
+  std::span<double> data_;
+};
+
+/// Handle passed to kernel bodies; one per work-group execution.
+class WorkGroup {
+public:
+  [[nodiscard]] std::size_t group_id() const { return group_id_; }
+  [[nodiscard]] std::size_t group_size() const { return group_size_; }
+
+  /// __local scratch shared by the group's items (allocated per group,
+  /// bounded by the device's on-chip capacity).
+  [[nodiscard]] std::span<double> local_mem(std::size_t doubles);
+
+  /// Work-group barrier (counted; sequential host execution makes the
+  /// ordering trivially correct for group-phased kernels).
+  void barrier();
+
+  /// Record `n` lanes of SIMT work: consumes ceil(n / wavefront) issue
+  /// steps per instruction bundle, the quantity fine-grained parallelism
+  /// (Sec. 4.4) improves.
+  void issue_simt(std::size_t active_lanes, std::size_t bundles = 1);
+
+  /// Charge floating-point work.
+  void flops(std::size_t n);
+
+private:
+  friend class SimtRuntime;
+  WorkGroup(SimtRuntime& rt, std::size_t id, std::size_t size)
+      : rt_(&rt), group_id_(id), group_size_(size) {}
+  SimtRuntime* rt_;
+  std::size_t group_id_;
+  std::size_t group_size_;
+  std::vector<double> local_;
+};
+
+/// The device runtime: executes kernels, owns the counters.
+class SimtRuntime {
+public:
+  explicit SimtRuntime(DeviceModel model) : model_(std::move(model)) {}
+
+  [[nodiscard]] const DeviceModel& model() const { return model_; }
+  [[nodiscard]] KernelStats& stats() { return stats_; }
+  [[nodiscard]] const KernelStats& stats() const { return stats_; }
+
+  /// Wrap host storage as a __global buffer.
+  [[nodiscard]] GlobalBuffer bind(std::span<double> storage) {
+    return GlobalBuffer(*this, storage);
+  }
+
+  /// Launch a kernel: `body` runs once per work-group and loops its items
+  /// internally (the idiom the paper's group-phased kernels use).
+  void launch(std::size_t n_groups, std::size_t group_size,
+              const std::function<void(WorkGroup&)>& body);
+
+  /// Charge an explicit host<->device transfer (kernel argument upload /
+  /// result download). On devices with persistent buffers the caller skips
+  /// these for data that stays resident (Sec. 4.2.2).
+  void host_transfer(std::size_t bytes) { stats_.host_transfer_bytes += bytes; }
+
+  /// Projected time of everything recorded so far on this runtime's device.
+  [[nodiscard]] double modeled_seconds() const {
+    return stats_.modeled_seconds(model_);
+  }
+
+private:
+  friend class GlobalBuffer;
+  friend class WorkGroup;
+  DeviceModel model_;
+  KernelStats stats_;
+};
+
+}  // namespace aeqp::simt

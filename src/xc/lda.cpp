@@ -1,0 +1,78 @@
+#include "xc/lda.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+
+namespace aeqp::xc {
+namespace {
+
+constexpr double kDensityFloor = 1e-14;
+
+// PZ81 parameters, unpolarized.
+constexpr double kGamma = -0.1423, kBeta1 = 1.0529, kBeta2 = 0.3334;
+constexpr double kA = 0.0311, kB = -0.048, kC = 0.0020, kD = -0.0116;
+
+double rs_of(double n) {
+  return std::cbrt(3.0 / (constants::four_pi * n));
+}
+
+double ec_of_rs(double rs) {
+  if (rs < 1.0)
+    return kA * std::log(rs) + kB + kC * rs * std::log(rs) + kD * rs;
+  const double srs = std::sqrt(rs);
+  return kGamma / (1.0 + kBeta1 * srs + kBeta2 * rs);
+}
+
+double vc_of_rs(double rs) {
+  if (rs < 1.0) {
+    // v_c = e_c - (rs/3) de_c/drs.
+    const double dec = kA / rs + kC * (std::log(rs) + 1.0) + kD;
+    return ec_of_rs(rs) - rs / 3.0 * dec;
+  }
+  const double srs = std::sqrt(rs);
+  const double denom = 1.0 + kBeta1 * srs + kBeta2 * rs;
+  return kGamma * (1.0 + 7.0 / 6.0 * kBeta1 * srs + 4.0 / 3.0 * kBeta2 * rs) /
+         (denom * denom);
+}
+
+}  // namespace
+
+double slater_exchange_energy(double n) {
+  if (n < kDensityFloor) return 0.0;
+  return -0.75 * std::cbrt(3.0 / constants::pi) * std::cbrt(n);
+}
+
+double slater_exchange_potential(double n) {
+  if (n < kDensityFloor) return 0.0;
+  return -std::cbrt(3.0 / constants::pi) * std::cbrt(n);
+}
+
+double pz81_correlation_energy(double n) {
+  if (n < kDensityFloor) return 0.0;
+  return ec_of_rs(rs_of(n));
+}
+
+double pz81_correlation_potential(double n) {
+  if (n < kDensityFloor) return 0.0;
+  return vc_of_rs(rs_of(n));
+}
+
+LdaPoint lda_evaluate(double n) {
+  LdaPoint out;
+  if (n < kDensityFloor) return out;
+  out.exc = slater_exchange_energy(n) + pz81_correlation_energy(n);
+  out.vxc = slater_exchange_potential(n) + pz81_correlation_potential(n);
+
+  // Kernel f_xc = dv_xc/dn. Exchange analytically; correlation by a
+  // centered relative finite difference (robust across the rs = 1 branch).
+  const double fx = -std::cbrt(3.0 / constants::pi) / (3.0 * std::pow(n, 2.0 / 3.0));
+  const double h = 1e-4 * n;
+  const double fc =
+      (pz81_correlation_potential(n + h) - pz81_correlation_potential(n - h)) /
+      (2.0 * h);
+  out.fxc = fx + fc;
+  return out;
+}
+
+}  // namespace aeqp::xc

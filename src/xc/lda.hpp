@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file lda.hpp
+/// Local density approximation exchange-correlation: Slater exchange plus
+/// Perdew-Zunger (1981) correlation, the functional used in the paper's
+/// evaluation ("all calculations use light settings and the LDA
+/// functional"). Besides the potential v_xc, DFPT needs the response
+/// kernel f_xc = dv_xc/dn of paper Eq. (12).
+
+namespace aeqp::xc {
+
+/// Pointwise LDA quantities at density n (spin-unpolarized).
+struct LdaPoint {
+  double exc = 0.0;  ///< exchange-correlation energy density per electron
+  double vxc = 0.0;  ///< exchange-correlation potential
+  double fxc = 0.0;  ///< dv_xc/dn, the DFPT kernel of Eq. (12)
+};
+
+/// Evaluate exchange+correlation at density n (clamped at a tiny floor).
+LdaPoint lda_evaluate(double n);
+
+/// Slater exchange energy per electron: -(3/4)(3/pi)^(1/3) n^(1/3).
+double slater_exchange_energy(double n);
+
+/// Slater exchange potential: (4/3) * energy density per electron.
+double slater_exchange_potential(double n);
+
+/// PZ81 correlation energy per electron.
+double pz81_correlation_energy(double n);
+
+/// PZ81 correlation potential.
+double pz81_correlation_potential(double n);
+
+}  // namespace aeqp::xc

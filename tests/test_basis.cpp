@@ -1,0 +1,293 @@
+// Tests for src/basis: cubic splines, real spherical harmonics, numeric
+// radial functions, and the molecular basis set.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "basis/basis_set.hpp"
+#include "basis/element.hpp"
+#include "basis/radial_function.hpp"
+#include "basis/spherical_harmonics.hpp"
+#include "basis/spline.hpp"
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "grid/angular_grid.hpp"
+#include "grid/radial_grid.hpp"
+
+namespace {
+
+using namespace aeqp;
+using namespace aeqp::basis;
+
+TEST(Spline, ReproducesKnotValues) {
+  std::vector<double> x = {0.0, 0.5, 1.2, 2.0, 3.5};
+  std::vector<double> y = {1.0, -0.5, 2.0, 0.0, 1.5};
+  const CubicSpline s(x, y);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(s.value(x[i]), y[i], 1e-14);
+}
+
+TEST(Spline, InterpolatesSmoothFunctionAccurately) {
+  const std::size_t n = 60;
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<double>(i) / (n - 1) * 6.0;
+    y[i] = std::sin(x[i]);
+  }
+  const CubicSpline s(x, y);
+  // Natural boundary conditions degrade accuracy near the ends, so probe
+  // the interior of the span.
+  for (double t = 0.5; t < 5.5; t += 0.173) {
+    EXPECT_NEAR(s.value(t), std::sin(t), 2e-5);
+    EXPECT_NEAR(s.derivative(t), std::cos(t), 2e-3);
+  }
+}
+
+TEST(Spline, SecondDerivativeNaturalAtEnds) {
+  std::vector<double> x = {0, 1, 2, 3, 4};
+  std::vector<double> y = {0, 1, 0, 1, 0};
+  const CubicSpline s(x, y);
+  EXPECT_NEAR(s.second_derivative(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(s.second_derivative(4.0), 0.0, 1e-12);
+}
+
+TEST(Spline, LinearExtrapolationIsFinite) {
+  const CubicSpline s({0.0, 1.0, 2.0}, {0.0, 1.0, 4.0});
+  EXPECT_TRUE(std::isfinite(s.value(-1.0)));
+  EXPECT_TRUE(std::isfinite(s.value(5.0)));
+}
+
+TEST(Spline, RejectsBadKnots) {
+  EXPECT_THROW(CubicSpline({0.0}, {1.0}), Error);
+  EXPECT_THROW(CubicSpline({0.0, 0.0}, {1.0, 2.0}), Error);
+  EXPECT_THROW(CubicSpline({0.0, 1.0}, {1.0}), Error);
+}
+
+TEST(Spline, ConstructionCounterAdvances) {
+  CubicSpline::reset_construction_counter();
+  const CubicSpline a({0.0, 1.0}, {0.0, 1.0});
+  const CubicSpline b({0.0, 1.0, 2.0}, {0.0, 1.0, 0.0});
+  EXPECT_EQ(CubicSpline::constructions(), 2u);
+}
+
+TEST(Ylm, KnownLowOrderValues) {
+  const double y00 = 1.0 / std::sqrt(constants::four_pi);
+  EXPECT_NEAR(real_ylm(0, 0, {0, 0, 1}), y00, 1e-14);
+  // Y_10 = sqrt(3/4pi) z.
+  const double c1 = std::sqrt(3.0 / constants::four_pi);
+  EXPECT_NEAR(real_ylm(1, 0, {0, 0, 1}), c1, 1e-14);
+  EXPECT_NEAR(real_ylm(1, 0, {1, 0, 0}), 0.0, 1e-14);
+  // Y_11 ~ x, Y_1-1 ~ y with the same constant.
+  EXPECT_NEAR(real_ylm(1, 1, {1, 0, 0}), c1, 1e-13);
+  EXPECT_NEAR(real_ylm(1, -1, {0, 1, 0}), c1, 1e-13);
+}
+
+class YlmOrthonormality : public ::testing::TestWithParam<int> {};
+
+TEST_P(YlmOrthonormality, OrthonormalOnSphere) {
+  const int l_max = GetParam();
+  const grid::AngularGrid g = grid::AngularGrid::product(2 * l_max + 1);
+  const std::size_t nlm = lm_count(l_max);
+  std::vector<double> ylm;
+  std::vector<double> gram(nlm * nlm, 0.0);
+  for (std::size_t k = 0; k < g.size(); ++k) {
+    real_ylm_all(l_max, g.direction(k), ylm);
+    const double w = g.weight(k);
+    for (std::size_t i = 0; i < nlm; ++i)
+      for (std::size_t j = 0; j < nlm; ++j) gram[i * nlm + j] += w * ylm[i] * ylm[j];
+  }
+  for (std::size_t i = 0; i < nlm; ++i)
+    for (std::size_t j = 0; j < nlm; ++j)
+      EXPECT_NEAR(gram[i * nlm + j], i == j ? 1.0 : 0.0, 1e-10)
+          << "i=" << i << " j=" << j;
+}
+
+INSTANTIATE_TEST_SUITE_P(LMax, YlmOrthonormality, ::testing::Values(0, 1, 2, 3, 5));
+
+TEST(Ylm, AssocLegendreKnownValues) {
+  EXPECT_NEAR(assoc_legendre(0, 0, 0.3), 1.0, 1e-14);
+  EXPECT_NEAR(assoc_legendre(1, 0, 0.3), 0.3, 1e-14);
+  // P_1^1(x) = -sqrt(1-x^2) with Condon-Shortley.
+  EXPECT_NEAR(assoc_legendre(1, 1, 0.0), -1.0, 1e-14);
+  // P_2^0(x) = (3x^2-1)/2.
+  EXPECT_NEAR(assoc_legendre(2, 0, 0.5), (3 * 0.25 - 1) / 2, 1e-14);
+}
+
+TEST(Ylm, LmIndexLayout) {
+  EXPECT_EQ(lm_index(0, 0), 0u);
+  EXPECT_EQ(lm_index(1, -1), 1u);
+  EXPECT_EQ(lm_index(1, 0), 2u);
+  EXPECT_EQ(lm_index(1, 1), 3u);
+  EXPECT_EQ(lm_index(2, -2), 4u);
+  EXPECT_EQ(lm_count(2), 9u);
+}
+
+TEST(CutoffFunction, SmoothSwitch) {
+  EXPECT_DOUBLE_EQ(cutoff_function(1.0, 4.0, 6.0), 1.0);
+  EXPECT_DOUBLE_EQ(cutoff_function(7.0, 4.0, 6.0), 0.0);
+  EXPECT_NEAR(cutoff_function(5.0, 4.0, 6.0), 0.5, 1e-14);
+  EXPECT_GT(cutoff_function(4.5, 4.0, 6.0), cutoff_function(5.5, 4.0, 6.0));
+}
+
+TEST(RadialFunction, NormalizedOnMesh) {
+  const grid::RadialGrid mesh(220, 1e-5, 7.0);
+  for (const RadialShell shell :
+       {RadialShell{1, 0, 1.0, 1.0}, RadialShell{2, 0, 0.65, 0.0},
+        RadialShell{2, 1, 1.57, 2.0}, RadialShell{3, 2, 1.8, 0.0}}) {
+    const NumericRadialFunction f(shell, mesh, 7.0);
+    std::vector<double> r2(mesh.size());
+    for (std::size_t i = 0; i < mesh.size(); ++i) {
+      const double v = f.value(mesh.r(i));
+      r2[i] = v * v;
+    }
+    EXPECT_NEAR(mesh.integrate_volume(r2), 1.0, 1e-10);
+  }
+}
+
+TEST(RadialFunction, ZeroBeyondCutoff) {
+  const grid::RadialGrid mesh(200, 1e-5, 6.0);
+  const NumericRadialFunction f({1, 0, 1.0, 1.0}, mesh, 6.0);
+  EXPECT_DOUBLE_EQ(f.value(6.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.value(9.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.derivative(6.5), 0.0);
+}
+
+TEST(RadialFunction, MatchesAnalyticSlaterInsideOnset) {
+  // Before the cutoff switches on, R(r) should track N r^{n-1} e^{-zeta r}.
+  const grid::RadialGrid mesh(300, 1e-5, 10.0);
+  const double zeta = 1.0;
+  const NumericRadialFunction f({1, 0, zeta, 1.0}, mesh, 10.0, 0.8);
+  // Analytic norm for 1s STO: 2 zeta^{3/2}.
+  const double norm = 2.0 * std::pow(zeta, 1.5);
+  for (double r : {0.1, 0.5, 1.0, 2.0, 4.0})
+    EXPECT_NEAR(f.value(r), norm * std::exp(-zeta * r), 2e-3 * norm);
+}
+
+TEST(RadialFunction, InvalidShellThrows) {
+  const grid::RadialGrid mesh(100, 1e-5, 6.0);
+  EXPECT_THROW(NumericRadialFunction({1, 1, 1.0, 0.0}, mesh, 6.0), Error);
+  EXPECT_THROW(NumericRadialFunction({1, 0, -1.0, 0.0}, mesh, 6.0), Error);
+}
+
+TEST(Element, StandardDefinitions) {
+  const ElementBasis h = ElementBasis::standard(1, BasisTier::Minimal);
+  EXPECT_EQ(h.function_count(), 1u);
+  const ElementBasis h_light = ElementBasis::standard(1, BasisTier::Light);
+  EXPECT_EQ(h_light.function_count(), 5u);  // 1s + 2s + 2p(3)
+  const ElementBasis c = ElementBasis::standard(6, BasisTier::Minimal);
+  EXPECT_EQ(c.function_count(), 5u);  // 1s 2s 2p
+  const ElementBasis o_light = ElementBasis::standard(8, BasisTier::Light);
+  EXPECT_EQ(o_light.function_count(), 10u);  // 1s 2s 2p + 3d
+  EXPECT_EQ(o_light.l_max(), 2);
+  EXPECT_THROW(ElementBasis::standard(26, BasisTier::Minimal), Error);
+}
+
+TEST(Element, OccupationsMatchNeutralAtoms) {
+  for (int z : {1, 6, 7, 8}) {
+    const ElementBasis e = ElementBasis::standard(z, BasisTier::Light);
+    double occ = 0.0;
+    for (const auto& s : e.shells) occ += s.occupation;
+    EXPECT_DOUBLE_EQ(occ, static_cast<double>(z));
+  }
+}
+
+grid::Structure water() {
+  grid::Structure s;
+  s.add_atom(8, {0.0, 0.0, 0.0});
+  s.add_atom(1, {0.0, 1.43, 1.11});
+  s.add_atom(1, {0.0, -1.43, 1.11});
+  return s;
+}
+
+TEST(BasisSet, CountsAndRanges) {
+  const BasisSet bs(water(), BasisTier::Minimal);
+  EXPECT_EQ(bs.size(), 7u);  // O: 5, H: 1 each
+  const auto [o_first, o_last] = bs.atom_range(0);
+  EXPECT_EQ(o_first, 0u);
+  EXPECT_EQ(o_last, 5u);
+  const auto [h2_first, h2_last] = bs.atom_range(2);
+  EXPECT_EQ(h2_first, 6u);
+  EXPECT_EQ(h2_last, 7u);
+  EXPECT_EQ(bs.electron_count(), 10);
+}
+
+TEST(BasisSet, EvaluateFindsOnlyFunctionsInRange) {
+  const BasisSet bs(water(), BasisTier::Minimal, 5.0);
+  PointEval ev;
+  // Generic point close to the O nucleus: all 7 functions are within 5 bohr
+  // and no harmonic vanishes by symmetry.
+  bs.evaluate({0.11, 0.07, 0.2}, false, ev);
+  EXPECT_EQ(ev.indices.size(), 7u);
+  // At a symmetry point, exactly-zero p_x/p_y values are pruned.
+  bs.evaluate({0.0, 0.0, 0.2}, false, ev);
+  EXPECT_EQ(ev.indices.size(), 5u);
+  // Point 20 bohr away: nothing reaches.
+  bs.evaluate({0.0, 0.0, 20.0}, false, ev);
+  EXPECT_TRUE(ev.indices.empty());
+}
+
+TEST(BasisSet, ValuesMatchRadialTimesYlm) {
+  const BasisSet bs(water(), BasisTier::Minimal);
+  PointEval ev;
+  const Vec3 p{0.3, -0.4, 0.9};
+  bs.evaluate(p, false, ev);
+  for (std::size_t k = 0; k < ev.indices.size(); ++k) {
+    const BasisFunction& f = bs.function(ev.indices[k]);
+    const Vec3 d = p - bs.structure().atom(f.atom).pos;
+    const double r = d.norm();
+    const double expect =
+        bs.radial(f.radial).value(r) * real_ylm(f.l, f.m, d / r);
+    EXPECT_NEAR(ev.values[k], expect, 1e-12);
+  }
+}
+
+TEST(BasisSet, NumericLaplacianMatchesAnalytic) {
+  // Compare the radial-spline Laplacian against a 2nd-order finite
+  // difference of chi itself at a generic point.
+  grid::Structure s;
+  s.add_atom(6, {0, 0, 0});
+  const BasisSet bs(s, BasisTier::Minimal);
+  PointEval ev0, evp, evm;
+  const Vec3 p{0.9, 0.4, -0.3};
+  const double h = 1e-3;
+  bs.evaluate(p, true, ev0);
+  ASSERT_FALSE(ev0.indices.empty());
+  for (std::size_t k = 0; k < ev0.indices.size(); ++k) {
+    double lap_fd = 0.0;
+    for (int d = 0; d < 3; ++d) {
+      Vec3 pp = p, pm = p;
+      pp[d] += h;
+      pm[d] -= h;
+      bs.evaluate(pp, false, evp);
+      bs.evaluate(pm, false, evm);
+      lap_fd += (evp.values[k] - 2.0 * ev0.values[k] + evm.values[k]) / (h * h);
+    }
+    EXPECT_NEAR(ev0.laplacians[k], lap_fd, 5e-3 * std::max(1.0, std::fabs(lap_fd)))
+        << "mu=" << ev0.indices[k];
+  }
+}
+
+TEST(BasisSet, FreeAtomDensityIntegratesToElectronCount) {
+  grid::Structure s;
+  s.add_atom(8, {0, 0, 0});
+  const BasisSet bs(s, BasisTier::Light);
+  const grid::RadialGrid mesh(300, 1e-5, 7.0);
+  std::vector<double> n(mesh.size());
+  for (std::size_t i = 0; i < mesh.size(); ++i)
+    n[i] = bs.free_atom_density(8, mesh.r(i));
+  // Cross-mesh spline interpolation limits agreement to ~1e-6.
+  EXPECT_NEAR(constants::four_pi * mesh.integrate_volume(n), 8.0, 1e-5);
+}
+
+TEST(BasisSet, OverlapNearIdentityForIsolatedAtom) {
+  // For one atom the numeric orbitals are orthonormal per (l,m) channel up
+  // to the radial overlap between same-l shells.
+  grid::Structure s;
+  s.add_atom(1, {0, 0, 0});
+  const BasisSet bs(s, BasisTier::Minimal);
+  EXPECT_EQ(bs.size(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// Unit tests for src/common: error macros, RNG determinism and statistics,
+// Vec3 algebra, Table formatting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "common/vec3.hpp"
+
+namespace {
+
+using aeqp::Rng;
+using aeqp::Vec3;
+
+TEST(Error, CheckThrowsWithContext) {
+  try {
+    AEQP_CHECK(false, "something bad");
+    FAIL() << "expected throw";
+  } catch (const aeqp::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("something bad"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_common.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) { AEQP_CHECK(1 + 1 == 2, "never"); }
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng r(13);
+  double s1 = 0.0, s2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal();
+    s1 += v;
+    s2 += v * v;
+  }
+  EXPECT_NEAR(s1 / n, 0.0, 0.05);
+  EXPECT_NEAR(s2 / n, 1.0, 0.08);
+}
+
+TEST(Rng, UniformIndexZeroIsSafe) {
+  Rng r(5);
+  EXPECT_EQ(r.uniform_index(0), 0u);
+}
+
+TEST(Vec3, Algebra) {
+  const Vec3 a{1, 2, 3}, b{4, -5, 6};
+  EXPECT_DOUBLE_EQ((a + b).x, 5.0);
+  EXPECT_DOUBLE_EQ((a - b).y, 7.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).z, 6.0);
+  EXPECT_DOUBLE_EQ(a.dot(b), 1 * 4 - 2 * 5 + 3 * 6);
+  EXPECT_DOUBLE_EQ(a.cross(b).dot(a), 0.0);
+  EXPECT_DOUBLE_EQ(a.cross(b).dot(b), 0.0);
+}
+
+TEST(Vec3, NormAndDistance) {
+  const Vec3 a{3, 4, 0};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(aeqp::distance({0, 0, 0}, {0, 0, 2}), 2.0);
+}
+
+TEST(Vec3, IndexAccess) {
+  Vec3 v{1, 2, 3};
+  v[0] = 9;
+  EXPECT_DOUBLE_EQ(v.x, 9.0);
+  const Vec3 c{4, 5, 6};
+  EXPECT_DOUBLE_EQ(c[2], 6.0);
+}
+
+TEST(Constants, UnitRoundTrips) {
+  using namespace aeqp::constants;
+  EXPECT_NEAR(bohr_to_angstrom * angstrom_to_bohr, 1.0, 1e-15);
+  EXPECT_NEAR(hartree_to_ev, 27.2114, 1e-3);
+}
+
+TEST(Table, RowArityEnforced) {
+  aeqp::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), aeqp::Error);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(aeqp::Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(aeqp::Table::sci(12345.0, 2).substr(0, 4), "1.23");
+}
+
+TEST(Timer, MeasuresNonNegativeTime) {
+  aeqp::Timer t;
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GE(sink, 0.0);
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_LT(t.millis(), 1000.0);
+}
+
+}  // namespace

@@ -1,0 +1,346 @@
+// Tests for src/grid: radial meshes, Gauss-Legendre, Lebedev and product
+// angular rules, Becke partition of unity, molecular grid assembly, and
+// cut-plane batching.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "grid/angular_grid.hpp"
+#include "grid/batch.hpp"
+#include "grid/molecular_grid.hpp"
+#include "grid/partition.hpp"
+#include "grid/quadrature.hpp"
+#include "grid/radial_grid.hpp"
+#include "grid/structure.hpp"
+
+namespace {
+
+using namespace aeqp;
+using namespace aeqp::grid;
+
+TEST(RadialGrid, EndpointsAndMonotone) {
+  const RadialGrid g(50, 1e-4, 12.0);
+  EXPECT_NEAR(g.r_min(), 1e-4, 1e-12);
+  EXPECT_NEAR(g.r_max(), 12.0, 1e-9);
+  for (std::size_t i = 1; i < g.size(); ++i) EXPECT_GT(g.r(i), g.r(i - 1));
+}
+
+TEST(RadialGrid, IntegratesGaussianVolume) {
+  // \int_0^inf e^{-r^2} r^2 dr = sqrt(pi)/4.
+  const RadialGrid g(200, 1e-6, 15.0);
+  const auto f = g.tabulate([](double r) { return std::exp(-r * r); });
+  EXPECT_NEAR(g.integrate_volume(f), constants::sqrt_pi / 4.0, 1e-8);
+}
+
+TEST(RadialGrid, IntegratesExponentialLine) {
+  // \int_0^inf e^{-2r} dr = 1/2 (hydrogen 1s-like decay).
+  const RadialGrid g(300, 1e-7, 25.0);
+  const auto f = g.tabulate([](double r) { return std::exp(-2.0 * r); });
+  EXPECT_NEAR(g.integrate_line(f), 0.5, 1e-6);
+}
+
+TEST(RadialGrid, LocateBracketsRadius) {
+  const RadialGrid g(64, 1e-3, 8.0);
+  double t = 0.0;
+  for (double r : {1e-3, 0.01, 0.5, 3.0, 7.99}) {
+    const std::size_t i = g.locate(r, t);
+    ASSERT_LT(i + 1, g.size());
+    EXPECT_LE(g.r(i), r * (1 + 1e-12));
+    EXPECT_GE(g.r(i + 1), r * (1 - 1e-12));
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 1.0);
+  }
+}
+
+TEST(RadialGrid, RejectsBadArguments) {
+  EXPECT_THROW(RadialGrid(2, 1e-4, 1.0), Error);
+  EXPECT_THROW(RadialGrid(10, 0.0, 1.0), Error);
+  EXPECT_THROW(RadialGrid(10, 2.0, 1.0), Error);
+}
+
+class GaussLegendreDegree : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GaussLegendreDegree, ExactForPolynomials) {
+  const std::size_t n = GetParam();
+  const GaussLegendreRule rule = gauss_legendre(n);
+  // Exact for x^k, k <= 2n-1: integral over [-1,1] is 0 (odd) or 2/(k+1).
+  for (std::size_t k = 0; k <= 2 * n - 1; ++k) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      s += rule.weights[i] * std::pow(rule.nodes[i], static_cast<double>(k));
+    const double exact = (k % 2 == 1) ? 0.0 : 2.0 / (static_cast<double>(k) + 1.0);
+    EXPECT_NEAR(s, exact, 1e-12) << "n=" << n << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GaussLegendreDegree,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 31));
+
+TEST(GaussLegendre, WeightsSumToTwo) {
+  for (std::size_t n : {1u, 4u, 9u, 20u}) {
+    const auto rule = gauss_legendre(n);
+    const double sum = std::accumulate(rule.weights.begin(), rule.weights.end(), 0.0);
+    EXPECT_NEAR(sum, 2.0, 1e-13);
+  }
+}
+
+class AngularRuleTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AngularRuleTest, LebedevWeightsSumTo4Pi) {
+  const AngularGrid g = AngularGrid::lebedev(GetParam());
+  double sum = 0.0;
+  for (std::size_t k = 0; k < g.size(); ++k) {
+    sum += g.weight(k);
+    EXPECT_NEAR(g.direction(k).norm(), 1.0, 1e-14);
+  }
+  EXPECT_NEAR(sum, constants::four_pi, 1e-12);
+}
+
+TEST_P(AngularRuleTest, LebedevExactForItsDegree) {
+  const AngularGrid g = AngularGrid::lebedev(GetParam());
+  // Monomials x^a y^b z^c: \int over S2 is zero when any exponent is odd,
+  // else 4pi * prod (a-1)!! (b-1)!! (c-1)!! / (a+b+c+1)!!.
+  auto dfact = [](int n) {
+    double f = 1.0;
+    for (int k = n; k > 1; k -= 2) f *= k;
+    return f;
+  };
+  const int deg = static_cast<int>(g.degree());
+  for (int a = 0; a <= deg; ++a)
+    for (int b = 0; a + b <= deg; ++b)
+      for (int c = 0; a + b + c <= deg; ++c) {
+        double s = 0.0;
+        for (std::size_t k = 0; k < g.size(); ++k) {
+          const Vec3& d = g.direction(k);
+          s += g.weight(k) * std::pow(d.x, a) * std::pow(d.y, b) * std::pow(d.z, c);
+        }
+        double exact = 0.0;
+        if (a % 2 == 0 && b % 2 == 0 && c % 2 == 0)
+          exact = constants::four_pi * dfact(a - 1) * dfact(b - 1) * dfact(c - 1) /
+                  dfact(a + b + c + 1);
+        EXPECT_NEAR(s, exact, 1e-10) << a << " " << b << " " << c;
+      }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lebedev, AngularRuleTest, ::testing::Values(6, 14, 26));
+
+class ProductRuleTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ProductRuleTest, ExactForMonomialsUpToDegree) {
+  const std::size_t degree = GetParam();
+  const AngularGrid g = AngularGrid::product(degree);
+  auto dfact = [](int n) {
+    double f = 1.0;
+    for (int k = n; k > 1; k -= 2) f *= k;
+    return f;
+  };
+  for (int a = 0; a <= static_cast<int>(degree); ++a)
+    for (int b = 0; a + b <= static_cast<int>(degree); ++b) {
+      const int c = static_cast<int>(degree) - a - b;
+      double s = 0.0;
+      for (std::size_t k = 0; k < g.size(); ++k) {
+        const Vec3& d = g.direction(k);
+        s += g.weight(k) * std::pow(d.x, a) * std::pow(d.y, b) * std::pow(d.z, c);
+      }
+      double exact = 0.0;
+      if (a % 2 == 0 && b % 2 == 0 && c % 2 == 0)
+        exact = constants::four_pi * dfact(a - 1) * dfact(b - 1) * dfact(c - 1) /
+                dfact(a + b + c + 1);
+      EXPECT_NEAR(s, exact, 1e-10);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, ProductRuleTest,
+                         ::testing::Values(2, 5, 9, 13, 17));
+
+TEST(AngularGrid, ForDegreePrefersLebedev) {
+  EXPECT_EQ(AngularGrid::for_degree(3).size(), 6u);
+  EXPECT_EQ(AngularGrid::for_degree(5).size(), 14u);
+  EXPECT_EQ(AngularGrid::for_degree(7).size(), 26u);
+  EXPECT_GT(AngularGrid::for_degree(11).size(), 26u);
+}
+
+TEST(AngularGrid, UnsupportedLebedevThrows) {
+  EXPECT_THROW(AngularGrid::lebedev(10), Error);
+}
+
+TEST(Structure, ChargeRepulsionNeighbors) {
+  Structure s;
+  s.add_atom(8, {0, 0, 0});
+  s.add_atom(1, {0, 0, 1.8});
+  s.add_atom(1, {0, 1.7, -0.6});
+  EXPECT_EQ(s.total_charge(), 10);
+  EXPECT_GT(s.nuclear_repulsion(), 0.0);
+  const auto nb = s.neighbors_of(0, 2.0);
+  EXPECT_EQ(nb.size(), 2u);
+  EXPECT_TRUE(s.neighbors_of(1, 0.5).empty());
+}
+
+TEST(Structure, BoundingBoxAndCentroid) {
+  Structure s;
+  s.add_atom(1, {-1, 0, 2});
+  s.add_atom(1, {3, -2, 4});
+  Vec3 lo, hi;
+  s.bounding_box(lo, hi);
+  EXPECT_DOUBLE_EQ(lo.x, -1);
+  EXPECT_DOUBLE_EQ(hi.z, 4);
+  EXPECT_DOUBLE_EQ(s.centroid().x, 1.0);
+}
+
+TEST(Becke, PartitionOfUnity) {
+  Structure s;
+  s.add_atom(8, {0, 0, 0});
+  s.add_atom(1, {0, 0, 1.8});
+  s.add_atom(1, {0, 1.7, -0.6});
+  const BeckePartition part(s);
+  Rng rng(21);
+  for (int t = 0; t < 50; ++t) {
+    const Vec3 p{rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3)};
+    double sum = 0.0;
+    for (std::size_t a = 0; a < s.size(); ++a) {
+      const double w = part.weight(a, p);
+      EXPECT_GE(w, 0.0);
+      EXPECT_LE(w, 1.0 + 1e-12);
+      sum += w;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Becke, DominantNearOwnNucleus) {
+  Structure s;
+  s.add_atom(6, {0, 0, 0});
+  s.add_atom(6, {0, 0, 2.8});
+  const BeckePartition part(s);
+  EXPECT_GT(part.weight(0, {0, 0, 0.1}), 0.99);
+  EXPECT_GT(part.weight(1, {0, 0, 2.7}), 0.99);
+  // Midpoint is an even split for identical atoms.
+  EXPECT_NEAR(part.weight(0, {0, 0, 1.4}), 0.5, 1e-12);
+}
+
+TEST(Becke, SingleAtomIsAlwaysOne) {
+  Structure s;
+  s.add_atom(1, {0, 0, 0});
+  const BeckePartition part(s);
+  EXPECT_DOUBLE_EQ(part.weight(0, {5, 5, 5}), 1.0);
+}
+
+TEST(MolecularGrid, IntegratesUnitGaussianOnMolecule) {
+  // A normalized Gaussian centered between two atoms must integrate to ~1
+  // on the combined partitioned grid.
+  Structure s;
+  s.add_atom(1, {0, 0, -0.7});
+  s.add_atom(1, {0, 0, 0.7});
+  GridSpec spec;
+  spec.radial_points = 60;
+  spec.angular_degree = 11;
+  spec.r_max = 12.0;
+  const MolecularGrid g = MolecularGrid::build(s, spec);
+  std::vector<double> f(g.size());
+  const double alpha = 1.3;
+  const double norm = std::pow(alpha / constants::pi, 1.5);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const Vec3 d = g.point(i).pos;  // centered at origin = bond midpoint
+    f[i] = norm * std::exp(-alpha * d.norm2());
+  }
+  EXPECT_NEAR(g.integrate(f), 1.0, 1e-3);
+}
+
+TEST(MolecularGrid, PointsCarryParentAtom) {
+  Structure s;
+  s.add_atom(6, {0, 0, 0});
+  s.add_atom(8, {0, 0, 2.2});
+  GridSpec spec;
+  spec.radial_points = 20;
+  spec.becke_weights = false;
+  spec.weight_cutoff = 0.0;
+  const MolecularGrid g = MolecularGrid::build(s, spec);
+  std::set<std::uint32_t> atoms;
+  for (const auto& p : g.points()) atoms.insert(p.atom);
+  EXPECT_EQ(atoms.size(), 2u);
+}
+
+TEST(AngularRamp, SmallRulesNearNucleus) {
+  EXPECT_EQ(angular_degree_for_shell(0, 40, 13), 3u);
+  EXPECT_EQ(angular_degree_for_shell(39, 40, 13), 13u);
+  EXPECT_LE(angular_degree_for_shell(12, 40, 13), 7u);
+}
+
+TEST(Batches, PartitionCoversAllPointsExactlyOnce) {
+  Structure s;
+  s.add_atom(8, {0, 0, 0});
+  s.add_atom(1, {0, 0, 1.8});
+  GridSpec spec;
+  spec.radial_points = 24;
+  const MolecularGrid g = MolecularGrid::build(s, spec);
+  const auto batches = make_batches(g, 100);
+  std::vector<int> seen(g.size(), 0);
+  for (const auto& b : batches) {
+    EXPECT_LE(b.size(), 100u);
+    EXPECT_GE(b.size(), 1u);
+    for (auto id : b.points) seen[id]++;
+  }
+  for (int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(Batches, CentroidIsMeanOfMembers) {
+  std::vector<Vec3> pos = {{0, 0, 0}, {2, 0, 0}, {0, 2, 0}, {0, 0, 2}};
+  std::vector<std::uint32_t> parent = {0, 0, 1, 1};
+  const auto batches = make_batches(pos, parent, 4);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_NEAR(batches[0].centroid.x, 0.5, 1e-15);
+  EXPECT_NEAR(batches[0].centroid.y, 0.5, 1e-15);
+  EXPECT_NEAR(batches[0].centroid.z, 0.5, 1e-15);
+  EXPECT_EQ(batches[0].atoms.size(), 2u);
+}
+
+TEST(Batches, SplitsAlongWidestDimension) {
+  // Points spread along z only: the first cut must separate low-z from
+  // high-z, giving spatially compact batches.
+  std::vector<Vec3> pos;
+  std::vector<std::uint32_t> parent;
+  for (int i = 0; i < 64; ++i) {
+    pos.push_back({0.01 * i, 0.0, static_cast<double>(i)});
+    parent.push_back(0);
+  }
+  const auto batches = make_batches(pos, parent, 32);
+  ASSERT_EQ(batches.size(), 2u);
+  double max_lo = -1e9, min_hi = 1e9;
+  for (auto id : batches[0].points) max_lo = std::max(max_lo, pos[id].z);
+  for (auto id : batches[1].points) min_hi = std::min(min_hi, pos[id].z);
+  // One batch entirely below the other in z (order may swap).
+  EXPECT_TRUE(max_lo < min_hi || min_hi > max_lo - 64);
+  const bool disjoint = (max_lo < min_hi) ||
+                        [&] {
+                          double max_hi = -1e9, min_lo = 1e9;
+                          for (auto id : batches[1].points)
+                            max_hi = std::max(max_hi, pos[id].z);
+                          for (auto id : batches[0].points)
+                            min_lo = std::min(min_lo, pos[id].z);
+                          return max_hi < min_lo;
+                        }();
+  EXPECT_TRUE(disjoint);
+}
+
+TEST(Batches, BalancedSizes) {
+  Rng rng(33);
+  std::vector<Vec3> pos;
+  std::vector<std::uint32_t> parent;
+  for (int i = 0; i < 1000; ++i) {
+    pos.push_back({rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5)});
+    parent.push_back(static_cast<std::uint32_t>(rng.uniform_index(10)));
+  }
+  const auto batches = make_batches(pos, parent, 100);
+  for (const auto& b : batches) {
+    EXPECT_GE(b.size(), 50u);  // median splits keep halves within 2x
+    EXPECT_LE(b.size(), 100u);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,273 @@
+// Unit and property tests for src/linalg: dense ops, Cholesky, symmetric and
+// generalized eigensolvers, CSR sparse matrices.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
+
+namespace {
+
+using namespace aeqp::linalg;
+using aeqp::Rng;
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+Matrix random_spd(std::size_t n, Rng& rng) {
+  // A^T A + n * I is comfortably positive definite.
+  const Matrix a = random_matrix(n, n, rng);
+  Matrix spd = matmul_tn(a, a);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+Matrix random_symmetric(std::size_t n, Rng& rng) {
+  Matrix m = random_matrix(n, n, rng);
+  m.symmetrize();
+  return m;
+}
+
+TEST(Matrix, IdentityAndTrace) {
+  const Matrix i5 = Matrix::identity(5);
+  EXPECT_DOUBLE_EQ(i5.trace(), 5.0);
+  EXPECT_DOUBLE_EQ(i5(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(i5(1, 2), 0.0);
+}
+
+TEST(Matrix, MatmulAgainstHandComputed) {
+  Matrix a(2, 3), b(3, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  b(0, 0) = 7; b(0, 1) = 8;
+  b(1, 0) = 9; b(1, 1) = 10;
+  b(2, 0) = 11; b(2, 1) = 12;
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, TransposedVariantsAgree) {
+  Rng rng(3);
+  const Matrix a = random_matrix(7, 5, rng);
+  const Matrix b = random_matrix(7, 6, rng);
+  const Matrix c1 = matmul_tn(a, b);                     // A^T B
+  const Matrix c2 = matmul(a.transposed(), b);           // explicit transpose
+  EXPECT_LT(c1.max_abs_diff(c2), 1e-13);
+
+  const Matrix d = random_matrix(4, 5, rng);
+  const Matrix e = random_matrix(6, 5, rng);
+  const Matrix f1 = matmul_nt(d, e);                     // D E^T
+  const Matrix f2 = matmul(d, e.transposed());
+  EXPECT_LT(f1.max_abs_diff(f2), 1e-13);
+}
+
+TEST(Matrix, MatvecConsistentWithMatmul) {
+  Rng rng(4);
+  const Matrix a = random_matrix(6, 4, rng);
+  Vector x(4);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  const Vector y = matvec(a, x);
+  const Vector yt = matvec_t(a.transposed(), x);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], yt[i], 1e-13);
+}
+
+TEST(Matrix, SymmetrizeMakesSymmetric) {
+  Rng rng(5);
+  Matrix m = random_matrix(8, 8, rng);
+  m.symmetrize();
+  EXPECT_LT(m.max_abs_diff(m.transposed()), 1e-15);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  const Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(matmul(a, b), aeqp::Error);
+  Matrix c(2, 2);
+  EXPECT_THROW(c.axpy(1.0, a), aeqp::Error);
+}
+
+TEST(Cholesky, ReconstructsInput) {
+  Rng rng(6);
+  const Matrix a = random_spd(12, rng);
+  const Matrix l = cholesky(a);
+  const Matrix rec = matmul_nt(l, l);  // L L^T
+  EXPECT_LT(a.max_abs_diff(rec), 1e-10);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a = Matrix::identity(3);
+  a(2, 2) = -1.0;
+  EXPECT_THROW(cholesky(a), aeqp::Error);
+}
+
+TEST(Cholesky, SolveSpd) {
+  Rng rng(7);
+  const Matrix a = random_spd(10, rng);
+  Vector b(10);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  const Vector x = solve_spd(a, b);
+  const Vector ax = matvec(a, x);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(ax[i], b[i], 1e-10);
+}
+
+TEST(Cholesky, InvertLower) {
+  Rng rng(8);
+  const Matrix a = random_spd(9, rng);
+  const Matrix l = cholesky(a);
+  const Matrix linv = invert_lower(l);
+  const Matrix prod = matmul(l, linv);
+  EXPECT_LT(prod.max_abs_diff(Matrix::identity(9)), 1e-11);
+}
+
+TEST(Eigen, DiagonalMatrixHasItsEntriesAsEigenvalues) {
+  Matrix d(4, 4);
+  d(0, 0) = 3; d(1, 1) = -1; d(2, 2) = 7; d(3, 3) = 0.5;
+  const EigenSolution sol = symmetric_eigen(d);
+  EXPECT_NEAR(sol.eigenvalues[0], -1.0, 1e-12);
+  EXPECT_NEAR(sol.eigenvalues[1], 0.5, 1e-12);
+  EXPECT_NEAR(sol.eigenvalues[2], 3.0, 1e-12);
+  EXPECT_NEAR(sol.eigenvalues[3], 7.0, 1e-12);
+}
+
+TEST(Eigen, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 2;
+  const EigenSolution sol = symmetric_eigen(a);
+  EXPECT_NEAR(sol.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(sol.eigenvalues[1], 3.0, 1e-12);
+}
+
+class EigenPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigenPropertyTest, ResidualAndOrthonormality) {
+  const std::size_t n = GetParam();
+  Rng rng(100 + n);
+  const Matrix a = random_symmetric(n, rng);
+  const EigenSolution sol = symmetric_eigen(a);
+
+  // Eigenvalues ascend.
+  for (std::size_t p = 1; p < n; ++p)
+    EXPECT_LE(sol.eigenvalues[p - 1], sol.eigenvalues[p] + 1e-12);
+
+  // A v = w v for every pair.
+  for (std::size_t p = 0; p < n; ++p) {
+    Vector v(n);
+    for (std::size_t k = 0; k < n; ++k) v[k] = sol.eigenvectors(k, p);
+    const Vector av = matvec(a, v);
+    for (std::size_t k = 0; k < n; ++k)
+      EXPECT_NEAR(av[k], sol.eigenvalues[p] * v[k], 1e-9);
+  }
+
+  // V^T V = I.
+  const Matrix vtv = matmul_tn(sol.eigenvectors, sol.eigenvectors);
+  EXPECT_LT(vtv.max_abs_diff(Matrix::identity(n)), 1e-10);
+
+  // Trace preserved.
+  double wsum = 0.0;
+  for (double w : sol.eigenvalues) wsum += w;
+  EXPECT_NEAR(wsum, a.trace(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 33, 64));
+
+class GeneralizedEigenTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GeneralizedEigenTest, SolvesGeneralizedProblem) {
+  const std::size_t n = GetParam();
+  Rng rng(200 + n);
+  const Matrix h = random_symmetric(n, rng);
+  const Matrix s = random_spd(n, rng);
+  const EigenSolution sol = generalized_symmetric_eigen(h, s);
+
+  // H C = eps S C column by column.
+  for (std::size_t p = 0; p < n; ++p) {
+    Vector c(n);
+    for (std::size_t k = 0; k < n; ++k) c[k] = sol.eigenvectors(k, p);
+    const Vector hc = matvec(h, c);
+    const Vector sc = matvec(s, c);
+    for (std::size_t k = 0; k < n; ++k)
+      EXPECT_NEAR(hc[k], sol.eigenvalues[p] * sc[k], 1e-8);
+  }
+
+  // S-orthonormal: C^T S C = I.
+  const Matrix csc = matmul_tn(sol.eigenvectors, matmul(s, sol.eigenvectors));
+  EXPECT_LT(csc.max_abs_diff(Matrix::identity(n)), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GeneralizedEigenTest,
+                         ::testing::Values(1, 2, 4, 9, 17, 40));
+
+TEST(Csr, BuildFetchAndDensify) {
+  std::vector<Triplet> t = {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0},
+                            {2, 0, 4.0}, {2, 2, 5.0}, {0, 2, 0.5}};  // dup summed
+  const CsrMatrix m(3, 3, t);
+  EXPECT_EQ(m.nnz(), 5u);
+  EXPECT_DOUBLE_EQ(m.fetch(0, 2), 2.5);
+  EXPECT_DOUBLE_EQ(m.fetch(1, 0), 0.0);
+  const Matrix d = m.to_dense();
+  EXPECT_DOUBLE_EQ(d(2, 2), 5.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+}
+
+TEST(Csr, MatvecMatchesDense) {
+  Rng rng(9);
+  std::vector<Triplet> trip;
+  const std::size_t n = 40;
+  for (int k = 0; k < 300; ++k)
+    trip.push_back({rng.uniform_index(n), rng.uniform_index(n), rng.uniform(-1, 1)});
+  const CsrMatrix sp(n, n, trip);
+  const Matrix dn = sp.to_dense();
+  Vector x(n);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  const Vector ys = sp.matvec(x);
+  const Vector yd = matvec(dn, x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ys[i], yd[i], 1e-12);
+}
+
+TEST(Csr, GatherBlockMatchesDense) {
+  Rng rng(10);
+  std::vector<Triplet> trip;
+  const std::size_t n = 30;
+  for (int k = 0; k < 200; ++k)
+    trip.push_back({rng.uniform_index(n), rng.uniform_index(n), rng.uniform(-1, 1)});
+  const CsrMatrix sp(n, n, trip);
+  const Matrix dn = sp.to_dense();
+  const std::vector<std::size_t> rows = {3, 7, 11}, cols = {0, 5, 29};
+  const Matrix blk = sp.gather_block(rows, cols);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    for (std::size_t j = 0; j < cols.size(); ++j)
+      EXPECT_DOUBLE_EQ(blk(i, j), dn(rows[i], cols[j]));
+}
+
+TEST(Csr, EmptyRowsHandled) {
+  const CsrMatrix m(4, 4, {{0, 0, 1.0}, {3, 3, 2.0}});
+  EXPECT_DOUBLE_EQ(m.fetch(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.fetch(3, 3), 2.0);
+  EXPECT_EQ(m.nnz(), 2u);
+}
+
+TEST(Csr, BytesAccountsAllArrays) {
+  const CsrMatrix m(4, 4, {{0, 0, 1.0}, {3, 3, 2.0}});
+  EXPECT_EQ(m.bytes(), 2 * sizeof(double) + 2 * sizeof(std::uint32_t) +
+                           5 * sizeof(std::size_t));
+}
+
+TEST(Csr, OutOfRangeTripletThrows) {
+  EXPECT_THROW(CsrMatrix(2, 2, {{2, 0, 1.0}}), aeqp::Error);
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Tests for src/mapping: least-loaded vs locality-enhancing task mapping
+// (paper Algorithm 1), Hamiltonian memory analysis, and spline counting.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "core/structures.hpp"
+#include "grid/batch.hpp"
+#include "mapping/hamiltonian_analysis.hpp"
+#include "mapping/synthetic_points.hpp"
+#include "mapping/task_mapping.hpp"
+
+namespace {
+
+using namespace aeqp;
+using namespace aeqp::mapping;
+
+std::vector<grid::Batch> chain_batches(std::size_t n_monomers,
+                                       std::size_t points_per_atom = 24,
+                                       std::size_t batch_size = 48) {
+  const auto chain = core::polyethylene_chain(n_monomers);
+  const auto cloud = synthetic_point_cloud(chain, points_per_atom);
+  return grid::make_batches(cloud.positions, cloud.parent_atom, batch_size);
+}
+
+void expect_valid_partition(const Assignment& a,
+                            const std::vector<grid::Batch>& batches) {
+  std::vector<int> seen(batches.size(), 0);
+  for (const auto& ids : a.batches_of_rank)
+    for (auto b : ids) seen[b]++;
+  for (std::size_t b = 0; b < batches.size(); ++b)
+    EXPECT_EQ(seen[b], 1) << "batch " << b;
+}
+
+TEST(Mapping, BothStrategiesPartitionAllBatches) {
+  const auto batches = chain_batches(20);
+  for (std::size_t ranks : {1u, 3u, 8u, 16u}) {
+    expect_valid_partition(least_loaded_mapping(batches, ranks), batches);
+    expect_valid_partition(locality_enhancing_mapping(batches, ranks), batches);
+  }
+}
+
+TEST(Mapping, EveryRankReceivesWork) {
+  const auto batches = chain_batches(20);
+  for (std::size_t ranks : {2u, 7u, 16u}) {
+    const auto a = locality_enhancing_mapping(batches, ranks);
+    for (std::size_t r = 0; r < ranks; ++r)
+      EXPECT_GE(a.batches_of_rank[r].size(), 1u) << "rank " << r;
+  }
+}
+
+TEST(Mapping, LeastLoadedBalancesPoints) {
+  const auto batches = chain_batches(30);
+  const auto a = least_loaded_mapping(batches, 8);
+  EXPECT_LT(load_imbalance(a, batches), 1.10);
+}
+
+TEST(Mapping, LocalityMappingKeepsLoadReasonable) {
+  const auto batches = chain_batches(30);
+  const auto a = locality_enhancing_mapping(batches, 8);
+  // Algorithm 1 splits on cumulative point counts, so imbalance stays low.
+  EXPECT_LT(load_imbalance(a, batches), 1.25);
+}
+
+TEST(Mapping, LocalityReducesSpatialSpread) {
+  // The headline property (Fig. 3): the locality mapping concentrates each
+  // rank's batches spatially relative to the legacy strategy.
+  const auto batches = chain_batches(40);
+  const auto legacy = least_loaded_mapping(batches, 16);
+  const auto local = locality_enhancing_mapping(batches, 16);
+  EXPECT_LT(mean_rank_spread(local, batches),
+            0.5 * mean_rank_spread(legacy, batches));
+}
+
+TEST(Mapping, LocalityReducesAtomsPerRank) {
+  const auto batches = chain_batches(40);
+  const auto legacy = least_loaded_mapping(batches, 16);
+  const auto local = locality_enhancing_mapping(batches, 16);
+  double atoms_legacy = 0, atoms_local = 0;
+  for (std::size_t r = 0; r < 16; ++r) {
+    atoms_legacy += static_cast<double>(legacy.atoms_of_rank(r, batches).size());
+    atoms_local += static_cast<double>(local.atoms_of_rank(r, batches).size());
+  }
+  EXPECT_LT(atoms_local, 0.5 * atoms_legacy);
+}
+
+TEST(Mapping, RequiresEnoughBatches) {
+  const auto batches = chain_batches(2, 8, 1000);  // few batches
+  EXPECT_THROW(locality_enhancing_mapping(batches, batches.size() + 1), Error);
+}
+
+TEST(Mapping, SingleRankGetsEverything) {
+  const auto batches = chain_batches(5);
+  const auto a = locality_enhancing_mapping(batches, 1);
+  EXPECT_EQ(a.batches_of_rank[0].size(), batches.size());
+}
+
+TEST(BasisCounts, MatchElementDefinitions) {
+  const auto w = core::water();
+  const auto counts = basis_function_counts(w, basis::BasisTier::Minimal);
+  EXPECT_EQ(counts[0], 5u);  // O
+  EXPECT_EQ(counts[1], 1u);  // H
+  const auto light = basis_function_counts(w, basis::BasisTier::Light);
+  EXPECT_EQ(light[0], 10u);
+  EXPECT_EQ(light[1], 5u);
+}
+
+TEST(Sparsity, DenseForSmallMolecule) {
+  // Everything within cutoff: fill fraction 1.
+  const auto w = core::water();
+  const auto counts = basis_function_counts(w, basis::BasisTier::Minimal);
+  const auto stats = global_hamiltonian_sparsity(w, counts, 50.0);
+  EXPECT_EQ(stats.n_basis, 7u);
+  EXPECT_EQ(stats.nnz, 49u);
+  EXPECT_DOUBLE_EQ(stats.fill_fraction(), 1.0);
+}
+
+TEST(Sparsity, SparseForLongChain) {
+  const auto chain = core::polyethylene_chain(200);  // 1202 atoms
+  const auto counts = basis_function_counts(chain, basis::BasisTier::Minimal);
+  const auto stats = global_hamiltonian_sparsity(chain, counts, 14.0);
+  EXPECT_LT(stats.fill_fraction(), 0.05);
+  EXPECT_LT(stats.csr_bytes, stats.dense_bytes / 10);
+}
+
+TEST(Sparsity, NnzSymmetricAndIncludesDiagonal) {
+  grid::Structure s;
+  s.add_atom(1, {0, 0, 0});
+  s.add_atom(1, {0, 0, 30.0});  // far beyond cutoff
+  const auto stats = global_hamiltonian_sparsity(s, {1, 1}, 10.0);
+  EXPECT_EQ(stats.nnz, 2u);  // only the two diagonal blocks
+}
+
+TEST(HamiltonianMemory, ProposedOrdersOfMagnitudeSmaller) {
+  // The Fig. 9(a) claim: local dense blocks are orders of magnitude smaller
+  // than the global sparse matrix each rank holds otherwise. Paper-scale
+  // geometry: RBD-like cluster, 256 ranks.
+  const auto cluster = core::rbd_like_cluster(3006, 3);
+  const auto cloud = synthetic_point_cloud(cluster, 8);
+  const auto batches = grid::make_batches(cloud.positions, cloud.parent_atom, 48);
+  const auto assignment = locality_enhancing_mapping(batches, 256);
+  const auto counts = basis_function_counts(cluster, basis::BasisTier::Light);
+  const auto mem =
+      hamiltonian_memory(cluster, counts, 14.0, 7.0, assignment, batches);
+
+  EXPECT_GT(mem.existing_bytes_per_rank, 0u);
+  EXPECT_LT(mem.proposed_mean(), mem.existing_bytes_per_rank / 10.0);
+  EXPECT_LE(mem.proposed_min(), mem.proposed_max());
+}
+
+TEST(SplineCount, LocalityNeedsFewerSplines) {
+  const auto batches = chain_batches(40);
+  const auto legacy = least_loaded_mapping(batches, 16);
+  const auto local = locality_enhancing_mapping(batches, 16);
+  const auto s_legacy = splines_per_rank(legacy, batches, 4);
+  const auto s_local = splines_per_rank(local, batches, 4);
+  double total_legacy = 0, total_local = 0;
+  for (auto v : s_legacy) total_legacy += static_cast<double>(v);
+  for (auto v : s_local) total_local += static_cast<double>(v);
+  EXPECT_LT(total_local, 0.5 * total_legacy);
+  // nlm scaling: l_max 4 -> 25 splines per atom.
+  EXPECT_EQ(s_local[0] % 25, 0u);
+}
+
+}  // namespace

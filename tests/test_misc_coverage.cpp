@@ -1,0 +1,163 @@
+// Additional coverage tests: XYZ round trip, H-atom DFPT (fractional
+// occupation path), Poisson quadrupole channel, machine-model
+// monotonicity, packed-reducer row-shape flexibility, eigen solver with
+// clustered eigenvalues.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/packed.hpp"
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/dfpt.hpp"
+#include "core/structures.hpp"
+#include "core/xyz.hpp"
+#include "linalg/eigen.hpp"
+#include "parallel/cluster.hpp"
+#include "parallel/machine_model.hpp"
+#include "poisson/multipole.hpp"
+#include "scf/scf_solver.hpp"
+
+namespace {
+
+using namespace aeqp;
+
+TEST(Xyz, RoundTripPreservesGeometry) {
+  const auto mol = core::water();
+  const std::string text = core::to_xyz(mol, "water test");
+  const auto back = core::from_xyz(text);
+  ASSERT_EQ(back.size(), mol.size());
+  for (std::size_t i = 0; i < mol.size(); ++i) {
+    EXPECT_EQ(back.atom(i).z, mol.atom(i).z);
+    EXPECT_NEAR(distance(back.atom(i).pos, mol.atom(i).pos), 0.0, 1e-7);
+  }
+}
+
+TEST(Xyz, HeaderContainsCountAndComment) {
+  const std::string text = core::to_xyz(core::methane(), "CH4");
+  EXPECT_EQ(text.substr(0, 2), "5\n");
+  EXPECT_NE(text.find("CH4"), std::string::npos);
+  EXPECT_NE(text.find("C "), std::string::npos);
+}
+
+TEST(Xyz, MalformedInputThrows) {
+  EXPECT_THROW(core::from_xyz(""), Error);
+  EXPECT_THROW(core::from_xyz("2\ncomment\nH 0 0 0\n"), Error);   // truncated
+  EXPECT_THROW(core::from_xyz("1\nc\nXx 0 0 0\n"), Error);        // bad element
+}
+
+TEST(Xyz, ParsesGeneratedPolyethylene) {
+  const auto chain = core::polyethylene_chain(3);
+  const auto back = core::from_xyz(core::to_xyz(chain));
+  EXPECT_EQ(back.size(), chain.size());
+  EXPECT_NEAR(back.nuclear_repulsion(), chain.nuclear_repulsion(), 1e-5);
+}
+
+TEST(HydrogenAtom, DfptWithFractionalOccupationWorks) {
+  // One electron -> f = 1 on the HOMO: exercises the fractional-occupation
+  // path through both SCF and DFPT. LDA H-atom polarizability with a small
+  // NAO basis lands near the exact 4.5 bohr^3.
+  grid::Structure h;
+  h.add_atom(1, {0, 0, 0});
+  scf::ScfOptions opt;
+  opt.tier = basis::BasisTier::Light;
+  opt.grid.radial_points = 40;
+  opt.grid.angular_degree = 9;
+  opt.poisson.radial_points = 80;
+  const auto ground = scf::ScfSolver(h, opt).run();
+  ASSERT_TRUE(ground.converged);
+  EXPECT_NEAR(linalg::trace_product(ground.density_matrix, ground.overlap), 1.0,
+              1e-9);
+
+  const core::DfptSolver dfpt(ground, {});
+  const auto r = dfpt.solve_direction(2);
+  ASSERT_TRUE(r.converged);
+  EXPECT_GT(r.dipole_response.z, 1.0);
+  EXPECT_LT(r.dipole_response.z, 12.0);
+  // Spherical atom: isotropic response.
+  const auto rx = dfpt.solve_direction(0);
+  EXPECT_NEAR(rx.dipole_response.x, r.dipole_response.z,
+              0.02 * r.dipole_response.z);
+}
+
+TEST(Poisson, QuadrupoleChannelFarField) {
+  // n(r) = (3z^2 - r^2) g(r) is a pure l=2 density: far field ~ 1/r^3 along
+  // z and the monopole/dipole moments vanish.
+  grid::Structure s;
+  s.add_atom(1, {0, 0, 0});
+  poisson::PoissonSpec spec;
+  spec.l_max = 4;
+  spec.radial_points = 110;
+  spec.r_max = 12.0;
+  const poisson::HartreeSolver solver(s, spec);
+  const auto density = [](const Vec3& p) {
+    return (3.0 * p.z * p.z - p.norm2()) * std::exp(-p.norm2());
+  };
+  const auto rho = solver.project(density);
+  EXPECT_NEAR(solver.total_charge(rho), 0.0, 1e-9);
+  const auto v = solver.solve(rho);
+  const double v20 = solver.potential(v, {0, 0, 20.0});
+  const double v40 = solver.potential(v, {0, 0, 40.0});
+  // 1/r^3 scaling: doubling r divides by ~8.
+  EXPECT_NEAR(v20 / v40, 8.0, 0.1);
+}
+
+TEST(MachineModel, AllreduceMonotoneInBytesAndRanks) {
+  const parallel::CommCostModel m(parallel::MachineModel::hpc2_amd());
+  EXPECT_LT(m.allreduce_seconds(1024, 64), m.allreduce_seconds(4096, 64));
+  EXPECT_LT(m.allreduce_seconds(1024, 64), m.allreduce_seconds(1024, 1024));
+  EXPECT_LT(m.barrier_seconds(8), m.barrier_seconds(4096));
+}
+
+TEST(Packed, MixedRowSizesReduceCorrectly) {
+  parallel::Cluster cluster(4, 2);
+  cluster.run([&](parallel::Communicator& c) {
+    std::vector<double> a(3, 1.0), b(17, 2.0), d(1, 3.0);
+    comm::PackedAllReducer packer(c, comm::ReduceMode::Flat);
+    packer.add(a);
+    packer.add(b);
+    packer.add(d);
+    packer.flush();
+    EXPECT_DOUBLE_EQ(a[2], 4.0);
+    EXPECT_DOUBLE_EQ(b[16], 8.0);
+    EXPECT_DOUBLE_EQ(d[0], 12.0);
+    EXPECT_EQ(packer.collective_count(), 1u);
+  });
+}
+
+TEST(Eigen, ClusteredEigenvaluesResolve) {
+  // Nearly degenerate spectrum: eigenvectors still orthonormal, residuals
+  // still small.
+  const std::size_t n = 12;
+  linalg::Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i) d(i, i) = 1.0 + 1e-9 * static_cast<double>(i);
+  // Random orthogonal-ish rotation via symmetric perturbation.
+  Rng rng(77);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < i; ++j) d(i, j) = d(j, i) = 1e-10 * rng.uniform();
+  const auto sol = linalg::symmetric_eigen(d);
+  const auto vtv = linalg::matmul_tn(sol.eigenvectors, sol.eigenvectors);
+  EXPECT_LT(vtv.max_abs_diff(linalg::Matrix::identity(n)), 1e-10);
+  for (double w : sol.eigenvalues) EXPECT_NEAR(w, 1.0, 1e-7);
+}
+
+TEST(Structures, PolyethyleneIsChainShaped) {
+  const auto chain = core::polyethylene_chain(50);
+  Vec3 lo, hi;
+  chain.bounding_box(lo, hi);
+  // Long in z, thin in x/y.
+  EXPECT_GT(hi.z - lo.z, 10.0 * (hi.x - lo.x));
+  EXPECT_GT(hi.z - lo.z, 10.0 * (hi.y - lo.y));
+}
+
+TEST(Structures, RbdClusterIsGlobular) {
+  const auto c = core::rbd_like_cluster(800, 2);
+  Vec3 lo, hi;
+  c.bounding_box(lo, hi);
+  const double dx = hi.x - lo.x, dy = hi.y - lo.y, dz = hi.z - lo.z;
+  EXPECT_LT(std::max({dx, dy, dz}) / std::min({dx, dy, dz}), 1.3);
+}
+
+}  // namespace

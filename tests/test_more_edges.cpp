@@ -1,0 +1,122 @@
+// Remaining edge-case coverage across modules.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/table.hpp"
+#include "core/structures.hpp"
+#include "grid/angular_grid.hpp"
+#include "grid/batch.hpp"
+#include "grid/molecular_grid.hpp"
+#include "parallel/machine_model.hpp"
+#include "perfmodel/dfpt_perf_model.hpp"
+#include "poisson/multipole.hpp"
+#include "scf/occupations.hpp"
+#include "simt/device.hpp"
+#include "simt/runtime.hpp"
+
+namespace {
+
+using namespace aeqp;
+
+TEST(Simt, HostTransferFreeOnUnifiedMemoryDevices) {
+  // SW39010 has no PCIe hop: host transfers cost nothing in the model.
+  simt::KernelStats s;
+  s.host_transfer_bytes = 1 << 26;
+  EXPECT_DOUBLE_EQ(s.modeled_seconds(simt::DeviceModel::sw39010()), 0.0);
+  EXPECT_GT(s.modeled_seconds(simt::DeviceModel::gcn_gpu()), 0.0);
+}
+
+TEST(Simt, StatsAccumulateAcrossLaunches) {
+  simt::SimtRuntime rt(simt::DeviceModel::gcn_gpu());
+  rt.launch(2, 4, [](simt::WorkGroup& wg) { wg.flops(10); });
+  rt.launch(3, 4, [](simt::WorkGroup& wg) { wg.flops(5); });
+  EXPECT_EQ(rt.stats().launches, 2u);
+  EXPECT_EQ(rt.stats().work_items, 20u);
+  EXPECT_EQ(rt.stats().flops, 35u);
+  simt::KernelStats sum;
+  sum += rt.stats();
+  sum += rt.stats();
+  EXPECT_EQ(sum.flops, 70u);
+}
+
+TEST(Log, LevelsFilter) {
+  const auto prev = Log::level();
+  Log::set_level(LogLevel::Error);
+  EXPECT_EQ(Log::level(), LogLevel::Error);
+  AEQP_LOG_DEBUG << "should be invisible";  // must not crash or print
+  Log::set_level(prev);
+}
+
+TEST(Table, SciFormatting) {
+  EXPECT_EQ(Table::sci(0.000123, 2).substr(0, 4), "1.23");
+  EXPECT_NE(Table::sci(0.000123, 2).find("e-04"), std::string::npos);
+}
+
+TEST(AngularGrid, ProductRuleSizesScaleWithDegree) {
+  EXPECT_LT(grid::AngularGrid::product(5).size(),
+            grid::AngularGrid::product(15).size());
+  // Degree metadata preserved.
+  EXPECT_EQ(grid::AngularGrid::product(9).degree(), 9u);
+}
+
+TEST(MolecularGrid, WeightCutoffPrunesPoints) {
+  grid::Structure s;
+  s.add_atom(1, {0, 0, 0});
+  grid::GridSpec keep;
+  keep.radial_points = 24;
+  keep.weight_cutoff = 0.0;
+  grid::GridSpec prune = keep;
+  prune.weight_cutoff = 1e-6;
+  const auto g_keep = grid::MolecularGrid::build(s, keep);
+  const auto g_prune = grid::MolecularGrid::build(s, prune);
+  EXPECT_LT(g_prune.size(), g_keep.size());
+  EXPECT_GT(g_prune.size(), g_keep.size() / 2);
+}
+
+TEST(Batches, SinglePointPerBatchExtreme) {
+  std::vector<Vec3> pos = {{0, 0, 0}, {1, 0, 0}, {2, 0, 0}};
+  std::vector<std::uint32_t> parent = {0, 1, 2};
+  const auto batches = grid::make_batches(pos, parent, 1);
+  EXPECT_EQ(batches.size(), 3u);
+  for (const auto& b : batches) EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(Poisson, LmaxBoundsEnforced) {
+  grid::Structure s;
+  s.add_atom(1, {0, 0, 0});
+  poisson::PoissonSpec spec;
+  spec.l_max = 12;
+  EXPECT_THROW(poisson::HartreeSolver(s, spec), Error);
+}
+
+TEST(Fermi, SmearingEntropyBroadensOccupations) {
+  const linalg::Vector eigs = {-1.0, -0.2, -0.1, 0.5};
+  const auto cold = scf::fermi_occupations(eigs, 4, 0.001);
+  const auto warm = scf::fermi_occupations(eigs, 4, 0.05);
+  // Warmth moves charge from the HOMO into higher states.
+  EXPECT_LT(warm[1], cold[1]);
+  EXPECT_GT(warm[2], cold[2]);
+}
+
+TEST(PerfModel, TrivialSpeedupIsOne) {
+  const perfmodel::DfptPerfModel model(parallel::MachineModel::hpc1_sunway(),
+                                       simt::DeviceModel::sw39010(), true);
+  const auto flags = perfmodel::OptimizationFlags::all_on();
+  EXPECT_NEAR(model.strong_speedup(30002, 2048, 2048, flags), 1.0, 1e-12);
+}
+
+TEST(Structures, LigandDeterministicAndConnected) {
+  const auto a = core::ligand_like(49, 3);
+  const auto b = core::ligand_like(49, 3);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.atom(i).pos.x, b.atom(i).pos.x);
+  // Connectivity: every atom has a neighbor within bonding range.
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_FALSE(a.neighbors_of(i, 3.2).empty()) << i;
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// Tests for Fermi-Dirac occupations (paper Eq. 3) and cube-file export.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/cube.hpp"
+#include "core/structures.hpp"
+#include "scf/occupations.hpp"
+#include "scf/scf_solver.hpp"
+
+namespace {
+
+using namespace aeqp;
+using namespace aeqp::scf;
+
+TEST(Fermi, SumsToElectronCount) {
+  const linalg::Vector eigs = {-2.0, -1.0, -0.5, -0.45, 0.1, 0.7};
+  for (int ne : {2, 5, 7, 10}) {
+    for (double sigma : {0.001, 0.01, 0.1}) {
+      const auto f = fermi_occupations(eigs, ne, sigma);
+      double sum = 0.0;
+      for (double v : f) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 2.0);
+        sum += v;
+      }
+      EXPECT_NEAR(sum, static_cast<double>(ne), 1e-8)
+          << "ne=" << ne << " sigma=" << sigma;
+    }
+  }
+}
+
+TEST(Fermi, ColdLimitIsAufbau) {
+  const linalg::Vector eigs = {-2.0, -1.0, -0.5, 0.1, 0.7};
+  const auto cold = fermi_occupations(eigs, 6, 1e-6);
+  const auto aufbau = aufbau_occupations(eigs.size(), 6);
+  for (std::size_t i = 0; i < eigs.size(); ++i)
+    EXPECT_NEAR(cold[i], aufbau[i], 1e-9) << i;
+}
+
+TEST(Fermi, ZeroSigmaFallsBackToAufbau) {
+  const linalg::Vector eigs = {-1.0, 0.0, 1.0};
+  const auto f = fermi_occupations(eigs, 4, 0.0);
+  EXPECT_DOUBLE_EQ(f[0], 2.0);
+  EXPECT_DOUBLE_EQ(f[1], 2.0);
+  EXPECT_DOUBLE_EQ(f[2], 0.0);
+}
+
+TEST(Fermi, DegenerateLevelsShareElectrons) {
+  // Two degenerate frontier orbitals filled with 2 electrons: one each.
+  const linalg::Vector eigs = {-2.0, -0.5, -0.5, 1.0};
+  const auto f = fermi_occupations(eigs, 4, 0.01);
+  EXPECT_NEAR(f[1], 1.0, 1e-6);
+  EXPECT_NEAR(f[2], 1.0, 1e-6);
+}
+
+TEST(Fermi, LevelIsBetweenHomoAndLumoForGappedSystem) {
+  const linalg::Vector eigs = {-1.0, -0.8, 0.5, 0.9};
+  const double mu = fermi_level(eigs, 4, 0.01);
+  EXPECT_GT(mu, -0.8);
+  EXPECT_LT(mu, 0.5);
+}
+
+TEST(Fermi, Validation) {
+  EXPECT_THROW(fermi_level({}, 2, 0.01), Error);
+  EXPECT_THROW(fermi_level({1.0}, 4, 0.01), Error);  // over capacity
+}
+
+TEST(ScfSmearing, WaterEnergyNearAufbauResult) {
+  scf::ScfOptions opt;
+  opt.tier = basis::BasisTier::Minimal;
+  opt.grid.radial_points = 30;
+  opt.grid.angular_degree = 9;
+  opt.poisson.radial_points = 64;
+  auto smeared = opt;
+  smeared.smearing_sigma = 0.005;  // small electronic temperature
+  const auto cold = scf::ScfSolver(core::water(), opt).run();
+  const auto warm = scf::ScfSolver(core::water(), smeared).run();
+  ASSERT_TRUE(cold.converged);
+  ASSERT_TRUE(warm.converged);
+  // Gapped system, tiny sigma: essentially identical states.
+  EXPECT_NEAR(cold.total_energy, warm.total_energy, 1e-4);
+  EXPECT_EQ(warm.n_occupied, cold.n_occupied);
+}
+
+TEST(Cube, HeaderAndDataLayout) {
+  const auto mol = core::water();
+  core::CubeSpec spec;
+  spec.points_per_axis = 4;
+  const std::string cube =
+      core::to_cube(mol, [](const Vec3&) { return 1.5; }, spec, "test field");
+  std::istringstream is(cube);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "test field");
+  std::getline(is, line);  // comment
+  long natoms = 0;
+  double ox = 0, oy = 0, oz = 0;
+  is >> natoms >> ox >> oy >> oz;
+  EXPECT_EQ(natoms, 3);
+  // Origin includes the margin.
+  Vec3 lo, hi;
+  mol.bounding_box(lo, hi);
+  EXPECT_NEAR(ox, lo.x - 4.0, 1e-4);
+  // Count data values: 4^3 constants of 1.5.
+  std::size_t count = 0;
+  double v = 0;
+  // Skip the 3 axis lines and 3 atom lines first.
+  std::getline(is, line);
+  for (int k = 0; k < 6; ++k) std::getline(is, line);
+  while (is >> v) {
+    EXPECT_NEAR(v, 1.5, 1e-9);
+    ++count;
+  }
+  EXPECT_EQ(count, 64u);
+}
+
+TEST(Cube, FieldSampledAtCorrectPositions) {
+  grid::Structure s;
+  s.add_atom(1, {0, 0, 0});
+  core::CubeSpec spec;
+  spec.points_per_axis = 3;
+  spec.margin = 1.0;
+  // Field = x coordinate: first block (ix=0) must equal origin x = -1.
+  const std::string cube =
+      core::to_cube(s, [](const Vec3& p) { return p.x; }, spec);
+  std::istringstream is(cube);
+  std::string line;
+  for (int k = 0; k < 7; ++k) std::getline(is, line);  // header + atom
+  double v = 0;
+  is >> v;
+  EXPECT_NEAR(v, -1.0, 1e-4);
+}
+
+TEST(Cube, Validation) {
+  const auto mol = core::water();
+  core::CubeSpec bad;
+  bad.points_per_axis = 1;
+  EXPECT_THROW(core::to_cube(mol, [](const Vec3&) { return 0.0; }, bad), Error);
+}
+
+}  // namespace

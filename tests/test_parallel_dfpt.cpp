@@ -1,0 +1,104 @@
+// Integration tests for the distributed DFPT driver: the parallel
+// decomposition (distributed Sumup/H, replicated Sternheimer/Poisson,
+// packed hierarchical synthesis) must reproduce the serial DfptSolver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/dfpt.hpp"
+#include "core/parallel_dfpt.hpp"
+#include "core/structures.hpp"
+#include "scf/scf_solver.hpp"
+
+namespace {
+
+using namespace aeqp;
+using namespace aeqp::core;
+
+const scf::ScfResult& ground_h2() {
+  static const scf::ScfResult res = [] {
+    grid::Structure s;
+    s.add_atom(1, {0, 0, -0.7});
+    s.add_atom(1, {0, 0, 0.7});
+    scf::ScfOptions opt;
+    opt.tier = basis::BasisTier::Light;
+    opt.grid.radial_points = 30;
+    opt.grid.angular_degree = 9;
+    opt.poisson.radial_points = 72;
+    return scf::ScfSolver(s, opt).run();
+  }();
+  return res;
+}
+
+class ParallelDfptTopology
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, comm::ReduceMode>> {};
+
+TEST_P(ParallelDfptTopology, MatchesSerialSolver) {
+  const auto [ranks, per_node, mode] = GetParam();
+  const auto& ground = ground_h2();
+  ASSERT_TRUE(ground.converged);
+
+  DfptOptions dopt;
+  dopt.tolerance = 1e-8;
+  const DfptSolver serial(ground, dopt);
+  const DfptDirectionResult ref = serial.solve_direction(2);
+  ASSERT_TRUE(ref.converged);
+
+  ParallelDfptOptions popt;
+  popt.dfpt = dopt;
+  popt.ranks = ranks;
+  popt.ranks_per_node = per_node;
+  popt.reduce_mode = mode;
+  popt.batch_points = 96;
+  const ParallelDfptResult par = solve_direction_parallel(ground, popt, 2);
+
+  EXPECT_TRUE(par.direction.converged);
+  EXPECT_EQ(par.direction.iterations, ref.iterations);
+  EXPECT_NEAR(par.direction.dipole_response.z, ref.dipole_response.z, 1e-7);
+  EXPECT_LT(par.direction.p1.max_abs_diff(ref.p1), 1e-8);
+  // The distributed response density matches point by point.
+  ASSERT_EQ(par.direction.n1_samples.size(), ref.n1_samples.size());
+  double max_dn = 0.0;
+  for (std::size_t i = 0; i < ref.n1_samples.size(); ++i)
+    max_dn = std::max(max_dn,
+                      std::fabs(par.direction.n1_samples[i] - ref.n1_samples[i]));
+  EXPECT_LT(max_dn, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, ParallelDfptTopology,
+    ::testing::Values(
+        std::tuple<std::size_t, std::size_t, comm::ReduceMode>{
+            1, 1, comm::ReduceMode::Flat},
+        std::tuple<std::size_t, std::size_t, comm::ReduceMode>{
+            2, 2, comm::ReduceMode::Flat},
+        std::tuple<std::size_t, std::size_t, comm::ReduceMode>{
+            4, 2, comm::ReduceMode::Hierarchical},
+        std::tuple<std::size_t, std::size_t, comm::ReduceMode>{
+            8, 4, comm::ReduceMode::Hierarchical}));
+
+TEST(ParallelDfpt, StatsReportLoadAndCommunication) {
+  const auto& ground = ground_h2();
+  ParallelDfptOptions popt;
+  popt.ranks = 4;
+  popt.batch_points = 64;
+  const ParallelDfptResult par = solve_direction_parallel(ground, popt, 2);
+  EXPECT_GT(par.stats.batches, 4u);
+  EXPECT_GT(par.stats.collectives, 0u);
+  EXPECT_GT(par.stats.rows_reduced, 0u);
+  // Median-split batches keep the point load within ~2x of the mean.
+  EXPECT_LT(par.stats.max_rank_points_share, 2.0);
+  EXPECT_GE(par.stats.max_rank_points_share, 1.0);
+}
+
+TEST(ParallelDfpt, RejectsBadArguments) {
+  const auto& ground = ground_h2();
+  ParallelDfptOptions popt;
+  EXPECT_THROW(solve_direction_parallel(ground, popt, 3), Error);
+  popt.ranks = 100000;  // more ranks than batches
+  EXPECT_THROW(solve_direction_parallel(ground, popt, 0), Error);
+}
+
+}  // namespace

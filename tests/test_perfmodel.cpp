@@ -1,0 +1,123 @@
+// Tests for src/perfmodel: calibration factors, phase composition, and the
+// qualitative scaling behaviors the paper reports in Sec. 5.3.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "parallel/machine_model.hpp"
+#include "perfmodel/dfpt_perf_model.hpp"
+#include "simt/device.hpp"
+
+namespace {
+
+using namespace aeqp;
+using namespace aeqp::perfmodel;
+
+const DfptPerfModel& hpc2_gpu() {
+  static const DfptPerfModel model(parallel::MachineModel::hpc2_amd(),
+                                   simt::DeviceModel::gcn_gpu(), true);
+  return model;
+}
+
+const DfptPerfModel& hpc1() {
+  static const DfptPerfModel model(parallel::MachineModel::hpc1_sunway(),
+                                   simt::DeviceModel::sw39010(), true);
+  return model;
+}
+
+TEST(PerfModel, CalibratedFactorsAreSensible) {
+  const auto& m = hpc2_gpu();
+  // Fig. 9b: phase-level dense-access gains of 7.5%-26.4%.
+  EXPECT_GT(m.dense_access_factor(), 1.05);
+  EXPECT_LT(m.dense_access_factor(), 1.30);
+  // Fig. 12b: fusion speedups up to 2.4x on HPC#2.
+  EXPECT_GT(m.fusion_factor(), 1.2);
+  EXPECT_LT(m.fusion_factor(), 2.6);
+  // Fig. 13: collapsing gains up to 1.34x.
+  EXPECT_GT(m.collapse_factor(), 1.0);
+  EXPECT_LT(m.collapse_factor(), 1.5);
+  // Fig. 11: init-phase speedups well above 1.
+  EXPECT_GT(m.indirect_factor(), 2.0);
+}
+
+TEST(PerfModel, SunwayGainsMoreFromIndirectElimination) {
+  // Fig. 11: HPC#1 speedups (up to 6.2x) exceed HPC#2 (up to 3.9x).
+  EXPECT_GT(hpc1().indirect_factor(), hpc2_gpu().indirect_factor());
+}
+
+TEST(PerfModel, OptimizationsReduceEveryCase) {
+  const auto& m = hpc2_gpu();
+  for (std::size_t n : {30002u, 60002u}) {
+    for (std::size_t p : {1024u, 4096u}) {
+      const double off = m.predict(n, p, OptimizationFlags::all_off()).total();
+      const double on = m.predict(n, p, OptimizationFlags::all_on()).total();
+      EXPECT_GT(off, on) << n << " atoms, " << p << " ranks";
+    }
+  }
+}
+
+TEST(PerfModel, MoreRanksShrinkComputePhases) {
+  const auto& m = hpc2_gpu();
+  const auto flags = OptimizationFlags::all_on();
+  const auto a = m.predict(60002, 1024, flags);
+  const auto b = m.predict(60002, 8192, flags);
+  // Ideal 8x division of work, tempered by growing granularity imbalance.
+  EXPECT_GT(a.rho / b.rho, 7.0);
+  EXPECT_LT(a.rho / b.rho, 8.0);
+  EXPECT_GT(a.sumup / b.sumup, 7.0);
+  EXPECT_LT(a.sumup / b.sumup, 8.0);
+}
+
+TEST(PerfModel, DmShareGrowsWithRankCount) {
+  // Fig. 15 discussion: the DM phase (compute + collectives) consumes a
+  // growing share of the cycle as ranks increase (22.5% -> 39.1%).
+  const auto& m = hpc2_gpu();
+  const auto flags = OptimizationFlags::all_on();
+  double prev_share = 0.0;
+  for (std::size_t p : {1024u, 2048u, 4096u, 8192u}) {
+    const auto t = m.predict(60002, p, flags);
+    const double share = (t.dm + t.comm) / t.total();
+    EXPECT_GT(share, prev_share) << p;
+    prev_share = share;
+  }
+}
+
+TEST(PerfModel, StrongScalingEfficiencyDegradesGently) {
+  const auto& m = hpc1();
+  const auto flags = OptimizationFlags::all_on();
+  const double s2 = m.strong_speedup(60002, 5000, 10000, flags);
+  EXPECT_GT(s2, 1.5);   // paper: 1.85x
+  EXPECT_LT(s2, 2.0);
+  const double s8 = m.strong_speedup(60002, 5000, 40000, flags);
+  EXPECT_GT(s8, 3.0);   // paper: 4.88x
+  EXPECT_LT(s8, 8.0);
+}
+
+TEST(PerfModel, WeakEfficiencyDropsAsSystemGrows) {
+  // Fig. 16: ~75% efficiency at 200k atoms relative to 30k.
+  const auto& m = hpc2_gpu();
+  const auto flags = OptimizationFlags::all_on();
+  const double e1 = m.weak_efficiency(30002, 2048, 30002, 2048, flags);
+  EXPECT_NEAR(e1, 1.0, 1e-9);
+  const double e_mid = m.weak_efficiency(30002, 2048, 117602, 8192, flags);
+  const double e_end = m.weak_efficiency(30002, 2048, 200012, 16384, flags);
+  EXPECT_LT(e_end, e_mid);
+  EXPECT_GT(e_end, 0.45);
+  EXPECT_LT(e_end, 1.0);
+}
+
+TEST(PerfModel, CpuOnlyModeIsSlower) {
+  const DfptPerfModel gpu(parallel::MachineModel::hpc2_amd(),
+                          simt::DeviceModel::gcn_gpu(), true);
+  const DfptPerfModel cpu(parallel::MachineModel::hpc2_amd(),
+                          simt::DeviceModel::gcn_gpu(), false);
+  const auto flags = OptimizationFlags::all_on();
+  EXPECT_GT(cpu.predict(30002, 2048, flags).total(),
+            gpu.predict(30002, 2048, flags).total());
+}
+
+TEST(PerfModel, RejectsEmptyProblem) {
+  EXPECT_THROW((void)hpc1().predict(0, 16, OptimizationFlags::all_on()), aeqp::Error);
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+// Tests for src/poisson: Adams-Moulton cumulative integration and the
+// multipole-expansion Hartree solver against analytic electrostatics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "grid/structure.hpp"
+#include "poisson/adams_moulton.hpp"
+#include "poisson/multipole.hpp"
+
+namespace {
+
+using namespace aeqp;
+using namespace aeqp::poisson;
+
+TEST(AdamsMoulton, IntegratesPolynomialExactly) {
+  // AM4 is exact for cubic integrands.
+  const double h = 0.1;
+  std::vector<double> g;
+  for (int i = 0; i <= 50; ++i) {
+    const double t = h * i;
+    g.push_back(3.0 * t * t - 2.0 * t + 1.0);  // antiderivative t^3 - t^2 + t
+  }
+  const auto cum = cumulative_integral_am4(h, g);
+  for (int i = 0; i <= 50; ++i) {
+    const double t = h * i;
+    EXPECT_NEAR(cum[i], t * t * t - t * t + t, 1e-12);
+  }
+}
+
+TEST(AdamsMoulton, ConvergesFourthOrderOnSine) {
+  auto run = [](std::size_t n) {
+    const double h = 1.0 / static_cast<double>(n);
+    std::vector<double> g(n + 1);
+    for (std::size_t i = 0; i <= n; ++i) g[i] = std::cos(h * i);
+    return std::fabs(integral_am4(h, g) - std::sin(1.0));
+  };
+  const double e1 = run(50), e2 = run(100);
+  EXPECT_LT(e2, e1 / 12.0);  // ~16x for a 4th-order method
+}
+
+TEST(AdamsMoulton, ShortInputsSafe) {
+  EXPECT_EQ(integral_am4(0.1, {}), 0.0);
+  EXPECT_EQ(integral_am4(0.1, {5.0}), 0.0);
+  EXPECT_NEAR(integral_am4(0.5, {1.0, 1.0}), 0.5, 1e-15);
+  EXPECT_THROW(cumulative_integral_am4(-1.0, {1.0, 2.0}), Error);
+}
+
+grid::Structure single_atom() {
+  grid::Structure s;
+  s.add_atom(1, {0, 0, 0});
+  return s;
+}
+
+TEST(Hartree, GaussianPotentialMatchesErf) {
+  // n(r) = (alpha/pi)^{3/2} exp(-alpha r^2), total charge 1,
+  // v(r) = erf(sqrt(alpha) r) / r.
+  const double alpha = 0.8;
+  const double norm = std::pow(alpha / constants::pi, 1.5);
+  const auto density = [&](const Vec3& p) { return norm * std::exp(-alpha * p.norm2()); };
+
+  PoissonSpec spec;
+  spec.l_max = 2;
+  spec.radial_points = 140;
+  spec.r_max = 14.0;
+  const HartreeSolver solver(single_atom(), spec);
+  const auto rho = solver.project(density);
+  EXPECT_NEAR(solver.total_charge(rho), 1.0, 1e-6);
+
+  const auto v = solver.solve(rho);
+  for (double r : {0.2, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double exact = std::erf(std::sqrt(alpha) * r) / r;
+    EXPECT_NEAR(solver.potential(v, {0, 0, r}), exact, 2e-4) << "r=" << r;
+    // Spherical symmetry: same value along another direction.
+    EXPECT_NEAR(solver.potential(v, {r / std::sqrt(2.0), r / std::sqrt(2.0), 0}),
+                exact, 2e-4);
+  }
+}
+
+TEST(Hartree, FarFieldIsMonopole) {
+  const double alpha = 1.1;
+  const double norm = 3.0 * std::pow(alpha / constants::pi, 1.5);  // charge 3
+  const auto density = [&](const Vec3& p) { return norm * std::exp(-alpha * p.norm2()); };
+  PoissonSpec spec;
+  spec.l_max = 2;
+  spec.radial_points = 120;
+  spec.r_max = 10.0;
+  const HartreeSolver solver(single_atom(), spec);
+  const auto v = solver.solve_density(density);
+  // Beyond r_max the moments take over: v ~ q / r.
+  for (double r : {12.0, 20.0, 50.0}) {
+    EXPECT_NEAR(solver.potential(v, {0, 0, r}), 3.0 / r, 3e-4 / r) << "r=" << r;
+  }
+}
+
+TEST(Hartree, TwoCenterPotentialSuperposes) {
+  // Two unit Gaussians on different atoms; potential must match the sum of
+  // the two analytic single-center solutions.
+  grid::Structure s;
+  s.add_atom(1, {0, 0, -1.5});
+  s.add_atom(1, {0, 0, 1.5});
+  const double alpha = 1.0;
+  const double norm = std::pow(alpha / constants::pi, 1.5);
+  const auto density = [&](const Vec3& p) {
+    const Vec3 a{0, 0, -1.5}, b{0, 0, 1.5};
+    return norm * (std::exp(-alpha * (p - a).norm2()) +
+                   std::exp(-alpha * (p - b).norm2()));
+  };
+  PoissonSpec spec;
+  spec.l_max = 6;
+  spec.radial_points = 140;
+  spec.r_max = 14.0;
+  const HartreeSolver solver(s, spec);
+  const auto rho = solver.project(density);
+  // The Becke cell boundary puts structure in the l=0 channel that the
+  // radial trapezoid resolves to ~1e-4 at this mesh density.
+  EXPECT_NEAR(solver.total_charge(rho), 2.0, 5e-4);
+  const auto v = solver.solve(rho);
+
+  auto exact = [&](const Vec3& p) {
+    const double ra = (p - Vec3{0, 0, -1.5}).norm();
+    const double rb = (p - Vec3{0, 0, 1.5}).norm();
+    return std::erf(std::sqrt(alpha) * ra) / ra + std::erf(std::sqrt(alpha) * rb) / rb;
+  };
+  for (const Vec3 p : {Vec3{0, 0, 0}, Vec3{1.0, 0.5, 0.3}, Vec3{0, 0, 3.0},
+                       Vec3{2.5, 0, -2.0}}) {
+    EXPECT_NEAR(solver.potential(v, p), exact(p), 4e-3) << p;
+  }
+}
+
+TEST(Hartree, DipoleDensityProducesDipolarPotential) {
+  // n(r) = z * g(r) has a pure l=1 multipole; far field v ~ p cos(theta)/r^2.
+  const double alpha = 1.0;
+  const auto density = [&](const Vec3& p) {
+    return p.z * std::exp(-alpha * p.norm2());
+  };
+  PoissonSpec spec;
+  spec.l_max = 3;
+  spec.radial_points = 120;
+  spec.r_max = 12.0;
+  const HartreeSolver solver(single_atom(), spec);
+  const auto rho = solver.project(density);
+  // Monopole of an odd density vanishes.
+  EXPECT_NEAR(solver.total_charge(rho), 0.0, 1e-10);
+  const auto v = solver.solve(rho);
+  // Dipole moment p_z = \int z n dV = \int z^2 e^{-r^2} dV
+  //   = (1/3) * 3/(2 alpha) * (pi/alpha)^{3/2} ... compute numerically below.
+  const double pz = std::pow(constants::pi / alpha, 1.5) / (2.0 * alpha);
+  for (double r : {14.0, 25.0}) {
+    EXPECT_NEAR(solver.potential(v, {0, 0, r}), pz / (r * r), 2e-5) << r;
+    // Perpendicular direction: cos(theta) = 0.
+    EXPECT_NEAR(solver.potential(v, {r, 0, 0}), 0.0, 1e-8);
+  }
+}
+
+TEST(Hartree, SplineBytesScaleWithLmax) {
+  const auto density = [](const Vec3& p) { return std::exp(-p.norm2()); };
+  std::size_t prev = 0;
+  for (int lmax : {0, 2, 4}) {
+    PoissonSpec spec;
+    spec.l_max = lmax;
+    spec.radial_points = 60;
+    const HartreeSolver solver(single_atom(), spec);
+    const auto rho = solver.project(density);
+    EXPECT_GT(rho.spline_bytes(), prev);
+    prev = rho.spline_bytes();
+  }
+}
+
+TEST(Hartree, RejectsForeignDensity) {
+  PoissonSpec spec;
+  spec.radial_points = 40;
+  const HartreeSolver s1(single_atom(), spec);
+  grid::Structure two;
+  two.add_atom(1, {0, 0, 0});
+  two.add_atom(1, {0, 0, 2});
+  const HartreeSolver s2(two, spec);
+  const auto rho1 = s1.project([](const Vec3&) { return 0.0; });
+  EXPECT_THROW(s2.solve(rho1), Error);
+}
+
+}  // namespace

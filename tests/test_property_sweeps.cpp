@@ -1,0 +1,201 @@
+// Parameterized property sweeps across modules: each suite checks one
+// invariant over a family of randomized or structured configurations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/packed.hpp"
+#include "common/constants.hpp"
+#include "common/rng.hpp"
+#include "core/structures.hpp"
+#include "grid/molecular_grid.hpp"
+#include "grid/partition.hpp"
+#include "kernels/rho_kernels.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/sparse.hpp"
+#include "parallel/cluster.hpp"
+#include "simt/runtime.hpp"
+
+namespace {
+
+using namespace aeqp;
+
+// ---------------------------------------------------------------- packed
+struct PackedCase {
+  std::size_t ranks, per_node, rows, row_len, budget_rows;
+};
+
+class PackedReducerProperty : public ::testing::TestWithParam<PackedCase> {};
+
+TEST_P(PackedReducerProperty, EqualsFlatReference) {
+  const auto c = GetParam();
+  parallel::Cluster cluster(c.ranks, c.per_node);
+  cluster.run([&](parallel::Communicator& comm) {
+    Rng rng(500 + comm.rank());
+    std::vector<std::vector<double>> packed_rows(c.rows),
+        flat_rows(c.rows);
+    for (std::size_t r = 0; r < c.rows; ++r) {
+      packed_rows[r].resize(c.row_len);
+      for (auto& v : packed_rows[r]) v = rng.uniform(-1, 1);
+      flat_rows[r] = packed_rows[r];
+    }
+    comm::PackedAllReducer packer(
+        comm, comm::ReduceMode::Hierarchical,
+        c.budget_rows * c.row_len * sizeof(double));
+    for (auto& row : packed_rows) packer.add(row);
+    packer.flush();
+    for (auto& row : flat_rows) comm.allreduce_sum(row);
+    for (std::size_t r = 0; r < c.rows; ++r)
+      for (std::size_t i = 0; i < c.row_len; ++i)
+        ASSERT_NEAR(packed_rows[r][i], flat_rows[r][i], 1e-12);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PackedReducerProperty,
+                         ::testing::Values(PackedCase{2, 2, 10, 8, 3},
+                                           PackedCase{4, 2, 25, 5, 7},
+                                           PackedCase{6, 3, 40, 3, 40},
+                                           PackedCase{8, 4, 13, 16, 1},
+                                           PackedCase{9, 4, 50, 2, 11}));
+
+// ------------------------------------------------------------------- CSR
+struct CsrCase {
+  std::size_t n;
+  std::size_t nnz;
+  std::uint64_t seed;
+};
+
+class CsrRandomSweep : public ::testing::TestWithParam<CsrCase> {};
+
+TEST_P(CsrRandomSweep, MatvecAndFetchMatchDense) {
+  const auto c = GetParam();
+  Rng rng(c.seed);
+  std::vector<linalg::Triplet> trips;
+  for (std::size_t k = 0; k < c.nnz; ++k)
+    trips.push_back({rng.uniform_index(c.n), rng.uniform_index(c.n),
+                     rng.uniform(-2, 2)});
+  const linalg::CsrMatrix sp(c.n, c.n, trips);
+  const linalg::Matrix dn = sp.to_dense();
+
+  linalg::Vector x(c.n);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  const auto ys = sp.matvec(x);
+  const auto yd = linalg::matvec(dn, x);
+  for (std::size_t i = 0; i < c.n; ++i) ASSERT_NEAR(ys[i], yd[i], 1e-12);
+  for (int probe = 0; probe < 50; ++probe) {
+    const std::size_t i = rng.uniform_index(c.n), j = rng.uniform_index(c.n);
+    ASSERT_DOUBLE_EQ(sp.fetch(i, j), dn(i, j));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CsrRandomSweep,
+                         ::testing::Values(CsrCase{5, 8, 1}, CsrCase{20, 100, 2},
+                                           CsrCase{64, 500, 3},
+                                           CsrCase{100, 40, 4},
+                                           CsrCase{31, 0, 5}));
+
+// ----------------------------------------------------------------- Becke
+class BeckeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BeckeSweep, PartitionOfUnityOnRandomClusters) {
+  const auto cluster = core::rbd_like_cluster(12, GetParam());
+  const grid::BeckePartition part(cluster);
+  Rng rng(900 + GetParam());
+  for (int t = 0; t < 25; ++t) {
+    Vec3 lo, hi;
+    cluster.bounding_box(lo, hi);
+    const Vec3 p{rng.uniform(lo.x - 2, hi.x + 2), rng.uniform(lo.y - 2, hi.y + 2),
+                 rng.uniform(lo.z - 2, hi.z + 2)};
+    double sum = 0.0;
+    for (std::size_t a = 0; a < cluster.size(); ++a) sum += part.weight(a, p);
+    ASSERT_NEAR(sum, 1.0, 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BeckeSweep, ::testing::Values(11, 22, 33, 44));
+
+// ------------------------------------------------------------------ grid
+class GridGaussianSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GridGaussianSweep, NormalizedGaussianIntegratesToOne) {
+  const double alpha = GetParam();
+  grid::Structure s;
+  s.add_atom(6, {0.4, -0.2, 0.1});
+  grid::GridSpec spec;
+  spec.radial_points = 60;
+  spec.angular_degree = 11;
+  spec.r_max = 12.0;
+  const auto g = grid::MolecularGrid::build(s, spec);
+  const double norm = std::pow(alpha / constants::pi, 1.5);
+  std::vector<double> f(g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const Vec3 d = g.point(i).pos - s.atom(0).pos;
+    f[i] = norm * std::exp(-alpha * d.norm2());
+  }
+  EXPECT_NEAR(g.integrate(f), 1.0, 2e-4) << "alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, GridGaussianSweep,
+                         ::testing::Values(0.3, 0.8, 1.5, 3.0, 8.0));
+
+// -------------------------------------------------------------------- LU
+class LuDeterminantProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuDeterminantProperty, DetOfProductIsProductOfDets) {
+  Rng rng(700 + GetParam());
+  const std::size_t n = GetParam();
+  linalg::Matrix a(n, n), b(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = rng.uniform(-1, 1);
+      b(i, j) = rng.uniform(-1, 1);
+    }
+  const double da = linalg::LuDecomposition(a).determinant();
+  const double db = linalg::LuDecomposition(b).determinant();
+  const double dab = linalg::LuDecomposition(linalg::matmul(a, b)).determinant();
+  EXPECT_NEAR(dab, da * db, 1e-8 * std::max(1.0, std::fabs(da * db)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuDeterminantProperty,
+                         ::testing::Values(2, 3, 6, 10, 15));
+
+// ------------------------------------------------------------ rho fusion
+struct FusionCase {
+  std::size_t atoms;
+  int l_max;
+  std::size_t ranks;
+};
+
+class RhoFusionSweep : public ::testing::TestWithParam<FusionCase> {};
+
+TEST_P(RhoFusionSweep, AllModesProduceIdenticalPotentials) {
+  const auto c = GetParam();
+  kernels::RhoPhaseConfig cfg;
+  cfg.n_atoms = c.atoms;
+  cfg.l_max = c.l_max;
+  cfg.radial_points = 32;
+  cfg.grid_points_per_rank = 96;
+  cfg.ranks_per_device = c.ranks;
+
+  simt::SimtRuntime gpu(simt::DeviceModel::gcn_gpu());
+  simt::SimtRuntime sw(simt::DeviceModel::sw39010());
+  const auto a = kernels::run_rho_phase(gpu, cfg, kernels::FusionMode::Unfused);
+  const auto b =
+      kernels::run_rho_phase(gpu, cfg, kernels::FusionMode::HorizontalFused);
+  const auto d =
+      kernels::run_rho_phase(sw, cfg, kernels::FusionMode::VerticalFused);
+  for (std::size_t i = 0; i < a.potential.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.potential[i], b.potential[i]);
+    ASSERT_DOUBLE_EQ(a.potential[i], d.potential[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, RhoFusionSweep,
+                         ::testing::Values(FusionCase{1, 0, 1},
+                                           FusionCase{2, 1, 3},
+                                           FusionCase{3, 2, 4},
+                                           FusionCase{5, 4, 8},
+                                           FusionCase{2, 6, 2}));
+
+}  // namespace

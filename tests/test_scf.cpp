@@ -1,0 +1,225 @@
+// Tests for src/scf: grid matrix elements against closed forms, density
+// synthesis, occupations, and full SCF on small molecules.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "basis/basis_set.hpp"
+#include "common/error.hpp"
+#include "grid/molecular_grid.hpp"
+#include "grid/structure.hpp"
+#include "linalg/eigen.hpp"
+#include "scf/integrator.hpp"
+#include "scf/scf_solver.hpp"
+
+namespace {
+
+using namespace aeqp;
+using namespace aeqp::scf;
+
+std::shared_ptr<const grid::MolecularGrid> make_grid(const grid::Structure& s,
+                                                     std::size_t radial = 50,
+                                                     std::size_t degree = 11) {
+  grid::GridSpec spec;
+  spec.radial_points = radial;
+  spec.angular_degree = degree;
+  spec.r_max = 10.0;
+  return std::make_shared<const grid::MolecularGrid>(
+      grid::MolecularGrid::build(s, spec));
+}
+
+grid::Structure h_atom() {
+  grid::Structure s;
+  s.add_atom(1, {0, 0, 0});
+  return s;
+}
+
+grid::Structure h2() {
+  grid::Structure s;
+  s.add_atom(1, {0, 0, -0.7});
+  s.add_atom(1, {0, 0, 0.7});
+  return s;
+}
+
+TEST(Integrator, OverlapIsIdentityForOrthonormalSet) {
+  const auto s = h_atom();
+  auto basis = std::make_shared<const basis::BasisSet>(s, basis::BasisTier::Light);
+  const BatchIntegrator integ(basis, make_grid(s, 70, 13));
+  const auto ov = integ.overlap();
+  // Different (l,m) channels are exactly orthogonal; same-l different-shell
+  // pairs overlap but diagonals are 1.
+  // The diffuse 2s shell converges slowest on the light grid (~2e-3).
+  for (std::size_t i = 0; i < ov.rows(); ++i)
+    EXPECT_NEAR(ov(i, i), 1.0, 5e-3) << i;
+  EXPECT_LT(ov.max_abs_diff(ov.transposed()), 1e-12);
+}
+
+TEST(Integrator, KineticEnergyOfHydrogen1s) {
+  // <1s|T|1s> = zeta^2/2 = 0.5 for the (untruncated) zeta=1 STO; the
+  // confined numeric orbital deviates at the 1e-3 level.
+  const auto s = h_atom();
+  auto basis = std::make_shared<const basis::BasisSet>(s, basis::BasisTier::Minimal,
+                                                       10.0);
+  const BatchIntegrator integ(basis, make_grid(s, 80, 9));
+  const auto t = integ.kinetic();
+  EXPECT_NEAR(t(0, 0), 0.5, 5e-3);
+}
+
+TEST(Integrator, NuclearAttractionOfHydrogen1s) {
+  // <1s|-1/r|1s> = -zeta = -1.
+  const auto s = h_atom();
+  auto basis = std::make_shared<const basis::BasisSet>(s, basis::BasisTier::Minimal,
+                                                       10.0);
+  const BatchIntegrator integ(basis, make_grid(s, 80, 9));
+  const auto v = integ.external_potential();
+  EXPECT_NEAR(v(0, 0), -1.0, 5e-3);
+}
+
+TEST(Integrator, DipoleMatrixAntisymmetryUnderParity) {
+  // For the symmetric H2, <1s_A|z|1s_A> = -<1s_B|z|1s_B>.
+  const auto s = h2();
+  auto basis = std::make_shared<const basis::BasisSet>(s, basis::BasisTier::Minimal);
+  const BatchIntegrator integ(basis, make_grid(s));
+  const auto d = integ.dipole_matrix(2);
+  EXPECT_NEAR(d(0, 0), -d(1, 1), 1e-6);
+  EXPECT_NEAR(d(0, 1), d(1, 0), 1e-10);
+}
+
+TEST(Integrator, DensityIntegratesToElectronCount) {
+  const auto s = h2();
+  auto basis = std::make_shared<const basis::BasisSet>(s, basis::BasisTier::Minimal);
+  auto grid = make_grid(s);
+  const BatchIntegrator integ(basis, grid);
+  const auto ov = integ.overlap();
+  // Occupy the bonding combination: P = 2 c c^T with c S-normalized.
+  linalg::Matrix c(2, 1);
+  const double norm = 1.0 / std::sqrt(2.0 * (1.0 + ov(0, 1)));
+  c(0, 0) = norm;
+  c(1, 0) = norm;
+  const auto p = density_matrix_from_orbitals(c, {2.0});
+  const auto n = integ.density(p);
+  EXPECT_NEAR(integ.integrate(n), 2.0, 2e-4);
+}
+
+TEST(Integrator, PotentialMatrixOfConstantIsOverlap) {
+  const auto s = h2();
+  auto basis = std::make_shared<const basis::BasisSet>(s, basis::BasisTier::Minimal);
+  auto grid = make_grid(s);
+  const BatchIntegrator integ(basis, grid);
+  std::vector<double> ones(grid->size(), 1.0);
+  const auto v = integ.potential_matrix(ones);
+  EXPECT_LT(v.max_abs_diff(integ.overlap()), 1e-12);
+}
+
+TEST(Integrator, SampleCountMismatchThrows) {
+  const auto s = h_atom();
+  auto basis = std::make_shared<const basis::BasisSet>(s, basis::BasisTier::Minimal);
+  const BatchIntegrator integ(basis, make_grid(s, 30, 5));
+  std::vector<double> bad(3, 0.0);
+  EXPECT_THROW(integ.potential_matrix(bad), Error);
+  EXPECT_THROW((void)integ.integrate(bad), Error);
+}
+
+TEST(Occupations, ClosedShellAndFractional) {
+  const auto f10 = aufbau_occupations(7, 10);
+  EXPECT_DOUBLE_EQ(f10[0], 2.0);
+  EXPECT_DOUBLE_EQ(f10[4], 2.0);
+  EXPECT_DOUBLE_EQ(f10[5], 0.0);
+  const auto f1 = aufbau_occupations(3, 1);
+  EXPECT_DOUBLE_EQ(f1[0], 1.0);
+  EXPECT_DOUBLE_EQ(f1[1], 0.0);
+  EXPECT_THROW(aufbau_occupations(2, 10), Error);
+}
+
+TEST(Scf, HydrogenAtomConverges) {
+  ScfOptions opt;
+  opt.tier = basis::BasisTier::Minimal;
+  opt.grid.radial_points = 50;
+  opt.grid.angular_degree = 9;
+  opt.poisson.radial_points = 90;
+  const ScfSolver solver(h_atom(), opt);
+  const ScfResult res = solver.run();
+  EXPECT_TRUE(res.converged);
+  // Spin-restricted LDA H atom with a 1s basis: around -0.4 to -0.5 Ha.
+  EXPECT_LT(res.total_energy, -0.35);
+  EXPECT_GT(res.total_energy, -0.60);
+  // One electron: Tr(P S) = 1.
+  EXPECT_NEAR(linalg::trace_product(res.density_matrix, res.overlap), 1.0, 1e-10);
+}
+
+TEST(Scf, H2BindsRelativeToTwoAtoms) {
+  ScfOptions opt;
+  opt.tier = basis::BasisTier::Minimal;
+  opt.grid.radial_points = 50;
+  opt.grid.angular_degree = 9;
+  opt.poisson.radial_points = 90;
+  opt.poisson.l_max = 4;
+
+  const ScfResult atom = ScfSolver(h_atom(), opt).run();
+  const ScfResult mol = ScfSolver(h2(), opt).run();
+  EXPECT_TRUE(atom.converged);
+  EXPECT_TRUE(mol.converged);
+  EXPECT_LT(mol.total_energy, 2.0 * atom.total_energy - 0.02);
+  // Two electrons.
+  EXPECT_NEAR(linalg::trace_product(mol.density_matrix, mol.overlap), 2.0, 1e-8);
+  // Symmetric molecule: no dipole.
+  EXPECT_NEAR(mol.dipole.z, 0.0, 1e-6);
+  // HOMO below LUMO.
+  EXPECT_LT(mol.homo, mol.lumo);
+}
+
+TEST(Scf, DensityStaysNonNegativeEnough) {
+  ScfOptions opt;
+  opt.tier = basis::BasisTier::Minimal;
+  opt.grid.radial_points = 40;
+  opt.poisson.radial_points = 80;
+  const ScfResult res = ScfSolver(h2(), opt).run();
+  for (double n : res.density_samples) EXPECT_GT(n, -1e-8);
+}
+
+TEST(Scf, EnergyComponentsDecomposeTotal) {
+  ScfOptions opt;
+  opt.tier = basis::BasisTier::Minimal;
+  opt.grid.radial_points = 40;
+  opt.grid.angular_degree = 9;
+  opt.poisson.radial_points = 80;
+  opt.density_tolerance = 1e-7;
+  const ScfResult res = ScfSolver(h2(), opt).run();
+  ASSERT_TRUE(res.converged);
+  const auto& c = res.components;
+  // Signs of the physical terms.
+  EXPECT_GT(c.kinetic, 0.0);
+  EXPECT_LT(c.external, 0.0);
+  EXPECT_GT(c.hartree, 0.0);
+  EXPECT_LT(c.xc, 0.0);
+  EXPECT_GT(c.nuclear, 0.0);
+  // The decomposition reproduces the band-sum total at convergence.
+  EXPECT_NEAR(c.total(), res.total_energy, 5e-4);
+  // Loose virial check for a bound molecule near equilibrium:
+  // -V/T between 1.5 and 2.5 (exactly 2 at the exact functional/geometry).
+  const double v = c.external + c.hartree + c.xc + c.nuclear;
+  EXPECT_GT(-v / c.kinetic, 1.5);
+  EXPECT_LT(-v / c.kinetic, 2.5);
+}
+
+TEST(Scf, ExternalFieldPolarizesH2) {
+  ScfOptions opt;
+  opt.tier = basis::BasisTier::Light;  // p functions allow polarization
+  opt.grid.radial_points = 40;
+  opt.grid.angular_degree = 9;
+  opt.poisson.radial_points = 80;
+  opt.max_iterations = 120;
+
+  ScfOptions plus = opt;
+  plus.external_field = {0, 0, 0.01};
+  const ScfResult r0 = ScfSolver(h2(), opt).run();
+  const ScfResult rp = ScfSolver(h2(), plus).run();
+  ASSERT_TRUE(r0.converged);
+  ASSERT_TRUE(rp.converged);
+  // Perturbation -xi*z pulls electron density toward +z.
+  EXPECT_GT(rp.dipole.z, r0.dipole.z + 1e-4);
+}
+
+}  // namespace

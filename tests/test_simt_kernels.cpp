@@ -1,0 +1,269 @@
+// Tests for src/simt (device models, counted runtime) and src/kernels
+// (the four optimization-experiment kernel families). Variant-equivalence
+// property tests guarantee every optimization preserves results exactly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "kernels/density_kernels.hpp"
+#include "kernels/hartree_pm_kernel.hpp"
+#include "kernels/init_kernel.hpp"
+#include "kernels/rho_kernels.hpp"
+#include "simt/device.hpp"
+#include "simt/runtime.hpp"
+
+namespace {
+
+using namespace aeqp;
+using namespace aeqp::simt;
+using namespace aeqp::kernels;
+
+TEST(Device, ModelsReflectArchitectures) {
+  const DeviceModel sw = DeviceModel::sw39010();
+  const DeviceModel gpu = DeviceModel::gcn_gpu();
+  EXPECT_TRUE(sw.has_rma);
+  EXPECT_FALSE(gpu.has_rma);
+  EXPECT_EQ(sw.rma_limit_bytes, 64u * 1024u);
+  EXPECT_EQ(gpu.wavefront, 64u);
+  EXPECT_TRUE(gpu.persistent_device_buffers);
+  // Fig. 11 rationale: Sunway pays more per dependent access.
+  EXPECT_GT(sw.dependent_access_cost, gpu.dependent_access_cost);
+}
+
+TEST(Device, ModeledSecondsMonotoneInCounts) {
+  const DeviceModel gpu = DeviceModel::gcn_gpu();
+  KernelStats a;
+  a.launches = 1;
+  a.offchip_read_bytes = 1 << 20;
+  KernelStats b = a;
+  b.dependent_accesses = 1 << 20;
+  EXPECT_GT(b.modeled_seconds(gpu), a.modeled_seconds(gpu));
+  KernelStats c = b;
+  c.host_transfer_bytes = 1 << 24;
+  EXPECT_GT(c.modeled_seconds(gpu), b.modeled_seconds(gpu));
+}
+
+TEST(Runtime, CountsLaunchesItemsAndTraffic) {
+  SimtRuntime rt(DeviceModel::gcn_gpu());
+  std::vector<double> data(256, 1.0);
+  auto buf = rt.bind(data);
+  rt.launch(4, 64, [&](WorkGroup& wg) {
+    for (std::size_t i = 0; i < 64; ++i) {
+      const std::size_t idx = wg.group_id() * 64 + i;
+      buf.store(idx, buf.load(idx) * 2.0);
+    }
+    wg.issue_simt(64);
+    wg.barrier();
+  });
+  EXPECT_EQ(rt.stats().launches, 1u);
+  EXPECT_EQ(rt.stats().work_items, 256u);
+  EXPECT_EQ(rt.stats().offchip_read_bytes, 256u * 8u);
+  EXPECT_EQ(rt.stats().offchip_write_bytes, 256u * 8u);
+  EXPECT_EQ(rt.stats().barriers, 4u);
+  EXPECT_EQ(rt.stats().wavefront_steps, 4u);  // 64 lanes = 1 step per group
+  EXPECT_DOUBLE_EQ(data[0], 2.0);
+}
+
+TEST(Runtime, LocalMemRespectsCapacity) {
+  SimtRuntime rt(DeviceModel::sw39010());
+  rt.launch(1, 1, [&](WorkGroup& wg) {
+    auto mem = wg.local_mem(1024);
+    EXPECT_EQ(mem.size(), 1024u);
+    EXPECT_THROW((void)wg.local_mem(64 * 1024), Error);  // > 64 KB
+  });
+}
+
+TEST(Runtime, WavefrontSteppingRoundsUp) {
+  SimtRuntime rt(DeviceModel::gcn_gpu());
+  rt.launch(1, 1, [&](WorkGroup& wg) {
+    wg.issue_simt(65);      // 2 steps on a 64-wide machine
+    wg.issue_simt(10, 12);  // 12 bundles of 1 step
+  });
+  EXPECT_EQ(rt.stats().wavefront_steps, 14u);
+}
+
+TEST(InitKernel, DirectEqualsIndirect) {
+  const auto in = make_init_input(500, 20000);
+  const auto rearranged = build_rearranged_coords(in);
+  SimtRuntime rt(DeviceModel::sw39010());
+  const auto a = run_init_kernel_indirect(rt, in);
+  const auto b = run_init_kernel_direct(rt, in, rearranged);
+  ASSERT_EQ(a.center_coords.size(), b.center_coords.size());
+  for (std::size_t i = 0; i < a.center_coords.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.center_coords[i], b.center_coords[i]);
+}
+
+TEST(InitKernel, IndirectCostsDependentAccesses) {
+  const auto in = make_init_input(200, 5000);
+  const auto rearranged = build_rearranged_coords(in);
+
+  SimtRuntime rt_ind(DeviceModel::sw39010());
+  run_init_kernel_indirect(rt_ind, in);
+  SimtRuntime rt_dir(DeviceModel::sw39010());
+  run_init_kernel_direct(rt_dir, in, rearranged);
+
+  EXPECT_EQ(rt_ind.stats().dependent_accesses, 3u * 5000u);
+  EXPECT_EQ(rt_dir.stats().dependent_accesses, 0u);
+  EXPECT_GT(rt_ind.modeled_seconds(), rt_dir.modeled_seconds());
+}
+
+TEST(InitKernel, EliminationWinsMoreOnSunway) {
+  // Fig. 11: larger speedups on HPC#1 due to longer off-chip latency.
+  // Use a work size large enough that launch overhead does not mask the
+  // asymptotic access costs.
+  const auto in = make_init_input(20000, 1000000);
+  const auto rearranged = build_rearranged_coords(in);
+  auto speedup_on = [&](const DeviceModel& d) {
+    SimtRuntime a(d), b(d);
+    run_init_kernel_indirect(a, in);
+    run_init_kernel_direct(b, in, rearranged);
+    return a.modeled_seconds() / b.modeled_seconds();
+  };
+  const double sw = speedup_on(DeviceModel::sw39010());
+  const double gpu = speedup_on(DeviceModel::gcn_gpu());
+  EXPECT_GT(sw, gpu);
+  EXPECT_GT(gpu, 1.0);
+}
+
+class RhoFusionEquivalence : public ::testing::TestWithParam<FusionMode> {};
+
+TEST_P(RhoFusionEquivalence, PotentialIdenticalAcrossModes) {
+  RhoPhaseConfig cfg;
+  cfg.n_atoms = 4;
+  cfg.l_max = 3;
+  cfg.radial_points = 48;
+  cfg.grid_points_per_rank = 256;
+  cfg.ranks_per_device = 4;
+
+  SimtRuntime ref_rt(DeviceModel::gcn_gpu());
+  const auto ref = run_rho_phase(ref_rt, cfg, FusionMode::Unfused);
+
+  SimtRuntime rt(GetParam() == FusionMode::VerticalFused
+                     ? DeviceModel::sw39010()
+                     : DeviceModel::gcn_gpu());
+  const auto got = run_rho_phase(rt, cfg, GetParam());
+  ASSERT_EQ(got.potential.size(), ref.potential.size());
+  for (std::size_t i = 0; i < ref.potential.size(); ++i)
+    EXPECT_DOUBLE_EQ(got.potential[i], ref.potential[i]) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, RhoFusionEquivalence,
+                         ::testing::Values(FusionMode::Unfused,
+                                           FusionMode::VerticalFused,
+                                           FusionMode::HorizontalFused));
+
+TEST(RhoFusion, HorizontalEliminatesRedundantProducers) {
+  RhoPhaseConfig cfg;
+  cfg.n_atoms = 4;
+  cfg.l_max = 3;
+  cfg.radial_points = 48;
+  cfg.grid_points_per_rank = 128;
+  cfg.ranks_per_device = 8;
+
+  SimtRuntime gpu(DeviceModel::gcn_gpu());
+  const auto unfused = run_rho_phase(gpu, cfg, FusionMode::Unfused);
+  const auto fused = run_rho_phase(gpu, cfg, FusionMode::HorizontalFused);
+  EXPECT_EQ(unfused.producer_runs, 8u);
+  EXPECT_EQ(fused.producer_runs, 1u);
+  // Host round trips eliminated.
+  EXPECT_GT(unfused.stats.host_transfer_bytes, 0u);
+  EXPECT_EQ(fused.stats.host_transfer_bytes, 0u);
+  // Fewer kernel launches: 2 vs 16.
+  EXPECT_EQ(fused.stats.launches, 2u);
+  EXPECT_EQ(unfused.stats.launches, 16u);
+  // And the modeled time improves.
+  EXPECT_LT(fused.stats.modeled_seconds(gpu.model()),
+            unfused.stats.modeled_seconds(gpu.model()));
+}
+
+TEST(RhoFusion, VerticalGatedByRmaLimit) {
+  RhoPhaseConfig small;
+  small.n_atoms = 2;
+  small.l_max = 2;        // 9 channels * 48 knots * 4 rows * 8 B = 13.8 KB
+  small.radial_points = 48;
+  small.grid_points_per_rank = 64;
+  small.ranks_per_device = 2;
+  ASSERT_LT(small.spline_bytes_per_atom(), 64u * 1024u);
+
+  RhoPhaseConfig big = small;
+  big.l_max = 7;          // 64 channels -> ~98 KB > 64 KB RMA limit
+  ASSERT_GT(big.spline_bytes_per_atom(), 64u * 1024u);
+
+  SimtRuntime sw(DeviceModel::sw39010());
+  const auto ok = run_rho_phase(sw, small, FusionMode::VerticalFused);
+  EXPECT_TRUE(ok.vertical_applicable);
+  const auto blocked = run_rho_phase(sw, big, FusionMode::VerticalFused);
+  EXPECT_FALSE(blocked.vertical_applicable);  // falls back, still correct
+
+  SimtRuntime gpu(DeviceModel::gcn_gpu());
+  const auto no_rma = run_rho_phase(gpu, small, FusionMode::VerticalFused);
+  EXPECT_FALSE(no_rma.vertical_applicable);  // GPU has no RMA at all
+}
+
+TEST(PmLoop, CollapsedEqualsNested) {
+  SimtRuntime rt(DeviceModel::gcn_gpu());
+  for (int pmax : {0, 1, 3, 5, 9}) {
+    const auto nested = run_pm_loop_nested(rt, 17, pmax);
+    const auto collapsed = run_pm_loop_collapsed(rt, 17, pmax);
+    ASSERT_EQ(nested.values.size(), collapsed.values.size());
+    for (std::size_t i = 0; i < nested.values.size(); ++i)
+      EXPECT_DOUBLE_EQ(nested.values[i], collapsed.values[i])
+          << "pmax=" << pmax << " i=" << i;
+  }
+}
+
+TEST(PmLoop, IndexRecoveryCoversAllPairs) {
+  // The sqrt-based (p, m) recovery is a bijection onto the triangle.
+  for (int pmax : {2, 5, 9}) {
+    const std::size_t nlm = static_cast<std::size_t>((pmax + 1) * (pmax + 1));
+    std::vector<int> seen(nlm, 0);
+    for (std::size_t idx = 0; idx < nlm; ++idx) {
+      const int p = static_cast<int>(std::sqrt(static_cast<double>(idx)));
+      const int m = static_cast<int>(idx) - p * p - p;
+      ASSERT_GE(m, -p);
+      ASSERT_LE(m, p);
+      seen[static_cast<std::size_t>(p * p + m + p)]++;
+    }
+    for (auto c : seen) EXPECT_EQ(c, 1);
+  }
+}
+
+TEST(PmLoop, CollapsedUsesFewerWavefrontSteps) {
+  SimtRuntime rt(DeviceModel::gcn_gpu());
+  const auto nested = run_pm_loop_nested(rt, 100, 9);
+  const auto collapsed = run_pm_loop_collapsed(rt, 100, 9);
+  EXPECT_LT(collapsed.stats.wavefront_steps, nested.stats.wavefront_steps);
+  EXPECT_LT(collapsed.stats.modeled_seconds(rt.model()),
+            nested.stats.modeled_seconds(rt.model()));
+}
+
+TEST(DensityKernel, DenseEqualsSparse) {
+  const auto w = DensityKernelWorkload::make(48, 512, 256, 16);
+  SimtRuntime rt(DeviceModel::gcn_gpu());
+  const auto dense = run_sumup_dense(rt, w);
+  const auto sparse = run_sumup_sparse(rt, w);
+  ASSERT_EQ(dense.density.size(), sparse.density.size());
+  for (std::size_t i = 0; i < dense.density.size(); ++i)
+    EXPECT_NEAR(dense.density[i], sparse.density[i], 1e-12);
+}
+
+TEST(DensityKernel, DenseFasterThanSparse) {
+  const auto w = DensityKernelWorkload::make(96, 1359, 2048, 24);
+  SimtRuntime rt(DeviceModel::gcn_gpu());
+  const auto dense = run_sumup_dense(rt, w);
+  const auto sparse = run_sumup_sparse(rt, w);
+  // Real measured host time: binary-search fetches lose to direct indexing.
+  EXPECT_LT(dense.host_seconds, sparse.host_seconds);
+  // And the counted model agrees on both devices.
+  EXPECT_LT(dense.stats.modeled_seconds(DeviceModel::sw39010()),
+            sparse.stats.modeled_seconds(DeviceModel::sw39010()));
+}
+
+TEST(DensityKernel, WorkloadValidation) {
+  EXPECT_THROW(DensityKernelWorkload::make(8, 512, 10, 16), Error);   // support>local
+  EXPECT_THROW(DensityKernelWorkload::make(64, 32, 10, 16), Error);   // local>global
+}
+
+}  // namespace

@@ -1,0 +1,62 @@
+// Tests for core/spectrum.hpp: Lorentzian broadening and peak picking.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/spectrum.hpp"
+
+namespace {
+
+using namespace aeqp::core;
+
+TEST(Spectrum, SingleLinePeaksAtItsFrequency) {
+  const auto s =
+      lorentzian_spectrum({{1600.0, 10.0}}, 1000.0, 2000.0, 1001, 15.0);
+  const auto peaks = find_peaks(s);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_NEAR(s.frequency_at(peaks[0]), 1600.0, 1.0);
+  // Peak value equals the stick intensity (Lorentzian max = 1 at center).
+  EXPECT_NEAR(s.intensity[peaks[0]], 10.0, 0.01);
+}
+
+TEST(Spectrum, HalfMaximumAtHwhm) {
+  const auto s = lorentzian_spectrum({{500.0, 4.0}}, 0.0, 1000.0, 10001, 20.0);
+  // Value at +hwhm from the center is half the maximum.
+  const std::size_t i_center = 5000;  // 500.0
+  const std::size_t i_hwhm = 5200;    // 520.0
+  EXPECT_NEAR(s.intensity[i_hwhm], 0.5 * s.intensity[i_center], 0.01);
+}
+
+TEST(Spectrum, TwoWellSeparatedLinesGiveTwoPeaks) {
+  const auto s = lorentzian_spectrum({{1600.0, 5.0}, {3700.0, 8.0}}, 1000.0,
+                                     4000.0, 3001, 20.0);
+  const auto peaks = find_peaks(s);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_NEAR(s.frequency_at(peaks[0]), 1600.0, 2.0);
+  EXPECT_NEAR(s.frequency_at(peaks[1]), 3700.0, 2.0);
+  // Relative heights follow the activities.
+  EXPECT_GT(s.intensity[peaks[1]], s.intensity[peaks[0]]);
+}
+
+TEST(Spectrum, OverlappingLinesMerge) {
+  // Two lines closer than the linewidth blur into one peak.
+  const auto s = lorentzian_spectrum({{1000.0, 1.0}, {1010.0, 1.0}}, 800.0,
+                                     1200.0, 2001, 40.0);
+  EXPECT_EQ(find_peaks(s).size(), 1u);
+}
+
+TEST(Spectrum, Validation) {
+  EXPECT_THROW(lorentzian_spectrum({}, 0.0, 100.0, 1, 5.0), aeqp::Error);
+  EXPECT_THROW(lorentzian_spectrum({}, 100.0, 0.0, 10, 5.0), aeqp::Error);
+  EXPECT_THROW(lorentzian_spectrum({}, 0.0, 100.0, 10, 0.0), aeqp::Error);
+}
+
+TEST(Spectrum, EmptyLineListGivesFlatZero) {
+  const auto s = lorentzian_spectrum({}, 0.0, 100.0, 11, 5.0);
+  for (double v : s.intensity) EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_TRUE(find_peaks(s).empty());
+}
+
+}  // namespace

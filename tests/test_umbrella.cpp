@@ -1,0 +1,20 @@
+// Compile-level test: the umbrella header includes cleanly and exposes the
+// advertised entry points.
+
+#include "aeqp.hpp"
+
+#include <gtest/gtest.h>
+
+TEST(Umbrella, EndToEndSmoke) {
+  // Touch one symbol from each layer to keep the header honest.
+  const auto mol = aeqp::core::water();
+  EXPECT_EQ(mol.size(), 3u);
+  const auto basis =
+      aeqp::basis::BasisSet(mol, aeqp::basis::BasisTier::Minimal);
+  EXPECT_EQ(basis.size(), 7u);
+  const auto model = aeqp::parallel::MachineModel::hpc2_amd();
+  EXPECT_TRUE(model.has_shm);
+  const auto dev = aeqp::simt::DeviceModel::sw39010();
+  EXPECT_TRUE(dev.has_rma);
+  EXPECT_GT(aeqp::xc::lda_evaluate(0.5).fxc, -10.0);
+}

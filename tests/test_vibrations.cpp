@@ -1,0 +1,88 @@
+// Tests for core/vibrations.hpp: finite-difference Hessians and harmonic
+// normal-mode analysis on H2.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/vibrations.hpp"
+#include "grid/structure.hpp"
+
+namespace {
+
+using namespace aeqp;
+using namespace aeqp::core;
+
+grid::Structure h2() {
+  grid::Structure s;
+  s.add_atom(1, {0, 0, -0.7});
+  s.add_atom(1, {0, 0, 0.7});
+  return s;
+}
+
+HessianOptions coarse_options() {
+  HessianOptions opt;
+  opt.displacement = 0.02;
+  opt.scf.tier = basis::BasisTier::Minimal;
+  opt.scf.grid.radial_points = 36;
+  opt.scf.grid.angular_degree = 9;
+  opt.scf.poisson.radial_points = 72;
+  opt.scf.density_tolerance = 1e-8;
+  opt.scf.max_iterations = 200;
+  return opt;
+}
+
+TEST(AtomicMass, KnownValues) {
+  EXPECT_NEAR(atomic_mass(1), 1.008, 1e-3);
+  EXPECT_NEAR(atomic_mass(8), 15.999, 1e-3);
+  EXPECT_THROW(atomic_mass(92), Error);
+}
+
+TEST(Vibrations, H2StretchFrequencyAndSoftModes) {
+  const auto structure = h2();
+  const auto hess = energy_hessian(structure, coarse_options());
+
+  // The Hessian is symmetric and translationally invariant: each row sums
+  // to ~0 over equivalent coordinates of the two atoms.
+  EXPECT_LT(hess.max_abs_diff(hess.transposed()), 1e-12);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const double pair_sum = hess(i, i % 3) + hess(i, 3 + i % 3);
+    EXPECT_NEAR(pair_sum, 0.0, 0.02) << "row " << i;
+  }
+
+  const auto modes = harmonic_analysis(structure, hess);
+  ASSERT_EQ(modes.frequencies_cm.size(), 6u);
+
+  // Exactly one hard mode (the stretch); the 5 translations/rotations are
+  // at least an order of magnitude softer.
+  std::vector<double> mags;
+  for (double f : modes.frequencies_cm) mags.push_back(std::fabs(f));
+  std::sort(mags.begin(), mags.end());
+  const double stretch = mags.back();
+  EXPECT_GT(stretch, 3000.0);  // LDA H2 stretch ~4200 cm^-1
+  EXPECT_LT(stretch, 6500.0);
+  EXPECT_LT(mags[4], 0.25 * stretch);
+
+  // The stretch mode displaces the atoms along +-z.
+  std::size_t stretch_col = 0;
+  for (std::size_t p = 0; p < 6; ++p)
+    if (std::fabs(modes.frequencies_cm[p]) == stretch) stretch_col = p;
+  const auto& m = modes.cartesian_modes;
+  EXPECT_GT(std::fabs(m(2, stretch_col)), 10.0 * std::fabs(m(0, stretch_col)));
+  EXPECT_LT(m(2, stretch_col) * m(5, stretch_col), 0.0);  // opposite signs
+}
+
+TEST(Vibrations, HessianValidation) {
+  grid::Structure single;
+  single.add_atom(1, {0, 0, 0});
+  EXPECT_THROW(energy_hessian(single, coarse_options()), Error);
+  HessianOptions bad = coarse_options();
+  bad.displacement = 0.0;
+  EXPECT_THROW(energy_hessian(h2(), bad), Error);
+  linalg::Matrix wrong(3, 3);
+  EXPECT_THROW(harmonic_analysis(h2(), wrong), Error);
+}
+
+}  // namespace

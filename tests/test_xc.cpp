@@ -1,0 +1,90 @@
+// Tests for src/xc: LDA exchange and PZ81 correlation values, potentials,
+// thermodynamic consistency, and the DFPT kernel f_xc.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "xc/lda.hpp"
+
+namespace {
+
+using namespace aeqp::xc;
+
+TEST(Lda, ExchangeKnownValueAtUnitDensity) {
+  // e_x(n=1) = -(3/4)(3/pi)^{1/3} = -0.738558766...
+  EXPECT_NEAR(slater_exchange_energy(1.0), -0.7385587663820224, 1e-12);
+  EXPECT_NEAR(slater_exchange_potential(1.0), 4.0 / 3.0 * -0.7385587663820224,
+              1e-12);
+}
+
+TEST(Lda, ExchangeScalesAsCubeRoot) {
+  const double e1 = slater_exchange_energy(2.0);
+  const double e2 = slater_exchange_energy(16.0);
+  EXPECT_NEAR(e2 / e1, 2.0, 1e-12);  // (16/2)^{1/3} = 2
+}
+
+TEST(Lda, PotentialIsEnergyDerivative) {
+  // v_xc = d(n * e_xc)/dn; verify by finite difference across densities,
+  // including both PZ81 branches (rs < 1 and rs > 1).
+  for (double n : {1e-4, 1e-3, 0.01, 0.05, 0.238, 0.5, 1.0, 5.0}) {
+    const double h = 1e-6 * n;
+    auto f = [](double d) {
+      return d * (slater_exchange_energy(d) + pz81_correlation_energy(d));
+    };
+    const double v_fd = (f(n + h) - f(n - h)) / (2.0 * h);
+    const double v = slater_exchange_potential(n) + pz81_correlation_potential(n);
+    EXPECT_NEAR(v, v_fd, 1e-6 * std::fabs(v)) << "n=" << n;
+  }
+}
+
+TEST(Lda, CorrelationNegativeAndSmallerThanExchange) {
+  for (double n : {0.001, 0.01, 0.1, 1.0, 10.0}) {
+    EXPECT_LT(pz81_correlation_energy(n), 0.0);
+    EXPECT_GT(pz81_correlation_energy(n), slater_exchange_energy(n));
+  }
+}
+
+TEST(Lda, BranchesNearlyMeetAtRsOne) {
+  // PZ81's two parameterizations famously match only to ~3e-5 hartree at
+  // rs = 1 (n = 3/(4 pi)); assert the known magnitude of the seam.
+  const double n1 = 3.0 / (4.0 * aeqp::constants::pi);
+  const double below = pz81_correlation_energy(n1 * (1 + 1e-7));
+  const double above = pz81_correlation_energy(n1 * (1 - 1e-7));
+  EXPECT_NEAR(below, above, 1e-4);
+  EXPECT_NEAR(below, -0.0596, 1e-4);
+}
+
+TEST(Lda, EvaluateBundlesConsistently) {
+  const LdaPoint p = lda_evaluate(0.3);
+  EXPECT_NEAR(p.exc, slater_exchange_energy(0.3) + pz81_correlation_energy(0.3),
+              1e-14);
+  EXPECT_NEAR(p.vxc,
+              slater_exchange_potential(0.3) + pz81_correlation_potential(0.3),
+              1e-14);
+}
+
+TEST(Lda, KernelIsPotentialDerivative) {
+  for (double n : {1e-3, 0.02, 0.238, 1.0, 4.0}) {
+    const double h = 1e-5 * n;
+    const double f_fd =
+        (lda_evaluate(n + h).vxc - lda_evaluate(n - h).vxc) / (2.0 * h);
+    EXPECT_NEAR(lda_evaluate(n).fxc, f_fd, 1e-4 * std::fabs(f_fd)) << "n=" << n;
+  }
+}
+
+TEST(Lda, KernelNegative) {
+  // dv_xc/dn < 0 for all physical densities (attractive response).
+  for (double n : {1e-3, 0.1, 1.0, 100.0}) EXPECT_LT(lda_evaluate(n).fxc, 0.0);
+}
+
+TEST(Lda, VanishingDensityIsSafe) {
+  const LdaPoint p = lda_evaluate(0.0);
+  EXPECT_EQ(p.exc, 0.0);
+  EXPECT_EQ(p.vxc, 0.0);
+  EXPECT_EQ(p.fxc, 0.0);
+  EXPECT_EQ(lda_evaluate(-1.0).vxc, 0.0);  // negative densities clamp safely
+}
+
+}  // namespace
