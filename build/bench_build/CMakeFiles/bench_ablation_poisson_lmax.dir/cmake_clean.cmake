@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_poisson_lmax"
+  "../bench/bench_ablation_poisson_lmax.pdb"
+  "CMakeFiles/bench_ablation_poisson_lmax.dir/bench_ablation_poisson_lmax.cpp.o"
+  "CMakeFiles/bench_ablation_poisson_lmax.dir/bench_ablation_poisson_lmax.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_poisson_lmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_distributed_dfpt"
+  "../bench/bench_distributed_dfpt.pdb"
+  "CMakeFiles/bench_distributed_dfpt.dir/bench_distributed_dfpt.cpp.o"
+  "CMakeFiles/bench_distributed_dfpt.dir/bench_distributed_dfpt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distributed_dfpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig09a_mapping_memory.
+# This may be replaced when dependencies are built.

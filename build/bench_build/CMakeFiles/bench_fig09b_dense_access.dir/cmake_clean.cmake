@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09b_dense_access"
+  "../bench/bench_fig09b_dense_access.pdb"
+  "CMakeFiles/bench_fig09b_dense_access.dir/bench_fig09b_dense_access.cpp.o"
+  "CMakeFiles/bench_fig09b_dense_access.dir/bench_fig09b_dense_access.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09b_dense_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

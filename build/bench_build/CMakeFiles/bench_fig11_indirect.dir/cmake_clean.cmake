@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_indirect"
+  "../bench/bench_fig11_indirect.pdb"
+  "CMakeFiles/bench_fig11_indirect.dir/bench_fig11_indirect.cpp.o"
+  "CMakeFiles/bench_fig11_indirect.dir/bench_fig11_indirect.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_indirect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_fusion"
+  "../bench/bench_fig12_fusion.pdb"
+  "CMakeFiles/bench_fig12_fusion.dir/bench_fig12_fusion.cpp.o"
+  "CMakeFiles/bench_fig12_fusion.dir/bench_fig12_fusion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_overall"
+  "../bench/bench_fig14_overall.pdb"
+  "CMakeFiles/bench_fig14_overall.dir/bench_fig14_overall.cpp.o"
+  "CMakeFiles/bench_fig14_overall.dir/bench_fig14_overall.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

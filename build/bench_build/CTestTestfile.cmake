@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench_build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_bench_ablation_batch_size "/root/repo/build/bench/bench_ablation_batch_size" "--benchmark_filter=__none__")
+set_tests_properties(smoke_bench_ablation_batch_size PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_ablation_pack_window "/root/repo/build/bench/bench_ablation_pack_window" "--benchmark_filter=__none__")
+set_tests_properties(smoke_bench_ablation_pack_window PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_ablation_poisson_lmax "/root/repo/build/bench/bench_ablation_poisson_lmax" "--benchmark_filter=__none__")
+set_tests_properties(smoke_bench_ablation_poisson_lmax PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_distributed_dfpt "/root/repo/build/bench/bench_distributed_dfpt" "--benchmark_filter=__none__")
+set_tests_properties(smoke_bench_distributed_dfpt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig09a_mapping_memory "/root/repo/build/bench/bench_fig09a_mapping_memory" "--benchmark_filter=__none__")
+set_tests_properties(smoke_bench_fig09a_mapping_memory PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig09b_dense_access "/root/repo/build/bench/bench_fig09b_dense_access" "--benchmark_filter=__none__")
+set_tests_properties(smoke_bench_fig09b_dense_access PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig09c_spline_reuse "/root/repo/build/bench/bench_fig09c_spline_reuse" "--benchmark_filter=__none__")
+set_tests_properties(smoke_bench_fig09c_spline_reuse PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig10_allreduce "/root/repo/build/bench/bench_fig10_allreduce" "--benchmark_filter=__none__")
+set_tests_properties(smoke_bench_fig10_allreduce PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig11_indirect "/root/repo/build/bench/bench_fig11_indirect" "--benchmark_filter=__none__")
+set_tests_properties(smoke_bench_fig11_indirect PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig12_fusion "/root/repo/build/bench/bench_fig12_fusion" "--benchmark_filter=__none__")
+set_tests_properties(smoke_bench_fig12_fusion PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig13_collapse "/root/repo/build/bench/bench_fig13_collapse" "--benchmark_filter=__none__")
+set_tests_properties(smoke_bench_fig13_collapse PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig14_overall "/root/repo/build/bench/bench_fig14_overall" "--benchmark_filter=__none__")
+set_tests_properties(smoke_bench_fig14_overall PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig15_strong_scaling "/root/repo/build/bench/bench_fig15_strong_scaling" "--benchmark_filter=__none__")
+set_tests_properties(smoke_bench_fig15_strong_scaling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig16_weak_scaling "/root/repo/build/bench/bench_fig16_weak_scaling" "--benchmark_filter=__none__")
+set_tests_properties(smoke_bench_fig16_weak_scaling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_aeqp_run.dir/aeqp_run.cpp.o"
+  "CMakeFiles/example_aeqp_run.dir/aeqp_run.cpp.o.d"
+  "example_aeqp_run"
+  "example_aeqp_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_aeqp_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_distributed_dfpt.dir/distributed_dfpt.cpp.o"
+  "CMakeFiles/example_distributed_dfpt.dir/distributed_dfpt.cpp.o.d"
+  "example_distributed_dfpt"
+  "example_distributed_dfpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_distributed_dfpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_methane_validation.dir/methane_validation.cpp.o"
+  "CMakeFiles/example_methane_validation.dir/methane_validation.cpp.o.d"
+  "example_methane_validation"
+  "example_methane_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_methane_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

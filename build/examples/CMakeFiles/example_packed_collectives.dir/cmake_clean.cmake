@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_packed_collectives.dir/packed_collectives.cpp.o"
+  "CMakeFiles/example_packed_collectives.dir/packed_collectives.cpp.o.d"
+  "example_packed_collectives"
+  "example_packed_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_packed_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/polyethylene_scaling.cpp" "examples/CMakeFiles/example_polyethylene_scaling.dir/polyethylene_scaling.cpp.o" "gcc" "examples/CMakeFiles/example_polyethylene_scaling.dir/polyethylene_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aeqp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_scf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_xc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_poisson.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_basis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_polyethylene_scaling.dir/polyethylene_scaling.cpp.o"
+  "CMakeFiles/example_polyethylene_scaling.dir/polyethylene_scaling.cpp.o.d"
+  "example_polyethylene_scaling"
+  "example_polyethylene_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_polyethylene_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

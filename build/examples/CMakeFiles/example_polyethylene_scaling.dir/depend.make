@@ -1,0 +1,2 @@
+# Empty dependencies file for example_polyethylene_scaling.
+# This may be replaced when dependencies are built.

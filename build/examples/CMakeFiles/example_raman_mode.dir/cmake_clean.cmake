@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_raman_mode.dir/raman_mode.cpp.o"
+  "CMakeFiles/example_raman_mode.dir/raman_mode.cpp.o.d"
+  "example_raman_mode"
+  "example_raman_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_raman_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_water_raman_spectrum.dir/water_raman_spectrum.cpp.o"
+  "CMakeFiles/example_water_raman_spectrum.dir/water_raman_spectrum.cpp.o.d"
+  "example_water_raman_spectrum"
+  "example_water_raman_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_water_raman_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/basis/basis_set.cpp" "src/CMakeFiles/aeqp_basis.dir/basis/basis_set.cpp.o" "gcc" "src/CMakeFiles/aeqp_basis.dir/basis/basis_set.cpp.o.d"
+  "/root/repo/src/basis/element.cpp" "src/CMakeFiles/aeqp_basis.dir/basis/element.cpp.o" "gcc" "src/CMakeFiles/aeqp_basis.dir/basis/element.cpp.o.d"
+  "/root/repo/src/basis/radial_function.cpp" "src/CMakeFiles/aeqp_basis.dir/basis/radial_function.cpp.o" "gcc" "src/CMakeFiles/aeqp_basis.dir/basis/radial_function.cpp.o.d"
+  "/root/repo/src/basis/spherical_harmonics.cpp" "src/CMakeFiles/aeqp_basis.dir/basis/spherical_harmonics.cpp.o" "gcc" "src/CMakeFiles/aeqp_basis.dir/basis/spherical_harmonics.cpp.o.d"
+  "/root/repo/src/basis/spline.cpp" "src/CMakeFiles/aeqp_basis.dir/basis/spline.cpp.o" "gcc" "src/CMakeFiles/aeqp_basis.dir/basis/spline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aeqp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeqp_basis.dir/basis/basis_set.cpp.o"
+  "CMakeFiles/aeqp_basis.dir/basis/basis_set.cpp.o.d"
+  "CMakeFiles/aeqp_basis.dir/basis/element.cpp.o"
+  "CMakeFiles/aeqp_basis.dir/basis/element.cpp.o.d"
+  "CMakeFiles/aeqp_basis.dir/basis/radial_function.cpp.o"
+  "CMakeFiles/aeqp_basis.dir/basis/radial_function.cpp.o.d"
+  "CMakeFiles/aeqp_basis.dir/basis/spherical_harmonics.cpp.o"
+  "CMakeFiles/aeqp_basis.dir/basis/spherical_harmonics.cpp.o.d"
+  "CMakeFiles/aeqp_basis.dir/basis/spline.cpp.o"
+  "CMakeFiles/aeqp_basis.dir/basis/spline.cpp.o.d"
+  "libaeqp_basis.a"
+  "libaeqp_basis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeqp_basis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/hierarchical.cpp" "src/CMakeFiles/aeqp_comm.dir/comm/hierarchical.cpp.o" "gcc" "src/CMakeFiles/aeqp_comm.dir/comm/hierarchical.cpp.o.d"
+  "/root/repo/src/comm/packed.cpp" "src/CMakeFiles/aeqp_comm.dir/comm/packed.cpp.o" "gcc" "src/CMakeFiles/aeqp_comm.dir/comm/packed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aeqp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeqp_comm.dir/comm/hierarchical.cpp.o"
+  "CMakeFiles/aeqp_comm.dir/comm/hierarchical.cpp.o.d"
+  "CMakeFiles/aeqp_comm.dir/comm/packed.cpp.o"
+  "CMakeFiles/aeqp_comm.dir/comm/packed.cpp.o.d"
+  "libaeqp_comm.a"
+  "libaeqp_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeqp_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeqp_common.dir/common/error.cpp.o"
+  "CMakeFiles/aeqp_common.dir/common/error.cpp.o.d"
+  "CMakeFiles/aeqp_common.dir/common/log.cpp.o"
+  "CMakeFiles/aeqp_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/aeqp_common.dir/common/rng.cpp.o"
+  "CMakeFiles/aeqp_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/aeqp_common.dir/common/table.cpp.o"
+  "CMakeFiles/aeqp_common.dir/common/table.cpp.o.d"
+  "libaeqp_common.a"
+  "libaeqp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeqp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

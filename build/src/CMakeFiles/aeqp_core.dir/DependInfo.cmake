@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cube.cpp" "src/CMakeFiles/aeqp_core.dir/core/cube.cpp.o" "gcc" "src/CMakeFiles/aeqp_core.dir/core/cube.cpp.o.d"
+  "/root/repo/src/core/dfpt.cpp" "src/CMakeFiles/aeqp_core.dir/core/dfpt.cpp.o" "gcc" "src/CMakeFiles/aeqp_core.dir/core/dfpt.cpp.o.d"
+  "/root/repo/src/core/parallel_dfpt.cpp" "src/CMakeFiles/aeqp_core.dir/core/parallel_dfpt.cpp.o" "gcc" "src/CMakeFiles/aeqp_core.dir/core/parallel_dfpt.cpp.o.d"
+  "/root/repo/src/core/polarizability_invariants.cpp" "src/CMakeFiles/aeqp_core.dir/core/polarizability_invariants.cpp.o" "gcc" "src/CMakeFiles/aeqp_core.dir/core/polarizability_invariants.cpp.o.d"
+  "/root/repo/src/core/relax.cpp" "src/CMakeFiles/aeqp_core.dir/core/relax.cpp.o" "gcc" "src/CMakeFiles/aeqp_core.dir/core/relax.cpp.o.d"
+  "/root/repo/src/core/spectrum.cpp" "src/CMakeFiles/aeqp_core.dir/core/spectrum.cpp.o" "gcc" "src/CMakeFiles/aeqp_core.dir/core/spectrum.cpp.o.d"
+  "/root/repo/src/core/structures.cpp" "src/CMakeFiles/aeqp_core.dir/core/structures.cpp.o" "gcc" "src/CMakeFiles/aeqp_core.dir/core/structures.cpp.o.d"
+  "/root/repo/src/core/vibrations.cpp" "src/CMakeFiles/aeqp_core.dir/core/vibrations.cpp.o" "gcc" "src/CMakeFiles/aeqp_core.dir/core/vibrations.cpp.o.d"
+  "/root/repo/src/core/xyz.cpp" "src/CMakeFiles/aeqp_core.dir/core/xyz.cpp.o" "gcc" "src/CMakeFiles/aeqp_core.dir/core/xyz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aeqp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_basis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_xc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_poisson.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_scf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_perfmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

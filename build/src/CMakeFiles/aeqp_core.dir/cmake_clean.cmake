@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeqp_core.dir/core/cube.cpp.o"
+  "CMakeFiles/aeqp_core.dir/core/cube.cpp.o.d"
+  "CMakeFiles/aeqp_core.dir/core/dfpt.cpp.o"
+  "CMakeFiles/aeqp_core.dir/core/dfpt.cpp.o.d"
+  "CMakeFiles/aeqp_core.dir/core/parallel_dfpt.cpp.o"
+  "CMakeFiles/aeqp_core.dir/core/parallel_dfpt.cpp.o.d"
+  "CMakeFiles/aeqp_core.dir/core/polarizability_invariants.cpp.o"
+  "CMakeFiles/aeqp_core.dir/core/polarizability_invariants.cpp.o.d"
+  "CMakeFiles/aeqp_core.dir/core/relax.cpp.o"
+  "CMakeFiles/aeqp_core.dir/core/relax.cpp.o.d"
+  "CMakeFiles/aeqp_core.dir/core/spectrum.cpp.o"
+  "CMakeFiles/aeqp_core.dir/core/spectrum.cpp.o.d"
+  "CMakeFiles/aeqp_core.dir/core/structures.cpp.o"
+  "CMakeFiles/aeqp_core.dir/core/structures.cpp.o.d"
+  "CMakeFiles/aeqp_core.dir/core/vibrations.cpp.o"
+  "CMakeFiles/aeqp_core.dir/core/vibrations.cpp.o.d"
+  "CMakeFiles/aeqp_core.dir/core/xyz.cpp.o"
+  "CMakeFiles/aeqp_core.dir/core/xyz.cpp.o.d"
+  "libaeqp_core.a"
+  "libaeqp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeqp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/angular_grid.cpp" "src/CMakeFiles/aeqp_grid.dir/grid/angular_grid.cpp.o" "gcc" "src/CMakeFiles/aeqp_grid.dir/grid/angular_grid.cpp.o.d"
+  "/root/repo/src/grid/batch.cpp" "src/CMakeFiles/aeqp_grid.dir/grid/batch.cpp.o" "gcc" "src/CMakeFiles/aeqp_grid.dir/grid/batch.cpp.o.d"
+  "/root/repo/src/grid/molecular_grid.cpp" "src/CMakeFiles/aeqp_grid.dir/grid/molecular_grid.cpp.o" "gcc" "src/CMakeFiles/aeqp_grid.dir/grid/molecular_grid.cpp.o.d"
+  "/root/repo/src/grid/partition.cpp" "src/CMakeFiles/aeqp_grid.dir/grid/partition.cpp.o" "gcc" "src/CMakeFiles/aeqp_grid.dir/grid/partition.cpp.o.d"
+  "/root/repo/src/grid/quadrature.cpp" "src/CMakeFiles/aeqp_grid.dir/grid/quadrature.cpp.o" "gcc" "src/CMakeFiles/aeqp_grid.dir/grid/quadrature.cpp.o.d"
+  "/root/repo/src/grid/radial_grid.cpp" "src/CMakeFiles/aeqp_grid.dir/grid/radial_grid.cpp.o" "gcc" "src/CMakeFiles/aeqp_grid.dir/grid/radial_grid.cpp.o.d"
+  "/root/repo/src/grid/structure.cpp" "src/CMakeFiles/aeqp_grid.dir/grid/structure.cpp.o" "gcc" "src/CMakeFiles/aeqp_grid.dir/grid/structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aeqp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeqp_grid.dir/grid/angular_grid.cpp.o"
+  "CMakeFiles/aeqp_grid.dir/grid/angular_grid.cpp.o.d"
+  "CMakeFiles/aeqp_grid.dir/grid/batch.cpp.o"
+  "CMakeFiles/aeqp_grid.dir/grid/batch.cpp.o.d"
+  "CMakeFiles/aeqp_grid.dir/grid/molecular_grid.cpp.o"
+  "CMakeFiles/aeqp_grid.dir/grid/molecular_grid.cpp.o.d"
+  "CMakeFiles/aeqp_grid.dir/grid/partition.cpp.o"
+  "CMakeFiles/aeqp_grid.dir/grid/partition.cpp.o.d"
+  "CMakeFiles/aeqp_grid.dir/grid/quadrature.cpp.o"
+  "CMakeFiles/aeqp_grid.dir/grid/quadrature.cpp.o.d"
+  "CMakeFiles/aeqp_grid.dir/grid/radial_grid.cpp.o"
+  "CMakeFiles/aeqp_grid.dir/grid/radial_grid.cpp.o.d"
+  "CMakeFiles/aeqp_grid.dir/grid/structure.cpp.o"
+  "CMakeFiles/aeqp_grid.dir/grid/structure.cpp.o.d"
+  "libaeqp_grid.a"
+  "libaeqp_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeqp_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

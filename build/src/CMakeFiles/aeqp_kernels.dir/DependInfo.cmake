@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/batch_kernels.cpp" "src/CMakeFiles/aeqp_kernels.dir/kernels/batch_kernels.cpp.o" "gcc" "src/CMakeFiles/aeqp_kernels.dir/kernels/batch_kernels.cpp.o.d"
+  "/root/repo/src/kernels/density_kernels.cpp" "src/CMakeFiles/aeqp_kernels.dir/kernels/density_kernels.cpp.o" "gcc" "src/CMakeFiles/aeqp_kernels.dir/kernels/density_kernels.cpp.o.d"
+  "/root/repo/src/kernels/hartree_pm_kernel.cpp" "src/CMakeFiles/aeqp_kernels.dir/kernels/hartree_pm_kernel.cpp.o" "gcc" "src/CMakeFiles/aeqp_kernels.dir/kernels/hartree_pm_kernel.cpp.o.d"
+  "/root/repo/src/kernels/init_kernel.cpp" "src/CMakeFiles/aeqp_kernels.dir/kernels/init_kernel.cpp.o" "gcc" "src/CMakeFiles/aeqp_kernels.dir/kernels/init_kernel.cpp.o.d"
+  "/root/repo/src/kernels/rho_kernels.cpp" "src/CMakeFiles/aeqp_kernels.dir/kernels/rho_kernels.cpp.o" "gcc" "src/CMakeFiles/aeqp_kernels.dir/kernels/rho_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aeqp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_poisson.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_scf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_xc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_basis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

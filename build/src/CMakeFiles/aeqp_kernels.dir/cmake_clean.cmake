@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeqp_kernels.dir/kernels/batch_kernels.cpp.o"
+  "CMakeFiles/aeqp_kernels.dir/kernels/batch_kernels.cpp.o.d"
+  "CMakeFiles/aeqp_kernels.dir/kernels/density_kernels.cpp.o"
+  "CMakeFiles/aeqp_kernels.dir/kernels/density_kernels.cpp.o.d"
+  "CMakeFiles/aeqp_kernels.dir/kernels/hartree_pm_kernel.cpp.o"
+  "CMakeFiles/aeqp_kernels.dir/kernels/hartree_pm_kernel.cpp.o.d"
+  "CMakeFiles/aeqp_kernels.dir/kernels/init_kernel.cpp.o"
+  "CMakeFiles/aeqp_kernels.dir/kernels/init_kernel.cpp.o.d"
+  "CMakeFiles/aeqp_kernels.dir/kernels/rho_kernels.cpp.o"
+  "CMakeFiles/aeqp_kernels.dir/kernels/rho_kernels.cpp.o.d"
+  "libaeqp_kernels.a"
+  "libaeqp_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeqp_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeqp_linalg.dir/linalg/cholesky.cpp.o"
+  "CMakeFiles/aeqp_linalg.dir/linalg/cholesky.cpp.o.d"
+  "CMakeFiles/aeqp_linalg.dir/linalg/eigen.cpp.o"
+  "CMakeFiles/aeqp_linalg.dir/linalg/eigen.cpp.o.d"
+  "CMakeFiles/aeqp_linalg.dir/linalg/lu.cpp.o"
+  "CMakeFiles/aeqp_linalg.dir/linalg/lu.cpp.o.d"
+  "CMakeFiles/aeqp_linalg.dir/linalg/matrix.cpp.o"
+  "CMakeFiles/aeqp_linalg.dir/linalg/matrix.cpp.o.d"
+  "CMakeFiles/aeqp_linalg.dir/linalg/sparse.cpp.o"
+  "CMakeFiles/aeqp_linalg.dir/linalg/sparse.cpp.o.d"
+  "libaeqp_linalg.a"
+  "libaeqp_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeqp_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

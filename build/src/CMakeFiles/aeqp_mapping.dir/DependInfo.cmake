@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/hamiltonian_analysis.cpp" "src/CMakeFiles/aeqp_mapping.dir/mapping/hamiltonian_analysis.cpp.o" "gcc" "src/CMakeFiles/aeqp_mapping.dir/mapping/hamiltonian_analysis.cpp.o.d"
+  "/root/repo/src/mapping/synthetic_points.cpp" "src/CMakeFiles/aeqp_mapping.dir/mapping/synthetic_points.cpp.o" "gcc" "src/CMakeFiles/aeqp_mapping.dir/mapping/synthetic_points.cpp.o.d"
+  "/root/repo/src/mapping/task_mapping.cpp" "src/CMakeFiles/aeqp_mapping.dir/mapping/task_mapping.cpp.o" "gcc" "src/CMakeFiles/aeqp_mapping.dir/mapping/task_mapping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aeqp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_basis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

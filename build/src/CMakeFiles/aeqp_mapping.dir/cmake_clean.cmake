@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeqp_mapping.dir/mapping/hamiltonian_analysis.cpp.o"
+  "CMakeFiles/aeqp_mapping.dir/mapping/hamiltonian_analysis.cpp.o.d"
+  "CMakeFiles/aeqp_mapping.dir/mapping/synthetic_points.cpp.o"
+  "CMakeFiles/aeqp_mapping.dir/mapping/synthetic_points.cpp.o.d"
+  "CMakeFiles/aeqp_mapping.dir/mapping/task_mapping.cpp.o"
+  "CMakeFiles/aeqp_mapping.dir/mapping/task_mapping.cpp.o.d"
+  "libaeqp_mapping.a"
+  "libaeqp_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeqp_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeqp_parallel.dir/parallel/cluster.cpp.o"
+  "CMakeFiles/aeqp_parallel.dir/parallel/cluster.cpp.o.d"
+  "CMakeFiles/aeqp_parallel.dir/parallel/machine_model.cpp.o"
+  "CMakeFiles/aeqp_parallel.dir/parallel/machine_model.cpp.o.d"
+  "libaeqp_parallel.a"
+  "libaeqp_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeqp_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeqp_perfmodel.dir/perfmodel/dfpt_perf_model.cpp.o"
+  "CMakeFiles/aeqp_perfmodel.dir/perfmodel/dfpt_perf_model.cpp.o.d"
+  "libaeqp_perfmodel.a"
+  "libaeqp_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeqp_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poisson/adams_moulton.cpp" "src/CMakeFiles/aeqp_poisson.dir/poisson/adams_moulton.cpp.o" "gcc" "src/CMakeFiles/aeqp_poisson.dir/poisson/adams_moulton.cpp.o.d"
+  "/root/repo/src/poisson/multipole.cpp" "src/CMakeFiles/aeqp_poisson.dir/poisson/multipole.cpp.o" "gcc" "src/CMakeFiles/aeqp_poisson.dir/poisson/multipole.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aeqp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_basis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

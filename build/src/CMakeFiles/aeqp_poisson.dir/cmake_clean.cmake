@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeqp_poisson.dir/poisson/adams_moulton.cpp.o"
+  "CMakeFiles/aeqp_poisson.dir/poisson/adams_moulton.cpp.o.d"
+  "CMakeFiles/aeqp_poisson.dir/poisson/multipole.cpp.o"
+  "CMakeFiles/aeqp_poisson.dir/poisson/multipole.cpp.o.d"
+  "libaeqp_poisson.a"
+  "libaeqp_poisson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeqp_poisson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaeqp_poisson.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scf/diis.cpp" "src/CMakeFiles/aeqp_scf.dir/scf/diis.cpp.o" "gcc" "src/CMakeFiles/aeqp_scf.dir/scf/diis.cpp.o.d"
+  "/root/repo/src/scf/integrator.cpp" "src/CMakeFiles/aeqp_scf.dir/scf/integrator.cpp.o" "gcc" "src/CMakeFiles/aeqp_scf.dir/scf/integrator.cpp.o.d"
+  "/root/repo/src/scf/occupations.cpp" "src/CMakeFiles/aeqp_scf.dir/scf/occupations.cpp.o" "gcc" "src/CMakeFiles/aeqp_scf.dir/scf/occupations.cpp.o.d"
+  "/root/repo/src/scf/scf_solver.cpp" "src/CMakeFiles/aeqp_scf.dir/scf/scf_solver.cpp.o" "gcc" "src/CMakeFiles/aeqp_scf.dir/scf/scf_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aeqp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_basis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_xc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeqp_poisson.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeqp_scf.dir/scf/diis.cpp.o"
+  "CMakeFiles/aeqp_scf.dir/scf/diis.cpp.o.d"
+  "CMakeFiles/aeqp_scf.dir/scf/integrator.cpp.o"
+  "CMakeFiles/aeqp_scf.dir/scf/integrator.cpp.o.d"
+  "CMakeFiles/aeqp_scf.dir/scf/occupations.cpp.o"
+  "CMakeFiles/aeqp_scf.dir/scf/occupations.cpp.o.d"
+  "CMakeFiles/aeqp_scf.dir/scf/scf_solver.cpp.o"
+  "CMakeFiles/aeqp_scf.dir/scf/scf_solver.cpp.o.d"
+  "libaeqp_scf.a"
+  "libaeqp_scf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeqp_scf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

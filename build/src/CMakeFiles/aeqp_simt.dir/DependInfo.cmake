@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simt/device.cpp" "src/CMakeFiles/aeqp_simt.dir/simt/device.cpp.o" "gcc" "src/CMakeFiles/aeqp_simt.dir/simt/device.cpp.o.d"
+  "/root/repo/src/simt/runtime.cpp" "src/CMakeFiles/aeqp_simt.dir/simt/runtime.cpp.o" "gcc" "src/CMakeFiles/aeqp_simt.dir/simt/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aeqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

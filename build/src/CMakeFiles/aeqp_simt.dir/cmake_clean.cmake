@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeqp_simt.dir/simt/device.cpp.o"
+  "CMakeFiles/aeqp_simt.dir/simt/device.cpp.o.d"
+  "CMakeFiles/aeqp_simt.dir/simt/runtime.cpp.o"
+  "CMakeFiles/aeqp_simt.dir/simt/runtime.cpp.o.d"
+  "libaeqp_simt.a"
+  "libaeqp_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeqp_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

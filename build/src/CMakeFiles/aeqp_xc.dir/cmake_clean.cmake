@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeqp_xc.dir/xc/lda.cpp.o"
+  "CMakeFiles/aeqp_xc.dir/xc/lda.cpp.o.d"
+  "libaeqp_xc.a"
+  "libaeqp_xc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeqp_xc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

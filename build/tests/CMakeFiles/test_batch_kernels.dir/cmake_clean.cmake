@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batch_kernels.dir/test_batch_kernels.cpp.o"
+  "CMakeFiles/test_batch_kernels.dir/test_batch_kernels.cpp.o.d"
+  "test_batch_kernels"
+  "test_batch_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batch_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

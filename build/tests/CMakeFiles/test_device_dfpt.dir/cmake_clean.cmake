@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_dfpt.dir/test_device_dfpt.cpp.o"
+  "CMakeFiles/test_device_dfpt.dir/test_device_dfpt.cpp.o.d"
+  "test_device_dfpt"
+  "test_device_dfpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_dfpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

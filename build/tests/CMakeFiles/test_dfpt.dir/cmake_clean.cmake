@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfpt.dir/test_dfpt.cpp.o"
+  "CMakeFiles/test_dfpt.dir/test_dfpt.cpp.o.d"
+  "test_dfpt"
+  "test_dfpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

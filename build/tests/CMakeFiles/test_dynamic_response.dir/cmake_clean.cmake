@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_response.dir/test_dynamic_response.cpp.o"
+  "CMakeFiles/test_dynamic_response.dir/test_dynamic_response.cpp.o.d"
+  "test_dynamic_response"
+  "test_dynamic_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

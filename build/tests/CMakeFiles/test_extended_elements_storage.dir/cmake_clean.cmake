@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extended_elements_storage.dir/test_extended_elements_storage.cpp.o"
+  "CMakeFiles/test_extended_elements_storage.dir/test_extended_elements_storage.cpp.o.d"
+  "test_extended_elements_storage"
+  "test_extended_elements_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extended_elements_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_invariants_chain.dir/test_invariants_chain.cpp.o"
+  "CMakeFiles/test_invariants_chain.dir/test_invariants_chain.cpp.o.d"
+  "test_invariants_chain"
+  "test_invariants_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_invariants_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

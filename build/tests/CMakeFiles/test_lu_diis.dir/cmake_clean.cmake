@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lu_diis.dir/test_lu_diis.cpp.o"
+  "CMakeFiles/test_lu_diis.dir/test_lu_diis.cpp.o.d"
+  "test_lu_diis"
+  "test_lu_diis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lu_diis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

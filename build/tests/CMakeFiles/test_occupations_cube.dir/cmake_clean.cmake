@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_occupations_cube.dir/test_occupations_cube.cpp.o"
+  "CMakeFiles/test_occupations_cube.dir/test_occupations_cube.cpp.o.d"
+  "test_occupations_cube"
+  "test_occupations_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_occupations_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_comm.dir/test_parallel_comm.cpp.o"
+  "CMakeFiles/test_parallel_comm.dir/test_parallel_comm.cpp.o.d"
+  "test_parallel_comm"
+  "test_parallel_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

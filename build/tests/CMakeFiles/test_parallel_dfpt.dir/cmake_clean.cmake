@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_dfpt.dir/test_parallel_dfpt.cpp.o"
+  "CMakeFiles/test_parallel_dfpt.dir/test_parallel_dfpt.cpp.o.d"
+  "test_parallel_dfpt"
+  "test_parallel_dfpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_dfpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

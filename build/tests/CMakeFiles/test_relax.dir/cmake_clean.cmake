@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relax.dir/test_relax.cpp.o"
+  "CMakeFiles/test_relax.dir/test_relax.cpp.o.d"
+  "test_relax"
+  "test_relax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

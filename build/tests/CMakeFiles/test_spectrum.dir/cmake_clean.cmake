@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spectrum.dir/test_spectrum.cpp.o"
+  "CMakeFiles/test_spectrum.dir/test_spectrum.cpp.o.d"
+  "test_spectrum"
+  "test_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vibrations.dir/test_vibrations.cpp.o"
+  "CMakeFiles/test_vibrations.dir/test_vibrations.cpp.o.d"
+  "test_vibrations"
+  "test_vibrations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vibrations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
