@@ -9,7 +9,9 @@
 ///   - response: core::DfptSolver (serial) or core::solve_direction_parallel
 ///     (distributed on the simulated cluster)
 /// plus the substrate APIs (parallel::, comm::, mapping::, simt::,
-/// perfmodel::) for the scaling and portability experiments.
+/// perfmodel::) for the scaling and portability experiments, and the
+/// resilience:: layer (fault injection, checkpoint/restart, recovery) for
+/// the fault-tolerance ones.
 
 #include "basis/basis_set.hpp"
 #include "basis/element.hpp"
@@ -55,10 +57,14 @@
 #include "mapping/synthetic_points.hpp"
 #include "mapping/task_mapping.hpp"
 #include "parallel/cluster.hpp"
+#include "parallel/fault.hpp"
 #include "parallel/machine_model.hpp"
 #include "perfmodel/dfpt_perf_model.hpp"
 #include "poisson/adams_moulton.hpp"
 #include "poisson/multipole.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/health.hpp"
+#include "resilience/recovery.hpp"
 #include "scf/diis.hpp"
 #include "scf/integrator.hpp"
 #include "scf/occupations.hpp"

@@ -31,6 +31,13 @@ class PackedAllReducer {
 public:
   PackedAllReducer(parallel::Communicator& comm, ReduceMode mode,
                    std::size_t max_bytes = kDefaultPackBytes);
+
+  /// Callers MUST flush() before destruction: a collective from a
+  /// destructor (running at different times on different ranks) is a
+  /// deadlock hazard, so destroying a reducer with queued rows is a
+  /// programming error enforced by AEQP_ASSERT. The one exemption is
+  /// exception unwinding (a rank failure mid-flush), where the queued rows
+  /// are abandoned with the failed collective.
   ~PackedAllReducer();
 
   PackedAllReducer(const PackedAllReducer&) = delete;

@@ -1,6 +1,7 @@
 #include "core/dfpt.hpp"
 
 #include <cmath>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -90,7 +91,48 @@ DfptDirectionResult DfptSolver::solve_direction(int j) const {
   std::vector<double> v1(np, 0.0);     // v^(1)_es,tot + v^(1)_xc on the grid
   bool have_response = false;
 
-  for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+  // Sumup and Rho as functions of P^(1); shared by the iteration body and
+  // the warm-start path (the response potential is derived state, so a
+  // checkpoint only has to carry P^(1)).
+  const auto compute_sumup = [&](const Matrix& p) {
+    if (options_.device) {
+      kernels::sumup_kernel(*options_.device, grid, device_supports_, p, n1);
+    } else {
+      n1 = integ.density(p);
+    }
+  };
+  const auto compute_rho = [&](const Matrix& p) {
+    const poisson::DensityFn n1_fn = [&](const Vec3& pos) {
+      basis::PointEval ev;
+      basis.evaluate(pos, false, ev);
+      double n = 0.0;
+      for (std::size_t a = 0; a < ev.indices.size(); ++a)
+        for (std::size_t b = 0; b < ev.indices.size(); ++b)
+          n += p(ev.indices[a], ev.indices[b]) * ev.values[a] * ev.values[b];
+      return n;
+    };
+    const auto v1_part = hartree.solve_density(n1_fn);
+    for (std::size_t pt = 0; pt < np; ++pt)
+      v1[pt] = hartree.potential(v1_part, grid.point(pt).pos) + fxc_[pt] * n1[pt];
+  };
+
+  int start_iteration = 0;
+  if (options_.warm_start) {
+    const auto& ws = *options_.warm_start;
+    AEQP_CHECK(ws.p1.rows() == nb && ws.p1.cols() == nb,
+               "DfptSolver: warm start P^(1) has wrong dimensions");
+    AEQP_CHECK(ws.iteration >= 1 && ws.iteration < options_.max_iterations,
+               "DfptSolver: warm start iteration outside (0, max_iterations)");
+    p1 = ws.p1;
+    have_response = true;
+    start_iteration = ws.iteration;
+    compute_sumup(p1);
+    compute_rho(p1);
+  }
+
+  double last_delta = 0.0;
+  bool aborted = false;
+  for (int iter = start_iteration + 1; iter <= options_.max_iterations; ++iter) {
     Timer timer;
 
     // --- H phase: response Hamiltonian H^(1) (Eqs. 10-12), on the host
@@ -149,36 +191,30 @@ DfptDirectionResult DfptSolver::solve_direction(int j) const {
     }
     const double delta = p1_new.max_abs_diff(p1);
     p1 = std::move(p1_new);
+    last_delta = delta;
     t[Phase::DM] += timer.seconds();
+
+    res.iterations = iter;
+    if (options_.observer) {
+      const CpscfIterationState state{j, iter, delta, options_.mixing, &p1};
+      if (options_.observer(state) == CpscfAction::Abort) {
+        aborted = true;
+        break;
+      }
+    }
 
     // --- Sumup phase: n^(1)(r) on the grid (Eq. 8). ---
     timer.reset();
-    if (options_.device) {
-      kernels::sumup_kernel(*options_.device, grid, device_supports_, p1, n1);
-    } else {
-      n1 = integ.density(p1);
-    }
+    compute_sumup(p1);
     t[Phase::Sumup] += timer.seconds();
 
     // --- Rho phase: v^(1)_H by multipole Poisson solve (Eq. 9) plus the
     //     XC kernel term f_xc n^(1) (Eq. 12). ---
     timer.reset();
-    const poisson::DensityFn n1_fn = [&](const Vec3& pos) {
-      basis::PointEval ev;
-      basis.evaluate(pos, false, ev);
-      double n = 0.0;
-      for (std::size_t a = 0; a < ev.indices.size(); ++a)
-        for (std::size_t b = 0; b < ev.indices.size(); ++b)
-          n += p1(ev.indices[a], ev.indices[b]) * ev.values[a] * ev.values[b];
-      return n;
-    };
-    const auto v1_part = hartree.solve_density(n1_fn);
-    for (std::size_t p = 0; p < np; ++p)
-      v1[p] = hartree.potential(v1_part, grid.point(p).pos) + fxc_[p] * n1[p];
+    compute_rho(p1);
     t[Phase::Rho] += timer.seconds();
 
     have_response = true;
-    res.iterations = iter;
     if (options_.verbose)
       AEQP_LOG_INFO << "DFPT dir " << j << " iter " << iter
                     << " max|dP1|=" << delta;
@@ -188,6 +224,15 @@ DfptDirectionResult DfptSolver::solve_direction(int j) const {
     }
   }
 
+  res.aborted = aborted;
+  if (!res.converged && !aborted && options_.require_convergence) {
+    std::ostringstream msg;
+    msg << "DfptSolver: CPSCF failed to converge for direction " << j << ": "
+        << res.iterations << " iterations, last max|dP1|=" << last_delta
+        << ", tolerance=" << options_.tolerance
+        << ", mixing=" << options_.mixing;
+    AEQP_THROW(msg.str());
+  }
   res.p1 = p1;
   res.n1_samples = n1;
   for (int axis = 0; axis < 3; ++axis) {

@@ -16,6 +16,7 @@
 /// forms the polarizability (Eq. 13).
 
 #include <array>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -36,6 +37,37 @@ using PhaseTimes = std::map<Phase, double>;
 
 [[nodiscard]] std::string phase_name(Phase p);
 
+/// Snapshot handed to a CpscfObserver after the DM update of every CPSCF
+/// iteration (P^(1) and the residual are final for the iteration at that
+/// point; the Sumup/Rho phases that follow are derived from P^(1) alone).
+struct CpscfIterationState {
+  int direction = 0;
+  int iteration = 0;
+  double delta = 0.0;   ///< max |Delta P^(1)| of this iteration
+  double mixing = 0.0;  ///< mixing factor in effect
+  const linalg::Matrix* p1 = nullptr;  ///< response density matrix
+};
+
+/// What the observer wants the cycle to do next. Abort ends the cycle
+/// immediately (result reports converged = false); the resilience layer
+/// uses it to cut off a numerically poisoned run before it wastes more
+/// iterations.
+enum class CpscfAction { Continue, Abort };
+
+/// Per-iteration hook (health validation, checkpointing). In the parallel
+/// solver it runs on rank 0 only and its decision is broadcast, so side
+/// effects happen exactly once.
+using CpscfObserver = std::function<CpscfAction(const CpscfIterationState&)>;
+
+/// Resume point for a CPSCF cycle: the response density matrix after
+/// `iteration` completed iterations. The response potential is recomputed
+/// from P^(1) on resume, which reproduces the uninterrupted trajectory
+/// bit-for-bit.
+struct CpscfWarmStart {
+  int iteration = 0;
+  linalg::Matrix p1;
+};
+
 /// DFPT configuration.
 struct DfptOptions {
   int max_iterations = 40;
@@ -55,11 +87,21 @@ struct DfptOptions {
   /// Batch size used when `device` is set.
   std::size_t device_batch_points = 128;
   bool verbose = false;
+  /// Per-iteration hook for health validation and checkpointing; may abort
+  /// the cycle. Null = no observation.
+  CpscfObserver observer;
+  /// Resume from a previous iteration's state instead of from scratch.
+  std::shared_ptr<const CpscfWarmStart> warm_start;
+  /// Throw a detailed aeqp::Error (iterations, last residual, mixing) when
+  /// the cycle exhausts max_iterations without converging, instead of
+  /// returning converged = false.
+  bool require_convergence = false;
 };
 
 /// Result of one perturbation direction J.
 struct DfptDirectionResult {
   bool converged = false;
+  bool aborted = false;  ///< an observer cut the cycle off (see CpscfAction)
   int iterations = 0;
   Vec3 dipole_response{};            ///< d mu_I / d xi_J via \int r_I n^(1)
   /// Same quantity via the matrix trace Tr(P^(1) D_I) -- an independent

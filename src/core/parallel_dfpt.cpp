@@ -1,12 +1,15 @@
 #include "core/parallel_dfpt.hpp"
 
+#include <chrono>
 #include <cmath>
+#include <sstream>
 
 #include "basis/basis_set.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "linalg/sparse.hpp"
 #include "parallel/cluster.hpp"
+#include "parallel/fault.hpp"
 #include "xc/lda.hpp"
 
 namespace aeqp::core {
@@ -73,7 +76,12 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
       result.phase_seconds[Phase::Rho] = result.phase_seconds[Phase::H] =
           result.phase_seconds[Phase::Sternheimer] = 0.0;
 
+  double final_delta = 0.0;  // written by rank 0 (deltas are replicated)
+
   parallel::Cluster cluster(options.ranks, options.ranks_per_node);
+  cluster.set_collective_timeout(
+      std::chrono::milliseconds(options.collective_timeout_ms));
+  cluster.set_fault_injector(options.fault_injector);
   cluster.run([&](parallel::Communicator& comm) {
     const auto& my_batches = assignment.batches_of_rank[comm.rank()];
     // Cache this rank's point ids and basis values.
@@ -91,7 +99,74 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
     bool have_response = false;
     Timer timer;
 
-    for (int iter = 1; iter <= options.dfpt.max_iterations; ++iter) {
+    // Sumup and Rho restricted to this rank's points, as functions of the
+    // (replicated) P^(1); shared by the iteration body and the warm-start
+    // path so a resume recomputes the derived response state identically.
+    const auto compute_sumup_own = [&]() {
+      linalg::CsrMatrix p1_csr;
+      if (options.storage == HamiltonianStorage::GlobalSparseCsr) {
+        std::vector<linalg::Triplet> trips;
+        trips.reserve(nb * nb);
+        for (std::size_t i = 0; i < nb; ++i)
+          for (std::size_t j = 0; j < nb; ++j)
+            if (p1(i, j) != 0.0) trips.push_back({i, j, p1(i, j)});
+        p1_csr = linalg::CsrMatrix(nb, nb, std::move(trips));
+      }
+      for (std::size_t k = 0; k < my_points.size(); ++k) {
+        const auto& ev = my_eval[k];
+        double acc = 0.0;
+        if (options.storage == HamiltonianStorage::GlobalSparseCsr) {
+          for (std::size_t i = 0; i < ev.indices.size(); ++i) {
+            double rowsum = 0.0;
+            for (std::size_t j = 0; j < ev.indices.size(); ++j)
+              rowsum += p1_csr.fetch(ev.indices[i], ev.indices[j]) * ev.values[j];
+            acc += ev.values[i] * rowsum;
+          }
+        } else {
+          for (std::size_t i = 0; i < ev.indices.size(); ++i) {
+            const double* prow = p1.data() + ev.indices[i] * nb;
+            double rowsum = 0.0;
+            for (std::size_t j = 0; j < ev.indices.size(); ++j)
+              rowsum += prow[ev.indices[j]] * ev.values[j];
+            acc += ev.values[i] * rowsum;
+          }
+        }
+        n1_own[k] = acc;
+      }
+    };
+    const auto compute_rho_own = [&]() {
+      const poisson::DensityFn n1_fn = [&](const Vec3& pos) {
+        basis::PointEval ev;
+        basis.evaluate(pos, false, ev);
+        double n = 0.0;
+        for (std::size_t a = 0; a < ev.indices.size(); ++a)
+          for (std::size_t b = 0; b < ev.indices.size(); ++b)
+            n += p1(ev.indices[a], ev.indices[b]) * ev.values[a] * ev.values[b];
+        return n;
+      };
+      const auto v1_part = hartree.solve_density(n1_fn);
+      for (std::size_t k = 0; k < my_points.size(); ++k)
+        v1_own[k] = hartree.potential(v1_part, grid.point(my_points[k]).pos) +
+                    fxc[my_points[k]] * n1_own[k];
+    };
+
+    int start_iteration = 0;
+    if (options.dfpt.warm_start) {
+      const auto& ws = *options.dfpt.warm_start;
+      AEQP_CHECK(ws.p1.rows() == nb && ws.p1.cols() == nb,
+                 "solve_direction_parallel: warm start P^(1) has wrong dimensions");
+      AEQP_CHECK(ws.iteration >= 1 && ws.iteration < options.dfpt.max_iterations,
+                 "solve_direction_parallel: warm start iteration outside "
+                 "(0, max_iterations)");
+      p1 = ws.p1;
+      have_response = true;
+      start_iteration = ws.iteration;
+      compute_sumup_own();
+      compute_rho_own();
+    }
+
+    for (int iter = start_iteration + 1; iter <= options.dfpt.max_iterations;
+         ++iter) {
       // --- H phase (distributed): partial response-Hamiltonian integrals
       //     over this rank's grid points, synthesized by packed AllReduce.
       timer.reset();
@@ -146,7 +221,31 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
       }
       const double delta = p1_new.max_abs_diff(p1);
       p1 = std::move(p1_new);
-      if (comm.rank() == 0) result.phase_seconds[Phase::DM] += timer.seconds();
+      if (comm.rank() == 0) {
+        result.phase_seconds[Phase::DM] += timer.seconds();
+        result.iterations = iter;
+        final_delta = delta;
+      }
+
+      // --- Observer hook (health validation / checkpointing). The hook
+      //     runs on rank 0 only, so side effects happen exactly once; its
+      //     decision is broadcast so every rank takes the same branch. The
+      //     extra collective exists only when an observer is installed,
+      //     leaving the baseline collective sequence untouched. ---
+      if (options.dfpt.observer) {
+        std::vector<double> action(1, 0.0);
+        if (comm.rank() == 0) {
+          const CpscfIterationState state{direction, iter, delta,
+                                          options.dfpt.mixing, &p1};
+          if (options.dfpt.observer(state) == CpscfAction::Abort)
+            action[0] = 1.0;
+        }
+        comm.broadcast(action, 0);
+        if (action[0] != 0.0) {
+          if (comm.rank() == 0) result.aborted = true;
+          break;
+        }
+      }
 
       // --- Sumup phase (distributed): n^(1) on this rank's points. Under
       //     the legacy storage mode the contraction fetches every matrix
@@ -154,58 +253,16 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
       //     the inefficiency Fig. 3(a) illustrates); the values are
       //     identical either way. ---
       timer.reset();
-      linalg::CsrMatrix p1_csr;
-      if (options.storage == HamiltonianStorage::GlobalSparseCsr) {
-        std::vector<linalg::Triplet> trips;
-        trips.reserve(nb * nb);
-        for (std::size_t i = 0; i < nb; ++i)
-          for (std::size_t j = 0; j < nb; ++j)
-            if (p1(i, j) != 0.0) trips.push_back({i, j, p1(i, j)});
-        p1_csr = linalg::CsrMatrix(nb, nb, std::move(trips));
-      }
-      for (std::size_t k = 0; k < my_points.size(); ++k) {
-        const auto& ev = my_eval[k];
-        double acc = 0.0;
-        if (options.storage == HamiltonianStorage::GlobalSparseCsr) {
-          for (std::size_t i = 0; i < ev.indices.size(); ++i) {
-            double rowsum = 0.0;
-            for (std::size_t j = 0; j < ev.indices.size(); ++j)
-              rowsum += p1_csr.fetch(ev.indices[i], ev.indices[j]) * ev.values[j];
-            acc += ev.values[i] * rowsum;
-          }
-        } else {
-          for (std::size_t i = 0; i < ev.indices.size(); ++i) {
-            const double* prow = p1.data() + ev.indices[i] * nb;
-            double rowsum = 0.0;
-            for (std::size_t j = 0; j < ev.indices.size(); ++j)
-              rowsum += prow[ev.indices[j]] * ev.values[j];
-            acc += ev.values[i] * rowsum;
-          }
-        }
-        n1_own[k] = acc;
-      }
+      compute_sumup_own();
       if (comm.rank() == 0) result.phase_seconds[Phase::Sumup] += timer.seconds();
 
       // --- Rho phase: the Poisson producer is replicated on every rank
       //     (communication avoidance), the consumer runs on own points. ---
       timer.reset();
-      const poisson::DensityFn n1_fn = [&](const Vec3& pos) {
-        basis::PointEval ev;
-        basis.evaluate(pos, false, ev);
-        double n = 0.0;
-        for (std::size_t a = 0; a < ev.indices.size(); ++a)
-          for (std::size_t b = 0; b < ev.indices.size(); ++b)
-            n += p1(ev.indices[a], ev.indices[b]) * ev.values[a] * ev.values[b];
-        return n;
-      };
-      const auto v1_part = hartree.solve_density(n1_fn);
-      for (std::size_t k = 0; k < my_points.size(); ++k)
-        v1_own[k] = hartree.potential(v1_part, grid.point(my_points[k]).pos) +
-                    fxc[my_points[k]] * n1_own[k];
+      compute_rho_own();
       if (comm.rank() == 0) result.phase_seconds[Phase::Rho] += timer.seconds();
 
       have_response = true;
-      if (comm.rank() == 0) result.iterations = iter;
       if (delta < options.dfpt.tolerance && iter > 1) {
         if (comm.rank() == 0) result.converged = true;
         break;
@@ -231,6 +288,17 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
             linalg::trace_product(p1, integ.dipole_matrix(axis));
     }
   });
+
+  if (!result.converged && !result.aborted && options.dfpt.require_convergence) {
+    std::ostringstream msg;
+    msg << "solve_direction_parallel: CPSCF failed to converge for direction "
+        << direction << ": " << result.iterations
+        << " iterations, last max|dP1|=" << final_delta
+        << ", tolerance=" << options.dfpt.tolerance
+        << ", mixing=" << options.dfpt.mixing << " (" << options.ranks
+        << " ranks)";
+    AEQP_THROW(msg.str());
+  }
 
   result.n1_samples = std::move(n1_full);
   out.direction = std::move(result);

@@ -40,6 +40,12 @@ struct ParallelDfptOptions {
   std::size_t batch_points = 128;   ///< cut-plane batch size
   comm::ReduceMode reduce_mode = comm::ReduceMode::Hierarchical;
   HamiltonianStorage storage = HamiltonianStorage::LocalDense;
+  /// Optional fault injection replayed by the simmpi runtime (must outlive
+  /// the call); null = fault-free run.
+  parallel::FaultInjector* fault_injector = nullptr;
+  /// Collective deadline handed to the cluster; a rank stalled past it
+  /// surfaces as CollectiveTimeout on the surviving ranks.
+  std::size_t collective_timeout_ms = 120000;
 };
 
 /// Communication statistics of one distributed run.
@@ -48,6 +54,12 @@ struct ParallelDfptStats {
   std::size_t rows_reduced = 0;     ///< matrix rows synthesized
   std::size_t batches = 0;          ///< total grid batches
   double max_rank_points_share = 0; ///< load balance: max/mean points
+  // Recovery counters, filled by resilience::RecoveryDriver when a run is
+  // wrapped in fault recovery (zero for bare runs).
+  std::size_t faults_detected = 0;  ///< health violations + rank failures
+  std::size_t restores = 0;         ///< checkpoint restorations
+  std::size_t retries = 0;          ///< solver re-executions
+  std::size_t wasted_iterations = 0;///< iterations discarded by rollbacks
 };
 
 /// Result plus run statistics.

@@ -1,12 +1,10 @@
 #include "parallel/cluster.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <exception>
 #include <limits>
 #include <thread>
 
-#include "common/error.hpp"
+#include "parallel/fault.hpp"
 
 namespace aeqp::parallel {
 
@@ -14,17 +12,13 @@ Cluster::Cluster(std::size_t n_ranks, std::size_t ranks_per_node)
     : n_ranks_(n_ranks), ranks_per_node_(ranks_per_node) {
   AEQP_CHECK(n_ranks >= 1, "Cluster: need at least one rank");
   AEQP_CHECK(ranks_per_node >= 1, "Cluster: need at least one rank per node");
-  global_barrier_ = std::make_unique<std::barrier<>>(
-      static_cast<std::ptrdiff_t>(n_ranks_));
+  global_barrier_ = std::make_unique<FtBarrier>(n_ranks_);
   const std::size_t n_nodes = node_count();
-  leader_barrier_ = std::make_unique<std::barrier<>>(
-      static_cast<std::ptrdiff_t>(n_nodes));
   nodes_ = std::vector<NodeState>(n_nodes);
   for (std::size_t nd = 0; nd < n_nodes; ++nd) {
     const std::size_t first = nd * ranks_per_node_;
     const std::size_t count = std::min(ranks_per_node_, n_ranks_ - first);
-    nodes_[nd].barrier =
-        std::make_unique<std::barrier<>>(static_cast<std::ptrdiff_t>(count));
+    nodes_[nd].barrier = std::make_unique<FtBarrier>(count);
   }
 }
 
@@ -32,7 +26,103 @@ std::size_t Cluster::node_count() const {
   return (n_ranks_ + ranks_per_node_ - 1) / ranks_per_node_;
 }
 
-void Cluster::run(const std::function<void(Communicator&)>& fn) {
+void Cluster::FtBarrier::arrive_and_wait(Cluster& cluster, std::size_t rank) {
+  std::unique_lock<std::mutex> lk(mutex);
+  if (cluster.failed()) {
+    lk.unlock();
+    cluster.throw_failure(rank);
+  }
+  const std::uint64_t gen = generation;
+  if (++arrived == count) {
+    arrived = 0;
+    ++generation;
+    cv.notify_all();
+    return;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + cluster.collective_timeout_;
+  while (generation == gen) {
+    if (cluster.failed()) {
+      lk.unlock();
+      cluster.throw_failure(rank);
+    }
+    if (cv.wait_until(lk, deadline) == std::cv_status::timeout &&
+        generation == gen && !cluster.failed()) {
+      const std::size_t seen = arrived;
+      lk.unlock();
+      cluster.fail(rank,
+                   "collective deadline (" +
+                       std::to_string(cluster.collective_timeout_.count()) +
+                       " ms) exceeded with " + std::to_string(seen) + "/" +
+                       std::to_string(count) + " participants arrived",
+                   nullptr, /*is_timeout=*/true);
+      cluster.throw_failure(rank);
+    }
+  }
+}
+
+void Cluster::FtBarrier::wake() {
+  std::lock_guard<std::mutex> lk(mutex);
+  cv.notify_all();
+}
+
+void Cluster::fail(std::size_t rank, const std::string& what,
+                   std::exception_ptr cause, bool is_timeout) {
+  {
+    std::lock_guard<std::mutex> lk(fail_mutex_);
+    if (!failed_.load(std::memory_order_relaxed)) {
+      failed_rank_ = rank;
+      fail_what_ = what;
+      fail_is_timeout_ = is_timeout;
+      first_error_ = cause;
+      failed_.store(true, std::memory_order_release);
+    }
+  }
+  // Release every blocked rank so no collective stays stuck.
+  global_barrier_->wake();
+  for (auto& nd : nodes_) nd.barrier->wake();
+}
+
+void Cluster::throw_failure(std::size_t observer) const {
+  std::size_t failed_rank;
+  std::string what;
+  bool is_timeout;
+  {
+    std::lock_guard<std::mutex> lk(fail_mutex_);
+    failed_rank = failed_rank_;
+    what = fail_what_;
+    is_timeout = fail_is_timeout_;
+  }
+  if (is_timeout)
+    throw CollectiveTimeout(observer, "simmpi: " + what + " (observed on rank " +
+                                          std::to_string(observer) + ")");
+  throw RankFailure(failed_rank, observer,
+                    "simmpi: rank " + std::to_string(failed_rank) +
+                        " failed: " + what + " (observed on rank " +
+                        std::to_string(observer) + ")");
+}
+
+std::vector<std::exception_ptr> Cluster::run_collect(
+    const std::function<void(Communicator&)>& fn) {
+  // Reset state a previous (possibly failed) run may have left behind.
+  {
+    std::lock_guard<std::mutex> lk(fail_mutex_);
+    failed_.store(false, std::memory_order_release);
+    failed_rank_ = 0;
+    fail_what_.clear();
+    fail_is_timeout_ = false;
+    first_error_ = nullptr;
+  }
+  reduce_arrivals_ = 0;
+  {
+    std::lock_guard<std::mutex> lk(global_barrier_->mutex);
+    global_barrier_->arrived = 0;
+  }
+  for (auto& nd : nodes_) {
+    std::lock_guard<std::mutex> lk(nd.barrier->mutex);
+    nd.barrier->arrived = 0;
+  }
+
   std::vector<std::thread> threads;
   threads.reserve(n_ranks_);
   std::vector<std::exception_ptr> errors(n_ranks_);
@@ -43,14 +133,33 @@ void Cluster::run(const std::function<void(Communicator&)>& fn) {
         fn(comm);
       } catch (...) {
         errors[r] = std::current_exception();
-        // A dead rank would deadlock collectives; abort loudly instead.
-        std::fprintf(stderr, "simmpi: rank %zu threw; terminating cluster\n", r);
-        std::terminate();
+        std::string what = "rank function threw a non-standard exception";
+        try {
+          std::rethrow_exception(errors[r]);
+        } catch (const std::exception& e) {
+          what = e.what();
+        } catch (...) {
+        }
+        // Releases peers blocked in collectives; they raise RankFailure.
+        fail(r, what, errors[r], /*is_timeout=*/false);
       }
     });
   }
   for (auto& t : threads) t.join();
-  for (auto& e : errors)
+  return errors;
+}
+
+void Cluster::run(const std::function<void(Communicator&)>& fn) {
+  const auto errors = run_collect(fn);
+  std::exception_ptr root;
+  {
+    std::lock_guard<std::mutex> lk(fail_mutex_);
+    root = first_error_;
+  }
+  // Prefer the originating failure; the RankFailures it triggered on the
+  // other ranks are secondary.
+  if (root) std::rethrow_exception(root);
+  for (const auto& e : errors)
     if (e) std::rethrow_exception(e);
 }
 
@@ -65,84 +174,127 @@ std::size_t Communicator::node_size() const {
 }
 std::size_t Communicator::node_count() const { return cluster_->node_count(); }
 
-void Communicator::barrier() { cluster_->global_barrier_->arrive_and_wait(); }
+void Communicator::enter_collective(const char* what, std::span<double> payload) {
+  if (cluster_->failed()) cluster_->throw_failure(rank_);
+  const std::size_t seq = seq_++;
+  if (cluster_->injector_ != nullptr) {
+    cluster_->injector_->on_collective(
+        rank_, seq, what, payload,
+        [this] { return cluster_->failed(); });
+    // A peer may have failed while this rank was stalled by the injector.
+    if (cluster_->failed()) cluster_->throw_failure(rank_);
+  }
+}
+
+void Communicator::barrier() {
+  enter_collective("barrier", {});
+  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_);
+}
 
 void Communicator::node_barrier() {
-  cluster_->nodes_[node()].barrier->arrive_and_wait();
+  enter_collective("node_barrier", {});
+  cluster_->nodes_[node()].barrier->arrive_and_wait(*cluster_, rank_);
 }
 
 void Communicator::allreduce_sum(std::span<double> data) {
+  enter_collective("allreduce_sum", data);
   {
     std::lock_guard<std::mutex> lock(cluster_->reduce_mutex_);
-    if (cluster_->reduce_arrivals_ == 0)
+    if (cluster_->reduce_arrivals_ == 0) {
       cluster_->reduce_buffer_.assign(data.size(), 0.0);
-    AEQP_CHECK(cluster_->reduce_buffer_.size() == data.size(),
-               "allreduce_sum: ranks disagree on element count");
+      cluster_->reduce_first_rank_ = rank_;
+    } else if (cluster_->reduce_buffer_.size() != data.size()) {
+      AEQP_THROW("allreduce_sum: element count mismatch: rank " +
+                 std::to_string(cluster_->reduce_first_rank_) + " passed " +
+                 std::to_string(cluster_->reduce_buffer_.size()) +
+                 " elements, rank " + std::to_string(rank_) + " passed " +
+                 std::to_string(data.size()));
+    }
     for (std::size_t i = 0; i < data.size(); ++i)
       cluster_->reduce_buffer_[i] += data[i];
     ++cluster_->reduce_arrivals_;
   }
-  barrier();
+  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_);
   for (std::size_t i = 0; i < data.size(); ++i)
     data[i] = cluster_->reduce_buffer_[i];
-  barrier();
+  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_);
   if (rank_ == 0) cluster_->reduce_arrivals_ = 0;
-  barrier();
+  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_);
 }
 
 void Communicator::allreduce_max(std::span<double> data) {
+  enter_collective("allreduce_max", data);
   {
     std::lock_guard<std::mutex> lock(cluster_->reduce_mutex_);
-    if (cluster_->reduce_arrivals_ == 0)
+    if (cluster_->reduce_arrivals_ == 0) {
       cluster_->reduce_buffer_.assign(
           data.size(), -std::numeric_limits<double>::infinity());
-    AEQP_CHECK(cluster_->reduce_buffer_.size() == data.size(),
-               "allreduce_max: ranks disagree on element count");
+      cluster_->reduce_first_rank_ = rank_;
+    } else if (cluster_->reduce_buffer_.size() != data.size()) {
+      AEQP_THROW("allreduce_max: element count mismatch: rank " +
+                 std::to_string(cluster_->reduce_first_rank_) + " passed " +
+                 std::to_string(cluster_->reduce_buffer_.size()) +
+                 " elements, rank " + std::to_string(rank_) + " passed " +
+                 std::to_string(data.size()));
+    }
     for (std::size_t i = 0; i < data.size(); ++i)
       cluster_->reduce_buffer_[i] = std::max(cluster_->reduce_buffer_[i], data[i]);
     ++cluster_->reduce_arrivals_;
   }
-  barrier();
+  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_);
   for (std::size_t i = 0; i < data.size(); ++i)
     data[i] = cluster_->reduce_buffer_[i];
-  barrier();
+  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_);
   if (rank_ == 0) cluster_->reduce_arrivals_ = 0;
-  barrier();
+  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_);
 }
 
 void Communicator::allreduce_sum_leaders(std::span<double> data) {
   const bool leader = node_rank() == 0;
+  enter_collective("allreduce_sum_leaders",
+                   leader ? data : std::span<double>{});
   if (leader) {
     std::lock_guard<std::mutex> lock(cluster_->reduce_mutex_);
-    if (cluster_->reduce_arrivals_ == 0)
+    if (cluster_->reduce_arrivals_ == 0) {
       cluster_->reduce_buffer_.assign(data.size(), 0.0);
-    AEQP_CHECK(cluster_->reduce_buffer_.size() == data.size(),
-               "allreduce_sum_leaders: leaders disagree on element count");
+      cluster_->reduce_first_rank_ = rank_;
+    } else if (cluster_->reduce_buffer_.size() != data.size()) {
+      AEQP_THROW("allreduce_sum_leaders: element count mismatch: rank " +
+                 std::to_string(cluster_->reduce_first_rank_) + " passed " +
+                 std::to_string(cluster_->reduce_buffer_.size()) +
+                 " elements, rank " + std::to_string(rank_) + " passed " +
+                 std::to_string(data.size()));
+    }
     for (std::size_t i = 0; i < data.size(); ++i)
       cluster_->reduce_buffer_[i] += data[i];
     ++cluster_->reduce_arrivals_;
   }
-  barrier();
+  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_);
   if (leader)
     for (std::size_t i = 0; i < data.size(); ++i)
       data[i] = cluster_->reduce_buffer_[i];
-  barrier();
+  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_);
   if (rank_ == 0) cluster_->reduce_arrivals_ = 0;
-  barrier();
+  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_);
 }
 
 void Communicator::broadcast(std::span<double> data, std::size_t root) {
   AEQP_CHECK(root < size(), "broadcast: root out of range");
+  enter_collective("broadcast", rank_ == root ? data : std::span<double>{});
   if (rank_ == root)
     cluster_->bcast_buffer_.assign(data.begin(), data.end());
-  barrier();
+  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_);
   if (rank_ != root) {
-    AEQP_CHECK(cluster_->bcast_buffer_.size() == data.size(),
-               "broadcast: ranks disagree on element count");
+    if (cluster_->bcast_buffer_.size() != data.size())
+      AEQP_THROW("broadcast: element count mismatch: root rank " +
+                 std::to_string(root) + " passed " +
+                 std::to_string(cluster_->bcast_buffer_.size()) +
+                 " elements, rank " + std::to_string(rank_) + " passed " +
+                 std::to_string(data.size()));
     for (std::size_t i = 0; i < data.size(); ++i)
       data[i] = cluster_->bcast_buffer_[i];
   }
-  barrier();
+  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_);
 }
 
 std::span<double> Communicator::node_window(std::size_t size) {

@@ -7,18 +7,62 @@
 /// verified bit-for-bit at small scale. Node topology (ranks_per_node) maps
 /// ranks onto "shared-memory nodes", exposing the MPI SHM-style windows the
 /// paper's hierarchical scheme relies on (Sec. 3.2.2, ref [24]).
+///
+/// Fault tolerance: every collective carries a deadline. When a rank dies
+/// (its rank function throws, or a planned Kill fault fires) the surviving
+/// ranks are woken from their barriers and raise a structured RankFailure
+/// instead of blocking forever; when a rank merely stalls past the deadline
+/// the waiters raise CollectiveTimeout. A FaultInjector (see fault.hpp) can
+/// be attached to corrupt payloads, stall ranks, or kill them at chosen
+/// collectives, deterministically.
 
-#include <barrier>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
+
+#include "common/error.hpp"
 
 namespace aeqp::parallel {
 
 class Cluster;
+class FaultInjector;
+
+/// Structured error raised on every surviving rank when a peer rank died
+/// mid-collective (and on the dying rank itself when a Kill fault fires).
+class RankFailure : public Error {
+public:
+  RankFailure(std::size_t failed_rank, std::size_t observer_rank,
+              const std::string& what)
+      : Error(what), failed_rank_(failed_rank), observer_rank_(observer_rank) {}
+  /// Rank that died.
+  [[nodiscard]] std::size_t failed_rank() const { return failed_rank_; }
+  /// Rank on which this exception was raised.
+  [[nodiscard]] std::size_t observer_rank() const { return observer_rank_; }
+
+private:
+  std::size_t failed_rank_;
+  std::size_t observer_rank_;
+};
+
+/// Raised when a collective exceeds the cluster deadline (a rank stalled or
+/// the collective schedule diverged) instead of deadlocking.
+class CollectiveTimeout : public Error {
+public:
+  CollectiveTimeout(std::size_t observer_rank, const std::string& what)
+      : Error(what), observer_rank_(observer_rank) {}
+  [[nodiscard]] std::size_t observer_rank() const { return observer_rank_; }
+
+private:
+  std::size_t observer_rank_;
+};
 
 /// Per-rank handle passed to the rank function; provides the collective
 /// operations of the simulated MPI world.
@@ -31,6 +75,10 @@ public:
   [[nodiscard]] std::size_t node_size() const;  ///< ranks on this node
   [[nodiscard]] std::size_t node_count() const;
 
+  /// Number of collectives this rank has entered so far -- the sequence
+  /// axis fault plans are addressed against.
+  [[nodiscard]] std::size_t collective_index() const { return seq_; }
+
   /// Global barrier across all ranks.
   void barrier();
 
@@ -38,7 +86,7 @@ public:
   void node_barrier();
 
   /// In-place sum-AllReduce over all ranks; every rank must pass the same
-  /// element count.
+  /// element count (mismatches raise aeqp::Error naming both ranks).
   void allreduce_sum(std::span<double> data);
 
   /// In-place elementwise max-AllReduce (used for global convergence
@@ -63,13 +111,23 @@ private:
   friend class Cluster;
   Communicator(Cluster& cluster, std::size_t rank)
       : cluster_(&cluster), rank_(rank) {}
+
+  /// Common prologue of every collective: aborts immediately when the
+  /// cluster already failed, then gives the fault injector (if any) a shot
+  /// at this rank's payload. `payload` is this rank's in-transit
+  /// contribution (empty for payload-less collectives and for ranks whose
+  /// data the operation ignores).
+  void enter_collective(const char* what, std::span<double> payload);
+
   Cluster* cluster_;
   std::size_t rank_;
+  std::size_t seq_ = 0;
 };
 
 /// Simulated cluster: spawns one thread per rank and runs the given rank
-/// function to completion. Exceptions in rank functions are captured and
-/// rethrown from run().
+/// function to completion. Exceptions in rank functions are captured, the
+/// remaining ranks are released from their collectives with RankFailure,
+/// and run() rethrows the root cause.
 class Cluster {
 public:
   Cluster(std::size_t n_ranks, std::size_t ranks_per_node);
@@ -78,29 +136,83 @@ public:
   [[nodiscard]] std::size_t ranks_per_node() const { return ranks_per_node_; }
   [[nodiscard]] std::size_t node_count() const;
 
+  /// Deadline for any single collective. Survivors raise CollectiveTimeout
+  /// when it passes without completion. Default: 120 s (generous enough for
+  /// legitimate compute imbalance at laptop scale).
+  void set_collective_timeout(std::chrono::milliseconds timeout) {
+    collective_timeout_ = timeout;
+  }
+  [[nodiscard]] std::chrono::milliseconds collective_timeout() const {
+    return collective_timeout_;
+  }
+
+  /// Attach a fault injector consulted at every collective entry. The
+  /// injector must outlive the cluster runs it is attached to.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
   /// Execute fn on every rank concurrently; blocks until all finish.
+  /// Rethrows the root-cause exception (the first failure, preferring the
+  /// originating error over the secondary RankFailures it triggers).
   void run(const std::function<void(Communicator&)>& fn);
+
+  /// Like run(), but returns the per-rank outcome instead of throwing: one
+  /// exception_ptr per rank, null where the rank finished cleanly. Lets the
+  /// caller assert that *every* surviving rank observed a structured error.
+  std::vector<std::exception_ptr> run_collect(
+      const std::function<void(Communicator&)>& fn);
 
 private:
   friend class Communicator;
 
+  /// Condition-variable barrier with a deadline and failure wake-up (a
+  /// std::barrier cannot be interrupted, which is exactly the deadlock the
+  /// fault model has to avoid).
+  struct FtBarrier {
+    explicit FtBarrier(std::size_t count) : count(count) {}
+    void arrive_and_wait(Cluster& cluster, std::size_t rank);
+    void wake();
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t count;
+    std::size_t arrived = 0;
+    std::uint64_t generation = 0;
+  };
+
   struct NodeState {
-    std::unique_ptr<std::barrier<>> barrier;
+    std::unique_ptr<FtBarrier> barrier;
     std::mutex mutex;
     std::vector<double> window;
     std::size_t window_size = 0;
   };
 
+  /// Record the first failure (rank + human-readable cause + originating
+  /// exception) and wake every barrier so no rank stays blocked.
+  void fail(std::size_t rank, const std::string& what, std::exception_ptr cause,
+            bool is_timeout);
+  [[nodiscard]] bool failed() const { return failed_.load(std::memory_order_acquire); }
+  /// Raise the structured error matching the recorded failure on `observer`.
+  [[noreturn]] void throw_failure(std::size_t observer) const;
+
   std::size_t n_ranks_;
   std::size_t ranks_per_node_;
+  std::chrono::milliseconds collective_timeout_{120000};
+  FaultInjector* injector_ = nullptr;
 
-  std::unique_ptr<std::barrier<>> global_barrier_;
-  std::unique_ptr<std::barrier<>> leader_barrier_;
+  std::unique_ptr<FtBarrier> global_barrier_;
   std::mutex reduce_mutex_;
   std::vector<double> reduce_buffer_;
   std::size_t reduce_arrivals_ = 0;
+  std::size_t reduce_first_rank_ = 0;  ///< rank that sized the reduce buffer
   std::vector<double> bcast_buffer_;
   std::vector<NodeState> nodes_;
+
+  // Failure state: set once by the first failing rank, read by everyone.
+  std::atomic<bool> failed_{false};
+  mutable std::mutex fail_mutex_;
+  std::size_t failed_rank_ = 0;
+  std::string fail_what_;
+  bool fail_is_timeout_ = false;
+  std::exception_ptr first_error_;
 };
 
 }  // namespace aeqp::parallel

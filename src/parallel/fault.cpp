@@ -1,0 +1,132 @@
+#include "parallel/fault.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "parallel/cluster.hpp"
+
+namespace aeqp::parallel {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::BitFlip: return "bit-flip";
+    case FaultKind::NanPayload: return "nan-payload";
+    case FaultKind::InfPayload: return "inf-payload";
+    case FaultKind::Stall: return "stall";
+    case FaultKind::Kill: return "kill";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::add(const FaultEvent& event) {
+  events_.push_back(event);
+  return *this;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, std::size_t n_events,
+                            std::size_t n_ranks, std::size_t first_collective,
+                            std::size_t last_collective,
+                            std::vector<FaultKind> kinds) {
+  AEQP_CHECK(n_ranks >= 1, "FaultPlan::random: need at least one rank");
+  AEQP_CHECK(last_collective > first_collective,
+             "FaultPlan::random: empty collective window");
+  AEQP_CHECK(!kinds.empty(), "FaultPlan::random: empty kind set");
+  Rng rng(seed);
+  FaultPlan plan;
+  for (std::size_t i = 0; i < n_events; ++i) {
+    FaultEvent e;
+    e.kind = kinds[rng.uniform_index(kinds.size())];
+    e.rank = rng.uniform_index(n_ranks);
+    e.collective = first_collective +
+                   rng.uniform_index(last_collective - first_collective);
+    e.element = rng.uniform_index(4096);
+    e.bit = 48 + static_cast<int>(rng.uniform_index(16));
+    plan.add(e);
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) {
+  for (const auto& e : plan.events()) events_.push_back(Armed{e, 0, false});
+}
+
+void FaultInjector::on_collective(std::size_t rank, std::size_t seq,
+                                  const char* what, std::span<double> payload,
+                                  const std::function<bool()>& cancelled) {
+  std::size_t stall_total_ms = 0;
+  bool kill = false;
+  std::size_t kill_collective = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& armed : events_) {
+      if (armed.done || armed.event.rank != rank || seq < armed.event.collective)
+        continue;
+      switch (armed.event.kind) {
+        case FaultKind::BitFlip:
+        case FaultKind::NanPayload:
+        case FaultKind::InfPayload: {
+          if (payload.empty()) continue;  // wait for a payload collective
+          double& slot = payload[armed.event.element % payload.size()];
+          if (armed.event.kind == FaultKind::BitFlip) {
+            std::uint64_t bits;
+            std::memcpy(&bits, &slot, sizeof(bits));
+            bits ^= std::uint64_t{1} << (armed.event.bit & 63);
+            std::memcpy(&slot, &bits, sizeof(bits));
+          } else if (armed.event.kind == FaultKind::NanPayload) {
+            slot = std::numeric_limits<double>::quiet_NaN();
+          } else {
+            slot = std::numeric_limits<double>::infinity();
+          }
+          armed.done = true;
+          ++stats_.corruptions;
+          break;
+        }
+        case FaultKind::Stall:
+          stall_total_ms += armed.event.stall_ms;
+          if (++armed.fired >= armed.event.repeat) armed.done = true;
+          ++stats_.stalls;
+          break;
+        case FaultKind::Kill:
+          armed.done = true;
+          ++stats_.kills;
+          kill = true;
+          kill_collective = seq;
+          break;
+      }
+    }
+  }
+  if (stall_total_ms > 0) {
+    // Sleep in slices so a cluster-wide failure cuts the stall short.
+    using namespace std::chrono;
+    const auto until = steady_clock::now() + milliseconds(stall_total_ms);
+    while (steady_clock::now() < until && !(cancelled && cancelled()))
+      std::this_thread::sleep_for(milliseconds(
+          std::min<long long>(20, duration_cast<milliseconds>(
+                                      until - steady_clock::now()).count() + 1)));
+  }
+  if (kill)
+    throw RankFailure(rank, rank,
+                      "fault injection: rank " + std::to_string(rank) +
+                          " killed at collective #" +
+                          std::to_string(kill_collective) + " (" + what + ")");
+}
+
+FaultInjectorStats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t FaultInjector::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& armed : events_)
+    if (!armed.done) ++n;
+  return n;
+}
+
+}  // namespace aeqp::parallel

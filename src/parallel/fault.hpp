@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file fault.hpp
+/// Deterministic fault injection for the simulated MPI runtime. A FaultPlan
+/// is a set of FaultEvents addressed by (rank, collective sequence index);
+/// the FaultInjector attached to a Cluster replays the plan during a run:
+/// payload corruption (bit flips, NaN/Inf), rank stalls, and rank kills.
+///
+/// Every event fires at most once across the injector's lifetime -- like a
+/// real transient fault -- so a recovery driver that restores a checkpoint
+/// and retries sees a clean re-execution. Plans are either constructed
+/// explicitly or drawn from a seeded RNG (FaultPlan::random), making every
+/// failure scenario reproducible bit-for-bit at laptop scale.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace aeqp::parallel {
+
+/// Kinds of faults the injector can produce at a collective call site.
+enum class FaultKind {
+  BitFlip,     ///< flip one bit of one payload element (silent corruption)
+  NanPayload,  ///< overwrite one payload element with quiet NaN
+  InfPayload,  ///< overwrite one payload element with +infinity
+  Stall,       ///< delay the rank at `repeat` consecutive collectives
+  Kill,        ///< terminate the rank (raises RankFailure on it)
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind);
+
+/// One planned fault. Corruption kinds fire at the first collective with a
+/// non-empty payload at or after `collective`; Stall/Kill fire at the first
+/// collective at or after `collective` regardless of payload.
+struct FaultEvent {
+  FaultKind kind = FaultKind::BitFlip;
+  std::size_t rank = 0;        ///< rank the fault strikes
+  std::size_t collective = 0;  ///< per-rank collective sequence index
+  std::size_t element = 0;     ///< payload element (taken modulo size)
+  int bit = 62;                ///< bit flipped by BitFlip (0..63)
+  std::size_t stall_ms = 0;    ///< stall duration per collective
+  std::size_t repeat = 1;      ///< consecutive collectives stalled (Stall)
+};
+
+/// An ordered set of fault events.
+class FaultPlan {
+public:
+  FaultPlan() = default;
+
+  FaultPlan& add(const FaultEvent& event);
+
+  /// Draw `n_events` payload-corruption events from a seeded RNG: rank in
+  /// [0, n_ranks), collective index in [first_collective, last_collective),
+  /// kind uniformly from `kinds` (default: all three corruption kinds),
+  /// element uniform, bit uniform in [48, 64) so a flip is large enough to
+  /// violate any sane health bound.
+  static FaultPlan random(std::uint64_t seed, std::size_t n_events,
+                          std::size_t n_ranks, std::size_t first_collective,
+                          std::size_t last_collective,
+                          std::vector<FaultKind> kinds = {
+                              FaultKind::BitFlip, FaultKind::NanPayload,
+                              FaultKind::InfPayload});
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Counters of what the injector actually did.
+struct FaultInjectorStats {
+  std::size_t corruptions = 0;
+  std::size_t stalls = 0;
+  std::size_t kills = 0;
+  [[nodiscard]] std::size_t total() const { return corruptions + stalls + kills; }
+};
+
+/// Replays a FaultPlan against a running cluster. Thread-safe: collectives
+/// on different ranks consult it concurrently. Attach with
+/// Cluster::set_fault_injector; the injector must outlive the runs.
+class FaultInjector {
+public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Called by the runtime at every collective entry with the rank's
+  /// in-transit payload. May mutate the payload (corruption), sleep
+  /// (Stall; `cancelled` is polled so a failed cluster cuts the stall
+  /// short), or throw RankFailure (Kill).
+  void on_collective(std::size_t rank, std::size_t seq, const char* what,
+                     std::span<double> payload,
+                     const std::function<bool()>& cancelled);
+
+  [[nodiscard]] FaultInjectorStats stats() const;
+
+  /// Events that have not fired yet.
+  [[nodiscard]] std::size_t pending() const;
+
+private:
+  struct Armed {
+    FaultEvent event;
+    std::size_t fired = 0;  ///< collectives a Stall has already delayed
+    bool done = false;
+  };
+  mutable std::mutex mutex_;
+  std::vector<Armed> events_;
+  FaultInjectorStats stats_;
+};
+
+}  // namespace aeqp::parallel

@@ -1,0 +1,258 @@
+#include "resilience/checkpoint.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace aeqp::resilience {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x41455150;  // 'AEQP'
+constexpr std::uint32_t kKindCpscf = 1;
+constexpr std::uint32_t kKindScf = 2;
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// Little binary archive; all multi-byte values native-endian (the format
+/// version gates any future change).
+class ByteWriter {
+public:
+  void put_u32(std::uint32_t v) { put_raw(&v, sizeof(v)); }
+  void put_u64(std::uint64_t v) { put_raw(&v, sizeof(v)); }
+  void put_i32(std::int32_t v) { put_raw(&v, sizeof(v)); }
+  void put_f64(double v) { put_raw(&v, sizeof(v)); }
+  void put_doubles(const double* p, std::size_t n) {
+    put_u64(n);
+    put_raw(p, n * sizeof(double));
+  }
+  void put_matrix(const linalg::Matrix& m) {
+    put_u64(m.rows());
+    put_u64(m.cols());
+    put_raw(m.data(), m.rows() * m.cols() * sizeof(double));
+  }
+  [[nodiscard]] const std::vector<unsigned char>& bytes() const { return buf_; }
+
+private:
+  void put_raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<unsigned char> buf_;
+};
+
+class ByteReader {
+public:
+  ByteReader(std::span<const unsigned char> data, std::string context)
+      : data_(data), context_(std::move(context)) {}
+  std::uint32_t get_u32() { return get<std::uint32_t>(); }
+  std::uint64_t get_u64() { return get<std::uint64_t>(); }
+  std::int32_t get_i32() { return get<std::int32_t>(); }
+  double get_f64() { return get<double>(); }
+  std::vector<double> get_doubles() {
+    const std::uint64_t n = get_u64();
+    std::vector<double> v(n);
+    get_raw(v.data(), n * sizeof(double));
+    return v;
+  }
+  linalg::Matrix get_matrix() {
+    const std::uint64_t rows = get_u64();
+    const std::uint64_t cols = get_u64();
+    linalg::Matrix m(rows, cols);
+    get_raw(m.data(), rows * cols * sizeof(double));
+    return m;
+  }
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+
+private:
+  template <class T>
+  T get() {
+    T v;
+    get_raw(&v, sizeof(v));
+    return v;
+  }
+  void get_raw(void* p, std::size_t n) {
+    AEQP_CHECK(pos_ + n <= data_.size(),
+               context_ + ": checkpoint payload truncated");
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+  }
+  std::span<const unsigned char> data_;
+  std::string context_;
+  std::size_t pos_ = 0;
+};
+
+void write_file_atomic(const std::filesystem::path& path, std::uint32_t kind,
+                       const std::vector<unsigned char>& payload) {
+  ByteWriter header;
+  header.put_u32(kMagic);
+  header.put_u32(kCheckpointFormatVersion);
+  header.put_u32(kind);
+  header.put_u64(payload.size());
+
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    AEQP_CHECK(out.good(), "CheckpointStore: cannot open " + tmp.string());
+    out.write(reinterpret_cast<const char*>(header.bytes().data()),
+              static_cast<std::streamsize>(header.bytes().size()));
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    const std::uint32_t crc = crc32(payload);
+    out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    out.flush();
+    AEQP_CHECK(out.good(), "CheckpointStore: write failed for " + tmp.string());
+  }
+  // Atomic publish: the checkpoint either exists complete or not at all.
+  std::filesystem::rename(tmp, path);
+}
+
+std::vector<unsigned char> read_file_validated(const std::filesystem::path& path,
+                                               std::uint32_t expected_kind) {
+  std::ifstream in(path, std::ios::binary);
+  AEQP_CHECK(in.good(), "CheckpointStore: cannot open " + path.string());
+  std::vector<unsigned char> bytes((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+  const std::size_t header_bytes = 3 * sizeof(std::uint32_t) + sizeof(std::uint64_t);
+  AEQP_CHECK(bytes.size() >= header_bytes + sizeof(std::uint32_t),
+             "CheckpointStore: " + path.string() + " is truncated");
+  ByteReader header(std::span(bytes.data(), header_bytes), path.string());
+  AEQP_CHECK(header.get_u32() == kMagic,
+             "CheckpointStore: " + path.string() + " is not an AEQP checkpoint");
+  const std::uint32_t version = header.get_u32();
+  AEQP_CHECK(version == kCheckpointFormatVersion,
+             "CheckpointStore: " + path.string() + " has format version " +
+                 std::to_string(version) + ", expected " +
+                 std::to_string(kCheckpointFormatVersion));
+  const std::uint32_t kind = header.get_u32();
+  AEQP_CHECK(kind == expected_kind,
+             "CheckpointStore: " + path.string() + " holds kind " +
+                 std::to_string(kind) + ", expected " +
+                 std::to_string(expected_kind));
+  const std::uint64_t payload_size = header.get_u64();
+  AEQP_CHECK(bytes.size() == header_bytes + payload_size + sizeof(std::uint32_t),
+             "CheckpointStore: " + path.string() + " has inconsistent length");
+  std::uint32_t stored_crc;
+  std::memcpy(&stored_crc, bytes.data() + header_bytes + payload_size,
+              sizeof(stored_crc));
+  const std::uint32_t actual_crc =
+      crc32(std::span(bytes.data() + header_bytes, payload_size));
+  AEQP_CHECK(stored_crc == actual_crc,
+             "CheckpointStore: CRC mismatch in " + path.string() +
+                 " (stored " + std::to_string(stored_crc) + ", computed " +
+                 std::to_string(actual_crc) + "): checkpoint is corrupt");
+  return {bytes.begin() + static_cast<std::ptrdiff_t>(header_bytes),
+          bytes.begin() + static_cast<std::ptrdiff_t>(header_bytes + payload_size)};
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const unsigned char> data, std::uint32_t seed) {
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (unsigned char byte : data)
+    c = crc_table()[(c ^ byte) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+CheckpointStore::CheckpointStore(std::filesystem::path directory)
+    : directory_(std::move(directory)) {
+  std::filesystem::create_directories(directory_);
+}
+
+std::filesystem::path CheckpointStore::path_of(const std::string& key) const {
+  AEQP_CHECK(!key.empty() && key.find('/') == std::string::npos,
+             "CheckpointStore: invalid key '" + key + "'");
+  return directory_ / (key + ".ckpt");
+}
+
+void CheckpointStore::save(const std::string& key,
+                           const CpscfCheckpoint& ckpt) const {
+  ByteWriter w;
+  w.put_i32(ckpt.direction);
+  w.put_i32(ckpt.iteration);
+  w.put_f64(ckpt.mixing);
+  w.put_f64(ckpt.last_delta);
+  w.put_matrix(ckpt.p1);
+  write_file_atomic(path_of(key), kKindCpscf, w.bytes());
+}
+
+void CheckpointStore::save(const std::string& key,
+                           const ScfCheckpoint& ckpt) const {
+  ByteWriter w;
+  w.put_i32(ckpt.iteration);
+  w.put_f64(ckpt.last_delta);
+  w.put_matrix(ckpt.density_matrix);
+  w.put_u64(ckpt.diis_history.size());
+  for (const auto& [h, e] : ckpt.diis_history) {
+    w.put_matrix(h);
+    w.put_matrix(e);
+  }
+  write_file_atomic(path_of(key), kKindScf, w.bytes());
+}
+
+CpscfCheckpoint CheckpointStore::load_cpscf(const std::string& key) const {
+  const auto payload = read_file_validated(path_of(key), kKindCpscf);
+  ByteReader r(payload, path_of(key).string());
+  CpscfCheckpoint ckpt;
+  ckpt.direction = r.get_i32();
+  ckpt.iteration = r.get_i32();
+  ckpt.mixing = r.get_f64();
+  ckpt.last_delta = r.get_f64();
+  ckpt.p1 = r.get_matrix();
+  AEQP_CHECK(r.exhausted(), "CheckpointStore: trailing bytes in " + key);
+  return ckpt;
+}
+
+ScfCheckpoint CheckpointStore::load_scf(const std::string& key) const {
+  const auto payload = read_file_validated(path_of(key), kKindScf);
+  ByteReader r(payload, path_of(key).string());
+  ScfCheckpoint ckpt;
+  ckpt.iteration = r.get_i32();
+  ckpt.last_delta = r.get_f64();
+  ckpt.density_matrix = r.get_matrix();
+  const std::uint64_t n = r.get_u64();
+  ckpt.diis_history.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    linalg::Matrix h = r.get_matrix();
+    linalg::Matrix e = r.get_matrix();
+    ckpt.diis_history.emplace_back(std::move(h), std::move(e));
+  }
+  AEQP_CHECK(r.exhausted(), "CheckpointStore: trailing bytes in " + key);
+  return ckpt;
+}
+
+std::optional<CpscfCheckpoint> CheckpointStore::try_load_cpscf(
+    const std::string& key) const {
+  if (!exists(key)) return std::nullopt;
+  return load_cpscf(key);
+}
+
+std::optional<ScfCheckpoint> CheckpointStore::try_load_scf(
+    const std::string& key) const {
+  if (!exists(key)) return std::nullopt;
+  return load_scf(key);
+}
+
+bool CheckpointStore::exists(const std::string& key) const {
+  return std::filesystem::exists(path_of(key));
+}
+
+void CheckpointStore::remove(const std::string& key) const {
+  std::filesystem::remove(path_of(key));
+}
+
+}  // namespace aeqp::resilience

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file checkpoint.hpp
+/// Versioned, checksummed binary checkpointing of iterative solver state,
+/// so a run interrupted by a fault can resume bit-identically from the last
+/// good iteration (the resilience requirement the exascale roadmap papers
+/// name as first-class; see docs/resilience.md).
+///
+/// File format (native endianness, guarded by the version field):
+///   u32 magic 'AEQP' | u32 format version | u32 kind tag |
+///   u64 payload bytes | payload | u32 CRC-32 of the payload
+/// Writes go to `<key>.ckpt.tmp` and are renamed into place, so a crash
+/// mid-write never leaves a truncated checkpoint behind; readers validate
+/// magic, version, kind, length, and CRC before deserializing.
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace aeqp::resilience {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of a byte range.
+[[nodiscard]] std::uint32_t crc32(std::span<const unsigned char> data,
+                                  std::uint32_t seed = 0);
+
+/// Current checkpoint format version; bumped on any layout change.
+inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+/// State of one CPSCF (DFPT) direction at the end of an iteration. The
+/// response potential is a pure function of P^(1), so checkpointing the
+/// response density matrix plus counters is enough to resume bit-identically.
+struct CpscfCheckpoint {
+  int direction = 0;
+  int iteration = 0;       ///< CPSCF iterations completed
+  double mixing = 0.0;     ///< mixing factor in effect when saved
+  double last_delta = 0.0; ///< max |Delta P^(1)| of the saved iteration
+  linalg::Matrix p1;       ///< response density matrix
+};
+
+/// State of one SCF run at the end of an iteration: density matrix plus the
+/// DIIS history (pairs of Hamiltonian and residual), which restores the
+/// mixer exactly.
+struct ScfCheckpoint {
+  int iteration = 0;
+  double last_delta = 0.0;
+  linalg::Matrix density_matrix;
+  std::vector<std::pair<linalg::Matrix, linalg::Matrix>> diis_history;
+};
+
+/// Directory of named checkpoints with atomic write-then-rename saves and
+/// CRC-validated loads.
+class CheckpointStore {
+public:
+  /// Creates `directory` (and parents) if missing.
+  explicit CheckpointStore(std::filesystem::path directory);
+
+  [[nodiscard]] const std::filesystem::path& directory() const {
+    return directory_;
+  }
+  [[nodiscard]] std::filesystem::path path_of(const std::string& key) const;
+
+  void save(const std::string& key, const CpscfCheckpoint& ckpt) const;
+  void save(const std::string& key, const ScfCheckpoint& ckpt) const;
+
+  /// Load and validate; throws aeqp::Error on a missing, truncated,
+  /// version-mismatched, or corrupt (CRC) checkpoint.
+  [[nodiscard]] CpscfCheckpoint load_cpscf(const std::string& key) const;
+  [[nodiscard]] ScfCheckpoint load_scf(const std::string& key) const;
+
+  /// Like load_*, but a missing file yields nullopt (corruption still
+  /// throws -- a damaged checkpoint should never be silently skipped).
+  [[nodiscard]] std::optional<CpscfCheckpoint> try_load_cpscf(
+      const std::string& key) const;
+  [[nodiscard]] std::optional<ScfCheckpoint> try_load_scf(
+      const std::string& key) const;
+
+  [[nodiscard]] bool exists(const std::string& key) const;
+  void remove(const std::string& key) const;
+
+private:
+  std::filesystem::path directory_;
+};
+
+}  // namespace aeqp::resilience

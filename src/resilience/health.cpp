@@ -1,0 +1,33 @@
+#include "resilience/health.hpp"
+
+#include <cmath>
+
+namespace aeqp::resilience {
+
+HealthReport check_matrix_health(const linalg::Matrix& m,
+                                 const HealthPolicy& policy) {
+  const double* p = m.data();
+  const std::size_t n = m.rows() * m.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (policy.check_finite && !std::isfinite(p[i]))
+      return {false, "non-finite state entry at flat index " + std::to_string(i)};
+    if (std::fabs(p[i]) > policy.max_abs_value)
+      return {false, "state entry |" + std::to_string(p[i]) + "| exceeds bound " +
+                         std::to_string(policy.max_abs_value)};
+  }
+  return {};
+}
+
+HealthReport check_iteration_health(const linalg::Matrix& state, double delta,
+                                    double prev_delta,
+                                    const HealthPolicy& policy) {
+  if (policy.check_finite && !std::isfinite(delta))
+    return {false, "non-finite residual"};
+  if (prev_delta > 0.0 && delta > prev_delta * policy.max_delta_growth)
+    return {false, "residual jumped from " + std::to_string(prev_delta) +
+                       " to " + std::to_string(delta) + " (growth bound " +
+                       std::to_string(policy.max_delta_growth) + "x)"};
+  return check_matrix_health(state, policy);
+}
+
+}  // namespace aeqp::resilience

@@ -1,0 +1,200 @@
+#include "resilience/recovery.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "parallel/cluster.hpp"
+#include "scf/diis.hpp"
+
+namespace aeqp::resilience {
+
+namespace {
+
+/// Per-attempt bookkeeping threaded through the CPSCF observer.
+struct AttemptContext {
+  double prev_delta = -1.0;      ///< residual of the previous iteration
+  int last_iteration = 0;        ///< last iteration the observer saw
+  int checkpoint_iteration = 0;  ///< iteration of the last saved checkpoint
+  bool fault = false;
+  std::string fault_reason;
+};
+
+/// The shared retry loop of both CPSCF front-ends. `run` executes one solver
+/// attempt with the given (possibly warm-started, possibly damped) options;
+/// `aborted_of` extracts the solver's aborted flag from its result type.
+template <typename Run, typename AbortedOf>
+auto run_recovered(CheckpointStore& store, const RecoveryOptions& ropt,
+                   RecoveryStats& stats, const core::DfptOptions& base,
+                   int direction, const char* what, Run&& run,
+                   AbortedOf&& aborted_of) {
+  stats = RecoveryStats{};
+  const std::string key =
+      ropt.checkpoint_key + "-dir" + std::to_string(direction);
+  store.remove(key);  // a stale checkpoint from a previous run must not leak in
+
+  std::string last_reason;
+  for (int attempt = 0;; ++attempt) {
+    AttemptContext ctx;
+    core::DfptOptions opts = base;
+    // Graceful degradation: the first retry replays the original trajectory
+    // (a transient fault needs no damping, and the replay is bit-identical);
+    // repeated faults progressively damp the mixing.
+    if (attempt >= 2)
+      opts.mixing = base.mixing * std::pow(ropt.mixing_damping, attempt - 1);
+
+    if (attempt > 0) {
+      ++stats.retries;
+      if (auto ckpt = store.try_load_cpscf(key);
+          ckpt && ckpt->iteration >= 1 &&
+          ckpt->iteration < opts.max_iterations) {
+        ctx.checkpoint_iteration = ckpt->iteration;
+        ctx.prev_delta = ckpt->last_delta;
+        auto ws = std::make_shared<core::CpscfWarmStart>();
+        ws->iteration = ckpt->iteration;
+        ws->p1 = std::move(ckpt->p1);
+        opts.warm_start = std::move(ws);
+        ++stats.restores;
+      }
+      if (ropt.backoff_base_ms > 0) {
+        const int shift = std::min(attempt - 1, 20);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(ropt.backoff_base_ms << shift));
+      }
+    }
+
+    opts.observer = [&](const core::CpscfIterationState& s) {
+      ctx.last_iteration = s.iteration;
+      const HealthReport hr =
+          check_iteration_health(*s.p1, s.delta, ctx.prev_delta, ropt.health);
+      if (!hr.healthy) {
+        ctx.fault = true;
+        ctx.fault_reason =
+            "iteration " + std::to_string(s.iteration) + " unhealthy: " + hr.reason;
+        return core::CpscfAction::Abort;
+      }
+      ctx.prev_delta = s.delta;
+      if (s.iteration % ropt.checkpoint_every == 0) {
+        CpscfCheckpoint ckpt;
+        ckpt.direction = s.direction;
+        ckpt.iteration = s.iteration;
+        ckpt.mixing = s.mixing;
+        ckpt.last_delta = s.delta;
+        ckpt.p1 = *s.p1;
+        store.save(key, ckpt);
+        ctx.checkpoint_iteration = s.iteration;
+      }
+      return core::CpscfAction::Continue;
+    };
+
+    try {
+      auto result = run(opts);
+      if (!ctx.fault && !aborted_of(result)) return result;  // healthy
+      // An abort this driver never requested means the abort decision
+      // itself was corrupted in transit -- treat it as a fault, not as a
+      // legitimate early exit.
+      last_reason = ctx.fault
+                        ? ctx.fault_reason
+                        : "solver aborted without a recovery request "
+                          "(corrupted control payload?)";
+    } catch (const parallel::RankFailure& e) {
+      last_reason = e.what();
+    } catch (const parallel::CollectiveTimeout& e) {
+      last_reason = e.what();
+    }
+    ++stats.faults_detected;
+    stats.wasted_iterations += static_cast<std::size_t>(
+        std::max(0, ctx.last_iteration - ctx.checkpoint_iteration));
+    AEQP_LOG_INFO << what << ": fault on attempt " << attempt + 1 << " ("
+                  << last_reason << "); rolling back to iteration "
+                  << ctx.checkpoint_iteration;
+
+    if (attempt >= ropt.max_retries) {
+      std::ostringstream msg;
+      msg << what << ": retry budget exhausted for direction " << direction
+          << " after " << attempt + 1 << " attempts: " << stats.faults_detected
+          << " faults detected, " << stats.restores
+          << " checkpoint restores, last failure: " << last_reason;
+      AEQP_THROW(msg.str());
+    }
+  }
+}
+
+}  // namespace
+
+RecoveryDriver::RecoveryDriver(CheckpointStore& store, RecoveryOptions options)
+    : store_(store), options_(std::move(options)) {
+  AEQP_CHECK(options_.max_retries >= 0, "RecoveryDriver: negative retry budget");
+  AEQP_CHECK(options_.checkpoint_every >= 1,
+             "RecoveryDriver: checkpoint_every must be >= 1");
+  AEQP_CHECK(options_.mixing_damping > 0.0 && options_.mixing_damping <= 1.0,
+             "RecoveryDriver: mixing_damping must be in (0, 1]");
+}
+
+core::DfptDirectionResult RecoveryDriver::solve_direction(
+    const scf::ScfResult& ground, core::DfptOptions options, int direction) {
+  return run_recovered(
+      store_, options_, stats_, options, direction, "RecoveryDriver[serial]",
+      [&](const core::DfptOptions& opts) {
+        return core::DfptSolver(ground, opts).solve_direction(direction);
+      },
+      [](const core::DfptDirectionResult& r) { return r.aborted; });
+}
+
+core::ParallelDfptResult RecoveryDriver::solve_direction_parallel(
+    const scf::ScfResult& ground, core::ParallelDfptOptions options,
+    int direction) {
+  auto result = run_recovered(
+      store_, options_, stats_, options.dfpt, direction,
+      "RecoveryDriver[parallel]",
+      [&](const core::DfptOptions& opts) {
+        core::ParallelDfptOptions popts = options;
+        popts.dfpt = opts;
+        return core::solve_direction_parallel(ground, popts, direction);
+      },
+      [](const core::ParallelDfptResult& r) { return r.direction.aborted; });
+  result.stats.faults_detected = stats_.faults_detected;
+  result.stats.restores = stats_.restores;
+  result.stats.retries = stats_.retries;
+  result.stats.wasted_iterations = stats_.wasted_iterations;
+  return result;
+}
+
+void attach_scf_checkpointing(scf::ScfOptions& options, CheckpointStore& store,
+                              const std::string& key, int every) {
+  AEQP_CHECK(every >= 1, "attach_scf_checkpointing: every must be >= 1");
+  options.observer = [&store, key, every](const scf::ScfIterationState& s) {
+    if (s.iteration % every == 0) {
+      ScfCheckpoint ckpt;
+      ckpt.iteration = s.iteration;
+      ckpt.last_delta = s.delta;
+      ckpt.density_matrix = *s.density_matrix;
+      ckpt.diis_history = s.mixer->export_history();
+      store.save(key, ckpt);
+    }
+    return scf::ScfAction::Continue;
+  };
+}
+
+bool resume_scf_from_checkpoint(scf::ScfOptions& options,
+                                const CheckpointStore& store,
+                                const std::string& key) {
+  auto ckpt = store.try_load_scf(key);
+  if (!ckpt) return false;
+  if (ckpt->iteration < 1 || ckpt->iteration >= options.max_iterations)
+    return false;
+  auto ws = std::make_shared<scf::ScfWarmStart>();
+  ws->iteration = ckpt->iteration;
+  ws->density_matrix = std::move(ckpt->density_matrix);
+  ws->diis_history = std::move(ckpt->diis_history);
+  options.warm_start = std::move(ws);
+  return true;
+}
+
+}  // namespace aeqp::resilience

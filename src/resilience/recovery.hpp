@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file recovery.hpp
+/// Fault recovery for the DFPT solvers. The RecoveryDriver wraps a CPSCF
+/// run in a bounded retry loop: every iteration is health-validated and
+/// checkpointed through the solver's observer hook; a detected fault
+/// (numerical poisoning, rank failure, collective timeout) rolls the run
+/// back to the last good checkpoint and retries, degrading gracefully to a
+/// damped mixing factor when faults repeat. A transient fault therefore
+/// costs only the iterations since the last checkpoint, and the recovered
+/// trajectory of the first retry is bit-identical to a fault-free run.
+
+#include <string>
+
+#include "core/dfpt.hpp"
+#include "core/parallel_dfpt.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/health.hpp"
+#include "scf/scf_solver.hpp"
+
+namespace aeqp::resilience {
+
+/// Retry/rollback policy of a RecoveryDriver.
+struct RecoveryOptions {
+  /// Retries after the initial attempt; exceeding the budget throws.
+  int max_retries = 5;
+  /// Graceful degradation: from the second retry on, the mixing factor is
+  /// multiplied by this per additional retry (the first retry resumes the
+  /// original trajectory unchanged -- a transient fault needs no damping).
+  double mixing_damping = 0.5;
+  /// Exponential backoff between retries: attempt k sleeps
+  /// backoff_base_ms * 2^(k-1). 0 disables sleeping (tests, simulation).
+  std::size_t backoff_base_ms = 0;
+  HealthPolicy health;            ///< per-iteration validation bounds
+  std::string checkpoint_key = "cpscf";  ///< prefix; "-dir<j>" is appended
+  int checkpoint_every = 1;       ///< save every N healthy iterations
+};
+
+/// What recovery cost: mirrored into ParallelDfptStats for parallel runs.
+struct RecoveryStats {
+  std::size_t faults_detected = 0;   ///< health violations + rank failures
+  std::size_t restores = 0;          ///< checkpoint restorations
+  std::size_t retries = 0;           ///< solver re-executions
+  std::size_t wasted_iterations = 0; ///< iterations lost to rollbacks
+};
+
+/// Wraps DfptSolver / solve_direction_parallel in checkpointed retry.
+class RecoveryDriver {
+public:
+  RecoveryDriver(CheckpointStore& store, RecoveryOptions options);
+
+  /// Serial CPSCF with health validation, checkpointing and retry. Throws
+  /// aeqp::Error once the retry budget is exhausted.
+  [[nodiscard]] core::DfptDirectionResult solve_direction(
+      const scf::ScfResult& ground, core::DfptOptions options, int direction);
+
+  /// Distributed CPSCF with the same policy; rank failures and collective
+  /// timeouts surfaced by the simmpi runtime are treated as faults and
+  /// recovered from. Recovery counters are mirrored into result.stats.
+  [[nodiscard]] core::ParallelDfptResult solve_direction_parallel(
+      const scf::ScfResult& ground, core::ParallelDfptOptions options,
+      int direction);
+
+  /// Counters of the most recent solve_direction* call.
+  [[nodiscard]] const RecoveryStats& last_stats() const { return stats_; }
+
+private:
+  CheckpointStore& store_;
+  RecoveryOptions options_;
+  RecoveryStats stats_;
+};
+
+/// Install an observer on `options` that saves an ScfCheckpoint under `key`
+/// every `every` iterations (replacing any previous observer).
+void attach_scf_checkpointing(scf::ScfOptions& options, CheckpointStore& store,
+                              const std::string& key, int every = 1);
+
+/// If a checkpoint exists under `key`, set options.warm_start from it and
+/// return true; returns false when there is nothing to resume from.
+bool resume_scf_from_checkpoint(scf::ScfOptions& options,
+                                const CheckpointStore& store,
+                                const std::string& key);
+
+}  // namespace aeqp::resilience

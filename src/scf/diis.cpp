@@ -27,6 +27,24 @@ void DiisMixer::reset() {
   last_residual_norm_ = 0.0;
 }
 
+std::vector<std::pair<Matrix, Matrix>> DiisMixer::export_history() const {
+  std::vector<std::pair<Matrix, Matrix>> out;
+  out.reserve(history_.size());
+  for (const Entry& entry : history_) out.emplace_back(entry.h, entry.e);
+  return out;
+}
+
+void DiisMixer::import_history(
+    std::vector<std::pair<Matrix, Matrix>> history) {
+  history_.clear();
+  const std::size_t skip =
+      history.size() > max_history_ ? history.size() - max_history_ : 0;
+  for (std::size_t i = skip; i < history.size(); ++i)
+    history_.push_back(
+        Entry{std::move(history[i].first), std::move(history[i].second)});
+  last_residual_norm_ = history_.empty() ? 0.0 : history_.back().e.max_abs();
+}
+
 Matrix DiisMixer::extrapolate(const Matrix& h, const Matrix& p, const Matrix& s) {
   Entry entry{h, residual(h, p, s)};
   last_residual_norm_ = entry.e.max_abs();

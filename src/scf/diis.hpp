@@ -8,6 +8,8 @@
 /// minimizes the extrapolated residual norm.
 
 #include <deque>
+#include <utility>
+#include <vector>
 
 #include "linalg/matrix.hpp"
 
@@ -36,6 +38,17 @@ public:
   [[nodiscard]] std::size_t history_size() const { return history_.size(); }
 
   void reset();
+
+  /// Serialize the stored (H, e) pairs, oldest first, for checkpointing.
+  [[nodiscard]] std::vector<std::pair<linalg::Matrix, linalg::Matrix>>
+  export_history() const;
+
+  /// Replace the history with pairs from export_history() (oldest first;
+  /// truncated to the most recent `max_history` entries). Restores the
+  /// mixer to the exact state it was exported from, so an extrapolation
+  /// after import is bit-identical to one without the round-trip.
+  void import_history(
+      std::vector<std::pair<linalg::Matrix, linalg::Matrix>> history);
 
 private:
   struct Entry {

@@ -90,13 +90,44 @@ ScfResult ScfSolver::run() const {
   std::vector<double> n_samples(np, 0.0);
   for (std::size_t i = 0; i < np; ++i) n_samples[i] = density_fn(grid->point(i).pos);
 
+  // Density functor bound to the current density matrix; rebuilt after every
+  // mixing step and on warm start (identical construction keeps a resumed
+  // trajectory bit-for-bit equal to an uninterrupted one).
+  const auto rebuild_density_fn = [&]() {
+    density_fn = [integ, basis, p = p_mat](const Vec3& pos) {
+      basis::PointEval ev;
+      basis->evaluate(pos, false, ev);
+      double n = 0.0;
+      for (std::size_t i = 0; i < ev.indices.size(); ++i)
+        for (std::size_t j = 0; j < ev.indices.size(); ++j)
+          n += p(ev.indices[i], ev.indices[j]) * ev.values[i] * ev.values[j];
+      return n;
+    };
+  };
+
   Vector occ;
   double e_total = 0.0;
   bool converged = false;
   int iter = 0;
   DiisMixer diis(options_.diis_history);
 
-  for (iter = 1; iter <= options_.max_iterations; ++iter) {
+  int start_iteration = 0;
+  if (options_.warm_start) {
+    const auto& ws = *options_.warm_start;
+    AEQP_CHECK(ws.density_matrix.rows() == nb && ws.density_matrix.cols() == nb,
+               "ScfSolver: warm start density matrix has wrong dimensions");
+    AEQP_CHECK(ws.iteration >= 1 && ws.iteration < options_.max_iterations,
+               "ScfSolver: warm start iteration outside (0, max_iterations)");
+    p_mat = ws.density_matrix;
+    // The grid density and functor are derived state: recompute them from
+    // the density matrix exactly as the iteration body does.
+    n_samples = integ->density(p_mat);
+    rebuild_density_fn();
+    diis.import_history(ws.diis_history);
+    start_iteration = ws.iteration;
+  }
+
+  for (iter = start_iteration + 1; iter <= options_.max_iterations; ++iter) {
     // Hartree potential of the current density (multipole Poisson solve).
     const auto v_part = hartree->solve_density(density_fn);
     std::vector<double> v_eff(np), v_h(np), v_xc(np), exc(np);
@@ -137,15 +168,7 @@ ScfResult ScfSolver::run() const {
 
     p_mat = std::move(p_new);
     n_samples = n_new;
-    density_fn = [integ, basis, p = p_mat](const Vec3& pos) {
-      basis::PointEval ev;
-      basis->evaluate(pos, false, ev);
-      double n = 0.0;
-      for (std::size_t i = 0; i < ev.indices.size(); ++i)
-        for (std::size_t j = 0; j < ev.indices.size(); ++j)
-          n += p(ev.indices[i], ev.indices[j]) * ev.values[i] * ev.values[j];
-      return n;
-    };
+    rebuild_density_fn();
 
     // Total energy from the eigenvalue sum with double-counting corrections:
     // E = sum_i f_i eps_i - E_H - \int v_xc n + E_xc + E_nn.
@@ -175,6 +198,10 @@ ScfResult ScfSolver::run() const {
     res.eigenvalues = sol.eigenvalues;
     res.coefficients = sol.eigenvectors;
     res.hamiltonian = h;
+    if (options_.observer) {
+      const ScfIterationState state{iter, delta, e_total, &p_mat, &diis};
+      if (options_.observer(state) == ScfAction::Abort) break;
+    }
     if (delta < options_.density_tolerance) {
       converged = true;
       break;

@@ -5,7 +5,10 @@
 /// that supplies eigenstates C, eigenvalues eps and the ground density to
 /// the DFPT phase. Closed-shell, LDA, all-electron numeric atomic orbitals.
 
+#include <functional>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "basis/basis_set.hpp"
 #include "common/vec3.hpp"
@@ -23,6 +26,38 @@ enum class Mixer {
   Diis,    ///< Pulay DIIS on the Hamiltonian (faster near convergence)
 };
 
+class DiisMixer;
+
+/// Snapshot handed to an ScfObserver at the end of every SCF iteration
+/// (after mixing; the density matrix and residual are final for the
+/// iteration, the convergence test has not run yet).
+struct ScfIterationState {
+  int iteration = 0;
+  double delta = 0.0;    ///< max |n_out - n_in| of this iteration
+  double energy = 0.0;   ///< total energy of this iteration
+  const linalg::Matrix* density_matrix = nullptr;
+  const DiisMixer* mixer = nullptr;  ///< DIIS state (always non-null)
+};
+
+/// Observer verdict; Abort ends the cycle (result reports converged=false).
+enum class ScfAction { Continue, Abort };
+
+/// Per-iteration hook (health validation, checkpointing).
+using ScfObserver = std::function<ScfAction(const ScfIterationState&)>;
+
+/// Resume point for an SCF cycle: the mixed density matrix after
+/// `iteration` completed iterations plus the DIIS history (empty for the
+/// linear mixer). The grid density and density functor are recomputed from
+/// the density matrix, which reproduces the uninterrupted trajectory
+/// bit-for-bit.
+struct ScfWarmStart {
+  int iteration = 0;
+  linalg::Matrix density_matrix;
+  /// (Hamiltonian, residual) pairs, oldest first, as exported by
+  /// DiisMixer::export_history().
+  std::vector<std::pair<linalg::Matrix, linalg::Matrix>> diis_history;
+};
+
 /// SCF configuration. Defaults are the "light" settings of the evaluation.
 struct ScfOptions {
   basis::BasisTier tier = basis::BasisTier::Light;
@@ -38,6 +73,11 @@ struct ScfOptions {
   double smearing_sigma = 0.0;
   Vec3 external_field{};              ///< homogeneous E-field (FD validation)
   bool verbose = false;
+  /// Per-iteration hook for health validation and checkpointing; may abort
+  /// the cycle. Null = no observation.
+  ScfObserver observer;
+  /// Resume from a previous iteration's state instead of from scratch.
+  std::shared_ptr<const ScfWarmStart> warm_start;
 };
 
 /// Converged ground state plus the machinery DFPT reuses.
