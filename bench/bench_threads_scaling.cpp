@@ -1,0 +1,167 @@
+// Thread-scaling harness for the shared-memory execution layer: sweeps the
+// pool size over {1, 2, 4, hw} on a fixed molecule, times the four paper
+// phases (DM, Sumup, Rho, H) of a fixed-length CPSCF cycle at each size,
+// prints the scaling table, and writes BENCH_threads.json -- the first real
+// (wall-clock, not modeled) datapoint of the perf trajectory.
+//
+// Determinism cross-check: the response density matrix must be bit-for-bit
+// identical at every thread count (docs/parallelism.md contract); the sweep
+// aborts loudly if it is not.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/dfpt.hpp"
+#include "core/structures.hpp"
+#include "exec/thread_pool.hpp"
+#include "scf/scf_solver.hpp"
+
+namespace {
+
+using namespace aeqp;
+
+struct PhaseSample {
+  std::size_t threads = 0;
+  double dm = 0, sumup = 0, rho = 0, h = 0;
+  [[nodiscard]] double total() const { return dm + sumup + rho + h; }
+};
+
+struct SweepResult {
+  std::vector<PhaseSample> samples;
+  std::size_t grid_points = 0;
+  std::size_t atoms = 0;
+  std::size_t basis_size = 0;
+  int iterations = 0;
+};
+
+SweepResult run_sweep(bool smoke) {
+  SweepResult out;
+  const grid::Structure molecule = core::water();
+  out.atoms = molecule.size();
+
+  scf::ScfOptions opt;
+  opt.tier = basis::BasisTier::Light;
+  // Full mode targets >= 500 grid points per atom (the acceptance
+  // criterion's workload floor); smoke mode shrinks everything so the CTest
+  // smoke run stays fast.
+  opt.grid.radial_points = smoke ? 26 : 48;
+  opt.grid.angular_degree = smoke ? 7 : 11;
+  opt.poisson.radial_points = smoke ? 60 : 96;
+  opt.poisson.l_max = smoke ? 2 : 4;
+  opt.max_iterations = 120;
+  opt.density_tolerance = 1e-6;
+
+  const scf::ScfResult ground = scf::ScfSolver(molecule, opt).run();
+  if (!ground.converged) {
+    std::fprintf(stderr, "bench_threads_scaling: SCF did not converge\n");
+    return out;
+  }
+  out.grid_points = ground.grid->size();
+  out.basis_size = ground.density_matrix.rows();
+
+  core::DfptOptions dopt;
+  dopt.max_iterations = smoke ? 2 : 3;
+  dopt.tolerance = 0.0;  // run the full fixed-length cycle at every size
+  dopt.require_convergence = false;
+
+  std::vector<std::size_t> sizes = {1, 2, 4, exec::hardware_threads()};
+  if (smoke) sizes = {1, 2};
+  std::sort(sizes.begin(), sizes.end());
+  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+
+  linalg::Matrix p1_reference;
+  for (const std::size_t threads : sizes) {
+    exec::ThreadPool::set_global_threads(threads);
+    const core::DfptSolver solver(ground, dopt);
+    const core::DfptDirectionResult res = solver.solve_direction(2);
+    out.iterations = res.iterations;
+
+    PhaseSample s;
+    s.threads = threads;
+    s.dm = res.phase_seconds.at(core::Phase::DM);
+    s.sumup = res.phase_seconds.at(core::Phase::Sumup);
+    s.rho = res.phase_seconds.at(core::Phase::Rho);
+    s.h = res.phase_seconds.at(core::Phase::H);
+    out.samples.push_back(s);
+
+    if (p1_reference.empty()) {
+      p1_reference = res.p1;
+    } else if (res.p1.max_abs_diff(p1_reference) != 0.0) {
+      std::fprintf(stderr,
+                   "bench_threads_scaling: DETERMINISM VIOLATION at %zu "
+                   "threads (max |dP1| = %g)\n",
+                   threads, res.p1.max_abs_diff(p1_reference));
+    }
+  }
+  exec::ThreadPool::set_global_threads(0);
+  return out;
+}
+
+void print_table(const SweepResult& r) {
+  Table t({"threads", "DM (s)", "Sumup (s)", "Rho (s)", "H (s)", "total (s)",
+           "Rho+H speedup"});
+  const PhaseSample* base = r.samples.empty() ? nullptr : &r.samples.front();
+  for (const PhaseSample& s : r.samples) {
+    const double rh_base = base->rho + base->h;
+    const double rh = s.rho + s.h;
+    t.add_row({std::to_string(s.threads), Table::num(s.dm, 4),
+               Table::num(s.sumup, 4), Table::num(s.rho, 4), Table::num(s.h, 4),
+               Table::num(s.total(), 4),
+               Table::num(rh > 0 ? rh_base / rh : 0.0, 2) + "x"});
+  }
+  std::printf(
+      "\nWorkload: water, %zu grid points (%zu per atom), %zu basis "
+      "functions, %d CPSCF iterations per sweep point.\n",
+      r.grid_points, r.atoms ? r.grid_points / r.atoms : 0, r.basis_size,
+      r.iterations);
+  t.print("Thread scaling: CPSCF phase wall-clock vs AEQP_NUM_THREADS");
+}
+
+void write_json(const SweepResult& r, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_threads_scaling: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"threads_scaling\",\n"
+               "  \"molecule\": \"H2O\",\n"
+               "  \"grid_points\": %zu,\n"
+               "  \"points_per_atom\": %zu,\n"
+               "  \"basis_size\": %zu,\n"
+               "  \"cpscf_iterations\": %d,\n"
+               "  \"hardware_threads\": %zu,\n"
+               "  \"sweep\": [\n",
+               r.grid_points, r.atoms ? r.grid_points / r.atoms : 0,
+               r.basis_size, r.iterations, exec::hardware_threads());
+  for (std::size_t i = 0; i < r.samples.size(); ++i) {
+    const PhaseSample& s = r.samples[i];
+    std::fprintf(f,
+                 "    {\"threads\": %zu, \"DM\": %.6f, \"Sumup\": %.6f, "
+                 "\"Rho\": %.6f, \"H\": %.6f, \"total\": %.6f}%s\n",
+                 s.threads, s.dm, s.sumup, s.rho, s.h, s.total(),
+                 i + 1 < r.samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("Wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strstr(argv[i], "--benchmark_filter=__none__")) smoke = true;
+
+  const SweepResult r = run_sweep(smoke);
+  if (r.samples.empty()) return 1;
+  print_table(r);
+  write_json(r, "BENCH_threads.json");
+  return 0;
+}

@@ -36,6 +36,7 @@
 #include "core/structures.hpp"
 #include "core/vibrations.hpp"
 #include "core/xyz.hpp"
+#include "exec/thread_pool.hpp"
 #include "grid/angular_grid.hpp"
 #include "grid/batch.hpp"
 #include "grid/molecular_grid.hpp"

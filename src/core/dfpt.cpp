@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/timer.hpp"
+#include "exec/thread_pool.hpp"
 #include "xc/lda.hpp"
 
 namespace aeqp::core {
@@ -112,8 +113,11 @@ DfptDirectionResult DfptSolver::solve_direction(int j) const {
       return n;
     };
     const auto v1_part = hartree.solve_density(n1_fn);
-    for (std::size_t pt = 0; pt < np; ++pt)
-      v1[pt] = hartree.potential(v1_part, grid.point(pt).pos) + fxc_[pt] * n1[pt];
+    exec::parallel_for_ranges(0, np, 16, [&](std::size_t b, std::size_t e) {
+      for (std::size_t pt = b; pt < e; ++pt)
+        v1[pt] =
+            hartree.potential(v1_part, grid.point(pt).pos) + fxc_[pt] * n1[pt];
+    });
   };
 
   int start_iteration = 0;
@@ -176,14 +180,20 @@ DfptDirectionResult DfptSolver::solve_direction(int j) const {
     //     omega-generalization of Eq. (7). ---
     timer.reset();
     Matrix p1_new(nb, nb);
-    for (std::size_t i = 0; i < n_occ; ++i) {
-      const double f = ground_.occupations[i];
-      for (std::size_t mu = 0; mu < nb; ++mu) {
-        const double c1xmi = c1x(mu, i), cmi = c_occ_(mu, i);
-        for (std::size_t nu = 0; nu < nb; ++nu)
-          p1_new(mu, nu) += f * (c1xmi * c_occ_(nu, i) + cmi * c1y(nu, i));
+    // Row-parallel over mu; the per-element accumulation over occupied
+    // orbitals keeps its serial (ascending i) order, so P^(1) is
+    // bit-identical for every thread count.
+    exec::parallel_for_ranges(0, nb, 8, [&](std::size_t mb, std::size_t me) {
+      for (std::size_t mu = mb; mu < me; ++mu) {
+        double* prow = p1_new.data() + mu * nb;
+        for (std::size_t i = 0; i < n_occ; ++i) {
+          const double f = ground_.occupations[i];
+          const double c1xmi = c1x(mu, i), cmi = c_occ_(mu, i);
+          for (std::size_t nu = 0; nu < nb; ++nu)
+            prow[nu] += f * (c1xmi * c_occ_(nu, i) + cmi * c1y(nu, i));
+        }
       }
-    }
+    });
     // Linear mixing stabilizes the CPSCF cycle.
     if (have_response) {
       p1_new.scale(options_.mixing);

@@ -104,20 +104,20 @@ void h_kernel(simt::SimtRuntime& rt, const grid::MolecularGrid& grid,
   const std::size_t nb = h_out.rows();
   AEQP_CHECK(h_out.cols() == nb, "h_kernel: output matrix must be square");
 
+  // Batches overlap in (mu, nu), so groups stage their dense blocks here
+  // and the host flushes them in batch order after the launch: the same
+  // once-per-batch flush as before, but race-free under parallel groups and
+  // deterministic for every thread count.
+  std::vector<std::vector<double>> blocks(supports.size());
+
   rt.launch(supports.size(), /*group_size=*/256, [&](simt::WorkGroup& wg) {
     const BatchSupport& sup = supports[wg.group_id()];
     const std::size_t nloc = sup.basis_ids.size();
 
     const bool fits = nloc * nloc * sizeof(double) <= rt.model().onchip_bytes;
-    std::span<double> block;
-    std::vector<double> spill;
-    if (fits) {
-      block = wg.local_mem(nloc * nloc);
-    } else {
-      spill.assign(nloc * nloc, 0.0);
-      block = spill;
-    }
-    std::fill(block.begin(), block.end(), 0.0);
+    if (fits) (void)wg.local_mem(nloc * nloc);  // models on-chip residency
+    std::vector<double>& block = blocks[wg.group_id()];
+    block.assign(nloc * nloc, 0.0);
 
     // Accumulate the batch's contribution in the local dense block.
     for (std::size_t k = 0; k < sup.point_ids.size(); ++k) {
@@ -134,15 +134,20 @@ void h_kernel(simt::SimtRuntime& rt, const grid::MolecularGrid& grid,
       wg.flops(2 * (end - begin) * (end - begin));
     }
     wg.barrier();
-
-    // Flush the block to the global matrix once per batch -- the reduced
-    // off-chip traffic the locality mapping buys.
-    for (std::size_t i = 0; i < nloc; ++i)
-      for (std::size_t j = 0; j < nloc; ++j)
-        h_out(sup.basis_ids[i], sup.basis_ids[j]) += block[i * nloc + j];
     rt.stats().offchip_write_bytes += nloc * nloc * sizeof(double);
     wg.issue_simt(sup.point_ids.size(), 8);
   });
+
+  // Fixed-order reduction: flush every batch block to the global matrix in
+  // batch order -- the reduced off-chip traffic the locality mapping buys.
+  for (std::size_t b = 0; b < supports.size(); ++b) {
+    const BatchSupport& sup = supports[b];
+    const std::size_t nloc = sup.basis_ids.size();
+    const std::vector<double>& block = blocks[b];
+    for (std::size_t i = 0; i < nloc; ++i)
+      for (std::size_t j = 0; j < nloc; ++j)
+        h_out(sup.basis_ids[i], sup.basis_ids[j]) += block[i * nloc + j];
+  }
 }
 
 }  // namespace aeqp::kernels

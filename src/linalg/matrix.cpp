@@ -4,8 +4,20 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace aeqp::linalg {
+
+namespace {
+/// Below this many multiply-adds a matmul runs serially; the pool hand-off
+/// costs more than it saves on the small DIIS/Sternheimer systems.
+constexpr std::size_t kParallelFlopCutoff = 1u << 18;
+
+/// Rows per scheduling block for the pool-parallel products. Each block of
+/// output rows is owned by exactly one worker, so the per-element
+/// accumulation order never depends on the thread count.
+constexpr std::size_t kRowBlock = 8;
+}  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
@@ -74,39 +86,59 @@ double Matrix::trace() const {
 Matrix matmul(const Matrix& a, const Matrix& b) {
   AEQP_CHECK(a.cols() == b.rows(), "matmul shape mismatch");
   Matrix c(a.rows(), b.cols());
-  for (std::size_t i = 0; i < a.rows(); ++i)
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      const double* brow = b.data() + k * b.cols();
-      double* crow = c.data() + i * c.cols();
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
-    }
+  const std::size_t work = a.rows() * a.cols() * b.cols();
+  const std::size_t grain = work >= kParallelFlopCutoff ? kRowBlock : a.rows();
+  exec::parallel_for_ranges(
+      0, a.rows(), std::max<std::size_t>(grain, 1),
+      [&](std::size_t ib, std::size_t ie) {
+        for (std::size_t i = ib; i < ie; ++i)
+          for (std::size_t k = 0; k < a.cols(); ++k) {
+            const double aik = a(i, k);
+            if (aik == 0.0) continue;
+            const double* brow = b.data() + k * b.cols();
+            double* crow = c.data() + i * c.cols();
+            for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+          }
+      });
   return c;
 }
 
 Matrix matmul_tn(const Matrix& a, const Matrix& b) {
   AEQP_CHECK(a.rows() == b.rows(), "matmul_tn shape mismatch");
   Matrix c(a.cols(), b.cols());
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    const double* arow = a.data() + k * a.cols();
-    const double* brow = b.data() + k * b.cols();
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double aki = arow[i];
-      if (aki == 0.0) continue;
-      double* crow = c.data() + i * c.cols();
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
-    }
-  }
+  const std::size_t work = a.rows() * a.cols() * b.cols();
+  const std::size_t grain = work >= kParallelFlopCutoff ? kRowBlock : a.cols();
+  // Output-row-major order (each C row walks k ascending) so row blocks are
+  // independent; the k accumulation order per element matches the serial
+  // k-outer loop exactly.
+  exec::parallel_for_ranges(
+      0, a.cols(), std::max<std::size_t>(grain, 1),
+      [&](std::size_t ib, std::size_t ie) {
+        for (std::size_t i = ib; i < ie; ++i) {
+          double* crow = c.data() + i * c.cols();
+          for (std::size_t k = 0; k < a.rows(); ++k) {
+            const double aki = a(k, i);
+            if (aki == 0.0) continue;
+            const double* brow = b.data() + k * b.cols();
+            for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+          }
+        }
+      });
   return c;
 }
 
 Matrix matmul_nt(const Matrix& a, const Matrix& b) {
   AEQP_CHECK(a.cols() == b.cols(), "matmul_nt shape mismatch");
   Matrix c(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i)
-    for (std::size_t j = 0; j < b.rows(); ++j)
-      c(i, j) = dot(a.row(i), b.row(j));
+  const std::size_t work = a.rows() * a.cols() * b.rows();
+  const std::size_t grain = work >= kParallelFlopCutoff ? kRowBlock : a.rows();
+  exec::parallel_for_ranges(
+      0, a.rows(), std::max<std::size_t>(grain, 1),
+      [&](std::size_t ib, std::size_t ie) {
+        for (std::size_t i = ib; i < ie; ++i)
+          for (std::size_t j = 0; j < b.rows(); ++j)
+            c(i, j) = dot(a.row(i), b.row(j));
+      });
   return c;
 }
 

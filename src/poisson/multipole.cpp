@@ -5,6 +5,7 @@
 #include "basis/spherical_harmonics.hpp"
 #include "common/constants.hpp"
 #include "common/error.hpp"
+#include "exec/thread_pool.hpp"
 #include "grid/angular_grid.hpp"
 #include "poisson/adams_moulton.hpp"
 
@@ -58,23 +59,30 @@ MultipoleDensity HartreeSolver::project(const DensityFn& density) const {
                      std::vector<std::vector<double>>(nlm, std::vector<double>(nr, 0.0)));
   rho.splines.resize(n_atoms);
 
-  for (std::size_t a = 0; a < n_atoms; ++a) {
+  // Parallel over (atom, radial shell): each task owns the [a][*][i] slots
+  // it writes, and the angular loop order inside one shell is unchanged, so
+  // the projection is bit-identical for every thread count. The density
+  // callback must be thread-safe (pure evaluation; every caller in the
+  // codebase captures only const state).
+  exec::parallel_for(0, n_atoms * nr, [&](std::size_t task) {
+    const std::size_t a = task / nr;
+    const std::size_t i = task % nr;
     const Vec3 center = structure_.atom(a).pos;
-    for (std::size_t i = 0; i < nr; ++i) {
-      const double r = mesh_.r(i);
-      for (std::size_t k = 0; k < ang_dirs_.size(); ++k) {
-        const Vec3 p = center + r * ang_dirs_[k];
-        const double val =
-            density(p) * partition_.weight(a, p) * ang_weights_[k];
-        if (val == 0.0) continue;
-        const std::vector<double>& ylm = ang_ylm_[k];
-        auto& per_lm = rho.samples[a];
-        for (std::size_t lm = 0; lm < nlm; ++lm) per_lm[lm][i] += val * ylm[lm];
-      }
+    const double r = mesh_.r(i);
+    auto& per_lm = rho.samples[a];
+    for (std::size_t k = 0; k < ang_dirs_.size(); ++k) {
+      const Vec3 p = center + r * ang_dirs_[k];
+      const double val = density(p) * partition_.weight(a, p) * ang_weights_[k];
+      if (val == 0.0) continue;
+      const std::vector<double>& ylm = ang_ylm_[k];
+      for (std::size_t lm = 0; lm < nlm; ++lm) per_lm[lm][i] += val * ylm[lm];
     }
-    rho.splines[a].reserve(nlm);
-    for (std::size_t lm = 0; lm < nlm; ++lm)
-      rho.splines[a].emplace_back(mesh_.points(), rho.samples[a][lm]);
+  });
+  for (std::size_t a = 0; a < n_atoms; ++a) {
+    rho.splines[a].resize(nlm);
+    exec::parallel_for(0, nlm, [&](std::size_t lm) {
+      rho.splines[a][lm] = basis::CubicSpline(mesh_.points(), rho.samples[a][lm]);
+    });
   }
   return rho;
 }
@@ -92,38 +100,42 @@ PartitionedPotential HartreeSolver::solve(const MultipoleDensity& rho) const {
   out.splines.resize(structure_.size());
   out.moments.assign(structure_.size(), std::vector<double>(nlm, 0.0));
 
-  std::vector<double> g_inner(nr), g_outer(nr), v(nr);
-  for (std::size_t a = 0; a < structure_.size(); ++a) {
-    out.splines[a].reserve(nlm);
-    for (int l = 0; l <= spec_.l_max; ++l) {
-      for (int m = -l; m <= l; ++m) {
-        const std::size_t lm = lm_index(l, m);
-        const std::vector<double>& rho_lm = rho.samples[a][lm];
-        // Integrands in t = log r: ds = s dt.
-        for (std::size_t i = 0; i < nr; ++i) {
-          const double s = mesh_.r(i);
-          g_inner[i] = std::pow(s, l + 3) * rho_lm[i];
-          g_outer[i] = std::pow(s, 2 - l) * rho_lm[i];
-        }
-        const std::vector<double> inner = cumulative_integral_am4(h, g_inner);
-        const std::vector<double> outer = cumulative_integral_am4(h, g_outer);
-        // Tail below r_min, where the density is treated as constant; only
-        // the inner integral reaches into [0, r_min).
-        const double r0 = mesh_.r_min();
-        const double inner0 = rho_lm[0] * std::pow(r0, l + 3) / (l + 3);
+  for (std::size_t a = 0; a < structure_.size(); ++a) out.splines[a].resize(nlm);
 
-        const double prefac = constants::four_pi / (2.0 * l + 1.0);
-        for (std::size_t i = 0; i < nr; ++i) {
-          const double r = mesh_.r(i);
-          const double q_in = inner0 + inner[i];
-          const double q_out = (outer.back() - outer[i]);
-          v[i] = prefac * (q_in / std::pow(r, l + 1) + std::pow(r, l) * q_out);
-        }
-        out.moments[a][lm] = inner0 + inner.back();
-        out.splines[a].emplace_back(mesh_.points(), v);
-      }
+  // Every (atom, l, m) channel is an independent radial solve writing its
+  // own spline and moment slot; flatten the loops and run them across the
+  // pool with task-local scratch.
+  exec::parallel_for(0, structure_.size() * nlm, [&](std::size_t task) {
+    const std::size_t a = task / nlm;
+    const std::size_t lm = task % nlm;
+    int l = 0;
+    while (static_cast<std::size_t>((l + 1) * (l + 1)) <= lm) ++l;
+
+    std::vector<double> g_inner(nr), g_outer(nr), v(nr);
+    const std::vector<double>& rho_lm = rho.samples[a][lm];
+    // Integrands in t = log r: ds = s dt.
+    for (std::size_t i = 0; i < nr; ++i) {
+      const double s = mesh_.r(i);
+      g_inner[i] = std::pow(s, l + 3) * rho_lm[i];
+      g_outer[i] = std::pow(s, 2 - l) * rho_lm[i];
     }
-  }
+    const std::vector<double> inner = cumulative_integral_am4(h, g_inner);
+    const std::vector<double> outer = cumulative_integral_am4(h, g_outer);
+    // Tail below r_min, where the density is treated as constant; only
+    // the inner integral reaches into [0, r_min).
+    const double r0 = mesh_.r_min();
+    const double inner0 = rho_lm[0] * std::pow(r0, l + 3) / (l + 3);
+
+    const double prefac = constants::four_pi / (2.0 * l + 1.0);
+    for (std::size_t i = 0; i < nr; ++i) {
+      const double r = mesh_.r(i);
+      const double q_in = inner0 + inner[i];
+      const double q_out = (outer.back() - outer[i]);
+      v[i] = prefac * (q_in / std::pow(r, l + 1) + std::pow(r, l) * q_out);
+    }
+    out.moments[a][lm] = inner0 + inner.back();
+    out.splines[a][lm] = basis::CubicSpline(mesh_.points(), v);
+  });
   return out;
 }
 

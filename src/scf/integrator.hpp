@@ -11,8 +11,17 @@
 /// revisit every point dozens of times with different potentials/density
 /// matrices. This cache is exactly the per-batch working set an OpenCL
 /// work-group holds in the paper's kernels.
+///
+/// Matrix accumulation is tiled: contiguous point ranges form tiles, each
+/// with the sorted union of its active basis functions. A tile accumulates
+/// into a dense local block indexed by that union (the paper's Sec. 4.3
+/// indirect-access elimination applied on the host -- no m(mu, indices[j])
+/// scatter in the inner loop) and the blocks are flushed to the global
+/// matrix in tile order. Tiles run across the exec thread pool; the ordered
+/// flush makes the result bit-identical for every thread count.
 
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -39,6 +48,8 @@ public:
 
   /// External (nuclear attraction) potential matrix:
   /// V_mu_nu = \int chi_mu (sum_A -Z_A/|r-R_A|) chi_nu.
+  /// The per-point nuclear potential samples are computed once on first use
+  /// and reused across SCF/CPSCF iterations (they depend only on geometry).
   [[nodiscard]] linalg::Matrix external_potential() const;
 
   /// Matrix of an arbitrary local potential sampled on the grid:
@@ -72,7 +83,24 @@ private:
   std::vector<double> values_;           // chi values per entry
   std::vector<double> laplacians_;       // matching Laplacians
 
-  /// Accumulate M += w * x y^T over the sparse entries of one point.
+  /// One accumulation tile: a contiguous point range plus the dense local
+  /// index space of every basis function active anywhere in it.
+  struct Tile {
+    std::uint32_t p_begin = 0, p_end = 0;
+    std::vector<std::uint32_t> basis_ids;  ///< sorted union of global ids
+    /// Local index of each sparse cache entry in
+    /// [offsets_[p_begin], offsets_[p_end]).
+    std::vector<std::uint16_t> local_index;
+  };
+  std::vector<Tile> tiles_;
+
+  // Nuclear potential samples, built lazily (geometry-only, so shared by
+  // every SCF and CPSCF iteration).
+  mutable std::once_flag vnuc_once_;
+  mutable std::vector<double> vnuc_samples_;
+
+  /// Accumulate M += w * x y^T tile by tile (pool-parallel compute, ordered
+  /// flush).
   template <typename Getter>
   [[nodiscard]] linalg::Matrix accumulate_weighted(Getter&& point_factor,
                                                    bool use_laplacian) const;

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "exec/thread_pool.hpp"
 #include "linalg/eigen.hpp"
 #include "scf/diis.hpp"
 #include "scf/occupations.hpp"
@@ -33,15 +34,21 @@ Matrix density_matrix_from_orbitals(const Matrix& c, const Vector& occupations) 
   const std::size_t nb = c.rows();
   AEQP_CHECK(occupations.size() == c.cols(), "density matrix: occupation mismatch");
   Matrix p(nb, nb);
-  for (std::size_t i = 0; i < occupations.size(); ++i) {
-    const double f = occupations[i];
-    if (f == 0.0) continue;
-    for (std::size_t mu = 0; mu < nb; ++mu) {
-      const double cf = f * c(mu, i);
-      if (cf == 0.0) continue;
-      for (std::size_t nu = 0; nu < nb; ++nu) p(mu, nu) += cf * c(nu, i);
+  // Row-parallel: each worker owns whole rows of P, and the orbital
+  // accumulation order inside a row matches the serial loop, so the result
+  // is bit-identical for every thread count.
+  exec::parallel_for_ranges(0, nb, 8, [&](std::size_t mb, std::size_t me) {
+    for (std::size_t mu = mb; mu < me; ++mu) {
+      double* prow = p.data() + mu * nb;
+      for (std::size_t i = 0; i < occupations.size(); ++i) {
+        const double f = occupations[i];
+        if (f == 0.0) continue;
+        const double cf = f * c(mu, i);
+        if (cf == 0.0) continue;
+        for (std::size_t nu = 0; nu < nb; ++nu) prow[nu] += cf * c(nu, i);
+      }
     }
-  }
+  });
   return p;
 }
 
@@ -88,7 +95,10 @@ ScfResult ScfSolver::run() const {
 
   Matrix p_mat;  // density matrix of the current iteration (empty initially)
   std::vector<double> n_samples(np, 0.0);
-  for (std::size_t i = 0; i < np; ++i) n_samples[i] = density_fn(grid->point(i).pos);
+  exec::parallel_for_ranges(0, np, 64, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i)
+      n_samples[i] = density_fn(grid->point(i).pos);
+  });
 
   // Density functor bound to the current density matrix; rebuilt after every
   // mixing step and on warm start (identical construction keeps a resumed
@@ -131,13 +141,17 @@ ScfResult ScfSolver::run() const {
     // Hartree potential of the current density (multipole Poisson solve).
     const auto v_part = hartree->solve_density(density_fn);
     std::vector<double> v_eff(np), v_h(np), v_xc(np), exc(np);
-    for (std::size_t i = 0; i < np; ++i) {
-      v_h[i] = hartree->potential(v_part, grid->point(i).pos);
-      const xc::LdaPoint ldap = xc::lda_evaluate(std::max(n_samples[i], 0.0));
-      v_xc[i] = ldap.vxc;
-      exc[i] = ldap.exc;
-      v_eff[i] = v_h[i] + v_xc[i];
-    }
+    // The Sumup analogue of the SCF cycle: every point evaluates the
+    // partitioned potential independently.
+    exec::parallel_for_ranges(0, np, 16, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        v_h[i] = hartree->potential(v_part, grid->point(i).pos);
+        const xc::LdaPoint ldap = xc::lda_evaluate(std::max(n_samples[i], 0.0));
+        v_xc[i] = ldap.vxc;
+        exc[i] = ldap.exc;
+        v_eff[i] = v_h[i] + v_xc[i];
+      }
+    });
 
     Matrix h = h_core;
     h.axpy(1.0, integ->potential_matrix(v_eff));

@@ -2,22 +2,37 @@
 
 namespace aeqp::simt {
 
+namespace detail {
+namespace {
+thread_local KernelStats* tl_shard = nullptr;
+}  // namespace
+
+KernelStats* active_shard() { return tl_shard; }
+
+ScopedStatsShard::ScopedStatsShard(KernelStats* shard) : prev_(tl_shard) {
+  tl_shard = shard;
+}
+
+ScopedStatsShard::~ScopedStatsShard() { tl_shard = prev_; }
+}  // namespace detail
+
 double GlobalBuffer::load(std::size_t i) const {
   AEQP_ASSERT(i < data_.size());
-  rt_->stats_.offchip_read_bytes += sizeof(double);
+  rt_->stats().offchip_read_bytes += sizeof(double);
   return data_[i];
 }
 
 double GlobalBuffer::load_dependent(std::size_t i) const {
   AEQP_ASSERT(i < data_.size());
-  rt_->stats_.offchip_read_bytes += sizeof(double);
-  rt_->stats_.dependent_accesses += 1;
+  KernelStats& s = rt_->stats();
+  s.offchip_read_bytes += sizeof(double);
+  s.dependent_accesses += 1;
   return data_[i];
 }
 
 void GlobalBuffer::store(std::size_t i, double v) {
   AEQP_ASSERT(i < data_.size());
-  rt_->stats_.offchip_write_bytes += sizeof(double);
+  rt_->stats().offchip_write_bytes += sizeof(double);
   data_[i] = v;
 }
 
@@ -28,25 +43,14 @@ std::span<double> WorkGroup::local_mem(std::size_t doubles) {
   return local_;
 }
 
-void WorkGroup::barrier() { rt_->stats_.barriers += 1; }
+void WorkGroup::barrier() { rt_->stats().barriers += 1; }
 
 void WorkGroup::issue_simt(std::size_t active_lanes, std::size_t bundles) {
   const std::size_t wf = rt_->model_.wavefront;
   const std::size_t steps = (active_lanes + wf - 1) / wf;
-  rt_->stats_.wavefront_steps += steps * bundles;
+  rt_->stats().wavefront_steps += steps * bundles;
 }
 
-void WorkGroup::flops(std::size_t n) { rt_->stats_.flops += n; }
-
-void SimtRuntime::launch(std::size_t n_groups, std::size_t group_size,
-                         const std::function<void(WorkGroup&)>& body) {
-  AEQP_CHECK(group_size >= 1, "SimtRuntime::launch: empty work-group");
-  stats_.launches += 1;
-  stats_.work_items += n_groups * group_size;
-  for (std::size_t g = 0; g < n_groups; ++g) {
-    WorkGroup wg(*this, g, group_size);
-    body(wg);
-  }
-}
+void WorkGroup::flops(std::size_t n) { rt_->stats().flops += n; }
 
 }  // namespace aeqp::simt

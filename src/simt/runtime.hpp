@@ -9,17 +9,46 @@
 /// semantics for group-phased code) and produce real numerical results,
 /// while every architectural event is counted in KernelStats so the device
 /// models can project execution time on SW39010 / GCN hardware.
+///
+/// Work-groups are independent by construction (the OpenCL contract), so
+/// `launch` dispatches them across the exec thread pool. Each group charges
+/// its events to a private KernelStats shard; shards merge into the
+/// runtime's totals in group order after the join, so counters are
+/// bit-identical to a serial launch for every thread count. Kernel bodies
+/// must only write group-disjoint global data (batch-owned grid points,
+/// per-center rows, ...) -- shared-output kernels stage per-group blocks
+/// and flush them in group order after the launch returns (see
+/// kernels::h_kernel).
 
-#include <functional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
+#include "exec/thread_pool.hpp"
 #include "simt/device.hpp"
 
 namespace aeqp::simt {
 
 class SimtRuntime;
+
+namespace detail {
+/// The KernelStats shard the current thread charges to (null outside a
+/// parallel launch; the runtime then charges its own totals directly).
+[[nodiscard]] KernelStats* active_shard();
+
+/// RAII switch of the current thread's stats shard.
+class ScopedStatsShard {
+public:
+  explicit ScopedStatsShard(KernelStats* shard);
+  ~ScopedStatsShard();
+  ScopedStatsShard(const ScopedStatsShard&) = delete;
+  ScopedStatsShard& operator=(const ScopedStatsShard&) = delete;
+
+private:
+  KernelStats* prev_;
+};
+}  // namespace detail
 
 /// A __global buffer whose accesses are charged to the runtime's counters.
 /// Wraps caller-owned storage; loads/stores move real data.
@@ -83,7 +112,12 @@ public:
   explicit SimtRuntime(DeviceModel model) : model_(std::move(model)) {}
 
   [[nodiscard]] const DeviceModel& model() const { return model_; }
-  [[nodiscard]] KernelStats& stats() { return stats_; }
+  /// Inside a parallel launch this is the calling group's private shard;
+  /// everywhere else it is the runtime's accumulated totals.
+  [[nodiscard]] KernelStats& stats() {
+    KernelStats* shard = detail::active_shard();
+    return shard ? *shard : stats_;
+  }
   [[nodiscard]] const KernelStats& stats() const { return stats_; }
 
   /// Wrap host storage as a __global buffer.
@@ -92,14 +126,36 @@ public:
   }
 
   /// Launch a kernel: `body` runs once per work-group and loops its items
-  /// internally (the idiom the paper's group-phased kernels use).
-  void launch(std::size_t n_groups, std::size_t group_size,
-              const std::function<void(WorkGroup&)>& body);
+  /// internally (the idiom the paper's group-phased kernels use). The body
+  /// is a template parameter -- no per-group std::function dispatch on the
+  /// hot path. Groups run across the exec pool; per-group stat shards merge
+  /// in group order, keeping the counters identical to a serial launch.
+  template <typename Body>
+  void launch(std::size_t n_groups, std::size_t group_size, Body&& body) {
+    AEQP_CHECK(group_size >= 1, "SimtRuntime::launch: empty work-group");
+    stats_.launches += 1;
+    stats_.work_items += n_groups * group_size;
+    exec::ThreadPool& pool = exec::ThreadPool::global();
+    if (n_groups <= 1 || pool.size() <= 1 || exec::ThreadPool::in_worker()) {
+      for (std::size_t g = 0; g < n_groups; ++g) {
+        WorkGroup wg(*this, g, group_size);
+        body(wg);
+      }
+      return;
+    }
+    std::vector<KernelStats> shards(n_groups);
+    pool.parallel_for(0, n_groups, [&](std::size_t g) {
+      const detail::ScopedStatsShard guard(&shards[g]);
+      WorkGroup wg(*this, g, group_size);
+      body(wg);
+    });
+    for (const KernelStats& s : shards) stats_ += s;
+  }
 
   /// Charge an explicit host<->device transfer (kernel argument upload /
   /// result download). On devices with persistent buffers the caller skips
   /// these for data that stays resident (Sec. 4.2.2).
-  void host_transfer(std::size_t bytes) { stats_.host_transfer_bytes += bytes; }
+  void host_transfer(std::size_t bytes) { stats().host_transfer_bytes += bytes; }
 
   /// Projected time of everything recorded so far on this runtime's device.
   [[nodiscard]] double modeled_seconds() const {
