@@ -10,9 +10,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <iostream>
 
 #include "common/table.hpp"
 #include "kernels/density_kernels.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "simt/device.hpp"
 #include "simt/runtime.hpp"
 
@@ -95,10 +99,45 @@ void BM_SumupSparse(benchmark::State& state) {
 }
 BENCHMARK(BM_SumupSparse)->Arg(1359)->Arg(2143);
 
+// One traced dense-vs-sparse pair with the runtimes' KernelStats registered
+// as obs metrics sources, so the report and BENCH_fig09b.json carry the
+// architectural counters (off-chip bytes, dependent accesses, modeled
+// seconds) behind the figure.
+void traced_run_and_report() {
+  if (obs::mode() == obs::TraceMode::Off) obs::set_mode(obs::TraceMode::Summary);
+  obs::reset();
+  obs::reset_counters();
+  const simt::DeviceModel dev = simt::DeviceModel::gcn_gpu();
+  simt::SimtRuntime rt_dense(dev), rt_sparse(dev);
+  const auto dense_metrics = simt::register_metrics(rt_dense, "simt/dense");
+  const auto sparse_metrics = simt::register_metrics(rt_sparse, "simt/sparse");
+  const auto w = DensityKernelWorkload::make(1359 / 12, 1359, 1024, 24);
+  {
+    AEQP_TRACE_SCOPE("fig09b/sumup_dense");
+    auto r = kernels::run_sumup_dense(rt_dense, w);
+    benchmark::DoNotOptimize(r.density);
+  }
+  {
+    AEQP_TRACE_SCOPE("fig09b/sumup_sparse");
+    auto r = kernels::run_sumup_sparse(rt_sparse, w);
+    benchmark::DoNotOptimize(r.density);
+  }
+  obs::write_phase_report(std::cout, "fig09b dense vs sparse (1359 basis)");
+  if (std::FILE* f = std::fopen("BENCH_fig09b.json", "w")) {
+    std::fprintf(f,
+                 "{\n  \"bench\": \"fig09b_dense_access\",\n"
+                 "  \"basis\": 1359,\n  \"profile\": %s\n}\n",
+                 obs::profile_json(2).c_str());
+    std::fclose(f);
+    std::printf("Wrote BENCH_fig09b.json\n");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   print_figure();
+  traced_run_and_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

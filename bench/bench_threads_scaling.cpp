@@ -7,10 +7,16 @@
 // Determinism cross-check: the response density matrix must be bit-for-bit
 // identical at every thread count (docs/parallelism.md contract); the sweep
 // aborts loudly if it is not.
+//
+// Timing comes from the obs tracing spans the solver records (AEQP_TRACE is
+// forced to at least summary mode); the end-of-run phase report and the
+// "profile" object in BENCH_threads.json carry the full span/metric
+// breakdown of the last sweep point.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -18,6 +24,8 @@
 #include "core/dfpt.hpp"
 #include "core/structures.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "scf/scf_solver.hpp"
 
 namespace {
@@ -76,16 +84,24 @@ SweepResult run_sweep(bool smoke) {
   linalg::Matrix p1_reference;
   for (const std::size_t threads : sizes) {
     exec::ThreadPool::set_global_threads(threads);
+    obs::reset();  // each sweep point gets its own span window
     const core::DfptSolver solver(ground, dopt);
     const core::DfptDirectionResult res = solver.solve_direction(2);
     out.iterations = res.iterations;
 
+    // Phase timings from the tracing spans the solver records.
+    const auto aggs = obs::aggregate_spans();
+    const auto span_seconds = [&](const char* name) {
+      for (const auto& a : aggs)
+        if (a.name == name) return a.total_s;
+      return 0.0;
+    };
     PhaseSample s;
     s.threads = threads;
-    s.dm = res.phase_seconds.at(core::Phase::DM);
-    s.sumup = res.phase_seconds.at(core::Phase::Sumup);
-    s.rho = res.phase_seconds.at(core::Phase::Rho);
-    s.h = res.phase_seconds.at(core::Phase::H);
+    s.dm = span_seconds("cpscf/dm");
+    s.sumup = span_seconds("cpscf/sumup");
+    s.rho = span_seconds("cpscf/rho");
+    s.h = span_seconds("cpscf/h");
     out.samples.push_back(s);
 
     if (p1_reference.empty()) {
@@ -147,7 +163,8 @@ void write_json(const SweepResult& r, const char* path) {
                  s.threads, s.dm, s.sumup, s.rho, s.h, s.total(),
                  i + 1 < r.samples.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n  \"profile\": %s\n}\n",
+               aeqp::obs::profile_json(2).c_str());
   std::fclose(f);
   std::printf("Wrote %s\n", path);
 }
@@ -159,9 +176,14 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i)
     if (std::strstr(argv[i], "--benchmark_filter=__none__")) smoke = true;
 
+  // The sweep needs spans: force at least summary mode unless the user
+  // asked for something explicitly (e.g. AEQP_TRACE=full for a trace.json).
+  if (obs::mode() == obs::TraceMode::Off) obs::set_mode(obs::TraceMode::Summary);
+
   const SweepResult r = run_sweep(smoke);
   if (r.samples.empty()) return 1;
   print_table(r);
+  obs::write_phase_report(std::cout, "bench_threads_scaling (last sweep point)");
   write_json(r, "BENCH_threads.json");
   return 0;
 }

@@ -24,6 +24,7 @@
 #include "core/dfpt.hpp"
 #include "core/structures.hpp"
 #include "core/xyz.hpp"
+#include "obs/report.hpp"
 #include "scf/scf_solver.hpp"
 
 namespace {
@@ -100,6 +101,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Per-run profile (AEQP_TRACE=summary|full); no-op when tracing is off.
+  const obs::ScopedRunProfile profile("aeqp_run " + source);
   try {
     const grid::Structure mol = load_structure(source, builtin);
     std::printf("atoms: %zu, electrons: %d\n", mol.size(), mol.total_charge());

@@ -5,6 +5,10 @@
 // solver.
 //
 //   ./example_distributed_dfpt
+//
+// Profiling: AEQP_TRACE=summary prints the per-phase report on exit;
+// AEQP_TRACE=full additionally writes trace.json (chrome://tracing /
+// Perfetto) with one lane per simulated rank. See docs/observability.md.
 
 #include <cmath>
 #include <cstdio>
@@ -12,10 +16,12 @@
 #include "core/dfpt.hpp"
 #include "core/parallel_dfpt.hpp"
 #include "core/structures.hpp"
+#include "obs/report.hpp"
 #include "scf/scf_solver.hpp"
 
 int main() {
   using namespace aeqp;
+  obs::ScopedRunProfile profile("distributed_dfpt example");
 
   const grid::Structure h2o = core::water();
   scf::ScfOptions opt;
@@ -47,6 +53,7 @@ int main() {
               "hierarchical reduce)...\n",
               popt.ranks, popt.ranks_per_node);
   const auto par = core::solve_direction_parallel(ground, popt, 2);
+  const auto par_metrics = core::register_metrics(par.stats);
 
   std::printf("  alpha_zz = %.6f bohr^3 in %d iterations\n",
               par.direction.dipole_response.z, par.direction.iterations);
@@ -60,5 +67,8 @@ int main() {
       std::fabs(par.direction.dipole_response.z - ref.dipole_response.z);
   std::printf("  |serial - distributed| = %.2e  -> %s\n", diff,
               diff < 1e-7 ? "PASS" : "FAIL");
+  // Emit the report while the run-stats metrics source is still registered
+  // (it deregisters when par_metrics goes out of scope).
+  profile.finish();
   return diff < 1e-7 ? 0 : 1;
 }

@@ -6,16 +6,21 @@
 // field directions and print the polarizability tensor of Eq. (13).
 //
 //   ./example_quickstart
+//
+// Profiling: AEQP_TRACE=summary prints the per-phase report on exit;
+// AEQP_TRACE=full additionally writes trace.json. See docs/observability.md.
 
 #include <cstdio>
 
 #include "common/constants.hpp"
 #include "core/dfpt.hpp"
 #include "core/structures.hpp"
+#include "obs/report.hpp"
 #include "scf/scf_solver.hpp"
 
 int main() {
   using namespace aeqp;
+  const obs::ScopedRunProfile profile("quickstart example");
 
   const grid::Structure h2o = core::water();
   std::printf("System: H2O, %zu atoms, %d electrons\n", h2o.size(),

@@ -25,6 +25,7 @@
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "common/thread_ident.hpp"
 #include "common/timer.hpp"
 #include "common/vec3.hpp"
 #include "core/cube.hpp"
@@ -57,6 +58,9 @@
 #include "mapping/hamiltonian_analysis.hpp"
 #include "mapping/synthetic_points.hpp"
 #include "mapping/task_mapping.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "parallel/cluster.hpp"
 #include "parallel/fault.hpp"
 #include "parallel/machine_model.hpp"

@@ -4,6 +4,8 @@
 
 #include "comm/hierarchical.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace aeqp::comm {
 
@@ -35,6 +37,15 @@ void PackedAllReducer::add(std::span<double> row) {
 
 void PackedAllReducer::flush() {
   if (pending_.empty()) return;
+  AEQP_TRACE_SCOPE("comm/packed_flush");
+  if (obs::enabled()) {
+    static obs::Counter& bytes = obs::counter("comm/packed_bytes");
+    static obs::Counter& collectives = obs::counter("comm/packed_collectives");
+    static obs::Counter& rows = obs::counter("comm/packed_rows");
+    bytes.add(buffer_.size() * sizeof(double));
+    collectives.add(1);
+    rows.add(pending_.size());
+  }
   switch (mode_) {
     case ReduceMode::Flat:
       comm_->allreduce_sum(buffer_);

@@ -1,11 +1,20 @@
 #include "common/log.hpp"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "common/thread_ident.hpp"
 
 namespace aeqp {
 
 std::mutex Log::mutex_;
 LogLevel Log::level_ = LogLevel::Warn;
+LogSink Log::sink_;
+bool Log::timestamps_ = false;
+bool Log::ts_env_checked_ = false;
 
 void Log::set_level(LogLevel lvl) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -17,11 +26,51 @@ LogLevel Log::level() {
   return level_;
 }
 
+void Log::set_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = std::move(sink);
+}
+
+void Log::enable_timestamps(bool on) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  timestamps_ = on;
+  ts_env_checked_ = true;  // explicit choice wins over the environment
+}
+
 void Log::write(LogLevel lvl, const std::string& msg) {
   static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
   std::lock_guard<std::mutex> lock(mutex_);
+  if (!ts_env_checked_) {
+    ts_env_checked_ = true;
+    const char* env = std::getenv("AEQP_LOG_TS");
+    timestamps_ = env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+  }
   if (static_cast<int>(lvl) < static_cast<int>(level_)) return;
-  std::fprintf(stderr, "[aeqp %s] %s\n", names[static_cast<int>(lvl)], msg.c_str());
+
+  std::string line = "[aeqp ";
+  line += names[static_cast<int>(lvl)];
+  if (timestamps_) {
+    // Seconds since the first logged line (steady clock).
+    static const auto epoch = std::chrono::steady_clock::now();
+    const double t = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - epoch)
+                         .count();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " t=%.3f", t);
+    line += buf;
+  }
+  if (const int rank = thread_rank(); rank >= 0) {
+    line += " r";
+    line += std::to_string(rank);
+  }
+  line += "] ";
+  line += msg;
+
+  if (sink_) {
+    sink_(lvl, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
 }
 
 }  // namespace aeqp

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file thread_ident.hpp
+/// Per-thread role tags shared by the log sink (rank prefixes) and the obs
+/// tracing layer (one trace lane per rank x thread). A simmpi rank thread
+/// tags itself for the duration of the rank function via ScopedThreadRank;
+/// host threads and pool workers stay untagged (rank -1).
+
+namespace aeqp {
+
+namespace detail {
+inline thread_local int tl_thread_rank = -1;
+}  // namespace detail
+
+/// Rank tag of the calling thread; -1 when the thread is not a simmpi rank.
+[[nodiscard]] inline int thread_rank() { return detail::tl_thread_rank; }
+
+/// Tag the calling thread with a rank (-1 clears the tag).
+inline void set_thread_rank(int rank) { detail::tl_thread_rank = rank; }
+
+/// RAII rank tag: tags on construction, restores the previous tag on exit.
+class ScopedThreadRank {
+public:
+  explicit ScopedThreadRank(int rank) : prev_(thread_rank()) {
+    set_thread_rank(rank);
+  }
+  ~ScopedThreadRank() { set_thread_rank(prev_); }
+  ScopedThreadRank(const ScopedThreadRank&) = delete;
+  ScopedThreadRank& operator=(const ScopedThreadRank&) = delete;
+
+private:
+  int prev_;
+};
+
+}  // namespace aeqp

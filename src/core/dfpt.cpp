@@ -7,6 +7,7 @@
 #include "common/log.hpp"
 #include "common/timer.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/trace.hpp"
 #include "xc/lda.hpp"
 
 namespace aeqp::core {
@@ -67,6 +68,7 @@ DfptSolver::DfptSolver(const scf::ScfResult& ground, DfptOptions options)
 }
 
 DfptDirectionResult DfptSolver::solve_direction(int j) const {
+  AEQP_TRACE_SCOPE("cpscf/direction");
   AEQP_CHECK(j >= 0 && j < 3, "solve_direction: direction must be 0..2");
   const auto& integ = *ground_.integrator;
   const auto& grid = *ground_.grid;
@@ -143,15 +145,18 @@ DfptDirectionResult DfptSolver::solve_direction(int j) const {
     //     integrator or through the SIMT batch kernel. ---
     timer.reset();
     Matrix h1 = h1_ext;
-    if (have_response) {
-      if (options_.device) {
-        Matrix vmat(nb, nb);
-        kernels::h_kernel(*options_.device, grid, device_supports_, v1, vmat);
-        h1.axpy(1.0, vmat);
-      } else {
-        h1.axpy(1.0, integ.potential_matrix(v1));
+    {
+      AEQP_TRACE_SCOPE("cpscf/h");
+      if (have_response) {
+        if (options_.device) {
+          Matrix vmat(nb, nb);
+          kernels::h_kernel(*options_.device, grid, device_supports_, v1, vmat);
+          h1.axpy(1.0, vmat);
+        } else {
+          h1.axpy(1.0, integ.potential_matrix(v1));
+        }
+        h1.symmetrize();
       }
-      h1.symmetrize();
     }
     t[Phase::H] += timer.seconds();
 
@@ -159,6 +164,10 @@ DfptDirectionResult DfptSolver::solve_direction(int j) const {
     //     Dynamic (omega != 0): the +omega and -omega amplitudes
     //     X_ai, Y_ai of the coupled-perturbed equations. ---
     timer.reset();
+    // Manual span object: the phase's outputs (c1x/c1y) outlive the phase
+    // region, so a braced scope cannot delimit it.
+    obs::PhaseSpan phase_span;
+    phase_span.begin("cpscf/sternheimer");
     const double omega = options_.frequency;
     const Matrix h1_vo = linalg::matmul_tn(c_virt_, linalg::matmul(h1, c_occ_));
     Matrix x(n_virt, n_occ), y(n_virt, n_occ);
@@ -174,11 +183,13 @@ DfptDirectionResult DfptSolver::solve_direction(int j) const {
     // C^(1)+ = C_virt X, C^(1)- = C_virt Y (equal in the static limit).
     const Matrix c1x = linalg::matmul(c_virt_, x);
     const Matrix c1y = linalg::matmul(c_virt_, y);
+    phase_span.end();
     t[Phase::Sternheimer] += timer.seconds();
 
     // --- DM phase: P^(1) = sum_i f_i (C^(1)+ C^T + C C^(1)-T), the
     //     omega-generalization of Eq. (7). ---
     timer.reset();
+    phase_span.begin("cpscf/dm");
     Matrix p1_new(nb, nb);
     // Row-parallel over mu; the per-element accumulation over occupied
     // orbitals keeps its serial (ascending i) order, so P^(1) is
@@ -202,6 +213,7 @@ DfptDirectionResult DfptSolver::solve_direction(int j) const {
     const double delta = p1_new.max_abs_diff(p1);
     p1 = std::move(p1_new);
     last_delta = delta;
+    phase_span.end();
     t[Phase::DM] += timer.seconds();
 
     res.iterations = iter;
@@ -215,13 +227,19 @@ DfptDirectionResult DfptSolver::solve_direction(int j) const {
 
     // --- Sumup phase: n^(1)(r) on the grid (Eq. 8). ---
     timer.reset();
-    compute_sumup(p1);
+    {
+      AEQP_TRACE_SCOPE("cpscf/sumup");
+      compute_sumup(p1);
+    }
     t[Phase::Sumup] += timer.seconds();
 
     // --- Rho phase: v^(1)_H by multipole Poisson solve (Eq. 9) plus the
     //     XC kernel term f_xc n^(1) (Eq. 12). ---
     timer.reset();
-    compute_rho(p1);
+    {
+      AEQP_TRACE_SCOPE("cpscf/rho");
+      compute_rho(p1);
+    }
     t[Phase::Rho] += timer.seconds();
 
     have_response = true;

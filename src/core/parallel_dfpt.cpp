@@ -3,11 +3,14 @@
 #include <chrono>
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "basis/basis_set.hpp"
 #include "common/error.hpp"
+#include "common/thread_ident.hpp"
 #include "common/timer.hpp"
 #include "linalg/sparse.hpp"
+#include "obs/trace.hpp"
 #include "parallel/cluster.hpp"
 #include "parallel/fault.hpp"
 #include "xc/lda.hpp"
@@ -83,6 +86,10 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
       std::chrono::milliseconds(options.collective_timeout_ms));
   cluster.set_fault_injector(options.fault_injector);
   cluster.run([&](parallel::Communicator& comm) {
+    // Tag this rank thread: the log sink prefixes its lines and the trace
+    // exporter gives it its own lane. Purely observational.
+    const ScopedThreadRank rank_tag(static_cast<int>(comm.rank()));
+    AEQP_TRACE_SCOPE("cpscf/parallel_direction");
     const auto& my_batches = assignment.batches_of_rank[comm.rank()];
     // Cache this rank's point ids and basis values.
     std::vector<std::uint32_t> my_points;
@@ -170,6 +177,8 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
       // --- H phase (distributed): partial response-Hamiltonian integrals
       //     over this rank's grid points, synthesized by packed AllReduce.
       timer.reset();
+      obs::PhaseSpan phase_span;
+      phase_span.begin("cpscf/h");
       Matrix h1 = h1_ext;
       if (have_response) {
         Matrix partial(nb, nb);
@@ -191,10 +200,12 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
         h1.axpy(1.0, partial);
         h1.symmetrize();
       }
+      phase_span.end();
       if (comm.rank() == 0) result.phase_seconds[Phase::H] += timer.seconds();
 
       // --- Sternheimer + DM (replicated; identical on every rank). ---
       timer.reset();
+      phase_span.begin("cpscf/sternheimer");
       const Matrix h1_vo = linalg::matmul_tn(c_virt, linalg::matmul(h1, c_occ));
       Matrix u(n_virt, n_occ);
       for (std::size_t a = 0; a < n_virt; ++a)
@@ -202,10 +213,12 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
           u(a, i) = h1_vo(a, i) / (ground.eigenvalues[i] -
                                    ground.eigenvalues[n_occ + a]);
       const Matrix c1 = linalg::matmul(c_virt, u);
+      phase_span.end();
       if (comm.rank() == 0)
         result.phase_seconds[Phase::Sternheimer] += timer.seconds();
 
       timer.reset();
+      phase_span.begin("cpscf/dm");
       Matrix p1_new(nb, nb);
       for (std::size_t i = 0; i < n_occ; ++i) {
         const double f = ground.occupations[i];
@@ -221,6 +234,7 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
       }
       const double delta = p1_new.max_abs_diff(p1);
       p1 = std::move(p1_new);
+      phase_span.end();
       if (comm.rank() == 0) {
         result.phase_seconds[Phase::DM] += timer.seconds();
         result.iterations = iter;
@@ -253,13 +267,19 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
       //     the inefficiency Fig. 3(a) illustrates); the values are
       //     identical either way. ---
       timer.reset();
-      compute_sumup_own();
+      {
+        AEQP_TRACE_SCOPE("cpscf/sumup");
+        compute_sumup_own();
+      }
       if (comm.rank() == 0) result.phase_seconds[Phase::Sumup] += timer.seconds();
 
       // --- Rho phase: the Poisson producer is replicated on every rank
       //     (communication avoidance), the consumer runs on own points. ---
       timer.reset();
-      compute_rho_own();
+      {
+        AEQP_TRACE_SCOPE("cpscf/rho");
+        compute_rho_own();
+      }
       if (comm.rank() == 0) result.phase_seconds[Phase::Rho] += timer.seconds();
 
       have_response = true;
@@ -309,6 +329,24 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
   out.stats.collectives /= options.ranks;  // same count on every rank
   out.stats.rows_reduced /= options.ranks;
   return out;
+}
+
+obs::ScopedMetricsSource register_metrics(const ParallelDfptStats& stats,
+                                          std::string prefix) {
+  return obs::ScopedMetricsSource(
+      [&stats, prefix = std::move(prefix)](std::vector<obs::MetricSample>& out) {
+        const auto push = [&](const char* name, double v) {
+          out.push_back({prefix + "/" + name, v});
+        };
+        push("collectives", static_cast<double>(stats.collectives));
+        push("rows_reduced", static_cast<double>(stats.rows_reduced));
+        push("batches", static_cast<double>(stats.batches));
+        push("max_rank_points_share", stats.max_rank_points_share);
+        push("faults_detected", static_cast<double>(stats.faults_detected));
+        push("restores", static_cast<double>(stats.restores));
+        push("retries", static_cast<double>(stats.retries));
+        push("wasted_iterations", static_cast<double>(stats.wasted_iterations));
+      });
 }
 
 }  // namespace aeqp::core

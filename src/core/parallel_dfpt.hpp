@@ -18,10 +18,13 @@
 /// The result is bit-wise deterministic and equals the serial DfptSolver
 /// reference, which the test suite asserts.
 
+#include <string>
+
 #include "comm/packed.hpp"
 #include "core/dfpt.hpp"
 #include "grid/batch.hpp"
 #include "mapping/task_mapping.hpp"
+#include "obs/metrics.hpp"
 
 namespace aeqp::core {
 
@@ -73,5 +76,11 @@ struct ParallelDfptResult {
 ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
                                             const ParallelDfptOptions& options,
                                             int direction);
+
+/// Register `stats` as an obs metrics source; sample names are
+/// "<prefix>/collectives", "<prefix>/rows_reduced", ... `stats` must
+/// outlive the returned registration.
+[[nodiscard]] obs::ScopedMetricsSource register_metrics(
+    const ParallelDfptStats& stats, std::string prefix = "cpscf");
 
 }  // namespace aeqp::core

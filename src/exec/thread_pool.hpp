@@ -32,6 +32,9 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace aeqp::exec {
 
 /// Threads the pool uses by default: the `AEQP_NUM_THREADS` environment
@@ -108,6 +111,9 @@ public:
     std::mutex error_m;
 
     auto work = [&](std::size_t worker_id) {
+      // Scheduling telemetry, accumulated thread-locally and published once
+      // per worker per region so the hot loop stays contention-free.
+      std::size_t n_chunks = 0, n_steals = 0;
       try {
         for (std::size_t v = 0; v < lanes; ++v) {
           LaneState& l = lane[(worker_id + v) % lanes];
@@ -116,6 +122,8 @@ public:
                 l.next.fetch_add(grain, std::memory_order_relaxed);
             if (c >= l.end) break;
             body(c, std::min(c + grain, l.end));
+            ++n_chunks;
+            n_steals += (v != 0);
           }
         }
       } catch (...) {
@@ -123,7 +131,17 @@ public:
         const std::lock_guard<std::mutex> lk(error_m);
         if (!error) error = std::current_exception();
       }
+      if (obs::enabled() && n_chunks != 0) {
+        static obs::Counter& chunks_counter = obs::counter("exec/chunks");
+        static obs::Counter& steals_counter = obs::counter("exec/steals");
+        chunks_counter.add(n_chunks);
+        steals_counter.add(n_steals);
+      }
     };
+    if (obs::enabled()) {
+      static obs::Counter& regions_counter = obs::counter("exec/regions");
+      regions_counter.add(1);
+    }
     if (!try_run_on_all(work)) {
       body(begin, end);  // pool occupied by another thread's region
       return;

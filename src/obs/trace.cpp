@@ -1,0 +1,250 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "common/thread_ident.hpp"
+
+namespace aeqp::obs {
+
+namespace detail {
+std::atomic<int> g_mode{-1};
+}  // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Chunked single-writer event buffer. The owning thread appends and
+/// publishes the count with a release store; collectors acquire the count
+/// and read only slots below it. Chunks are heap-allocated once and never
+/// move, so a concurrent reader never observes a reallocating backing
+/// store. The chunk list itself is guarded by a mutex taken only when a
+/// chunk is added (rare) and during collection.
+class TraceBuffer {
+public:
+  static constexpr std::size_t kChunkEvents = 4096;
+  /// Hard cap per buffer; beyond it events are dropped (counted).
+  static constexpr std::size_t kMaxEvents = 1u << 22;
+
+  explicit TraceBuffer(std::size_t index) : index_(index) {}
+
+  void push(const TraceEvent& e) {
+    const std::size_t n = count_.load(std::memory_order_relaxed);
+    if (n >= kMaxEvents) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (n % kChunkEvents == 0) {
+      const std::lock_guard<std::mutex> lock(chunks_mutex_);
+      chunks_.push_back(std::make_unique<Chunk>());
+    }
+    chunk_slot(n) = e;
+    count_.store(n + 1, std::memory_order_release);
+  }
+
+  [[nodiscard]] std::size_t index() const { return index_; }
+  [[nodiscard]] std::size_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Copy every published event (reader side).
+  void snapshot(std::vector<CollectedEvent>& out) const {
+    const std::size_t n = count_.load(std::memory_order_acquire);
+    const std::lock_guard<std::mutex> lock(chunks_mutex_);
+    for (std::size_t i = 0; i < n; ++i)
+      out.push_back({chunks_[i / kChunkEvents]->events[i % kChunkEvents],
+                     index_, i});
+  }
+
+  /// Discard published events (collector-side reset at a quiescent point).
+  void clear() {
+    const std::lock_guard<std::mutex> lock(chunks_mutex_);
+    chunks_.clear();
+    count_.store(0, std::memory_order_release);
+    dropped_.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  struct Chunk {
+    std::array<TraceEvent, kChunkEvents> events;
+  };
+
+  // Owner-only access: the owning thread is the sole mutator of chunks_
+  // (push_back happens under the mutex in push(); collectors only read
+  // under the same mutex), so indexing without the lock is race-free.
+  TraceEvent& chunk_slot(std::size_t n) {
+    return chunks_[n / kChunkEvents]->events[n % kChunkEvents];
+  }
+
+  std::size_t index_;
+  std::atomic<std::size_t> count_{0};
+  std::atomic<std::size_t> dropped_{0};
+  mutable std::mutex chunks_mutex_;
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  Clock::time_point epoch = Clock::now();
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives every thread exit
+  return *r;
+}
+
+thread_local std::shared_ptr<TraceBuffer> tl_buffer;
+
+TraceBuffer& thread_buffer() {
+  if (!tl_buffer) {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    tl_buffer = std::make_shared<TraceBuffer>(r.buffers.size());
+    r.buffers.push_back(tl_buffer);
+  }
+  return *tl_buffer;
+}
+
+}  // namespace
+
+namespace detail {
+
+TraceMode init_mode_from_env() {
+  TraceMode m = TraceMode::Off;
+  if (const char* env = std::getenv("AEQP_TRACE")) {
+    if (std::strcmp(env, "summary") == 0) m = TraceMode::Summary;
+    else if (std::strcmp(env, "full") == 0) m = TraceMode::Full;
+    // anything else (incl. "off") stays Off
+  }
+  int expected = -1;
+  g_mode.compare_exchange_strong(expected, static_cast<int>(m),
+                                 std::memory_order_relaxed);
+  return static_cast<TraceMode>(g_mode.load(std::memory_order_relaxed));
+}
+
+void record(const char* name, EventType type) {
+  TraceEvent e;
+  e.name = name;
+  e.type = type;
+  e.rank = thread_rank();
+  e.ts_us = now_us();
+  thread_buffer().push(e);
+}
+
+}  // namespace detail
+
+void set_mode(TraceMode m) {
+  detail::g_mode.store(static_cast<int>(m), std::memory_order_relaxed);
+}
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   registry().epoch)
+      .count();
+}
+
+void trace_instant(const char* name) {
+  if (mode() == TraceMode::Off) return;
+  detail::record(name, EventType::Instant);
+}
+
+std::vector<CollectedEvent> collect_events() {
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    buffers = r.buffers;
+  }
+  std::vector<CollectedEvent> out;
+  for (const auto& b : buffers) b->snapshot(out);
+  // snapshot() appends per buffer in registration order, each buffer in
+  // seq order, so the merge is already deterministic for a given set of
+  // recorded events.
+  return out;
+}
+
+std::vector<CompletedSpan> completed_spans() {
+  const std::vector<CollectedEvent> events = collect_events();
+  std::vector<CompletedSpan> spans;
+  // Pair within each lane with a stack; events are lane-major and
+  // seq-ordered, so one linear walk with a per-lane reset suffices.
+  struct Open {
+    const char* name;
+    int rank;
+    double ts_us;
+    std::size_t order;  ///< spans.size() at push -> stable output position
+  };
+  std::vector<Open> stack;
+  std::size_t current_lane = static_cast<std::size_t>(-1);
+  for (const CollectedEvent& ce : events) {
+    if (ce.thread_index != current_lane) {
+      stack.clear();  // unmatched Begins of the previous lane are dropped
+      current_lane = ce.thread_index;
+    }
+    const TraceEvent& e = ce.event;
+    if (e.type == EventType::Begin) {
+      CompletedSpan s;  // placeholder at the Begin position; filled on End
+      s.name = e.name;
+      s.rank = e.rank;
+      s.thread_index = ce.thread_index;
+      s.depth = static_cast<int>(stack.size());
+      s.ts_us = e.ts_us;
+      s.dur_us = -1.0;
+      stack.push_back({e.name, e.rank, e.ts_us, spans.size()});
+      spans.push_back(s);
+    } else if (e.type == EventType::End) {
+      // Pop to the matching name (tolerates a missed End from an
+      // exception-skipped scope; TraceScope itself always closes).
+      while (!stack.empty()) {
+        const Open top = stack.back();
+        stack.pop_back();
+        if (top.name == e.name || std::strcmp(top.name, e.name) == 0) {
+          spans[top.order].dur_us = e.ts_us - top.ts_us;
+          break;
+        }
+      }
+    }
+  }
+  // Drop placeholders whose End never arrived (span still open at collect).
+  spans.erase(std::remove_if(spans.begin(), spans.end(),
+                             [](const CompletedSpan& s) { return s.dur_us < 0; }),
+              spans.end());
+  return spans;
+}
+
+std::size_t registered_thread_count() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  return r.buffers.size();
+}
+
+std::size_t dropped_events() {
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    buffers = r.buffers;
+  }
+  std::size_t n = 0;
+  for (const auto& b : buffers) n += b->dropped();
+  return n;
+}
+
+void reset() {
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    buffers = r.buffers;
+  }
+  for (const auto& b : buffers) b->clear();
+}
+
+}  // namespace aeqp::obs

@@ -1,0 +1,178 @@
+#pragma once
+
+/// \file trace.hpp
+/// Low-overhead span tracing for the whole engine (the measurement
+/// substrate behind the paper's per-phase accounting). RAII spans recorded
+/// into per-thread single-writer buffers:
+///
+///   AEQP_TRACE_SCOPE("cpscf/h");         // span over the enclosing scope
+///   aeqp::obs::trace_instant("fault/kill");  // point event
+///
+/// Modes (env var AEQP_TRACE, read once on first use, overridable with
+/// set_mode):
+///   off      spans compile to a single relaxed atomic load -- no
+///            allocation, no buffer registration, no event recorded.
+///   summary  events recorded; the end-of-run phase report aggregates them.
+///   full     additionally exportable as Chrome trace-event JSON
+///            (chrome://tracing / Perfetto), one lane per rank x thread.
+///
+/// The hot path is lock-free for the recording thread: each thread owns a
+/// chunked buffer it alone appends to; the event count is published with a
+/// release store so collectors (which run at quiescent points) only read
+/// fully written slots. Chunks are never reallocated, so readers never see
+/// a moving backing store. Tracing observes -- it never changes what a
+/// computation does, preserving the bit-for-bit determinism contract of
+/// docs/parallelism.md.
+///
+/// Span names must be string literals (or otherwise outlive the process):
+/// events store the pointer, not a copy. Naming convention:
+/// "phase/subphase" (see docs/observability.md).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aeqp::obs {
+
+enum class TraceMode { Off = 0, Summary = 1, Full = 2 };
+
+namespace detail {
+/// -1 = not yet initialized from the environment.
+extern std::atomic<int> g_mode;
+/// Slow path of mode(): parse AEQP_TRACE once.
+TraceMode init_mode_from_env();
+}  // namespace detail
+
+/// Current trace mode (lazily initialized from AEQP_TRACE).
+[[nodiscard]] inline TraceMode mode() {
+  const int m = detail::g_mode.load(std::memory_order_relaxed);
+  if (m >= 0) return static_cast<TraceMode>(m);
+  return detail::init_mode_from_env();
+}
+
+/// Programmatic override (tests, benches). Takes effect immediately for
+/// spans opened afterwards.
+void set_mode(TraceMode m);
+
+[[nodiscard]] inline bool enabled() { return mode() != TraceMode::Off; }
+
+/// What one recorded event is.
+enum class EventType : std::uint8_t { Begin, End, Instant };
+
+/// One event as recorded (name is a borrowed static string).
+struct TraceEvent {
+  const char* name = nullptr;
+  EventType type = EventType::Instant;
+  int rank = -1;       ///< aeqp::thread_rank() at record time (-1 = host)
+  double ts_us = 0.0;  ///< microseconds since the process trace epoch
+};
+
+/// Microseconds since the process-wide trace epoch (steady clock).
+[[nodiscard]] double now_us();
+
+/// Record a point event (fault fired, checkpoint written, ...). No-op when
+/// tracing is off.
+void trace_instant(const char* name);
+
+namespace detail {
+void record(const char* name, EventType type);
+}  // namespace detail
+
+/// RAII span. Construction records Begin, destruction End; both no-ops
+/// (one relaxed atomic load, no allocation) when tracing is off. The mode
+/// is latched at construction so a span closes even if the mode changes
+/// mid-scope.
+class TraceScope {
+public:
+  explicit TraceScope(const char* name) {
+    if (mode() == TraceMode::Off) return;
+    name_ = name;
+    detail::record(name, EventType::Begin);
+  }
+  ~TraceScope() {
+    if (name_ != nullptr) detail::record(name_, EventType::End);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+private:
+  const char* name_ = nullptr;
+};
+
+/// Manually delimited span for phases whose outputs must outlive a braced
+/// scope. begin() closes any span still open on this object, end() is
+/// idempotent, and the destructor closes an open span.
+class PhaseSpan {
+public:
+  PhaseSpan() = default;
+  ~PhaseSpan() { end(); }
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+  void begin(const char* name) {
+    end();
+    if (mode() == TraceMode::Off) return;
+    name_ = name;
+    detail::record(name, EventType::Begin);
+  }
+  void end() {
+    if (name_ != nullptr) {
+      detail::record(name_, EventType::End);
+      name_ = nullptr;
+    }
+  }
+
+private:
+  const char* name_ = nullptr;
+};
+
+// --- Collection (quiescent points only: after joins / end of run) ---
+
+/// One event with its source lane attached.
+struct CollectedEvent {
+  TraceEvent event;
+  std::size_t thread_index = 0;  ///< buffer registration order (stable)
+  std::size_t seq = 0;           ///< position within its buffer
+};
+
+/// A Begin/End pair matched within one thread's buffer.
+struct CompletedSpan {
+  const char* name = nullptr;
+  int rank = -1;
+  std::size_t thread_index = 0;
+  int depth = 0;  ///< nesting depth within the lane (0 = top level)
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+};
+
+/// Snapshot of every registered buffer, merged in the deterministic order
+/// (thread_index, seq). Safe to call while other threads keep recording:
+/// only events published before the call are returned.
+[[nodiscard]] std::vector<CollectedEvent> collect_events();
+
+/// Pair Begin/End events per lane into completed spans (ordered by
+/// (thread_index, begin seq)); unmatched Begins are dropped. Instants are
+/// returned separately by collect_events().
+[[nodiscard]] std::vector<CompletedSpan> completed_spans();
+
+/// Number of buffers ever registered (one per thread that recorded at
+/// least one event). Exposed so tests can assert the disabled-mode path
+/// allocates nothing.
+[[nodiscard]] std::size_t registered_thread_count();
+
+/// Events dropped because a buffer hit its capacity cap.
+[[nodiscard]] std::size_t dropped_events();
+
+/// Clear every buffer's events (buffers stay registered) and re-arm the
+/// epoch offset. For tests and back-to-back profiled runs.
+void reset();
+
+}  // namespace aeqp::obs
+
+#define AEQP_OBS_CONCAT2(a, b) a##b
+#define AEQP_OBS_CONCAT(a, b) AEQP_OBS_CONCAT2(a, b)
+
+/// Open a trace span covering the rest of the enclosing scope.
+#define AEQP_TRACE_SCOPE(name) \
+  const ::aeqp::obs::TraceScope AEQP_OBS_CONCAT(aeqp_trace_scope_, __LINE__)(name)

@@ -4,6 +4,8 @@
 #include <limits>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/fault.hpp"
 
 namespace aeqp::parallel {
@@ -27,6 +29,9 @@ std::size_t Cluster::node_count() const {
 }
 
 void Cluster::FtBarrier::arrive_and_wait(Cluster& cluster, std::size_t rank) {
+  // The wait-vs-work split: everything inside this span is time the rank
+  // spends blocked on peers, not computing.
+  AEQP_TRACE_SCOPE("comm/wait");
   std::unique_lock<std::mutex> lk(mutex);
   if (cluster.failed()) {
     lk.unlock();
@@ -76,6 +81,8 @@ void Cluster::fail(std::size_t rank, const std::string& what,
       fail_is_timeout_ = is_timeout;
       first_error_ = cause;
       failed_.store(true, std::memory_order_release);
+      obs::trace_instant(is_timeout ? "fault/collective_timeout"
+                                    : "fault/rank_failure");
     }
   }
   // Release every blocked rank so no collective stays stuck.
@@ -175,6 +182,12 @@ std::size_t Communicator::node_size() const {
 std::size_t Communicator::node_count() const { return cluster_->node_count(); }
 
 void Communicator::enter_collective(const char* what, std::span<double> payload) {
+  if (obs::enabled()) {
+    static obs::Counter& calls = obs::counter("comm/collectives");
+    static obs::Counter& doubles = obs::counter("comm/collective_doubles");
+    calls.add(1);
+    doubles.add(payload.size());
+  }
   if (cluster_->failed()) cluster_->throw_failure(rank_);
   const std::size_t seq = seq_++;
   if (cluster_->injector_ != nullptr) {
@@ -187,16 +200,19 @@ void Communicator::enter_collective(const char* what, std::span<double> payload)
 }
 
 void Communicator::barrier() {
+  AEQP_TRACE_SCOPE("comm/barrier");
   enter_collective("barrier", {});
   cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_);
 }
 
 void Communicator::node_barrier() {
+  AEQP_TRACE_SCOPE("comm/node_barrier");
   enter_collective("node_barrier", {});
   cluster_->nodes_[node()].barrier->arrive_and_wait(*cluster_, rank_);
 }
 
 void Communicator::allreduce_sum(std::span<double> data) {
+  AEQP_TRACE_SCOPE("comm/allreduce_sum");
   enter_collective("allreduce_sum", data);
   {
     std::lock_guard<std::mutex> lock(cluster_->reduce_mutex_);
@@ -223,6 +239,7 @@ void Communicator::allreduce_sum(std::span<double> data) {
 }
 
 void Communicator::allreduce_max(std::span<double> data) {
+  AEQP_TRACE_SCOPE("comm/allreduce_max");
   enter_collective("allreduce_max", data);
   {
     std::lock_guard<std::mutex> lock(cluster_->reduce_mutex_);
@@ -250,6 +267,7 @@ void Communicator::allreduce_max(std::span<double> data) {
 }
 
 void Communicator::allreduce_sum_leaders(std::span<double> data) {
+  AEQP_TRACE_SCOPE("comm/allreduce_sum_leaders");
   const bool leader = node_rank() == 0;
   enter_collective("allreduce_sum_leaders",
                    leader ? data : std::span<double>{});
@@ -279,6 +297,7 @@ void Communicator::allreduce_sum_leaders(std::span<double> data) {
 }
 
 void Communicator::broadcast(std::span<double> data, std::size_t root) {
+  AEQP_TRACE_SCOPE("comm/broadcast");
   AEQP_CHECK(root < size(), "broadcast: root out of range");
   enter_collective("broadcast", rank_ == root ? data : std::span<double>{});
   if (rank_ == root)

@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/trace.hpp"
 #include "parallel/cluster.hpp"
 
 namespace aeqp::parallel {
@@ -84,18 +85,25 @@ void FaultInjector::on_collective(std::size_t rank, std::size_t seq,
           }
           armed.done = true;
           ++stats_.corruptions;
+          obs::trace_instant(armed.event.kind == FaultKind::BitFlip
+                                 ? "fault/bit-flip"
+                                 : (armed.event.kind == FaultKind::NanPayload
+                                        ? "fault/nan-payload"
+                                        : "fault/inf-payload"));
           break;
         }
         case FaultKind::Stall:
           stall_total_ms += armed.event.stall_ms;
           if (++armed.fired >= armed.event.repeat) armed.done = true;
           ++stats_.stalls;
+          obs::trace_instant("fault/stall");
           break;
         case FaultKind::Kill:
           armed.done = true;
           ++stats_.kills;
           kill = true;
           kill_collective = seq;
+          obs::trace_instant("fault/kill");
           break;
       }
     }
@@ -127,6 +135,19 @@ std::size_t FaultInjector::pending() const {
   for (const auto& armed : events_)
     if (!armed.done) ++n;
   return n;
+}
+
+obs::ScopedMetricsSource register_metrics(const FaultInjector& injector,
+                                          std::string prefix) {
+  return obs::ScopedMetricsSource(
+      [&injector,
+       prefix = std::move(prefix)](std::vector<obs::MetricSample>& out) {
+        const FaultInjectorStats s = injector.stats();
+        out.push_back({prefix + "/corruptions",
+                       static_cast<double>(s.corruptions)});
+        out.push_back({prefix + "/stalls", static_cast<double>(s.stalls)});
+        out.push_back({prefix + "/kills", static_cast<double>(s.kills)});
+      });
 }
 
 }  // namespace aeqp::parallel

@@ -17,7 +17,10 @@
 #include <functional>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace aeqp::parallel {
 
@@ -109,5 +112,11 @@ private:
   std::vector<Armed> events_;
   FaultInjectorStats stats_;
 };
+
+/// Register `injector`'s counters as an obs metrics source
+/// ("<prefix>/corruptions", "<prefix>/stalls", "<prefix>/kills"). The
+/// injector must outlive the returned registration.
+[[nodiscard]] obs::ScopedMetricsSource register_metrics(
+    const FaultInjector& injector, std::string prefix = "fault");
 
 }  // namespace aeqp::parallel

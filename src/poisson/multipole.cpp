@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "exec/thread_pool.hpp"
 #include "grid/angular_grid.hpp"
+#include "obs/trace.hpp"
 #include "poisson/adams_moulton.hpp"
 
 namespace aeqp::poisson {
@@ -50,6 +51,7 @@ HartreeSolver::HartreeSolver(const grid::Structure& structure,
 }
 
 MultipoleDensity HartreeSolver::project(const DensityFn& density) const {
+  AEQP_TRACE_SCOPE("poisson/project");
   const std::size_t n_atoms = structure_.size();
   const std::size_t nlm = lm_count(spec_.l_max);
   const std::size_t nr = mesh_.size();
@@ -88,6 +90,7 @@ MultipoleDensity HartreeSolver::project(const DensityFn& density) const {
 }
 
 PartitionedPotential HartreeSolver::solve(const MultipoleDensity& rho) const {
+  AEQP_TRACE_SCOPE("poisson/solve");
   AEQP_CHECK(rho.atom_count() == structure_.size(),
              "HartreeSolver::solve: density built for a different structure");
   const std::size_t nlm = lm_count(spec_.l_max);

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace aeqp::resilience {
 
@@ -188,6 +189,7 @@ void CheckpointStore::save(const std::string& key,
   w.put_f64(ckpt.last_delta);
   w.put_matrix(ckpt.p1);
   write_file_atomic(path_of(key), kKindCpscf, w.bytes());
+  obs::trace_instant("checkpoint/save");
 }
 
 void CheckpointStore::save(const std::string& key,
@@ -202,6 +204,7 @@ void CheckpointStore::save(const std::string& key,
     w.put_matrix(e);
   }
   write_file_atomic(path_of(key), kKindScf, w.bytes());
+  obs::trace_instant("checkpoint/save");
 }
 
 CpscfCheckpoint CheckpointStore::load_cpscf(const std::string& key) const {
@@ -214,6 +217,7 @@ CpscfCheckpoint CheckpointStore::load_cpscf(const std::string& key) const {
   ckpt.last_delta = r.get_f64();
   ckpt.p1 = r.get_matrix();
   AEQP_CHECK(r.exhausted(), "CheckpointStore: trailing bytes in " + key);
+  obs::trace_instant("checkpoint/load");
   return ckpt;
 }
 
@@ -232,6 +236,7 @@ ScfCheckpoint CheckpointStore::load_scf(const std::string& key) const {
     ckpt.diis_history.emplace_back(std::move(h), std::move(e));
   }
   AEQP_CHECK(r.exhausted(), "CheckpointStore: trailing bytes in " + key);
+  obs::trace_instant("checkpoint/load");
   return ckpt;
 }
 

@@ -10,6 +10,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 #include "parallel/cluster.hpp"
 #include "scf/diis.hpp"
 
@@ -51,6 +52,7 @@ auto run_recovered(CheckpointStore& store, const RecoveryOptions& ropt,
 
     if (attempt > 0) {
       ++stats.retries;
+      obs::trace_instant("recovery/retry");
       if (auto ckpt = store.try_load_cpscf(key);
           ckpt && ckpt->iteration >= 1 &&
           ckpt->iteration < opts.max_iterations) {
@@ -61,6 +63,7 @@ auto run_recovered(CheckpointStore& store, const RecoveryOptions& ropt,
         ws->p1 = std::move(ckpt->p1);
         opts.warm_start = std::move(ws);
         ++stats.restores;
+        obs::trace_instant("recovery/rollback");
       }
       if (ropt.backoff_base_ms > 0) {
         const int shift = std::min(attempt - 1, 20);
@@ -109,6 +112,7 @@ auto run_recovered(CheckpointStore& store, const RecoveryOptions& ropt,
       last_reason = e.what();
     }
     ++stats.faults_detected;
+    obs::trace_instant("recovery/fault_detected");
     stats.wasted_iterations += static_cast<std::size_t>(
         std::max(0, ctx.last_iteration - ctx.checkpoint_iteration));
     AEQP_LOG_INFO << what << ": fault on attempt " << attempt + 1 << " ("
@@ -164,6 +168,20 @@ core::ParallelDfptResult RecoveryDriver::solve_direction_parallel(
   result.stats.retries = stats_.retries;
   result.stats.wasted_iterations = stats_.wasted_iterations;
   return result;
+}
+
+obs::ScopedMetricsSource register_metrics(const RecoveryStats& stats,
+                                          std::string prefix) {
+  return obs::ScopedMetricsSource(
+      [&stats, prefix = std::move(prefix)](std::vector<obs::MetricSample>& out) {
+        const auto push = [&](const char* name, double v) {
+          out.push_back({prefix + "/" + name, v});
+        };
+        push("faults_detected", static_cast<double>(stats.faults_detected));
+        push("restores", static_cast<double>(stats.restores));
+        push("retries", static_cast<double>(stats.retries));
+        push("wasted_iterations", static_cast<double>(stats.wasted_iterations));
+      });
 }
 
 void attach_scf_checkpointing(scf::ScfOptions& options, CheckpointStore& store,

@@ -7,6 +7,7 @@
 #include "common/log.hpp"
 #include "exec/thread_pool.hpp"
 #include "linalg/eigen.hpp"
+#include "obs/trace.hpp"
 #include "scf/diis.hpp"
 #include "scf/occupations.hpp"
 #include "xc/lda.hpp"
@@ -58,6 +59,7 @@ ScfSolver::ScfSolver(const grid::Structure& structure, ScfOptions options)
 }
 
 ScfResult ScfSolver::run() const {
+  AEQP_TRACE_SCOPE("scf/run");
   ScfResult res;
   auto basis = std::make_shared<const basis::BasisSet>(structure_, options_.tier,
                                                        options_.r_cut);
@@ -138,7 +140,10 @@ ScfResult ScfSolver::run() const {
   }
 
   for (iter = start_iteration + 1; iter <= options_.max_iterations; ++iter) {
+    AEQP_TRACE_SCOPE("scf/iteration");
+    obs::PhaseSpan phase_span;
     // Hartree potential of the current density (multipole Poisson solve).
+    phase_span.begin("scf/hartree");
     const auto v_part = hartree->solve_density(density_fn);
     std::vector<double> v_eff(np), v_h(np), v_xc(np), exc(np);
     // The Sumup analogue of the SCF cycle: every point evaluates the
@@ -153,6 +158,7 @@ ScfResult ScfSolver::run() const {
       }
     });
 
+    phase_span.begin("scf/hamiltonian");
     Matrix h = h_core;
     h.axpy(1.0, integ->potential_matrix(v_eff));
     h.symmetrize();
@@ -163,7 +169,9 @@ ScfResult ScfSolver::run() const {
       h.symmetrize();
     }
 
+    phase_span.begin("scf/diagonalize");
     const linalg::EigenSolution sol = linalg::generalized_symmetric_eigen(h, s);
+    phase_span.begin("scf/density");
     occ = fermi_occupations(sol.eigenvalues, n_electrons, options_.smearing_sigma);
     Matrix p_new = density_matrix_from_orbitals(sol.eigenvectors, occ);
 
@@ -183,6 +191,7 @@ ScfResult ScfSolver::run() const {
     p_mat = std::move(p_new);
     n_samples = n_new;
     rebuild_density_fn();
+    phase_span.end();
 
     // Total energy from the eigenvalue sum with double-counting corrections:
     // E = sum_i f_i eps_i - E_H - \int v_xc n + E_xc + E_nn.

@@ -53,4 +53,26 @@ void WorkGroup::issue_simt(std::size_t active_lanes, std::size_t bundles) {
 
 void WorkGroup::flops(std::size_t n) { rt_->stats().flops += n; }
 
+obs::ScopedMetricsSource register_metrics(const SimtRuntime& rt,
+                                          std::string prefix) {
+  return obs::ScopedMetricsSource(
+      [&rt, prefix = std::move(prefix)](std::vector<obs::MetricSample>& out) {
+        const KernelStats& s = rt.stats();
+        const auto push = [&](const char* name, double v) {
+          out.push_back({prefix + "/" + name, v});
+        };
+        push("launches", static_cast<double>(s.launches));
+        push("work_items", static_cast<double>(s.work_items));
+        push("offchip_read_bytes", static_cast<double>(s.offchip_read_bytes));
+        push("offchip_write_bytes", static_cast<double>(s.offchip_write_bytes));
+        push("dependent_accesses", static_cast<double>(s.dependent_accesses));
+        push("flops", static_cast<double>(s.flops));
+        push("barriers", static_cast<double>(s.barriers));
+        push("host_transfer_bytes",
+             static_cast<double>(s.host_transfer_bytes));
+        push("wavefront_steps", static_cast<double>(s.wavefront_steps));
+        push("modeled_seconds", rt.modeled_seconds());
+      });
+}
+
 }  // namespace aeqp::simt

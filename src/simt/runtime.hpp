@@ -21,11 +21,13 @@
 /// kernels::h_kernel).
 
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/error.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "simt/device.hpp"
 
 namespace aeqp::simt {
@@ -168,5 +170,12 @@ private:
   DeviceModel model_;
   KernelStats stats_;
 };
+
+/// Register `rt`'s KernelStats plus its modeled seconds as an obs metrics
+/// source; every sample name is "<prefix>/..." (e.g. "simt/launches",
+/// "simt/modeled_seconds"). `rt` must outlive the returned registration.
+/// Snapshots must be taken at quiescent points (no launch in flight).
+[[nodiscard]] obs::ScopedMetricsSource register_metrics(const SimtRuntime& rt,
+                                                        std::string prefix);
 
 }  // namespace aeqp::simt

@@ -1,0 +1,350 @@
+// Tests for src/obs: span recording and nesting, deterministic merge,
+// Chrome trace-event export (parse-back), disabled-mode zero registration,
+// the metrics registry, the phase report / profile JSON exporters, fault
+// instants from the simmpi runtime, the unified log sink, and the
+// bit-for-bit determinism of a traced vs untraced SCF run.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/thread_ident.hpp"
+#include "core/structures.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "parallel/cluster.hpp"
+#include "parallel/fault.hpp"
+#include "scf/scf_solver.hpp"
+
+namespace {
+
+using namespace aeqp;
+
+/// Every test starts from a clean tracing state and restores Off on exit so
+/// tests cannot leak mode into one another.
+class ObsTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    obs::set_mode(obs::TraceMode::Full);
+    obs::reset();
+    obs::reset_counters();
+  }
+  void TearDown() override {
+    obs::set_mode(obs::TraceMode::Off);
+    obs::reset();
+    obs::reset_counters();
+  }
+};
+
+TEST_F(ObsTest, SpansNestAndComplete) {
+  {
+    AEQP_TRACE_SCOPE("outer");
+    {
+      AEQP_TRACE_SCOPE("inner");
+      obs::trace_instant("tick");
+    }
+    AEQP_TRACE_SCOPE("sibling");
+  }
+  const auto spans = obs::completed_spans();
+  ASSERT_EQ(spans.size(), 3u);
+  // Spans complete in End order per lane but are reported in Begin order.
+  EXPECT_STREQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_STREQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_STREQ(spans[2].name, "sibling");
+  EXPECT_EQ(spans[2].depth, 1);
+  // The inner span is contained in the outer one.
+  EXPECT_GE(spans[1].ts_us, spans[0].ts_us);
+  EXPECT_LE(spans[1].ts_us + spans[1].dur_us,
+            spans[0].ts_us + spans[0].dur_us + 1e-3);
+
+  std::size_t instants = 0;
+  for (const auto& ce : obs::collect_events())
+    instants += ce.event.type == obs::EventType::Instant;
+  EXPECT_EQ(instants, 1u);
+}
+
+TEST_F(ObsTest, PhaseSpanDelimitsManually) {
+  obs::PhaseSpan span;
+  span.begin("a");
+  span.begin("b");  // implicitly ends "a"
+  span.end();
+  span.end();  // idempotent
+  const auto spans = obs::completed_spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_STREQ(spans[0].name, "a");
+  EXPECT_STREQ(spans[1].name, "b");
+}
+
+TEST_F(ObsTest, MergeIsDeterministicAcrossCollects) {
+  const std::size_t n_threads = 4, per_thread = 200;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < n_threads; ++t)
+    threads.emplace_back([t] {
+      const ScopedThreadRank tag(static_cast<int>(t));
+      for (std::size_t i = 0; i < per_thread; ++i) {
+        AEQP_TRACE_SCOPE("work");
+      }
+    });
+  for (auto& th : threads) th.join();
+
+  const auto a = obs::collect_events();
+  const auto b = obs::collect_events();
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), n_threads * per_thread * 2);  // Begin + End each
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].thread_index, b[i].thread_index);
+    EXPECT_EQ(a[i].seq, b[i].seq);
+    EXPECT_STREQ(a[i].event.name, b[i].event.name);
+    EXPECT_EQ(a[i].event.ts_us, b[i].event.ts_us);
+  }
+  // Lanes are contiguous and ordered by registration index; seq increases
+  // within a lane.
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    ASSERT_GE(a[i].thread_index, a[i - 1].thread_index);
+    if (a[i].thread_index == a[i - 1].thread_index) {
+      ASSERT_EQ(a[i].seq, a[i - 1].seq + 1);
+    }
+  }
+  const auto spans = obs::completed_spans();
+  EXPECT_EQ(spans.size(), n_threads * per_thread);
+  for (const auto& s : spans) {
+    EXPECT_GE(s.rank, 0);
+    EXPECT_LT(s.rank, static_cast<int>(n_threads));
+  }
+}
+
+/// Minimal JSON well-formedness scan: balanced {} / [] outside strings,
+/// valid escapes. Not a full parser, but catches truncation, stray commas
+/// in structure, and unescaped quotes.
+bool json_balanced(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false, escaped = false;
+  for (const char c : text) {
+    if (in_string) {
+      if (escaped) escaped = false;
+      else if (c == '\\') escaped = true;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != c) return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return stack.empty() && !in_string;
+}
+
+TEST_F(ObsTest, ChromeTraceExportsValidJson) {
+  {
+    AEQP_TRACE_SCOPE("phase/outer");
+    { AEQP_TRACE_SCOPE("phase/inner"); }
+  }
+  std::thread([] {
+    const ScopedThreadRank tag(3);
+    AEQP_TRACE_SCOPE("phase/ranked");
+    obs::trace_instant("fault/test");
+  }).join();
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "aeqp_test_trace.json").string();
+  ASSERT_TRUE(obs::write_chrome_trace(path, "unit test"));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  std::filesystem::remove(path);
+
+  EXPECT_TRUE(json_balanced(text));
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"phase/inner\""), std::string::npos);
+  // The ranked lane appears as pid 4 (rank + 1) with a process_name.
+  EXPECT_NE(text.find("\"rank 3\""), std::string::npos);
+  EXPECT_NE(text.find("\"host\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"i\""), std::string::npos);
+
+  // Count complete events: one per completed span.
+  std::size_t x_events = 0;
+  for (std::size_t pos = 0;
+       (pos = text.find("\"ph\": \"X\"", pos)) != std::string::npos; ++pos)
+    ++x_events;
+  EXPECT_EQ(x_events, obs::completed_spans().size());
+}
+
+TEST_F(ObsTest, DisabledModeRegistersNothing) {
+  obs::set_mode(obs::TraceMode::Off);
+  obs::reset();
+  const std::size_t before = obs::registered_thread_count();
+  // A fresh thread recording spans in off mode must not allocate a buffer
+  // or register a lane.
+  std::thread([] {
+    for (int i = 0; i < 1000; ++i) {
+      AEQP_TRACE_SCOPE("never/recorded");
+    }
+    obs::trace_instant("never/instant");
+  }).join();
+  EXPECT_EQ(obs::registered_thread_count(), before);
+  EXPECT_TRUE(obs::collect_events().empty());
+}
+
+TEST_F(ObsTest, CountersAndSources) {
+  obs::counter("test/alpha").add(3);
+  obs::counter("test/alpha").increment();
+  obs::counter("test/beta").add(7);
+  {
+    const obs::ScopedMetricsSource src([](std::vector<obs::MetricSample>& out) {
+      out.push_back({"test/source_value", 1.5});
+    });
+    const auto snap = obs::metrics_snapshot();
+    ASSERT_EQ(snap.size(), 3u);  // sorted by name
+    EXPECT_EQ(snap[0].name, "test/alpha");
+    EXPECT_EQ(snap[0].value, 4.0);
+    EXPECT_EQ(snap[1].name, "test/beta");
+    EXPECT_EQ(snap[1].value, 7.0);
+    EXPECT_EQ(snap[2].name, "test/source_value");
+    EXPECT_EQ(snap[2].value, 1.5);
+  }
+  // Source deregistered, zeroed counters disappear from the snapshot.
+  obs::reset_counters();
+  EXPECT_TRUE(obs::metrics_snapshot().empty());
+}
+
+TEST_F(ObsTest, PhaseReportAndProfileJson) {
+  { AEQP_TRACE_SCOPE("report/phase"); }
+  obs::trace_instant("report/instant");
+  obs::counter("report/counter").add(42);
+
+  std::ostringstream os;
+  obs::write_phase_report(os, "unit");
+  const std::string report = os.str();
+  EXPECT_NE(report.find("report/phase"), std::string::npos);
+  EXPECT_NE(report.find("report/instant"), std::string::npos);
+  EXPECT_NE(report.find("report/counter"), std::string::npos);
+  EXPECT_NE(report.find("profiled wall time"), std::string::npos);
+
+  const std::string json = obs::profile_json();
+  EXPECT_TRUE(json_balanced(json));
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"report/phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"report/counter\": 42"), std::string::npos);
+}
+
+TEST_F(ObsTest, FaultInstantsFromSimmpiRun) {
+  parallel::FaultPlan plan;
+  parallel::FaultEvent kill;
+  kill.kind = parallel::FaultKind::Kill;
+  kill.rank = 1;
+  kill.collective = 2;
+  plan.add(kill);
+  parallel::FaultInjector injector(plan);
+  const auto injector_metrics = parallel::register_metrics(injector);
+
+  parallel::Cluster cluster(2, 2);
+  cluster.set_fault_injector(&injector);
+  EXPECT_THROW(cluster.run([](parallel::Communicator& c) {
+                 const ScopedThreadRank tag(static_cast<int>(c.rank()));
+                 std::vector<double> x(4, 1.0);
+                 for (int i = 0; i < 8; ++i) c.allreduce_sum(x);
+               }),
+               parallel::RankFailure);
+
+  std::size_t kills = 0, failures = 0;
+  for (const auto& ce : obs::collect_events()) {
+    if (ce.event.type != obs::EventType::Instant) continue;
+    kills += std::string(ce.event.name) == "fault/kill";
+    failures += std::string(ce.event.name) == "fault/rank_failure";
+  }
+  EXPECT_EQ(kills, 1u);
+  EXPECT_EQ(failures, 1u);
+
+  bool found = false;
+  for (const auto& m : obs::metrics_snapshot())
+    if (m.name == "fault/kills") {
+      found = true;
+      EXPECT_EQ(m.value, 1.0);
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ObsTest, LogSinkCapturesRankPrefixedLines) {
+  Log::set_level(LogLevel::Info);
+  std::vector<std::string> lines;
+  Log::set_sink([&lines](LogLevel, const std::string& line) {
+    lines.push_back(line);
+  });
+  AEQP_LOG_INFO << "host line";
+  {
+    const ScopedThreadRank tag(5);
+    AEQP_LOG_INFO << "rank line";
+  }
+  AEQP_LOG_DEBUG << "dropped";  // below threshold
+  Log::set_sink({});
+  Log::set_level(LogLevel::Warn);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "[aeqp INFO] host line");
+  EXPECT_EQ(lines[1], "[aeqp INFO r5] rank line");
+}
+
+scf::ScfResult run_small_scf() {
+  grid::Structure h2;
+  h2.add_atom(1, {0, 0, -0.7});
+  h2.add_atom(1, {0, 0, 0.7});
+  scf::ScfOptions opt;
+  opt.tier = basis::BasisTier::Minimal;
+  opt.grid.radial_points = 24;
+  opt.grid.angular_degree = 7;
+  opt.poisson.radial_points = 48;
+  opt.poisson.l_max = 2;
+  return scf::ScfSolver(h2, opt).run();
+}
+
+TEST_F(ObsTest, TracedScfIsBitIdenticalToUntraced) {
+  obs::set_mode(obs::TraceMode::Off);
+  const scf::ScfResult untraced = run_small_scf();
+  obs::set_mode(obs::TraceMode::Full);
+  obs::reset();
+  const scf::ScfResult traced = run_small_scf();
+
+  ASSERT_TRUE(untraced.converged);
+  ASSERT_TRUE(traced.converged);
+  // Tracing observes; it must not perturb a single bit of the physics.
+  EXPECT_EQ(untraced.total_energy, traced.total_energy);
+  EXPECT_EQ(untraced.density_matrix.max_abs_diff(traced.density_matrix), 0.0);
+  EXPECT_EQ(untraced.iterations, traced.iterations);
+
+  // And the traced run actually recorded the SCF phases.
+  const auto aggs = obs::aggregate_spans();
+  const auto has = [&](const char* name) {
+    for (const auto& a : aggs)
+      if (a.name == name) return true;
+    return false;
+  };
+  EXPECT_TRUE(has("scf/run"));
+  EXPECT_TRUE(has("scf/iteration"));
+  EXPECT_TRUE(has("scf/hartree"));
+  EXPECT_TRUE(has("scf/hamiltonian"));
+  EXPECT_TRUE(has("scf/diagonalize"));
+  EXPECT_TRUE(has("scf/density"));
+  EXPECT_TRUE(has("poisson/project"));
+  EXPECT_TRUE(has("poisson/solve"));
+}
+
+}  // namespace
