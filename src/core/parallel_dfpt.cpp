@@ -37,14 +37,40 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
   const std::size_t n_virt = nb - n_occ;
   const std::size_t np = grid.size();
 
+  // Elastic world: a non-empty active_ranks list re-enters the solver at a
+  // reduced world size after permanent rank loss. n_active is the world the
+  // run executes on; options.ranks stays the original world fault plans and
+  // the initial mapping are expressed in.
+  const std::vector<std::size_t>& active = options.active_ranks;
+  const std::size_t n_active = active.empty() ? options.ranks : active.size();
+  for (std::size_t s = 0; s < active.size(); ++s) {
+    AEQP_CHECK(active[s] < options.ranks,
+               "solve_direction_parallel: active rank out of range");
+    AEQP_CHECK(s == 0 || active[s - 1] < active[s],
+               "solve_direction_parallel: active_ranks must be strictly "
+               "increasing");
+  }
+
   // Shared, read-only setup: batches, locality mapping, XC kernel, the
   // occupied/virtual splits and the bare perturbation (identical to the
   // serial DfptSolver; see dfpt.cpp).
   const auto batches = grid::make_batches(grid, options.batch_points);
   AEQP_CHECK(batches.size() >= options.ranks,
              "solve_direction_parallel: more ranks than batches");
-  const auto assignment =
-      mapping::locality_enhancing_mapping(batches, options.ranks);
+  auto assignment = mapping::locality_enhancing_mapping(batches, options.ranks);
+  ParallelDfptResult out;
+  if (n_active < options.ranks) {
+    // Survivor re-mapping: re-home the dead ranks' batches with the same
+    // locality objective, keeping the survivors' own batches in place.
+    Timer remap_timer;
+    auto remap = mapping::remap_for_survivors(assignment, batches, active);
+    out.stats.remap_seconds = remap_timer.seconds();
+    out.stats.remap_batches_moved = remap.moved_batches;
+    assignment = std::move(remap.assignment);
+    obs::trace_instant("elastic/remap");
+  }
+  out.stats.survivor_ranks = n_active;
+  out.stats.lost_ranks = options.ranks - n_active;
 
   std::vector<double> fxc(np);
   for (std::size_t p = 0; p < np; ++p)
@@ -59,21 +85,20 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
   Matrix h1_ext = integ.dipole_matrix(direction);
   h1_ext.scale(-1.0);
 
-  ParallelDfptResult out;
   out.stats.batches = batches.size();
   std::size_t total_pts = 0, max_pts = 0;
-  for (std::size_t r = 0; r < options.ranks; ++r) {
+  for (std::size_t r = 0; r < n_active; ++r) {
     const std::size_t pts = assignment.points_of_rank(r, batches);
     total_pts += pts;
     max_pts = std::max(max_pts, pts);
   }
   out.stats.max_rank_points_share =
-      static_cast<double>(max_pts) * options.ranks / static_cast<double>(total_pts);
+      static_cast<double>(max_pts) * n_active / static_cast<double>(total_pts);
 
   // Shared output buffers; ranks write disjoint point sets.
   std::vector<double> n1_full(np, 0.0);
-  std::vector<std::size_t> collectives(options.ranks, 0);
-  std::vector<std::size_t> rows(options.ranks, 0);
+  std::vector<std::size_t> collectives(n_active, 0);
+  std::vector<std::size_t> rows(n_active, 0);
   DfptDirectionResult result;
   result.phase_seconds[Phase::DM] = result.phase_seconds[Phase::Sumup] =
       result.phase_seconds[Phase::Rho] = result.phase_seconds[Phase::H] =
@@ -81,7 +106,8 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
 
   double final_delta = 0.0;  // written by rank 0 (deltas are replicated)
 
-  parallel::Cluster cluster(options.ranks, options.ranks_per_node);
+  parallel::Cluster cluster(n_active, options.ranks_per_node,
+                            std::vector<std::size_t>(active));
   cluster.set_collective_timeout(
       std::chrono::milliseconds(options.collective_timeout_ms));
   cluster.set_fault_injector(options.fault_injector);
@@ -261,6 +287,16 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
         }
       }
 
+      // --- Elastic hook: runs on EVERY rank with communicator access and
+      //     the (replicated) iteration state -- the buddy-replication entry
+      //     point. Placed after the abort broadcast so all ranks take the
+      //     same branch and the collective schedule stays uniform. ---
+      if (options.rank_hook) {
+        const CpscfIterationState state{direction, iter, delta,
+                                        options.dfpt.mixing, &p1};
+        options.rank_hook(comm, state);
+      }
+
       // --- Sumup phase (distributed): n^(1) on this rank's points. Under
       //     the legacy storage mode the contraction fetches every matrix
       //     element from a CSR copy (row pointer + column search + value,
@@ -315,19 +351,19 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
         << direction << ": " << result.iterations
         << " iterations, last max|dP1|=" << final_delta
         << ", tolerance=" << options.dfpt.tolerance
-        << ", mixing=" << options.dfpt.mixing << " (" << options.ranks
-        << " ranks)";
+        << ", mixing=" << options.dfpt.mixing << " (" << n_active << " of "
+        << options.ranks << " ranks)";
     AEQP_THROW(msg.str());
   }
 
   result.n1_samples = std::move(n1_full);
   out.direction = std::move(result);
-  for (std::size_t r = 0; r < options.ranks; ++r) {
+  for (std::size_t r = 0; r < n_active; ++r) {
     out.stats.collectives += collectives[r];
     out.stats.rows_reduced += rows[r];
   }
-  out.stats.collectives /= options.ranks;  // same count on every rank
-  out.stats.rows_reduced /= options.ranks;
+  out.stats.collectives /= n_active;  // same count on every rank
+  out.stats.rows_reduced /= n_active;
   return out;
 }
 
@@ -346,6 +382,13 @@ obs::ScopedMetricsSource register_metrics(const ParallelDfptStats& stats,
         push("restores", static_cast<double>(stats.restores));
         push("retries", static_cast<double>(stats.retries));
         push("wasted_iterations", static_cast<double>(stats.wasted_iterations));
+        push("survivor_ranks", static_cast<double>(stats.survivor_ranks));
+        push("lost_ranks", static_cast<double>(stats.lost_ranks));
+        push("remap_batches_moved",
+             static_cast<double>(stats.remap_batches_moved));
+        push("remap_seconds", stats.remap_seconds);
+        push("shrinks", static_cast<double>(stats.shrinks));
+        push("buddy_restores", static_cast<double>(stats.buddy_restores));
       });
 }
 

@@ -49,6 +49,21 @@ struct ParallelDfptOptions {
   /// Collective deadline handed to the cluster; a rank stalled past it
   /// surfaces as CollectiveTimeout on the surviving ranks.
   std::size_t collective_timeout_ms = 120000;
+  /// Elastic world (shrink-and-continue re-entry): when non-empty, the run
+  /// executes on these survivor ranks only -- ids in the ORIGINAL
+  /// [0, ranks) world, strictly increasing. The grid batches of the lost
+  /// ranks are re-homed onto the survivors by mapping::remap_for_survivors
+  /// (same locality objective as the initial mapping), and fault-plan
+  /// events keep addressing original ids through the cluster's origin map.
+  /// Empty = full world.
+  std::vector<std::size_t> active_ranks;
+  /// Optional hook run on EVERY rank after each iteration's observer
+  /// broadcast, with communicator access -- the entry point elastic
+  /// recovery uses to buddy-replicate per-rank checkpoints through the
+  /// collective layer. Must follow the collective discipline (all ranks
+  /// call the same collectives in the same order).
+  std::function<void(parallel::Communicator&, const CpscfIterationState&)>
+      rank_hook;
 };
 
 /// Communication statistics of one distributed run.
@@ -57,12 +72,19 @@ struct ParallelDfptStats {
   std::size_t rows_reduced = 0;     ///< matrix rows synthesized
   std::size_t batches = 0;          ///< total grid batches
   double max_rank_points_share = 0; ///< load balance: max/mean points
+  // Elastic-world shape of this run (filled by the solver).
+  std::size_t survivor_ranks = 0;   ///< ranks the run actually executed on
+  std::size_t lost_ranks = 0;       ///< original ranks excluded by shrinks
+  std::size_t remap_batches_moved = 0; ///< orphaned batches re-homed
+  double remap_seconds = 0.0;       ///< wall time of the survivor re-mapping
   // Recovery counters, filled by resilience::RecoveryDriver when a run is
   // wrapped in fault recovery (zero for bare runs).
   std::size_t faults_detected = 0;  ///< health violations + rank failures
   std::size_t restores = 0;         ///< checkpoint restorations
   std::size_t retries = 0;          ///< solver re-executions
   std::size_t wasted_iterations = 0;///< iterations discarded by rollbacks
+  std::size_t shrinks = 0;          ///< world-shrink escalations
+  std::size_t buddy_restores = 0;   ///< restores served from a buddy replica
 };
 
 /// Result plus run statistics.

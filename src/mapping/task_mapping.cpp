@@ -44,6 +44,89 @@ Assignment least_loaded_mapping(const std::vector<grid::Batch>& batches,
   return a;
 }
 
+RemapResult remap_for_survivors(const Assignment& previous,
+                                const std::vector<grid::Batch>& batches,
+                                const std::vector<std::size_t>& survivors) {
+  const std::size_t n_prev = previous.rank_count();
+  AEQP_CHECK(!survivors.empty(), "remap_for_survivors: no surviving rank");
+  AEQP_CHECK(survivors.size() <= n_prev,
+             "remap_for_survivors: more survivors than previous ranks");
+  for (std::size_t s = 0; s < survivors.size(); ++s) {
+    AEQP_CHECK(survivors[s] < n_prev,
+               "remap_for_survivors: survivor id out of range");
+    AEQP_CHECK(s == 0 || survivors[s - 1] < survivors[s],
+               "remap_for_survivors: survivors must be strictly increasing");
+  }
+
+  RemapResult out;
+  out.assignment.batches_of_rank.resize(survivors.size());
+
+  // Survivors keep their batches; track their load and mean centroid.
+  std::vector<bool> surviving(n_prev, false);
+  std::vector<std::size_t> points(survivors.size(), 0);
+  std::vector<Vec3> centroid_sum(survivors.size(), Vec3{});
+  std::vector<std::size_t> owned(survivors.size(), 0);
+  std::size_t total_points = 0;
+  for (std::size_t s = 0; s < survivors.size(); ++s) {
+    surviving[survivors[s]] = true;
+    out.assignment.batches_of_rank[s] = previous.batches_of_rank[survivors[s]];
+    for (const auto b : out.assignment.batches_of_rank[s]) {
+      points[s] += batches[b].size();
+      centroid_sum[s] += batches[b].centroid;
+      ++owned[s];
+    }
+    total_points += points[s];
+  }
+
+  // Orphans of the dead ranks, placed largest first (the classic bin-
+  // packing order) with deterministic id tie-breaks.
+  std::vector<std::uint32_t> orphans;
+  for (std::size_t r = 0; r < n_prev; ++r) {
+    if (surviving[r]) continue;
+    orphans.insert(orphans.end(), previous.batches_of_rank[r].begin(),
+                   previous.batches_of_rank[r].end());
+  }
+  for (const auto b : orphans) total_points += batches[b].size();
+  std::sort(orphans.begin(), orphans.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (batches[a].size() != batches[b].size())
+                return batches[a].size() > batches[b].size();
+              return a < b;
+            });
+
+  const double mean_points = static_cast<double>(total_points) /
+                             static_cast<double>(survivors.size());
+  for (const auto b : orphans) {
+    std::size_t best = 0;
+    double best_score = 0.0;
+    for (std::size_t s = 0; s < survivors.size(); ++s) {
+      // Locality term: distance to the survivor's current mean centroid
+      // (a survivor with no batches yet attracts work from anywhere).
+      double dist = 0.0;
+      if (owned[s] > 0) {
+        const Vec3 mean = centroid_sum[s] / static_cast<double>(owned[s]);
+        dist = (batches[b].centroid - mean).norm();
+      }
+      // Balance term: relative load after accepting the batch.
+      const double load =
+          static_cast<double>(points[s] + batches[b].size()) /
+          std::max(mean_points, 1.0);
+      const double score = (1.0 + dist) * load;
+      if (s == 0 || score < best_score) {
+        best = s;
+        best_score = score;
+      }
+    }
+    out.assignment.batches_of_rank[best].push_back(b);
+    points[best] += batches[b].size();
+    centroid_sum[best] += batches[b].centroid;
+    ++owned[best];
+    ++out.moved_batches;
+    out.moved_points += batches[b].size();
+  }
+  return out;
+}
+
 namespace {
 
 /// One round of the bisection of paper Fig. 5 / Algorithm 1 lines 5-13.

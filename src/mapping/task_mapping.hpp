@@ -39,6 +39,28 @@ struct Assignment {
 Assignment least_loaded_mapping(const std::vector<grid::Batch>& batches,
                                 std::size_t n_ranks);
 
+/// Outcome of an elastic re-mapping: the survivor assignment (densely
+/// renumbered: slot s of the result is survivors[s] of the previous
+/// assignment) plus what had to move.
+struct RemapResult {
+  Assignment assignment;
+  std::size_t moved_batches = 0;  ///< orphaned batches re-homed
+  std::size_t moved_points = 0;   ///< grid points those batches carry
+};
+
+/// Locality-aware re-mapping after permanent rank loss (elastic recovery).
+/// Survivors keep the batches they already own -- their caches, splines and
+/// basis evaluations stay valid -- and each orphaned batch of a dead rank
+/// is re-homed to the survivor minimizing the same locality-vs-balance
+/// objective Algorithm 1 optimizes: distance from the batch centroid to the
+/// survivor's mean centroid, scaled by the survivor's relative point load.
+/// Orphans are placed largest-first and the survivor centroid/load are
+/// updated incrementally, so the result is deterministic. `survivors` lists
+/// surviving rank ids of `previous` in strictly increasing order.
+RemapResult remap_for_survivors(const Assignment& previous,
+                                const std::vector<grid::Batch>& batches,
+                                const std::vector<std::size_t>& survivors);
+
 /// Paper Algorithm 1: locality-enhancing recursive bisection.
 Assignment locality_enhancing_mapping(const std::vector<grid::Batch>& batches,
                                       std::size_t n_ranks);

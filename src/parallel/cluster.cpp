@@ -11,9 +11,21 @@
 namespace aeqp::parallel {
 
 Cluster::Cluster(std::size_t n_ranks, std::size_t ranks_per_node)
-    : n_ranks_(n_ranks), ranks_per_node_(ranks_per_node) {
+    : Cluster(n_ranks, ranks_per_node, {}) {}
+
+Cluster::Cluster(std::size_t n_ranks, std::size_t ranks_per_node,
+                 std::vector<std::size_t> origin)
+    : n_ranks_(n_ranks),
+      ranks_per_node_(ranks_per_node),
+      origin_(std::move(origin)) {
   AEQP_CHECK(n_ranks >= 1, "Cluster: need at least one rank");
   AEQP_CHECK(ranks_per_node >= 1, "Cluster: need at least one rank per node");
+  if (origin_.empty()) {
+    origin_.resize(n_ranks_);
+    for (std::size_t r = 0; r < n_ranks_; ++r) origin_[r] = r;
+  }
+  AEQP_CHECK(origin_.size() == n_ranks_,
+             "Cluster: origin map must name every rank exactly once");
   global_barrier_ = std::make_unique<FtBarrier>(n_ranks_);
   const std::size_t n_nodes = node_count();
   nodes_ = std::vector<NodeState>(n_nodes);
@@ -22,6 +34,28 @@ Cluster::Cluster(std::size_t n_ranks, std::size_t ranks_per_node)
     const std::size_t count = std::min(ranks_per_node_, n_ranks_ - first);
     nodes_[nd].barrier = std::make_unique<FtBarrier>(count);
   }
+}
+
+std::unique_ptr<Cluster> Cluster::shrink(
+    const std::vector<std::size_t>& failed_ranks) const {
+  std::vector<bool> dead(n_ranks_, false);
+  for (const std::size_t f : failed_ranks) {
+    AEQP_CHECK(f < n_ranks_, "Cluster::shrink: failed rank " +
+                                 std::to_string(f) + " out of range (world " +
+                                 std::to_string(n_ranks_) + ")");
+    dead[f] = true;
+  }
+  std::vector<std::size_t> survivors;
+  survivors.reserve(n_ranks_);
+  for (std::size_t r = 0; r < n_ranks_; ++r)
+    if (!dead[r]) survivors.push_back(origin_[r]);
+  AEQP_CHECK(!survivors.empty(), "Cluster::shrink: no surviving rank");
+  auto shrunk =
+      std::make_unique<Cluster>(survivors.size(), ranks_per_node_, survivors);
+  shrunk->collective_timeout_ = collective_timeout_;
+  shrunk->injector_ = injector_;
+  obs::trace_instant("cluster/shrink");
+  return shrunk;
 }
 
 std::size_t Cluster::node_count() const {
@@ -171,6 +205,12 @@ void Cluster::run(const std::function<void(Communicator&)>& fn) {
 }
 
 std::size_t Communicator::size() const { return cluster_->n_ranks_; }
+std::size_t Communicator::original_rank() const {
+  return cluster_->origin_[rank_];
+}
+std::size_t Communicator::original_rank_of(std::size_t r) const {
+  return cluster_->origin_[r];
+}
 std::size_t Communicator::node() const { return rank_ / cluster_->ranks_per_node_; }
 std::size_t Communicator::node_rank() const {
   return rank_ % cluster_->ranks_per_node_;
@@ -192,7 +232,7 @@ void Communicator::enter_collective(const char* what, std::span<double> payload)
   const std::size_t seq = seq_++;
   if (cluster_->injector_ != nullptr) {
     cluster_->injector_->on_collective(
-        rank_, seq, what, payload,
+        rank_, cluster_->origin_[rank_], seq, what, payload,
         [this] { return cluster_->failed(); });
     // A peer may have failed while this rank was stalled by the injector.
     if (cluster_->failed()) cluster_->throw_failure(rank_);

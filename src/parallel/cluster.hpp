@@ -15,6 +15,13 @@
 /// the waiters raise CollectiveTimeout. A FaultInjector (see fault.hpp) can
 /// be attached to corrupt payloads, stall ranks, or kill them at chosen
 /// collectives, deterministically.
+///
+/// Elastic recovery (ULFM-style shrink): Cluster::shrink derives a smaller
+/// cluster that excludes permanently failed ranks. Survivors are renumbered
+/// densely, the collective timeout and the fault injector carry over, and
+/// every rank keeps its *original* (pre-shrink chain) id, which fault plans
+/// keep addressing -- so a permanent Kill planned for a dead rank can never
+/// strike a renumbered survivor.
 
 #include <atomic>
 #include <chrono>
@@ -69,6 +76,11 @@ private:
 class Communicator {
 public:
   [[nodiscard]] std::size_t rank() const { return rank_; }
+  /// Id of this rank in the original world before any shrink (equal to
+  /// rank() on a never-shrunk cluster).
+  [[nodiscard]] std::size_t original_rank() const;
+  /// Original-world id of world rank `r`.
+  [[nodiscard]] std::size_t original_rank_of(std::size_t r) const;
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t node() const;       ///< node index of this rank
   [[nodiscard]] std::size_t node_rank() const;  ///< rank within the node
@@ -132,9 +144,32 @@ class Cluster {
 public:
   Cluster(std::size_t n_ranks, std::size_t ranks_per_node);
 
+  /// World whose rank r carries original-world id `origin[r]` (used by
+  /// shrink() and by elastic solver re-entry at a reduced world size).
+  /// `origin` must be empty (identity) or hold n_ranks unique ids.
+  Cluster(std::size_t n_ranks, std::size_t ranks_per_node,
+          std::vector<std::size_t> origin);
+
   [[nodiscard]] std::size_t size() const { return n_ranks_; }
   [[nodiscard]] std::size_t ranks_per_node() const { return ranks_per_node_; }
   [[nodiscard]] std::size_t node_count() const;
+
+  /// Original-world id of world rank r (identity on a never-shrunk world).
+  [[nodiscard]] std::size_t original_rank(std::size_t r) const {
+    return origin_[r];
+  }
+  [[nodiscard]] const std::vector<std::size_t>& original_ranks() const {
+    return origin_;
+  }
+
+  /// ULFM `shrink` analogue: derive a sub-cluster that excludes
+  /// `failed_ranks` (ids in THIS cluster's numbering). Survivors are
+  /// renumbered densely in rank order; the collective timeout and the
+  /// attached fault injector carry over, and the origin map is composed so
+  /// fault events keep addressing original-world ids. Throws when no rank
+  /// survives or a failed id is out of range.
+  [[nodiscard]] std::unique_ptr<Cluster> shrink(
+      const std::vector<std::size_t>& failed_ranks) const;
 
   /// Deadline for any single collective. Survivors raise CollectiveTimeout
   /// when it passes without completion. Default: 120 s (generous enough for
@@ -195,6 +230,7 @@ private:
 
   std::size_t n_ranks_;
   std::size_t ranks_per_node_;
+  std::vector<std::size_t> origin_;  ///< original-world id per rank
   std::chrono::milliseconds collective_timeout_{120000};
   FaultInjector* injector_ = nullptr;
 

@@ -1,5 +1,6 @@
 #include "parallel/fault.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <limits>
@@ -32,11 +33,13 @@ FaultPlan& FaultPlan::add(const FaultEvent& event) {
 FaultPlan FaultPlan::random(std::uint64_t seed, std::size_t n_events,
                             std::size_t n_ranks, std::size_t first_collective,
                             std::size_t last_collective,
-                            std::vector<FaultKind> kinds) {
+                            std::vector<FaultKind> kinds,
+                            std::size_t permanent_kills) {
   AEQP_CHECK(n_ranks >= 1, "FaultPlan::random: need at least one rank");
   AEQP_CHECK(last_collective > first_collective,
              "FaultPlan::random: empty collective window");
-  AEQP_CHECK(!kinds.empty(), "FaultPlan::random: empty kind set");
+  AEQP_CHECK(!kinds.empty() || n_events == 0,
+             "FaultPlan::random: empty kind set");
   Rng rng(seed);
   FaultPlan plan;
   for (std::size_t i = 0; i < n_events; ++i) {
@@ -49,6 +52,22 @@ FaultPlan FaultPlan::random(std::uint64_t seed, std::size_t n_events,
     e.bit = 48 + static_cast<int>(rng.uniform_index(16));
     plan.add(e);
   }
+  // Permanent kills strike distinct ranks (a node dies once), and never all
+  // of them -- elastic recovery needs at least one survivor to shrink onto.
+  permanent_kills = std::min(permanent_kills, n_ranks - 1);
+  std::vector<std::size_t> victims(n_ranks);
+  for (std::size_t r = 0; r < n_ranks; ++r) victims[r] = r;
+  for (std::size_t k = 0; k < permanent_kills; ++k) {
+    const std::size_t pick = k + rng.uniform_index(n_ranks - k);
+    std::swap(victims[k], victims[pick]);
+    FaultEvent e;
+    e.kind = FaultKind::Kill;
+    e.rank = victims[k];
+    e.collective = first_collective +
+                   rng.uniform_index(last_collective - first_collective);
+    e.transient = false;
+    plan.add(e);
+  }
   return plan;
 }
 
@@ -56,16 +75,24 @@ FaultInjector::FaultInjector(FaultPlan plan) {
   for (const auto& e : plan.events()) events_.push_back(Armed{e, 0, false});
 }
 
-void FaultInjector::on_collective(std::size_t rank, std::size_t seq,
-                                  const char* what, std::span<double> payload,
+void FaultInjector::on_collective(std::size_t rank, std::size_t original_rank,
+                                  std::size_t seq, const char* what,
+                                  std::span<double> payload,
                                   const std::function<bool()>& cancelled) {
   std::size_t stall_total_ms = 0;
   bool kill = false;
+  bool kill_permanent = false;
   std::size_t kill_collective = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto& armed : events_) {
-      if (armed.done || armed.event.rank != rank || seq < armed.event.collective)
+      if (armed.done || armed.event.rank != original_rank) continue;
+      // Transient events (and the first firing of permanent ones) wait for
+      // the planned collective index. A permanent event that already fired
+      // strikes at *every* later collective -- a dead node is dead at its
+      // first collective after the failure, whatever its sequence index.
+      if (seq < armed.event.collective &&
+          (armed.event.transient || armed.fired == 0))
         continue;
       switch (armed.event.kind) {
         case FaultKind::BitFlip:
@@ -83,7 +110,8 @@ void FaultInjector::on_collective(std::size_t rank, std::size_t seq,
           } else {
             slot = std::numeric_limits<double>::infinity();
           }
-          armed.done = true;
+          ++armed.fired;
+          if (armed.event.transient) armed.done = true;
           ++stats_.corruptions;
           obs::trace_instant(armed.event.kind == FaultKind::BitFlip
                                  ? "fault/bit-flip"
@@ -94,14 +122,17 @@ void FaultInjector::on_collective(std::size_t rank, std::size_t seq,
         }
         case FaultKind::Stall:
           stall_total_ms += armed.event.stall_ms;
-          if (++armed.fired >= armed.event.repeat) armed.done = true;
+          if (++armed.fired >= armed.event.repeat && armed.event.transient)
+            armed.done = true;
           ++stats_.stalls;
           obs::trace_instant("fault/stall");
           break;
         case FaultKind::Kill:
-          armed.done = true;
+          ++armed.fired;
+          if (armed.event.transient) armed.done = true;
           ++stats_.kills;
           kill = true;
+          kill_permanent = !armed.event.transient;
           kill_collective = seq;
           obs::trace_instant("fault/kill");
           break;
@@ -117,11 +148,15 @@ void FaultInjector::on_collective(std::size_t rank, std::size_t seq,
           std::min<long long>(20, duration_cast<milliseconds>(
                                       until - steady_clock::now()).count() + 1)));
   }
-  if (kill)
-    throw RankFailure(rank, rank,
-                      "fault injection: rank " + std::to_string(rank) +
-                          " killed at collective #" +
-                          std::to_string(kill_collective) + " (" + what + ")");
+  if (kill) {
+    std::string msg = "fault injection: rank " + std::to_string(rank);
+    if (original_rank != rank)
+      msg += " (original rank " + std::to_string(original_rank) + ")";
+    msg += std::string(kill_permanent ? " permanently" : "") +
+           " killed at collective #" + std::to_string(kill_collective) + " (" +
+           what + ")";
+    throw RankFailure(rank, rank, msg);
+  }
 }
 
 FaultInjectorStats FaultInjector::stats() const {
@@ -133,7 +168,7 @@ std::size_t FaultInjector::pending() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::size_t n = 0;
   for (const auto& armed : events_)
-    if (!armed.done) ++n;
+    if (armed.fired == 0) ++n;
   return n;
 }
 

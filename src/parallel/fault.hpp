@@ -6,11 +6,16 @@
 /// the FaultInjector attached to a Cluster replays the plan during a run:
 /// payload corruption (bit flips, NaN/Inf), rank stalls, and rank kills.
 ///
-/// Every event fires at most once across the injector's lifetime -- like a
-/// real transient fault -- so a recovery driver that restores a checkpoint
-/// and retries sees a clean re-execution. Plans are either constructed
-/// explicitly or drawn from a seeded RNG (FaultPlan::random), making every
-/// failure scenario reproducible bit-for-bit at laptop scale.
+/// Transient events (the default) fire at most once across the injector's
+/// lifetime -- like a real transient fault -- so a recovery driver that
+/// restores a checkpoint and retries sees a clean re-execution. Permanent
+/// events (transient = false) model a dead or broken component: once they
+/// fire the first time, they re-fire at *every* subsequent collective the
+/// victim rank enters, so a retry at the same world size fails again and
+/// only excluding the rank from the world (Cluster::shrink) silences the
+/// fault. Plans are either constructed explicitly or drawn from a seeded
+/// RNG (FaultPlan::random), making every failure scenario reproducible
+/// bit-for-bit at laptop scale.
 
 #include <cstddef>
 #include <cstdint>
@@ -40,12 +45,16 @@ enum class FaultKind {
 /// collective at or after `collective` regardless of payload.
 struct FaultEvent {
   FaultKind kind = FaultKind::BitFlip;
-  std::size_t rank = 0;        ///< rank the fault strikes
+  std::size_t rank = 0;        ///< rank the fault strikes (original world ids)
   std::size_t collective = 0;  ///< per-rank collective sequence index
   std::size_t element = 0;     ///< payload element (taken modulo size)
   int bit = 62;                ///< bit flipped by BitFlip (0..63)
   std::size_t stall_ms = 0;    ///< stall duration per collective
   std::size_t repeat = 1;      ///< consecutive collectives stalled (Stall)
+  /// true: fire at most once (transient fault, clean replay on retry).
+  /// false: once fired, re-fire at every later collective of the rank --
+  /// a permanent Kill is a dead node that stays dead across retries.
+  bool transient = true;
 };
 
 /// An ordered set of fault events.
@@ -60,12 +69,16 @@ public:
   /// kind uniformly from `kinds` (default: all three corruption kinds),
   /// element uniform, bit uniform in [48, 64) so a flip is large enough to
   /// violate any sane health bound.
+  /// `permanent_kills` additionally draws that many permanent Kill events
+  /// on *distinct* ranks (capped at n_ranks - 1 so at least one rank
+  /// survives), each at a collective index inside the same window.
   static FaultPlan random(std::uint64_t seed, std::size_t n_events,
                           std::size_t n_ranks, std::size_t first_collective,
                           std::size_t last_collective,
                           std::vector<FaultKind> kinds = {
                               FaultKind::BitFlip, FaultKind::NanPayload,
-                              FaultKind::InfPayload});
+                              FaultKind::InfPayload},
+                          std::size_t permanent_kills = 0);
 
   [[nodiscard]] const std::vector<FaultEvent>& events() const { return events_; }
   [[nodiscard]] std::size_t size() const { return events_.size(); }
@@ -92,21 +105,26 @@ public:
   /// Called by the runtime at every collective entry with the rank's
   /// in-transit payload. May mutate the payload (corruption), sleep
   /// (Stall; `cancelled` is polled so a failed cluster cuts the stall
-  /// short), or throw RankFailure (Kill).
-  void on_collective(std::size_t rank, std::size_t seq, const char* what,
+  /// short), or throw RankFailure (Kill). `rank` is the rank's id in the
+  /// *running* world, `original_rank` its id in the original (pre-shrink)
+  /// world -- events always address original ids, so plans keep meaning
+  /// the same physical ranks after a Cluster::shrink renumbering.
+  void on_collective(std::size_t rank, std::size_t original_rank,
+                     std::size_t seq, const char* what,
                      std::span<double> payload,
                      const std::function<bool()>& cancelled);
 
   [[nodiscard]] FaultInjectorStats stats() const;
 
-  /// Events that have not fired yet.
+  /// Events that have never fired (a permanent event that fired at least
+  /// once no longer counts as pending, even though it stays armed).
   [[nodiscard]] std::size_t pending() const;
 
 private:
   struct Armed {
     FaultEvent event;
-    std::size_t fired = 0;  ///< collectives a Stall has already delayed
-    bool done = false;
+    std::size_t fired = 0;  ///< times the event has fired so far
+    bool done = false;      ///< transient event exhausted
   };
   mutable std::mutex mutex_;
   std::vector<Armed> events_;

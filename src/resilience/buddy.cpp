@@ -1,0 +1,119 @@
+#include "resilience/buddy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+
+namespace aeqp::resilience {
+
+namespace {
+
+/// Sanity ceiling for an announced blob size. A corrupted size broadcast
+/// (fault injection, bad memory) must not turn into a multi-terabyte
+/// allocation; checkpoint blobs at any realistic scale sit far below this.
+constexpr double kMaxBlobBytes = 256.0 * 1024.0 * 1024.0;
+
+}  // namespace
+
+BuddyReplicator::BuddyReplicator(std::size_t world_size)
+    : world_size_(world_size), blobs_(world_size) {
+  AEQP_CHECK(world_size >= 1, "BuddyReplicator: need at least one rank");
+}
+
+void BuddyReplicator::replicate(parallel::Communicator& comm,
+                                std::span<const unsigned char> blob) {
+  AEQP_TRACE_SCOPE("buddy/replicate");
+  const std::size_t world = comm.size();
+  // Deterministic schedule: slot by slot, announce the blob size, then move
+  // the payload (bytes packed into doubles -- the collective layer's
+  // currency). Every rank takes part in every broadcast, so the collective
+  // sequence is identical on all ranks and fault plans stay addressable.
+  for (std::size_t s = 0; s < world; ++s) {
+    std::vector<double> size_msg{static_cast<double>(blob.size())};
+    comm.broadcast(size_msg, s);
+    // A corrupted announcement (NaN, negative, fractional, absurd) is the
+    // same on every rank -- the broadcast made it uniform -- so all ranks
+    // skip the slot together and the collective schedule stays aligned.
+    // The round simply doesn't refresh this replica; a garbled payload
+    // that slips through is caught by the frame CRC at restore time.
+    const double announced = size_msg[0];
+    if (!(announced >= 0.0) || announced != std::floor(announced) ||
+        announced > kMaxBlobBytes) {
+      if (comm.rank() == 0) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.slots_skipped;
+      }
+      continue;
+    }
+    const auto nbytes = static_cast<std::size_t>(announced);
+    std::vector<double> packed((nbytes + sizeof(double) - 1) / sizeof(double),
+                               0.0);
+    if (comm.rank() == s && nbytes > 0)
+      std::memcpy(packed.data(), blob.data(), std::min(nbytes, blob.size()));
+    comm.broadcast(packed, s);
+
+    const std::size_t buddy = (s + 1) % world;
+    if (comm.rank() == buddy && nbytes > 0) {
+      BuddyBlob stored;
+      stored.holder = comm.original_rank();
+      stored.bytes.resize(nbytes);
+      std::memcpy(stored.bytes.data(), packed.data(), nbytes);
+      const std::size_t owner = comm.original_rank_of(s);
+      std::lock_guard<std::mutex> lock(mutex_);
+      AEQP_CHECK(owner < blobs_.size(),
+                 "BuddyReplicator: original rank out of range");
+      blobs_[owner] = std::move(stored);
+      ++stats_.blobs_mirrored;
+      stats_.bytes_mirrored += nbytes;
+    }
+  }
+  if (comm.rank() == 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.rounds;
+  }
+}
+
+std::optional<BuddyBlob> BuddyReplicator::blob_of(
+    std::size_t original_rank) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (original_rank >= blobs_.size()) return std::nullopt;
+  return blobs_[original_rank];
+}
+
+std::size_t BuddyReplicator::drop_holder(std::size_t original_rank) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t dropped = 0;
+  for (auto& blob : blobs_) {
+    if (blob && blob->holder == original_rank) {
+      blob.reset();
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+BuddyReplicatorStats BuddyReplicator::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+obs::ScopedMetricsSource register_metrics(const BuddyReplicator& replicator,
+                                          std::string prefix) {
+  return obs::ScopedMetricsSource(
+      [&replicator,
+       prefix = std::move(prefix)](std::vector<obs::MetricSample>& out) {
+        const BuddyReplicatorStats s = replicator.stats();
+        out.push_back({prefix + "/rounds", static_cast<double>(s.rounds)});
+        out.push_back(
+            {prefix + "/blobs_mirrored", static_cast<double>(s.blobs_mirrored)});
+        out.push_back(
+            {prefix + "/bytes_mirrored", static_cast<double>(s.bytes_mirrored)});
+        out.push_back(
+            {prefix + "/slots_skipped", static_cast<double>(s.slots_skipped)});
+      });
+}
+
+}  // namespace aeqp::resilience

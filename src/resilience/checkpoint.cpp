@@ -1,8 +1,11 @@
 #include "resilience/checkpoint.hpp"
 
 #include <array>
+#include <atomic>
 #include <cstring>
 #include <fstream>
+#include <functional>
+#include <thread>
 
 #include "common/error.hpp"
 #include "obs/trace.hpp"
@@ -97,29 +100,91 @@ private:
   std::size_t pos_ = 0;
 };
 
+/// Wrap a payload in the framed format: header + payload + CRC.
+std::vector<unsigned char> frame(std::uint32_t kind,
+                                 const std::vector<unsigned char>& payload) {
+  ByteWriter out;
+  out.put_u32(kMagic);
+  out.put_u32(kCheckpointFormatVersion);
+  out.put_u32(kind);
+  out.put_u64(payload.size());
+  std::vector<unsigned char> bytes = out.bytes();
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  const std::uint32_t crc = crc32(payload);
+  const auto* crc_bytes = reinterpret_cast<const unsigned char*>(&crc);
+  bytes.insert(bytes.end(), crc_bytes, crc_bytes + sizeof(crc));
+  return bytes;
+}
+
+/// Validate a framed blob (magic, version, kind, length, CRC) and return
+/// the payload bytes. `context` names the blob in error messages.
+std::vector<unsigned char> validate_frame(std::span<const unsigned char> bytes,
+                                          std::uint32_t expected_kind,
+                                          const std::string& context) {
+  const std::size_t header_bytes = 3 * sizeof(std::uint32_t) + sizeof(std::uint64_t);
+  AEQP_CHECK(bytes.size() >= header_bytes + sizeof(std::uint32_t),
+             "CheckpointStore: " + context + " is truncated");
+  ByteReader header(std::span(bytes.data(), header_bytes), context);
+  AEQP_CHECK(header.get_u32() == kMagic,
+             "CheckpointStore: " + context + " is not an AEQP checkpoint");
+  const std::uint32_t version = header.get_u32();
+  AEQP_CHECK(version == kCheckpointFormatVersion,
+             "CheckpointStore: " + context + " has format version " +
+                 std::to_string(version) + ", expected " +
+                 std::to_string(kCheckpointFormatVersion));
+  const std::uint32_t kind = header.get_u32();
+  AEQP_CHECK(kind == expected_kind,
+             "CheckpointStore: " + context + " holds kind " +
+                 std::to_string(kind) + ", expected " +
+                 std::to_string(expected_kind));
+  const std::uint64_t payload_size = header.get_u64();
+  AEQP_CHECK(bytes.size() == header_bytes + payload_size + sizeof(std::uint32_t),
+             "CheckpointStore: " + context + " has inconsistent length");
+  std::uint32_t stored_crc;
+  std::memcpy(&stored_crc, bytes.data() + header_bytes + payload_size,
+              sizeof(stored_crc));
+  const std::uint32_t actual_crc =
+      crc32(std::span(bytes.data() + header_bytes, payload_size));
+  AEQP_CHECK(stored_crc == actual_crc,
+             "CheckpointStore: CRC mismatch in " + context +
+                 " (stored " + std::to_string(stored_crc) + ", computed " +
+                 std::to_string(actual_crc) + "): checkpoint is corrupt");
+  return {bytes.begin() + static_cast<std::ptrdiff_t>(header_bytes),
+          bytes.begin() + static_cast<std::ptrdiff_t>(header_bytes + payload_size)};
+}
+
 void write_file_atomic(const std::filesystem::path& path, std::uint32_t kind,
                        const std::vector<unsigned char>& payload) {
-  ByteWriter header;
-  header.put_u32(kMagic);
-  header.put_u32(kCheckpointFormatVersion);
-  header.put_u32(kind);
-  header.put_u64(payload.size());
-
-  const std::filesystem::path tmp = path.string() + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    AEQP_CHECK(out.good(), "CheckpointStore: cannot open " + tmp.string());
-    out.write(reinterpret_cast<const char*>(header.bytes().data()),
-              static_cast<std::streamsize>(header.bytes().size()));
-    out.write(reinterpret_cast<const char*>(payload.data()),
-              static_cast<std::streamsize>(payload.size()));
-    const std::uint32_t crc = crc32(payload);
-    out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
-    out.flush();
-    AEQP_CHECK(out.good(), "CheckpointStore: write failed for " + tmp.string());
+  // Unique temp name per write: a counter distinguishes concurrent writers
+  // inside this process (simulated ranks are threads), the thread id
+  // distinguishes writers racing across restarts of the same counter.
+  static std::atomic<std::uint64_t> write_nonce{0};
+  const std::uint64_t nonce =
+      write_nonce.fetch_add(1, std::memory_order_relaxed) ^
+      (std::hash<std::thread::id>{}(std::this_thread::get_id()) << 20);
+  const std::filesystem::path tmp =
+      path.string() + ".tmp." + std::to_string(nonce);
+  const std::vector<unsigned char> bytes = frame(kind, payload);
+  try {
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      AEQP_CHECK(out.good(), "CheckpointStore: cannot open " + tmp.string());
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+      out.flush();
+      AEQP_CHECK(out.good(),
+                 "CheckpointStore: write failed for " + tmp.string());
+      out.close();
+      AEQP_CHECK(out.good(),
+                 "CheckpointStore: close failed for " + tmp.string());
+    }
+    // Atomic publish: the checkpoint either exists complete or not at all.
+    std::filesystem::rename(tmp, path);
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);  // best-effort: drop the partial temp
+    throw;
   }
-  // Atomic publish: the checkpoint either exists complete or not at all.
-  std::filesystem::rename(tmp, path);
 }
 
 std::vector<unsigned char> read_file_validated(const std::filesystem::path& path,
@@ -128,36 +193,61 @@ std::vector<unsigned char> read_file_validated(const std::filesystem::path& path
   AEQP_CHECK(in.good(), "CheckpointStore: cannot open " + path.string());
   std::vector<unsigned char> bytes((std::istreambuf_iterator<char>(in)),
                                    std::istreambuf_iterator<char>());
-  const std::size_t header_bytes = 3 * sizeof(std::uint32_t) + sizeof(std::uint64_t);
-  AEQP_CHECK(bytes.size() >= header_bytes + sizeof(std::uint32_t),
-             "CheckpointStore: " + path.string() + " is truncated");
-  ByteReader header(std::span(bytes.data(), header_bytes), path.string());
-  AEQP_CHECK(header.get_u32() == kMagic,
-             "CheckpointStore: " + path.string() + " is not an AEQP checkpoint");
-  const std::uint32_t version = header.get_u32();
-  AEQP_CHECK(version == kCheckpointFormatVersion,
-             "CheckpointStore: " + path.string() + " has format version " +
-                 std::to_string(version) + ", expected " +
-                 std::to_string(kCheckpointFormatVersion));
-  const std::uint32_t kind = header.get_u32();
-  AEQP_CHECK(kind == expected_kind,
-             "CheckpointStore: " + path.string() + " holds kind " +
-                 std::to_string(kind) + ", expected " +
-                 std::to_string(expected_kind));
-  const std::uint64_t payload_size = header.get_u64();
-  AEQP_CHECK(bytes.size() == header_bytes + payload_size + sizeof(std::uint32_t),
-             "CheckpointStore: " + path.string() + " has inconsistent length");
-  std::uint32_t stored_crc;
-  std::memcpy(&stored_crc, bytes.data() + header_bytes + payload_size,
-              sizeof(stored_crc));
-  const std::uint32_t actual_crc =
-      crc32(std::span(bytes.data() + header_bytes, payload_size));
-  AEQP_CHECK(stored_crc == actual_crc,
-             "CheckpointStore: CRC mismatch in " + path.string() +
-                 " (stored " + std::to_string(stored_crc) + ", computed " +
-                 std::to_string(actual_crc) + "): checkpoint is corrupt");
-  return {bytes.begin() + static_cast<std::ptrdiff_t>(header_bytes),
-          bytes.begin() + static_cast<std::ptrdiff_t>(header_bytes + payload_size)};
+  return validate_frame(bytes, expected_kind, path.string());
+}
+
+std::vector<unsigned char> encode(const CpscfCheckpoint& ckpt) {
+  ByteWriter w;
+  w.put_i32(ckpt.direction);
+  w.put_i32(ckpt.iteration);
+  w.put_f64(ckpt.mixing);
+  w.put_f64(ckpt.last_delta);
+  w.put_matrix(ckpt.p1);
+  return w.bytes();
+}
+
+std::vector<unsigned char> encode(const ScfCheckpoint& ckpt) {
+  ByteWriter w;
+  w.put_i32(ckpt.iteration);
+  w.put_f64(ckpt.last_delta);
+  w.put_matrix(ckpt.density_matrix);
+  w.put_u64(ckpt.diis_history.size());
+  for (const auto& [h, e] : ckpt.diis_history) {
+    w.put_matrix(h);
+    w.put_matrix(e);
+  }
+  return w.bytes();
+}
+
+CpscfCheckpoint decode_cpscf(std::span<const unsigned char> payload,
+                             const std::string& context) {
+  ByteReader r(payload, context);
+  CpscfCheckpoint ckpt;
+  ckpt.direction = r.get_i32();
+  ckpt.iteration = r.get_i32();
+  ckpt.mixing = r.get_f64();
+  ckpt.last_delta = r.get_f64();
+  ckpt.p1 = r.get_matrix();
+  AEQP_CHECK(r.exhausted(), "CheckpointStore: trailing bytes in " + context);
+  return ckpt;
+}
+
+ScfCheckpoint decode_scf(std::span<const unsigned char> payload,
+                         const std::string& context) {
+  ByteReader r(payload, context);
+  ScfCheckpoint ckpt;
+  ckpt.iteration = r.get_i32();
+  ckpt.last_delta = r.get_f64();
+  ckpt.density_matrix = r.get_matrix();
+  const std::uint64_t n = r.get_u64();
+  ckpt.diis_history.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    linalg::Matrix h = r.get_matrix();
+    linalg::Matrix e = r.get_matrix();
+    ckpt.diis_history.emplace_back(std::move(h), std::move(e));
+  }
+  AEQP_CHECK(r.exhausted(), "CheckpointStore: trailing bytes in " + context);
+  return ckpt;
 }
 
 }  // namespace
@@ -180,62 +270,46 @@ std::filesystem::path CheckpointStore::path_of(const std::string& key) const {
   return directory_ / (key + ".ckpt");
 }
 
+std::vector<unsigned char> serialize(const CpscfCheckpoint& ckpt) {
+  return frame(kKindCpscf, encode(ckpt));
+}
+
+std::vector<unsigned char> serialize(const ScfCheckpoint& ckpt) {
+  return frame(kKindScf, encode(ckpt));
+}
+
+CpscfCheckpoint deserialize_cpscf(std::span<const unsigned char> blob,
+                                  const std::string& context) {
+  return decode_cpscf(validate_frame(blob, kKindCpscf, context), context);
+}
+
+ScfCheckpoint deserialize_scf(std::span<const unsigned char> blob,
+                              const std::string& context) {
+  return decode_scf(validate_frame(blob, kKindScf, context), context);
+}
+
 void CheckpointStore::save(const std::string& key,
                            const CpscfCheckpoint& ckpt) const {
-  ByteWriter w;
-  w.put_i32(ckpt.direction);
-  w.put_i32(ckpt.iteration);
-  w.put_f64(ckpt.mixing);
-  w.put_f64(ckpt.last_delta);
-  w.put_matrix(ckpt.p1);
-  write_file_atomic(path_of(key), kKindCpscf, w.bytes());
+  write_file_atomic(path_of(key), kKindCpscf, encode(ckpt));
   obs::trace_instant("checkpoint/save");
 }
 
 void CheckpointStore::save(const std::string& key,
                            const ScfCheckpoint& ckpt) const {
-  ByteWriter w;
-  w.put_i32(ckpt.iteration);
-  w.put_f64(ckpt.last_delta);
-  w.put_matrix(ckpt.density_matrix);
-  w.put_u64(ckpt.diis_history.size());
-  for (const auto& [h, e] : ckpt.diis_history) {
-    w.put_matrix(h);
-    w.put_matrix(e);
-  }
-  write_file_atomic(path_of(key), kKindScf, w.bytes());
+  write_file_atomic(path_of(key), kKindScf, encode(ckpt));
   obs::trace_instant("checkpoint/save");
 }
 
 CpscfCheckpoint CheckpointStore::load_cpscf(const std::string& key) const {
   const auto payload = read_file_validated(path_of(key), kKindCpscf);
-  ByteReader r(payload, path_of(key).string());
-  CpscfCheckpoint ckpt;
-  ckpt.direction = r.get_i32();
-  ckpt.iteration = r.get_i32();
-  ckpt.mixing = r.get_f64();
-  ckpt.last_delta = r.get_f64();
-  ckpt.p1 = r.get_matrix();
-  AEQP_CHECK(r.exhausted(), "CheckpointStore: trailing bytes in " + key);
+  CpscfCheckpoint ckpt = decode_cpscf(payload, path_of(key).string());
   obs::trace_instant("checkpoint/load");
   return ckpt;
 }
 
 ScfCheckpoint CheckpointStore::load_scf(const std::string& key) const {
   const auto payload = read_file_validated(path_of(key), kKindScf);
-  ByteReader r(payload, path_of(key).string());
-  ScfCheckpoint ckpt;
-  ckpt.iteration = r.get_i32();
-  ckpt.last_delta = r.get_f64();
-  ckpt.density_matrix = r.get_matrix();
-  const std::uint64_t n = r.get_u64();
-  ckpt.diis_history.reserve(n);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    linalg::Matrix h = r.get_matrix();
-    linalg::Matrix e = r.get_matrix();
-    ckpt.diis_history.emplace_back(std::move(h), std::move(e));
-  }
-  AEQP_CHECK(r.exhausted(), "CheckpointStore: trailing bytes in " + key);
+  ScfCheckpoint ckpt = decode_scf(payload, path_of(key).string());
   obs::trace_instant("checkpoint/load");
   return ckpt;
 }

@@ -9,9 +9,18 @@
 /// File format (native endianness, guarded by the version field):
 ///   u32 magic 'AEQP' | u32 format version | u32 kind tag |
 ///   u64 payload bytes | payload | u32 CRC-32 of the payload
-/// Writes go to `<key>.ckpt.tmp` and are renamed into place, so a crash
-/// mid-write never leaves a truncated checkpoint behind; readers validate
-/// magic, version, kind, length, and CRC before deserializing.
+/// Writes go to a uniquely named temp file (`<key>.ckpt.tmp.<nonce>`, so
+/// concurrent writers -- e.g. two simulated ranks checkpointing the same
+/// key -- can never interleave into one torn temp file) that is flushed,
+/// close-checked, and atomically renamed into `<key>.ckpt`; a rank killed
+/// mid-write leaves at worst a stale temp file, never a torn checkpoint
+/// that the CRC load path could half-accept. Readers validate magic,
+/// version, kind, length, and CRC before deserializing.
+///
+/// The same framed format doubles as the wire format of in-memory buddy
+/// replication (see buddy.hpp): serialize()/deserialize_cpscf() produce and
+/// validate framed blobs without touching a filesystem, so a dead rank's
+/// checkpoint slice is restorable from its buddy's memory alone.
 
 #include <cstddef>
 #include <cstdint>
@@ -53,6 +62,19 @@ struct ScfCheckpoint {
   linalg::Matrix density_matrix;
   std::vector<std::pair<linalg::Matrix, linalg::Matrix>> diis_history;
 };
+
+/// Serialize a checkpoint into a self-validating framed blob (header +
+/// payload + CRC, the exact on-disk format) for in-memory replication.
+[[nodiscard]] std::vector<unsigned char> serialize(const CpscfCheckpoint& ckpt);
+[[nodiscard]] std::vector<unsigned char> serialize(const ScfCheckpoint& ckpt);
+
+/// Validate and decode a framed blob produced by serialize() (or read from
+/// a checkpoint file). Throws aeqp::Error on truncation, version/kind
+/// mismatch, or CRC failure; `context` names the blob in error messages.
+[[nodiscard]] CpscfCheckpoint deserialize_cpscf(
+    std::span<const unsigned char> blob, const std::string& context = "blob");
+[[nodiscard]] ScfCheckpoint deserialize_scf(
+    std::span<const unsigned char> blob, const std::string& context = "blob");
 
 /// Directory of named checkpoints with atomic write-then-rename saves and
 /// CRC-validated loads.

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cmath>
 #include <memory>
+#include <numeric>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -12,6 +14,7 @@
 #include "common/log.hpp"
 #include "obs/trace.hpp"
 #include "parallel/cluster.hpp"
+#include "resilience/buddy.hpp"
 #include "scf/diis.hpp"
 
 namespace aeqp::resilience {
@@ -41,6 +44,9 @@ auto run_recovered(CheckpointStore& store, const RecoveryOptions& ropt,
   store.remove(key);  // a stale checkpoint from a previous run must not leak in
 
   std::string last_reason;
+  bool last_rank_failure = false;
+  std::size_t last_failed_rank = 0;
+  std::size_t last_observer_rank = 0;
   for (int attempt = 0;; ++attempt) {
     AttemptContext ctx;
     core::DfptOptions opts = base;
@@ -106,10 +112,15 @@ auto run_recovered(CheckpointStore& store, const RecoveryOptions& ropt,
                         ? ctx.fault_reason
                         : "solver aborted without a recovery request "
                           "(corrupted control payload?)";
+      last_rank_failure = false;
     } catch (const parallel::RankFailure& e) {
       last_reason = e.what();
+      last_rank_failure = true;
+      last_failed_rank = e.failed_rank();
+      last_observer_rank = e.observer_rank();
     } catch (const parallel::CollectiveTimeout& e) {
       last_reason = e.what();
+      last_rank_failure = false;
     }
     ++stats.faults_detected;
     obs::trace_instant("recovery/fault_detected");
@@ -125,6 +136,236 @@ auto run_recovered(CheckpointStore& store, const RecoveryOptions& ropt,
           << " after " << attempt + 1 << " attempts: " << stats.faults_detected
           << " faults detected, " << stats.restores
           << " checkpoint restores, last failure: " << last_reason;
+      // A dead rank re-fails every retry at the same world size; without
+      // elastic shrink the budget runs out against it. Surface the failure
+      // structurally so callers can identify the culprit rank (RankFailure
+      // derives from Error, so untyped handlers still work).
+      if (last_rank_failure)
+        throw parallel::RankFailure(last_failed_rank, last_observer_rank,
+                                    msg.str());
+      AEQP_THROW(msg.str());
+    }
+  }
+}
+
+/// The elastic retry loop of the parallel front-end (escalation ladder:
+/// retry -> damped retry -> shrink + buddy-restore + re-map + resume). Kept
+/// separate from run_recovered: it tracks the set of surviving ranks across
+/// attempts, classifies repeated same-rank failures as permanent, and falls
+/// back to in-memory buddy replicas when the file checkpoint is lost
+/// together with the rank that wrote it.
+core::ParallelDfptResult run_elastic(CheckpointStore& store,
+                                     const RecoveryOptions& ropt,
+                                     RecoveryStats& stats,
+                                     const scf::ScfResult& ground,
+                                     const core::ParallelDfptOptions& base,
+                                     int direction) {
+  stats = RecoveryStats{};
+  const std::string key =
+      ropt.checkpoint_key + "-dir" + std::to_string(direction);
+  store.remove(key);  // a stale checkpoint from a previous run must not leak in
+
+  // Survivor set in ORIGINAL rank ids, kept strictly increasing; the solver
+  // renumbers densely so current world slot s maps to active[s].
+  std::vector<std::size_t> active(base.ranks);
+  std::iota(active.begin(), active.end(), std::size_t{0});
+  BuddyReplicator buddy(base.ranks);
+
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::size_t repeat_rank = kNone;  // original id of the rank failing in a row
+  int repeat_count = 0;
+  std::string last_reason;
+  bool last_rank_failure = false;
+  std::size_t last_failed_original = 0;
+  std::size_t last_observer_rank = 0;
+
+  for (int attempt = 0;; ++attempt) {
+    AttemptContext ctx;
+    core::ParallelDfptOptions popts = base;
+    popts.active_ranks = active.size() == base.ranks
+                             ? std::vector<std::size_t>{}
+                             : active;
+    if (attempt >= 2)
+      popts.dfpt.mixing =
+          base.dfpt.mixing * std::pow(ropt.mixing_damping, attempt - 1);
+
+    if (attempt > 0) {
+      ++stats.retries;
+      obs::trace_instant("recovery/retry");
+      std::optional<CpscfCheckpoint> ckpt = store.try_load_cpscf(key);
+      if (!ckpt) {
+        // Diskless fallback: the CPSCF state is replicated on every rank,
+        // so ANY replica whose holder survived restores it. A torn replica
+        // is skipped -- another buddy may hold a good one.
+        for (std::size_t owner = 0; owner < base.ranks && !ckpt; ++owner) {
+          const auto blob = buddy.blob_of(owner);
+          if (!blob) continue;
+          if (std::find(active.begin(), active.end(), blob->holder) ==
+              active.end())
+            continue;
+          try {
+            ckpt = deserialize_cpscf(
+                blob->bytes, "buddy replica of rank " + std::to_string(owner));
+            ++stats.buddy_restores;
+            obs::trace_instant("recovery/buddy_restore");
+            AEQP_LOG_INFO << "RecoveryDriver[elastic]: restored iteration "
+                          << ckpt->iteration << " from the replica of rank "
+                          << owner << " held by rank " << blob->holder;
+          } catch (const Error&) {
+          }
+        }
+      }
+      if (ckpt && ckpt->iteration >= 1 &&
+          ckpt->iteration < popts.dfpt.max_iterations) {
+        ctx.checkpoint_iteration = ckpt->iteration;
+        ctx.prev_delta = ckpt->last_delta;
+        auto ws = std::make_shared<core::CpscfWarmStart>();
+        ws->iteration = ckpt->iteration;
+        ws->p1 = std::move(ckpt->p1);
+        popts.dfpt.warm_start = std::move(ws);
+        ++stats.restores;
+        obs::trace_instant("recovery/rollback");
+      }
+      if (ropt.backoff_base_ms > 0) {
+        const int shift = std::min(attempt - 1, 20);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(ropt.backoff_base_ms << shift));
+      }
+    }
+
+    popts.dfpt.observer = [&](const core::CpscfIterationState& s) {
+      ctx.last_iteration = s.iteration;
+      const HealthReport hr =
+          check_iteration_health(*s.p1, s.delta, ctx.prev_delta, ropt.health);
+      if (!hr.healthy) {
+        ctx.fault = true;
+        ctx.fault_reason = "iteration " + std::to_string(s.iteration) +
+                           " unhealthy: " + hr.reason;
+        return core::CpscfAction::Abort;
+      }
+      ctx.prev_delta = s.delta;
+      if (s.iteration % ropt.checkpoint_every == 0) {
+        CpscfCheckpoint ckpt;
+        ckpt.direction = s.direction;
+        ckpt.iteration = s.iteration;
+        ckpt.mixing = s.mixing;
+        ckpt.last_delta = s.delta;
+        ckpt.p1 = *s.p1;
+        store.save(key, ckpt);
+        ctx.checkpoint_iteration = s.iteration;
+      }
+      return core::CpscfAction::Continue;
+    };
+    // Buddy replication rides the per-iteration hook: the hook runs after
+    // the observer's abort broadcast, so only health-validated iterations
+    // are mirrored, on the same cadence as the file checkpoint.
+    popts.rank_hook = [&](parallel::Communicator& comm,
+                          const core::CpscfIterationState& s) {
+      if (s.iteration % ropt.checkpoint_every != 0) return;
+      CpscfCheckpoint ckpt;
+      ckpt.direction = s.direction;
+      ckpt.iteration = s.iteration;
+      ckpt.mixing = s.mixing;
+      ckpt.last_delta = s.delta;
+      ckpt.p1 = *s.p1;
+      buddy.replicate(comm, serialize(ckpt));
+    };
+
+    try {
+      auto result = core::solve_direction_parallel(ground, popts, direction);
+      if (!ctx.fault && !result.direction.aborted) {
+        stats.remap_seconds = result.stats.remap_seconds;
+        result.stats.faults_detected = stats.faults_detected;
+        result.stats.restores = stats.restores;
+        result.stats.retries = stats.retries;
+        result.stats.wasted_iterations = stats.wasted_iterations;
+        result.stats.shrinks = stats.shrinks;
+        result.stats.buddy_restores = stats.buddy_restores;
+        return result;
+      }
+      last_reason = ctx.fault
+                        ? ctx.fault_reason
+                        : "solver aborted without a recovery request "
+                          "(corrupted control payload?)";
+      last_rank_failure = false;
+      repeat_rank = kNone;  // a health fault breaks a same-rank failure streak
+      repeat_count = 0;
+    } catch (const parallel::RankFailure& e) {
+      last_reason = e.what();
+      last_rank_failure = true;
+      last_observer_rank = e.observer_rank();
+      // The exception carries CURRENT world ids; map back through the
+      // survivor list so the permanence classification follows the physical
+      // (original) rank across renumberings.
+      const std::size_t failed_current = e.failed_rank();
+      last_failed_original =
+          failed_current < active.size() ? active[failed_current] : kNone;
+      if (last_failed_original == repeat_rank) {
+        ++repeat_count;
+      } else {
+        repeat_rank = last_failed_original;
+        repeat_count = 1;
+      }
+    } catch (const parallel::CollectiveTimeout& e) {
+      last_reason = e.what();
+      last_rank_failure = false;
+      repeat_rank = kNone;
+      repeat_count = 0;
+    }
+    ++stats.faults_detected;
+    obs::trace_instant("recovery/fault_detected");
+    stats.wasted_iterations += static_cast<std::size_t>(
+        std::max(0, ctx.last_iteration - ctx.checkpoint_iteration));
+    AEQP_LOG_INFO << "RecoveryDriver[elastic]: fault on attempt " << attempt + 1
+                  << " (" << last_reason << "); rolling back to iteration "
+                  << ctx.checkpoint_iteration;
+
+    // --- Escalation rung 3: a rank that fails on consecutive attempts is a
+    //     dead node, not a glitch -- retrying at the same world size would
+    //     fail forever. Shrink it away and resume on the survivors. ---
+    if (last_rank_failure && repeat_rank != kNone &&
+        repeat_count >= ropt.permanent_failure_threshold) {
+      if (active.size() <= ropt.min_ranks) {
+        std::ostringstream msg;
+        msg << "RecoveryDriver[elastic]: rank " << repeat_rank
+            << " permanently failed but the world is already at the min_ranks"
+               " floor ("
+            << ropt.min_ranks << "); retry budget abandoned for direction "
+            << direction << ", last failure: " << last_reason;
+        throw parallel::RankFailure(repeat_rank, last_observer_rank,
+                                    msg.str());
+      }
+      const std::size_t replicas_lost = buddy.drop_holder(repeat_rank);
+      if (repeat_rank == active.front()) {
+        // The dead rank hosted the checkpoint writer (current world slot
+        // 0): model its node-local storage dying with it. The next restore
+        // must come from a surviving buddy replica.
+        store.remove(key);
+      }
+      active.erase(std::find(active.begin(), active.end(), repeat_rank));
+      ++stats.shrinks;
+      ++stats.lost_ranks;
+      obs::trace_instant("recovery/shrink");
+      AEQP_LOG_INFO << "RecoveryDriver[elastic]: rank " << repeat_rank
+                    << " classified permanent after " << repeat_count
+                    << " consecutive failures; shrinking the world to "
+                    << active.size() << " survivors (" << replicas_lost
+                    << " buddy replicas died with it)";
+      repeat_rank = kNone;
+      repeat_count = 0;
+    }
+
+    if (attempt >= ropt.max_retries) {
+      std::ostringstream msg;
+      msg << "RecoveryDriver[elastic]: retry budget exhausted for direction "
+          << direction << " after " << attempt + 1 << " attempts: "
+          << stats.faults_detected << " faults detected, " << stats.shrinks
+          << " shrinks, " << stats.restores
+          << " checkpoint restores, last failure: " << last_reason;
+      if (last_rank_failure)
+        throw parallel::RankFailure(
+            last_failed_original == kNone ? 0 : last_failed_original,
+            last_observer_rank, msg.str());
       AEQP_THROW(msg.str());
     }
   }
@@ -154,6 +395,15 @@ core::DfptDirectionResult RecoveryDriver::solve_direction(
 core::ParallelDfptResult RecoveryDriver::solve_direction_parallel(
     const scf::ScfResult& ground, core::ParallelDfptOptions options,
     int direction) {
+  if (options_.elastic) {
+    AEQP_CHECK(options_.min_ranks >= 1,
+               "RecoveryDriver: min_ranks must be >= 1");
+    AEQP_CHECK(options_.permanent_failure_threshold >= 1,
+               "RecoveryDriver: permanent_failure_threshold must be >= 1");
+    AEQP_CHECK(options.active_ranks.empty(),
+               "RecoveryDriver: elastic recovery owns the active-rank set");
+    return run_elastic(store_, options_, stats_, ground, options, direction);
+  }
   auto result = run_recovered(
       store_, options_, stats_, options.dfpt, direction,
       "RecoveryDriver[parallel]",
@@ -181,6 +431,10 @@ obs::ScopedMetricsSource register_metrics(const RecoveryStats& stats,
         push("restores", static_cast<double>(stats.restores));
         push("retries", static_cast<double>(stats.retries));
         push("wasted_iterations", static_cast<double>(stats.wasted_iterations));
+        push("shrinks", static_cast<double>(stats.shrinks));
+        push("lost_ranks", static_cast<double>(stats.lost_ranks));
+        push("buddy_restores", static_cast<double>(stats.buddy_restores));
+        push("remap_seconds", stats.remap_seconds);
       });
 }
 

@@ -9,6 +9,20 @@
 /// damped mixing factor when faults repeat. A transient fault therefore
 /// costs only the iterations since the last checkpoint, and the recovered
 /// trajectory of the first retry is bit-identical to a fault-free run.
+///
+/// With `RecoveryOptions::elastic` the parallel front-end adds a third
+/// escalation rung for PERMANENT rank failures (a dead node re-fails every
+/// retry at the same world size):
+///
+///   retry  ->  damped retry  ->  shrink + buddy-restore + re-map + resume
+///
+/// A rank is classified permanent when the same original rank fails on
+/// `permanent_failure_threshold` consecutive attempts. The driver then
+/// excludes it from the active world (ULFM shrink analogue), restores the
+/// last checkpoint from an in-memory buddy replica when the dead rank took
+/// the file checkpoint down with it, re-homes the dead rank's grid batches
+/// onto survivors with the locality-aware re-mapping, and resumes the CPSCF
+/// iteration on the shrunken world.
 
 #include <string>
 
@@ -35,6 +49,19 @@ struct RecoveryOptions {
   HealthPolicy health;            ///< per-iteration validation bounds
   std::string checkpoint_key = "cpscf";  ///< prefix; "-dir<j>" is appended
   int checkpoint_every = 1;       ///< save every N healthy iterations
+  /// Shrink-and-continue (parallel front-end only): permanently failed
+  /// ranks are excluded from the world and the run resumes on survivors
+  /// from a buddy-replicated checkpoint. Off by default -- a non-elastic
+  /// driver exhausts its retry budget against a dead rank and surfaces a
+  /// structured parallel::RankFailure instead of deadlocking.
+  bool elastic = false;
+  /// Elastic floor: never shrink below this many survivors; reaching it
+  /// with another permanent failure exhausts recovery.
+  std::size_t min_ranks = 1;
+  /// A rank is classified PERMANENT (and shrunk away) after failing on this
+  /// many consecutive attempts. 2 = one free retry, matching the transient
+  /// rollback rung.
+  int permanent_failure_threshold = 2;
 };
 
 /// What recovery cost: mirrored into ParallelDfptStats for parallel runs.
@@ -43,6 +70,10 @@ struct RecoveryStats {
   std::size_t restores = 0;          ///< checkpoint restorations
   std::size_t retries = 0;           ///< solver re-executions
   std::size_t wasted_iterations = 0; ///< iterations lost to rollbacks
+  std::size_t shrinks = 0;           ///< world-shrink escalations
+  std::size_t lost_ranks = 0;        ///< original ranks excluded by shrinks
+  std::size_t buddy_restores = 0;    ///< restores served from a buddy replica
+  double remap_seconds = 0.0;        ///< survivor re-mapping wall time
 };
 
 /// Wraps DfptSolver / solve_direction_parallel in checkpointed retry.
@@ -57,7 +88,9 @@ public:
 
   /// Distributed CPSCF with the same policy; rank failures and collective
   /// timeouts surfaced by the simmpi runtime are treated as faults and
-  /// recovered from. Recovery counters are mirrored into result.stats.
+  /// recovered from. With options.elastic, permanent rank failures escalate
+  /// to shrink + buddy-restore + re-map + resume on the survivors (see the
+  /// file comment). Recovery counters are mirrored into result.stats.
   [[nodiscard]] core::ParallelDfptResult solve_direction_parallel(
       const scf::ScfResult& ground, core::ParallelDfptOptions options,
       int direction);
