@@ -1,5 +1,6 @@
 #include "comm/packed.hpp"
 
+#include <cmath>
 #include <exception>
 
 #include "comm/hierarchical.hpp"
@@ -10,8 +11,8 @@
 namespace aeqp::comm {
 
 PackedAllReducer::PackedAllReducer(parallel::Communicator& comm, ReduceMode mode,
-                                   std::size_t max_bytes)
-    : comm_(&comm), mode_(mode), max_bytes_(max_bytes) {
+                                   std::size_t max_bytes, bool verify)
+    : comm_(&comm), mode_(mode), max_bytes_(max_bytes), verify_(verify) {
   AEQP_CHECK(max_bytes_ >= sizeof(double),
              "PackedAllReducer: byte budget too small");
 }
@@ -46,6 +47,15 @@ void PackedAllReducer::flush() {
     collectives.add(1);
     rows.add(pending_.size());
   }
+  const std::size_t payload_size = buffer_.size();
+  if (verify_) {
+    // Linear checksum element: the reduction is linear, so the reduced
+    // checksum must equal the sum of the reduced payload. Computed per
+    // rank over its own staged contribution before the collective.
+    double local_sum = 0.0;
+    for (std::size_t i = 0; i < payload_size; ++i) local_sum += buffer_[i];
+    buffer_.push_back(local_sum);
+  }
   switch (mode_) {
     case ReduceMode::Flat:
       comm_->allreduce_sum(buffer_);
@@ -55,6 +65,32 @@ void PackedAllReducer::flush() {
       break;
   }
   ++flushes_;
+  if (verify_) {
+    const double reduced_checksum = buffer_.back();
+    buffer_.pop_back();
+    double sum = 0.0, abs_sum = 0.0;
+    for (std::size_t i = 0; i < payload_size; ++i) {
+      sum += buffer_[i];
+      abs_sum += std::fabs(buffer_[i]);
+    }
+    // Tolerance: summation roundoff scales with element count and payload
+    // magnitude; real corruption (high-bit flip, NaN, Inf) overshoots this
+    // by many orders of magnitude. The !(.. <= ..) form also fails -- and
+    // therefore detects -- a NaN poisoning either sum.
+    const double tau = 1e-6 * std::max(1.0, abs_sum);
+    if (!(std::fabs(reduced_checksum - sum) <= tau)) {
+      obs::counter("comm/packed_verify_failures").increment();
+      obs::trace_instant("sdc/detect");
+      // Every rank computes the same reduced sums, so every rank throws
+      // together and the collective schedule stays aligned.
+      throw parallel::PayloadCorruption(
+          comm_->rank(), comm_->original_rank(), "packed_allreduce",
+          "PackedAllReducer: reduced payload fails its linear checksum "
+          "(checksum " + std::to_string(reduced_checksum) + ", payload sum " +
+              std::to_string(sum) + ", " + std::to_string(payload_size) +
+              " doubles): corruption detected at the reduction");
+    }
+  }
   std::size_t offset = 0;
   for (auto row : pending_) {
     for (std::size_t i = 0; i < row.size(); ++i) row[i] = buffer_[offset + i];

@@ -29,8 +29,18 @@ inline constexpr std::size_t kDefaultPackBytes = 30u * 1024u * 1024u;
 /// packed collective. Row memory is scattered back in place on flush.
 class PackedAllReducer {
 public:
+  /// With `verify` set, every flush appends a linear checksum element (the
+  /// sum of the staged payload) to the packed buffer; the reduction is
+  /// linear, so after the collective the reduced checksum must equal the
+  /// sum of the reduced payload within floating-point tolerance. A
+  /// violation -- payload corrupted in flight or at the reduction -- raises
+  /// parallel::PayloadCorruption on every rank instead of silently
+  /// scattering damaged rows. Catches large (high-bit / non-finite)
+  /// corruption end-to-end; pair with Cluster::set_verify_payloads for
+  /// bit-exact CRC coverage of each rank's contribution.
   PackedAllReducer(parallel::Communicator& comm, ReduceMode mode,
-                   std::size_t max_bytes = kDefaultPackBytes);
+                   std::size_t max_bytes = kDefaultPackBytes,
+                   bool verify = false);
 
   /// Callers MUST flush() before destruction: a collective from a
   /// destructor (running at different times on different ranks) is a
@@ -70,6 +80,7 @@ private:
   parallel::Communicator* comm_;
   ReduceMode mode_;
   std::size_t max_bytes_;
+  bool verify_ = false;
   std::vector<double> buffer_;
   std::vector<std::span<double>> pending_;
   std::size_t flushes_ = 0;

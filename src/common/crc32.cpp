@@ -1,0 +1,33 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace aeqp {
+
+namespace {
+
+/// Reflected CRC-32 table for the IEEE 802.3 polynomial 0xedb88320.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const unsigned char> data, std::uint32_t seed) {
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (unsigned char byte : data)
+    c = crc_table()[(c ^ byte) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace aeqp

@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file crc32.hpp
+/// CRC-32 (IEEE 802.3 polynomial, reflected) shared by the checkpoint frame
+/// format (src/resilience/checkpoint) and the payload-verified collectives
+/// (src/parallel/cluster). Lives in common so the simmpi layer can tag and
+/// verify collective payloads without depending on the resilience module.
+
+#include <cstdint>
+#include <span>
+
+namespace aeqp {
+
+/// CRC-32 of a byte range. `seed` chains partial computations:
+/// crc32(ab) == crc32(b, crc32(a)).
+[[nodiscard]] std::uint32_t crc32(std::span<const unsigned char> data,
+                                  std::uint32_t seed = 0);
+
+}  // namespace aeqp

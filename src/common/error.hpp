@@ -18,6 +18,40 @@ public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A physics or numerical invariant failed its check: the all-electron
+/// formulation guarantees exact conserved quantities (electron count,
+/// Hermiticity, trace identities, finiteness) whose violation is the
+/// signature of silent data corruption, not of a user mistake. Carries the
+/// invariant's name and site so the recovery ladder (ABFT correct ->
+/// recompute -> rollback -> shrink; see docs/sdc.md) can report and route it.
+class InvariantViolation : public Error {
+public:
+  InvariantViolation(std::string invariant, std::string site, double measured,
+                     double expected)
+      : Error("invariant violation: " + invariant + " at " + site +
+              " (measured " + std::to_string(measured) + ", expected " +
+              std::to_string(expected) + ")"),
+        invariant_(std::move(invariant)),
+        site_(std::move(site)),
+        measured_(measured),
+        expected_(expected) {}
+
+  /// Which invariant failed, e.g. "finite", "hermitian", "electron_count".
+  [[nodiscard]] const std::string& invariant() const noexcept {
+    return invariant_;
+  }
+  /// Where it was checked, e.g. "cpscf/rho" or "scf/hamiltonian".
+  [[nodiscard]] const std::string& site() const noexcept { return site_; }
+  [[nodiscard]] double measured() const noexcept { return measured_; }
+  [[nodiscard]] double expected() const noexcept { return expected_; }
+
+private:
+  std::string invariant_;
+  std::string site_;
+  double measured_;
+  double expected_;
+};
+
 namespace detail {
 [[noreturn]] void throw_error(const char* file, int line, const std::string& msg);
 [[noreturn]] void assert_fail(const char* file, int line, const char* expr);

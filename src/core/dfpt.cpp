@@ -7,7 +7,11 @@
 #include "common/log.hpp"
 #include "common/timer.hpp"
 #include "exec/thread_pool.hpp"
+#include "linalg/abft.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "resilience/guards.hpp"
+#include "resilience/sdc_inject.hpp"
 #include "xc/lda.hpp"
 
 namespace aeqp::core {
@@ -103,6 +107,9 @@ DfptDirectionResult DfptSolver::solve_direction(int j) const {
     } else {
       n1 = integ.density(p);
     }
+    // Compute-site probe: a planted fault corrupts the freshly accumulated
+    // density batch here, exactly where a real kernel upset would land.
+    resilience::sdc_probe("cpscf/rho_batch", {n1.data(), n1.size()});
   };
   const auto compute_rho = [&](const Matrix& p) {
     const poisson::DensityFn n1_fn = [&](const Vec3& pos) {
@@ -157,6 +164,9 @@ DfptDirectionResult DfptSolver::solve_direction(int j) const {
         }
         h1.symmetrize();
       }
+      // Phase-boundary invariant: the response Hamiltonian is Hermitian by
+      // construction; asymmetry or a non-finite entry is corruption.
+      resilience::guard_hermitian(h1, "cpscf/h1");
     }
     t[Phase::H] += timer.seconds();
 
@@ -169,7 +179,17 @@ DfptDirectionResult DfptSolver::solve_direction(int j) const {
     obs::PhaseSpan phase_span;
     phase_span.begin("cpscf/sternheimer");
     const double omega = options_.frequency;
-    const Matrix h1_vo = linalg::matmul_tn(c_virt_, linalg::matmul(h1, c_occ_));
+    // The Sternheimer contraction H^(1)_ai = C_virt^T (H^(1) C_occ): with
+    // ABFT on, both products carry Huang-Abraham checksums, so a single
+    // corrupted element is corrected in place before it can steer the
+    // whole CPSCF trajectory.
+    const Matrix h1_vo =
+        options_.abft
+            ? linalg::abft_matmul_tn(
+                  c_virt_,
+                  linalg::abft_matmul(h1, c_occ_, "cpscf/sternheimer_matmul"),
+                  "cpscf/sternheimer_matmul")
+            : linalg::matmul_tn(c_virt_, linalg::matmul(h1, c_occ_));
     Matrix x(n_virt, n_occ), y(n_virt, n_occ);
     for (std::size_t a = 0; a < n_virt; ++a)
       for (std::size_t i = 0; i < n_occ; ++i) {
@@ -181,8 +201,14 @@ DfptDirectionResult DfptSolver::solve_direction(int j) const {
         y(a, i) = h1_vo(a, i) / (gap - omega);
       }
     // C^(1)+ = C_virt X, C^(1)- = C_virt Y (equal in the static limit).
-    const Matrix c1x = linalg::matmul(c_virt_, x);
-    const Matrix c1y = linalg::matmul(c_virt_, y);
+    // These products feed the DM build directly -- the paper's DM phase --
+    // so they are the DM-build matmuls the ABFT layer protects.
+    const Matrix c1x = options_.abft
+                           ? linalg::abft_matmul(c_virt_, x, "cpscf/dm_matmul")
+                           : linalg::matmul(c_virt_, x);
+    const Matrix c1y = options_.abft
+                           ? linalg::abft_matmul(c_virt_, y, "cpscf/dm_matmul")
+                           : linalg::matmul(c_virt_, y);
     phase_span.end();
     t[Phase::Sternheimer] += timer.seconds();
 
@@ -213,6 +239,11 @@ DfptDirectionResult DfptSolver::solve_direction(int j) const {
     const double delta = p1_new.max_abs_diff(p1);
     p1 = std::move(p1_new);
     last_delta = delta;
+    // Phase-boundary invariants: P^(1) finite, and tr(P^(1) S) = 0 -- the
+    // perturbation conserves the electron count, so the response DM is
+    // traceless against the overlap metric.
+    resilience::guard_finite(p1, "cpscf/p1");
+    resilience::guard_trace_identity(p1, ground_.overlap, 0.0, "cpscf/p1");
     phase_span.end();
     t[Phase::DM] += timer.seconds();
 
@@ -230,6 +261,19 @@ DfptDirectionResult DfptSolver::solve_direction(int j) const {
     {
       AEQP_TRACE_SCOPE("cpscf/sumup");
       compute_sumup(p1);
+      // Second rung of the SDC ladder: the batch is a pure function of
+      // P^(1), so a corrupted accumulation (transient by nature -- the
+      // injector models an upset, not a broken unit) is repaired by one
+      // local recompute, far cheaper than a checkpoint rollback. A second
+      // violation means the corruption is not transient here; escalate.
+      try {
+        resilience::guard_finite({n1.data(), n1.size()}, "cpscf/n1");
+      } catch (const InvariantViolation&) {
+        obs::counter("sdc/local_recomputes").increment();
+        obs::trace_instant("sdc/recompute");
+        compute_sumup(p1);
+        resilience::guard_finite({n1.data(), n1.size()}, "cpscf/n1");
+      }
     }
     t[Phase::Sumup] += timer.seconds();
 
@@ -239,6 +283,7 @@ DfptDirectionResult DfptSolver::solve_direction(int j) const {
     {
       AEQP_TRACE_SCOPE("cpscf/rho");
       compute_rho(p1);
+      resilience::guard_finite({v1.data(), v1.size()}, "cpscf/v1");
     }
     t[Phase::Rho] += timer.seconds();
 

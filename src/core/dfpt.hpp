@@ -87,6 +87,12 @@ struct DfptOptions {
   /// Batch size used when `device` is set.
   std::size_t device_batch_points = 128;
   bool verbose = false;
+  /// Run the Sternheimer/DM matmuls through the ABFT-checksummed variants
+  /// (linalg/abft.hpp): a single corrupted product element is located and
+  /// corrected in place, wider corruption raises linalg::AbftError for the
+  /// recovery ladder. Fault-free the verified products are bit-identical to
+  /// the plain kernels, at an O(n^2)-per-O(n^3) verification cost.
+  bool abft = true;
   /// Per-iteration hook for health validation and checkpointing; may abort
   /// the cycle. Null = no observation.
   CpscfObserver observer;

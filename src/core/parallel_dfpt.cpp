@@ -9,10 +9,14 @@
 #include "common/error.hpp"
 #include "common/thread_ident.hpp"
 #include "common/timer.hpp"
+#include "linalg/abft.hpp"
 #include "linalg/sparse.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/cluster.hpp"
 #include "parallel/fault.hpp"
+#include "resilience/guards.hpp"
+#include "resilience/sdc_inject.hpp"
 #include "xc/lda.hpp"
 
 namespace aeqp::core {
@@ -111,6 +115,7 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
   cluster.set_collective_timeout(
       std::chrono::milliseconds(options.collective_timeout_ms));
   cluster.set_fault_injector(options.fault_injector);
+  cluster.set_verify_payloads(options.verify_collectives);
   cluster.run([&](parallel::Communicator& comm) {
     // Tag this rank thread: the log sink prefixes its lines and the trace
     // exporter gives it its own lane. Purely observational.
@@ -166,6 +171,9 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
         }
         n1_own[k] = acc;
       }
+      // Compute-site probe for this rank's density batch; events can
+      // target one rank through the thread's rank tag.
+      resilience::sdc_probe("cpscf/rho_batch", {n1_own.data(), n1_own.size()});
     };
     const auto compute_rho_own = [&]() {
       const poisson::DensityFn n1_fn = [&](const Vec3& pos) {
@@ -217,7 +225,9 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
               partial(ev.indices[i], ev.indices[j]) += wi * ev.values[j];
           }
         }
-        comm::PackedAllReducer packer(comm, options.reduce_mode);
+        comm::PackedAllReducer packer(comm, options.reduce_mode,
+                                      comm::kDefaultPackBytes,
+                                      options.verify_collectives);
         for (std::size_t row = 0; row < nb; ++row)
           packer.add(std::span<double>(partial.data() + row * nb, nb));
         packer.flush();
@@ -226,19 +236,34 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
         h1.axpy(1.0, partial);
         h1.symmetrize();
       }
+      // Synthesized response Hamiltonian must be Hermitian and finite on
+      // every rank (replicated value -- all ranks check, all ranks throw
+      // together on violation, keeping the collective schedule aligned).
+      resilience::guard_hermitian(h1, "cpscf/h1");
       phase_span.end();
       if (comm.rank() == 0) result.phase_seconds[Phase::H] += timer.seconds();
 
       // --- Sternheimer + DM (replicated; identical on every rank). ---
       timer.reset();
       phase_span.begin("cpscf/sternheimer");
-      const Matrix h1_vo = linalg::matmul_tn(c_virt, linalg::matmul(h1, c_occ));
+      // With ABFT on, the replicated Sternheimer/DM products carry
+      // checksums on every rank: a compute-site fault on one rank is
+      // corrected locally before it can de-synchronize the replicas.
+      const Matrix h1_vo =
+          options.dfpt.abft
+              ? linalg::abft_matmul_tn(
+                    c_virt,
+                    linalg::abft_matmul(h1, c_occ, "cpscf/sternheimer_matmul"),
+                    "cpscf/sternheimer_matmul")
+              : linalg::matmul_tn(c_virt, linalg::matmul(h1, c_occ));
       Matrix u(n_virt, n_occ);
       for (std::size_t a = 0; a < n_virt; ++a)
         for (std::size_t i = 0; i < n_occ; ++i)
           u(a, i) = h1_vo(a, i) / (ground.eigenvalues[i] -
                                    ground.eigenvalues[n_occ + a]);
-      const Matrix c1 = linalg::matmul(c_virt, u);
+      const Matrix c1 = options.dfpt.abft
+                            ? linalg::abft_matmul(c_virt, u, "cpscf/dm_matmul")
+                            : linalg::matmul(c_virt, u);
       phase_span.end();
       if (comm.rank() == 0)
         result.phase_seconds[Phase::Sternheimer] += timer.seconds();
@@ -260,6 +285,10 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
       }
       const double delta = p1_new.max_abs_diff(p1);
       p1 = std::move(p1_new);
+      // Phase-boundary invariants on the replicated P^(1): finite, and
+      // traceless against the overlap metric (electron-count conservation).
+      resilience::guard_finite(p1, "cpscf/p1");
+      resilience::guard_trace_identity(p1, ground.overlap, 0.0, "cpscf/p1");
       phase_span.end();
       if (comm.rank() == 0) {
         result.phase_seconds[Phase::DM] += timer.seconds();
@@ -306,6 +335,21 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
       {
         AEQP_TRACE_SCOPE("cpscf/sumup");
         compute_sumup_own();
+        // Second rung of the SDC ladder, rank-locally: the batch is a pure
+        // function of the replicated P^(1), so one recompute repairs a
+        // transient corruption without any collective traffic. A repeat
+        // violation escalates (throws; peers see RankFailure and the
+        // RecoveryDriver takes over).
+        try {
+          resilience::guard_finite({n1_own.data(), n1_own.size()},
+                                   "cpscf/n1");
+        } catch (const InvariantViolation&) {
+          obs::counter("sdc/local_recomputes").increment();
+          obs::trace_instant("sdc/recompute");
+          compute_sumup_own();
+          resilience::guard_finite({n1_own.data(), n1_own.size()},
+                                   "cpscf/n1");
+        }
       }
       if (comm.rank() == 0) result.phase_seconds[Phase::Sumup] += timer.seconds();
 
@@ -315,6 +359,7 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
       {
         AEQP_TRACE_SCOPE("cpscf/rho");
         compute_rho_own();
+        resilience::guard_finite({v1_own.data(), v1_own.size()}, "cpscf/v1");
       }
       if (comm.rank() == 0) result.phase_seconds[Phase::Rho] += timer.seconds();
 
@@ -389,6 +434,11 @@ obs::ScopedMetricsSource register_metrics(const ParallelDfptStats& stats,
         push("remap_seconds", stats.remap_seconds);
         push("shrinks", static_cast<double>(stats.shrinks));
         push("buddy_restores", static_cast<double>(stats.buddy_restores));
+        push("abft_corrections", static_cast<double>(stats.abft_corrections));
+        push("invariant_violations",
+             static_cast<double>(stats.invariant_violations));
+        push("payload_corruptions",
+             static_cast<double>(stats.payload_corruptions));
       });
 }
 

@@ -49,6 +49,11 @@ struct ParallelDfptOptions {
   /// Collective deadline handed to the cluster; a rank stalled past it
   /// surfaces as CollectiveTimeout on the surviving ranks.
   std::size_t collective_timeout_ms = 120000;
+  /// CRC-verify every collective payload (Cluster::set_verify_payloads) and
+  /// run the packed H-phase AllReduce with a linear checksum element, so
+  /// in-flight corruption surfaces as parallel::PayloadCorruption at the
+  /// collective instead of as eventual CPSCF divergence.
+  bool verify_collectives = false;
   /// Elastic world (shrink-and-continue re-entry): when non-empty, the run
   /// executes on these survivor ranks only -- ids in the ORIGINAL
   /// [0, ranks) world, strictly increasing. The grid batches of the lost
@@ -85,6 +90,10 @@ struct ParallelDfptStats {
   std::size_t wasted_iterations = 0;///< iterations discarded by rollbacks
   std::size_t shrinks = 0;          ///< world-shrink escalations
   std::size_t buddy_restores = 0;   ///< restores served from a buddy replica
+  // SDC-defense counters (see docs/sdc.md), filled by the RecoveryDriver.
+  std::size_t abft_corrections = 0;     ///< matmul elements fixed in place
+  std::size_t invariant_violations = 0; ///< physics guards tripped
+  std::size_t payload_corruptions = 0;  ///< CRC/checksum collective failures
 };
 
 /// Result plus run statistics.

@@ -1,9 +1,11 @@
 #include "parallel/cluster.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <thread>
 
+#include "common/crc32.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/fault.hpp"
@@ -17,7 +19,8 @@ Cluster::Cluster(std::size_t n_ranks, std::size_t ranks_per_node,
                  std::vector<std::size_t> origin)
     : n_ranks_(n_ranks),
       ranks_per_node_(ranks_per_node),
-      origin_(std::move(origin)) {
+      origin_(std::move(origin)),
+      subworld_(!origin_.empty()) {
   AEQP_CHECK(n_ranks >= 1, "Cluster: need at least one rank");
   AEQP_CHECK(ranks_per_node >= 1, "Cluster: need at least one rank per node");
   if (origin_.empty()) {
@@ -54,8 +57,24 @@ std::unique_ptr<Cluster> Cluster::shrink(
       std::make_unique<Cluster>(survivors.size(), ranks_per_node_, survivors);
   shrunk->collective_timeout_ = collective_timeout_;
   shrunk->injector_ = injector_;
+  shrunk->verify_payloads_ = verify_payloads_;
   obs::trace_instant("cluster/shrink");
   return shrunk;
+}
+
+void Cluster::set_fault_injector(FaultInjector* injector) {
+  if (injector != nullptr && !subworld_) {
+    // A subworld's plan legitimately addresses original ranks that no
+    // longer exist here (the origin map can even look like identity when
+    // the dead ranks were the highest-numbered ones), so only a full world
+    // validates.
+    for (const FaultEvent& e : injector->planned_events())
+      AEQP_CHECK(e.rank < n_ranks_,
+                 "Cluster::set_fault_injector: planned event addresses rank " +
+                     std::to_string(e.rank) + " outside the world (size " +
+                     std::to_string(n_ranks_) + ")");
+  }
+  injector_ = injector;
 }
 
 std::size_t Cluster::node_count() const {
@@ -230,12 +249,41 @@ void Communicator::enter_collective(const char* what, std::span<double> payload)
   }
   if (cluster_->failed()) cluster_->throw_failure(rank_);
   const std::size_t seq = seq_++;
+  // With payload verification on, tag the contribution as it enters the
+  // collective (the simulated sender-side CRC). Anything that damages the
+  // payload between here and the reduction -- the injector below models the
+  // in-flight corruption of a real network/memory fault -- is caught by the
+  // receive-side recheck before the reduction consumes the data.
+  const bool verify = cluster_->verify_payloads_ && !payload.empty();
+  std::uint32_t tag = 0;
+  if (verify) {
+    tag = crc32({reinterpret_cast<const unsigned char*>(payload.data()),
+                 payload.size() * sizeof(double)});
+    static obs::Counter& verified = obs::counter("comm/payloads_verified");
+    verified.increment();
+  }
   if (cluster_->injector_ != nullptr) {
     cluster_->injector_->on_collective(
         rank_, cluster_->origin_[rank_], seq, what, payload,
         [this] { return cluster_->failed(); });
     // A peer may have failed while this rank was stalled by the injector.
     if (cluster_->failed()) cluster_->throw_failure(rank_);
+  }
+  if (verify) {
+    const std::uint32_t check =
+        crc32({reinterpret_cast<const unsigned char*>(payload.data()),
+               payload.size() * sizeof(double)});
+    if (check != tag) {
+      obs::counter("comm/payload_corruptions").increment();
+      obs::trace_instant("sdc/detect");
+      throw PayloadCorruption(
+          rank_, cluster_->origin_[rank_], what,
+          "simmpi: payload CRC mismatch in " + std::string(what) +
+              " on rank " + std::to_string(rank_) + " (original rank " +
+              std::to_string(cluster_->origin_[rank_]) + ", collective #" +
+              std::to_string(seq) + ", " + std::to_string(payload.size()) +
+              " doubles): silent corruption detected at the collective");
+    }
   }
 }
 

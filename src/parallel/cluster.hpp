@@ -71,6 +71,33 @@ private:
   std::size_t observer_rank_;
 };
 
+/// Raised by a payload-verified collective (Cluster::set_verify_payloads)
+/// when a rank's in-transit contribution no longer matches the CRC-32 tag
+/// computed when the rank entered the collective -- silent corruption
+/// caught *at the reduction* instead of by eventual divergence. Names the
+/// collective and the rank (both running and original-world ids) whose
+/// payload was damaged.
+class PayloadCorruption : public Error {
+public:
+  PayloadCorruption(std::size_t rank, std::size_t original_rank,
+                    std::string collective, const std::string& what)
+      : Error(what),
+        rank_(rank),
+        original_rank_(original_rank),
+        collective_(std::move(collective)) {}
+  /// Rank whose payload failed verification (running-world id).
+  [[nodiscard]] std::size_t rank() const { return rank_; }
+  /// The same rank's id in the original (pre-shrink) world.
+  [[nodiscard]] std::size_t original_rank() const { return original_rank_; }
+  /// Collective in which the corruption was caught, e.g. "allreduce_sum".
+  [[nodiscard]] const std::string& collective() const { return collective_; }
+
+private:
+  std::size_t rank_;
+  std::size_t original_rank_;
+  std::string collective_;
+};
+
 /// Per-rank handle passed to the rank function; provides the collective
 /// operations of the simulated MPI world.
 class Communicator {
@@ -182,8 +209,21 @@ public:
   }
 
   /// Attach a fault injector consulted at every collective entry. The
-  /// injector must outlive the cluster runs it is attached to.
-  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  /// injector must outlive the cluster runs it is attached to. On a full
+  /// (never-shrunk) world every planned event's rank must be inside the
+  /// world -- an out-of-range rank is a plan bug and raises aeqp::Error
+  /// here rather than silently never firing. Subworlds (built by shrink()
+  /// or constructed with an explicit origin map) skip the check: plans
+  /// legitimately address dead original ranks.
+  void set_fault_injector(FaultInjector* injector);
+
+  /// Verify collective payloads end-to-end: each rank's contribution is
+  /// CRC-32-tagged on collective entry and re-checked immediately before
+  /// the reduction consumes it; a mismatch raises PayloadCorruption naming
+  /// the collective and the original rank. Off by default (one branch per
+  /// collective when off).
+  void set_verify_payloads(bool on) { verify_payloads_ = on; }
+  [[nodiscard]] bool verify_payloads() const { return verify_payloads_; }
 
   /// Execute fn on every rank concurrently; blocks until all finish.
   /// Rethrows the root-cause exception (the first failure, preferring the
@@ -231,8 +271,10 @@ private:
   std::size_t n_ranks_;
   std::size_t ranks_per_node_;
   std::vector<std::size_t> origin_;  ///< original-world id per rank
+  bool subworld_ = false;  ///< built by shrink() or with an explicit origin
   std::chrono::milliseconds collective_timeout_{120000};
   FaultInjector* injector_ = nullptr;
+  bool verify_payloads_ = false;
 
   std::unique_ptr<FtBarrier> global_barrier_;
   std::mutex reduce_mutex_;

@@ -26,6 +26,12 @@ const char* fault_kind_name(FaultKind kind) {
 }
 
 FaultPlan& FaultPlan::add(const FaultEvent& event) {
+  AEQP_CHECK(event.bit >= 0 && event.bit <= 63,
+             "FaultPlan: bit " + std::to_string(event.bit) +
+                 " out of range 0..63");
+  AEQP_CHECK(event.repeat >= 1,
+             "FaultPlan: repeat must be >= 1 (an event that never fires is "
+             "a plan bug)");
   events_.push_back(event);
   return *this;
 }
@@ -170,6 +176,14 @@ std::size_t FaultInjector::pending() const {
   for (const auto& armed : events_)
     if (armed.fired == 0) ++n;
   return n;
+}
+
+std::vector<FaultEvent> FaultInjector::planned_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FaultEvent> events;
+  events.reserve(events_.size());
+  for (const auto& armed : events_) events.push_back(armed.event);
+  return events;
 }
 
 obs::ScopedMetricsSource register_metrics(const FaultInjector& injector,

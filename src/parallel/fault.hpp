@@ -62,6 +62,10 @@ class FaultPlan {
 public:
   FaultPlan() = default;
 
+  /// Validates the event (bit in 0..63, repeat >= 1 for Stall) and appends
+  /// it; throws aeqp::Error on out-of-range fields rather than letting a
+  /// misaddressed plan silently misbehave mid-run. Rank-in-world validation
+  /// happens at Cluster::set_fault_injector, where the world size is known.
   FaultPlan& add(const FaultEvent& event);
 
   /// Draw `n_events` payload-corruption events from a seeded RNG: rank in
@@ -119,6 +123,10 @@ public:
   /// Events that have never fired (a permanent event that fired at least
   /// once no longer counts as pending, even though it stays armed).
   [[nodiscard]] std::size_t pending() const;
+
+  /// The plan as armed (fired state not included) -- lets the cluster
+  /// validate that every event addresses a rank inside the world.
+  [[nodiscard]] std::vector<FaultEvent> planned_events() const;
 
 private:
   struct Armed {

@@ -9,6 +9,8 @@
 #include "grid/angular_grid.hpp"
 #include "obs/trace.hpp"
 #include "poisson/adams_moulton.hpp"
+#include "resilience/guards.hpp"
+#include "resilience/sdc_inject.hpp"
 
 namespace aeqp::poisson {
 
@@ -83,6 +85,11 @@ MultipoleDensity HartreeSolver::project(const DensityFn& density) const {
   for (std::size_t a = 0; a < n_atoms; ++a) {
     rho.splines[a].resize(nlm);
     exec::parallel_for(0, nlm, [&](std::size_t lm) {
+      // SDC probe + finiteness guard before the spline fit: a struck sample
+      // would otherwise be smeared over the whole radial channel by the
+      // spline's tridiagonal solve and surface only as slow divergence.
+      resilience::sdc_probe("poisson/rho_multipole", rho.samples[a][lm]);
+      resilience::guard_finite(rho.samples[a][lm], "poisson/rho_multipole");
       rho.splines[a][lm] = basis::CubicSpline(mesh_.points(), rho.samples[a][lm]);
     });
   }

@@ -18,20 +18,6 @@ constexpr std::uint32_t kMagic = 0x41455150;  // 'AEQP'
 constexpr std::uint32_t kKindCpscf = 1;
 constexpr std::uint32_t kKindScf = 2;
 
-const std::array<std::uint32_t, 256>& crc_table() {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k)
-        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-      t[i] = c;
-    }
-    return t;
-  }();
-  return table;
-}
-
 /// Little binary archive; all multi-byte values native-endian (the format
 /// version gates any future change).
 class ByteWriter {
@@ -251,13 +237,6 @@ ScfCheckpoint decode_scf(std::span<const unsigned char> payload,
 }
 
 }  // namespace
-
-std::uint32_t crc32(std::span<const unsigned char> data, std::uint32_t seed) {
-  std::uint32_t c = seed ^ 0xffffffffu;
-  for (unsigned char byte : data)
-    c = crc_table()[(c ^ byte) & 0xffu] ^ (c >> 8);
-  return c ^ 0xffffffffu;
-}
 
 CheckpointStore::CheckpointStore(std::filesystem::path directory)
     : directory_(std::move(directory)) {

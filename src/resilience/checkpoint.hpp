@@ -31,13 +31,17 @@
 #include <utility>
 #include <vector>
 
+#include "common/crc32.hpp"
 #include "linalg/matrix.hpp"
 
 namespace aeqp::resilience {
 
-/// CRC-32 (IEEE 802.3 polynomial, reflected) of a byte range.
-[[nodiscard]] std::uint32_t crc32(std::span<const unsigned char> data,
-                                  std::uint32_t seed = 0);
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of a byte range. The
+/// implementation moved to common/crc32.hpp so the collective layer can
+/// verify payloads too; this re-export keeps existing callers working (a
+/// using-declaration names the same entity, so code that opens both
+/// namespaces still sees exactly one crc32).
+using ::aeqp::crc32;
 
 /// Current checkpoint format version; bumped on any layout change.
 inline constexpr std::uint32_t kCheckpointFormatVersion = 1;

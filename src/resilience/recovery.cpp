@@ -12,6 +12,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "linalg/abft.hpp"
 #include "obs/trace.hpp"
 #include "parallel/cluster.hpp"
 #include "resilience/buddy.hpp"
@@ -47,6 +48,9 @@ auto run_recovered(CheckpointStore& store, const RecoveryOptions& ropt,
   bool last_rank_failure = false;
   std::size_t last_failed_rank = 0;
   std::size_t last_observer_rank = 0;
+  // ABFT corrections are healed inside the kernels and never surface as
+  // exceptions; account for them by deltaing the process-wide counter.
+  const std::size_t abft_base = linalg::abft_stats().corrections;
   for (int attempt = 0;; ++attempt) {
     AttemptContext ctx;
     core::DfptOptions opts = base;
@@ -104,6 +108,7 @@ auto run_recovered(CheckpointStore& store, const RecoveryOptions& ropt,
 
     try {
       auto result = run(opts);
+      stats.abft_corrections = linalg::abft_stats().corrections - abft_base;
       if (!ctx.fault && !aborted_of(result)) return result;  // healthy
       // An abort this driver never requested means the abort decision
       // itself was corrupted in transit -- treat it as a fault, not as a
@@ -121,7 +126,25 @@ auto run_recovered(CheckpointStore& store, const RecoveryOptions& ropt,
     } catch (const parallel::CollectiveTimeout& e) {
       last_reason = e.what();
       last_rank_failure = false;
+    } catch (const parallel::PayloadCorruption& e) {
+      // A verified collective caught in-flight corruption: the payload is
+      // poisoned, so roll back like any other fault.
+      last_reason = e.what();
+      last_rank_failure = false;
+      ++stats.payload_corruptions;
+    } catch (const InvariantViolation& e) {
+      // A physics guard tripped past the in-place rungs (ABFT correction,
+      // local recompute): the state is corrupt -- rollback and retry.
+      last_reason = e.what();
+      last_rank_failure = false;
+      ++stats.invariant_violations;
+    } catch (const linalg::AbftError& e) {
+      // Multi-element (uncorrectable) product corruption: detection without
+      // location, so in-place repair is off the table -- rollback.
+      last_reason = e.what();
+      last_rank_failure = false;
     }
+    stats.abft_corrections = linalg::abft_stats().corrections - abft_base;
     ++stats.faults_detected;
     obs::trace_instant("recovery/fault_detected");
     stats.wasted_iterations += static_cast<std::size_t>(
@@ -178,6 +201,7 @@ core::ParallelDfptResult run_elastic(CheckpointStore& store,
   bool last_rank_failure = false;
   std::size_t last_failed_original = 0;
   std::size_t last_observer_rank = 0;
+  const std::size_t abft_base = linalg::abft_stats().corrections;
 
   for (int attempt = 0;; ++attempt) {
     AttemptContext ctx;
@@ -273,6 +297,7 @@ core::ParallelDfptResult run_elastic(CheckpointStore& store,
 
     try {
       auto result = core::solve_direction_parallel(ground, popts, direction);
+      stats.abft_corrections = linalg::abft_stats().corrections - abft_base;
       if (!ctx.fault && !result.direction.aborted) {
         stats.remap_seconds = result.stats.remap_seconds;
         result.stats.faults_detected = stats.faults_detected;
@@ -281,6 +306,9 @@ core::ParallelDfptResult run_elastic(CheckpointStore& store,
         result.stats.wasted_iterations = stats.wasted_iterations;
         result.stats.shrinks = stats.shrinks;
         result.stats.buddy_restores = stats.buddy_restores;
+        result.stats.abft_corrections = stats.abft_corrections;
+        result.stats.invariant_violations = stats.invariant_violations;
+        result.stats.payload_corruptions = stats.payload_corruptions;
         return result;
       }
       last_reason = ctx.fault
@@ -311,7 +339,27 @@ core::ParallelDfptResult run_elastic(CheckpointStore& store,
       last_rank_failure = false;
       repeat_rank = kNone;
       repeat_count = 0;
+    } catch (const parallel::PayloadCorruption& e) {
+      // In-flight corruption is transient by assumption (a struck message,
+      // not a struck node): it rolls back but never drives a shrink.
+      last_reason = e.what();
+      last_rank_failure = false;
+      ++stats.payload_corruptions;
+      repeat_rank = kNone;
+      repeat_count = 0;
+    } catch (const InvariantViolation& e) {
+      last_reason = e.what();
+      last_rank_failure = false;
+      ++stats.invariant_violations;
+      repeat_rank = kNone;
+      repeat_count = 0;
+    } catch (const linalg::AbftError& e) {
+      last_reason = e.what();
+      last_rank_failure = false;
+      repeat_rank = kNone;
+      repeat_count = 0;
     }
+    stats.abft_corrections = linalg::abft_stats().corrections - abft_base;
     ++stats.faults_detected;
     obs::trace_instant("recovery/fault_detected");
     stats.wasted_iterations += static_cast<std::size_t>(
@@ -417,6 +465,9 @@ core::ParallelDfptResult RecoveryDriver::solve_direction_parallel(
   result.stats.restores = stats_.restores;
   result.stats.retries = stats_.retries;
   result.stats.wasted_iterations = stats_.wasted_iterations;
+  result.stats.abft_corrections = stats_.abft_corrections;
+  result.stats.invariant_violations = stats_.invariant_violations;
+  result.stats.payload_corruptions = stats_.payload_corruptions;
   return result;
 }
 
@@ -435,6 +486,11 @@ obs::ScopedMetricsSource register_metrics(const RecoveryStats& stats,
         push("lost_ranks", static_cast<double>(stats.lost_ranks));
         push("buddy_restores", static_cast<double>(stats.buddy_restores));
         push("remap_seconds", stats.remap_seconds);
+        push("abft_corrections", static_cast<double>(stats.abft_corrections));
+        push("invariant_violations",
+             static_cast<double>(stats.invariant_violations));
+        push("payload_corruptions",
+             static_cast<double>(stats.payload_corruptions));
       });
 }
 

@@ -10,11 +10,20 @@
 /// costs only the iterations since the last checkpoint, and the recovered
 /// trajectory of the first retry is bit-identical to a fault-free run.
 ///
-/// With `RecoveryOptions::elastic` the parallel front-end adds a third
+/// Silent data corruption (docs/sdc.md) enters the same ladder below the
+/// rollback rung: ABFT-checksummed matmuls correct single-element product
+/// corruption in place (no rollback at all), non-finite Sumup batches are
+/// recomputed locally, and what escapes both -- an InvariantViolation from
+/// a physics guard, an AbftError for multi-element corruption, or a
+/// PayloadCorruption from a verified collective -- is caught here and
+/// treated as a fault: rollback to the last checkpoint and retry.
+///
+/// With `RecoveryOptions::elastic` the parallel front-end adds a further
 /// escalation rung for PERMANENT rank failures (a dead node re-fails every
 /// retry at the same world size):
 ///
-///   retry  ->  damped retry  ->  shrink + buddy-restore + re-map + resume
+///   correct in place  ->  local recompute  ->  retry  ->  damped retry
+///     ->  shrink + buddy-restore + re-map + resume
 ///
 /// A rank is classified permanent when the same original rank fails on
 /// `permanent_failure_threshold` consecutive attempts. The driver then
@@ -74,6 +83,11 @@ struct RecoveryStats {
   std::size_t lost_ranks = 0;        ///< original ranks excluded by shrinks
   std::size_t buddy_restores = 0;    ///< restores served from a buddy replica
   double remap_seconds = 0.0;        ///< survivor re-mapping wall time
+  // Silent-data-corruption rungs (docs/sdc.md). ABFT corrections are healed
+  // in place and never reach the rollback path; the other two escalate here.
+  std::size_t abft_corrections = 0;     ///< matmul elements fixed in place
+  std::size_t invariant_violations = 0; ///< physics guards tripped
+  std::size_t payload_corruptions = 0;  ///< CRC/checksum collective failures
 };
 
 /// Wraps DfptSolver / solve_direction_parallel in checkpointed retry.

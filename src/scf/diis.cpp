@@ -3,6 +3,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "linalg/lu.hpp"
+#include "resilience/guards.hpp"
 
 namespace aeqp::scf {
 
@@ -46,7 +47,16 @@ void DiisMixer::import_history(
 }
 
 Matrix DiisMixer::extrapolate(const Matrix& h, const Matrix& p, const Matrix& s) {
+  // A single non-finite entry admitted to the history poisons every later
+  // extrapolation (the B-matrix dots touch all stored residuals), so refuse
+  // corrupt input at the door instead of letting it spread.
+  if (resilience::guards_enabled()) {
+    resilience::guard_finite(h, "diis/h");
+    resilience::guard_finite(p, "diis/p");
+  }
   Entry entry{h, residual(h, p, s)};
+  if (resilience::guards_enabled())
+    resilience::guard_finite(entry.e, "diis/residual");
   last_residual_norm_ = entry.e.max_abs();
   history_.push_back(std::move(entry));
   if (history_.size() > max_history_) history_.pop_front();

@@ -8,6 +8,7 @@
 #include "exec/thread_pool.hpp"
 #include "linalg/eigen.hpp"
 #include "obs/trace.hpp"
+#include "resilience/guards.hpp"
 #include "scf/diis.hpp"
 #include "scf/occupations.hpp"
 #include "xc/lda.hpp"
@@ -162,6 +163,9 @@ ScfResult ScfSolver::run() const {
     Matrix h = h_core;
     h.axpy(1.0, integ->potential_matrix(v_eff));
     h.symmetrize();
+    // Phase-boundary guard: a corrupted integral poisons every eigenpair
+    // downstream, so validate the Hamiltonian before diagonalization.
+    resilience::guard_hermitian(h, "scf/h");
 
     // DIIS extrapolates the Hamiltonian from the residual history.
     if (options_.mixer == Mixer::Diis && !p_mat.empty()) {
@@ -191,6 +195,18 @@ ScfResult ScfSolver::run() const {
     p_mat = std::move(p_new);
     n_samples = n_new;
     rebuild_density_fn();
+    // Physics invariants at the density boundary: P finite, and the grid
+    // density still integrates to the electron count (a struck density
+    // matrix element shifts the norm far outside quadrature error).
+    if (resilience::guards_enabled()) {
+      resilience::guard_finite(p_mat, "scf/p");
+      double integrated = 0.0;
+      for (std::size_t i = 0; i < np; ++i)
+        integrated += grid->point(i).weight * n_samples[i];
+      resilience::guard_electron_count(integrated,
+                                       static_cast<double>(n_electrons),
+                                       "scf/density");
+    }
     phase_span.end();
 
     // Total energy from the eigenvalue sum with double-counting corrections:
