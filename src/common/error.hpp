@@ -6,6 +6,7 @@
 /// Library code throws aeqp::Error for recoverable misuse and uses
 /// AEQP_ASSERT for internal invariants that indicate a programming bug.
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 
@@ -50,6 +51,70 @@ private:
   std::string site_;
   double measured_;
   double expected_;
+};
+
+/// Admission control rejected a request because the bounded queue is at
+/// capacity (backpressure / load shedding). Structured so clients can tell
+/// "try again later" apart from "this request is wrong": a QueueFull is
+/// never the job's fault, and the carried depth/capacity let callers size
+/// their retry policy.
+class QueueFull : public Error {
+public:
+  QueueFull(std::size_t depth, std::size_t capacity)
+      : Error("queue full: " + std::to_string(depth) + "/" +
+              std::to_string(capacity) + " jobs queued; request shed"),
+        depth_(depth),
+        capacity_(capacity) {}
+
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+private:
+  std::size_t depth_;
+  std::size_t capacity_;
+};
+
+/// Admission control rejected a request on its merits: oversized, malformed
+/// (non-finite coordinates, empty structure), or otherwise unservable. The
+/// request itself is at fault -- retrying unchanged will be rejected again.
+class JobRejected : public Error {
+public:
+  explicit JobRejected(const std::string& reason)
+      : Error("job rejected: " + reason), reason_(reason) {}
+
+  [[nodiscard]] const std::string& reason() const noexcept { return reason_; }
+
+private:
+  std::string reason_;
+};
+
+/// A deadline-bounded computation ran out of budget. Raised by the
+/// resilience layer when a RecoveryOptions::cancel hook trips mid-solve and
+/// by the service layer when a job's wall-clock budget expires before any
+/// degradation rung can finish. Carries budget and elapsed milliseconds so
+/// clients can distinguish "barely missed" from "hopelessly oversized".
+class DeadlineExceeded : public Error {
+public:
+  DeadlineExceeded(const std::string& what, std::size_t budget_ms,
+                   std::size_t elapsed_ms)
+      : Error("deadline exceeded: " + what + " (budget " +
+              std::to_string(budget_ms) + " ms, elapsed " +
+              std::to_string(elapsed_ms) + " ms)"),
+        budget_ms_(budget_ms),
+        elapsed_ms_(elapsed_ms) {}
+
+  /// Raised by layers that only see the cancellation verdict, not the
+  /// budget (e.g. a RecoveryDriver whose cancel hook tripped); budget_ms()
+  /// and elapsed_ms() report 0 = unknown.
+  explicit DeadlineExceeded(const std::string& what)
+      : Error("deadline exceeded: " + what) {}
+
+  [[nodiscard]] std::size_t budget_ms() const noexcept { return budget_ms_; }
+  [[nodiscard]] std::size_t elapsed_ms() const noexcept { return elapsed_ms_; }
+
+private:
+  std::size_t budget_ms_ = 0;
+  std::size_t elapsed_ms_ = 0;
 };
 
 namespace detail {

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file task_scope.hpp
+/// Opaque per-task context pointer, thread-local like the rank tag of
+/// thread_ident.hpp but *inherited* by the threads a task spawns: the simmpi
+/// Cluster copies the spawning thread's scope onto every rank thread for the
+/// duration of the rank function. Layers that keep process-global counters
+/// (the ABFT stats of linalg/abft are the first user) walk this pointer to
+/// attribute work to the task that caused it, so a long-lived multi-tenant
+/// process can produce accurate per-job reports even while jobs run
+/// concurrently -- without the layers above and below knowing about each
+/// other (the pointer is opaque here; only its owner interprets it).
+
+namespace aeqp {
+
+namespace detail {
+inline thread_local void* tl_task_scope = nullptr;
+}  // namespace detail
+
+/// The calling thread's task scope; nullptr when the thread is not working
+/// on behalf of a scoped task.
+[[nodiscard]] inline void* task_scope() { return detail::tl_task_scope; }
+
+/// Set the calling thread's task scope (nullptr clears it).
+inline void set_task_scope(void* scope) { detail::tl_task_scope = scope; }
+
+/// RAII scope tag: installs on construction, restores the previous scope on
+/// exit. Used both by scope owners (push a fresh context) and by thread
+/// spawners (replicate the parent thread's context onto a child).
+class ScopedTaskScope {
+public:
+  explicit ScopedTaskScope(void* scope) : prev_(task_scope()) {
+    set_task_scope(scope);
+  }
+  ~ScopedTaskScope() { set_task_scope(prev_); }
+  ScopedTaskScope(const ScopedTaskScope&) = delete;
+  ScopedTaskScope& operator=(const ScopedTaskScope&) = delete;
+
+private:
+  void* prev_;
+};
+
+}  // namespace aeqp

@@ -3,14 +3,28 @@
 #include <atomic>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/task_scope.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "resilience/sdc_inject.hpp"
 
 namespace aeqp::linalg {
+
+/// Per-scope accumulator, linked to its enclosing scope so nested scopes
+/// (service job -> RecoveryDriver attempt) both see the counts. Installed
+/// as the thread's opaque task scope; rank threads inherit the pointer, so
+/// fields are atomics (ranks bump concurrently).
+struct AbftStatsScope::Slot {
+  std::atomic<std::size_t> checks{0};
+  std::atomic<std::size_t> detections{0};
+  std::atomic<std::size_t> corrections{0};
+  std::atomic<std::size_t> uncorrectable{0};
+  Slot* parent = nullptr;
+};
 
 namespace {
 
@@ -18,6 +32,15 @@ std::atomic<std::size_t> g_checks{0};
 std::atomic<std::size_t> g_detections{0};
 std::atomic<std::size_t> g_corrections{0};
 std::atomic<std::size_t> g_uncorrectable{0};
+
+/// Bump a counter globally and in every scope enclosing the calling thread.
+void bump(std::atomic<std::size_t>& global,
+          std::atomic<std::size_t> AbftStatsScope::Slot::*field) {
+  global.fetch_add(1, std::memory_order_relaxed);
+  for (auto* s = static_cast<AbftStatsScope::Slot*>(task_scope()); s != nullptr;
+       s = s->parent)
+    (s->*field).fetch_add(1, std::memory_order_relaxed);
+}
 
 /// Checksum tolerance for C of inner dimension k, outer extent n: the
 /// row/column sums accumulate k*n products of magnitude <= max|A| max|B|,
@@ -93,14 +116,14 @@ void verify_product(const Matrix& a, const Matrix& b, Matrix& c,
     if (!(std::fabs(r) <= tau)) bad_cols.push_back(j);
   }
 
-  g_checks.fetch_add(1, std::memory_order_relaxed);
+  bump(g_checks, &AbftStatsScope::Slot::checks);
   {
     static obs::Counter& checks = obs::counter("abft/checks");
     checks.increment();
   }
   if (bad_rows.empty() && bad_cols.empty()) return;
 
-  g_detections.fetch_add(1, std::memory_order_relaxed);
+  bump(g_detections, &AbftStatsScope::Slot::detections);
   obs::counter("abft/detections").increment();
   obs::trace_instant("sdc/detect");
 
@@ -109,13 +132,13 @@ void verify_product(const Matrix& a, const Matrix& b, Matrix& c,
     const std::size_t i0 = bad_rows.front();
     const std::size_t j0 = bad_cols.front();
     c(i0, j0) = recompute_element(a, b, i0, j0, a_transposed);
-    g_corrections.fetch_add(1, std::memory_order_relaxed);
+    bump(g_corrections, &AbftStatsScope::Slot::corrections);
     obs::counter("abft/corrections").increment();
     obs::trace_instant("sdc/correct");
     return;
   }
 
-  g_uncorrectable.fetch_add(1, std::memory_order_relaxed);
+  bump(g_uncorrectable, &AbftStatsScope::Slot::uncorrectable);
   obs::counter("abft/uncorrectable").increment();
   const std::string what =
       mode == AbftMode::DetectOnly
@@ -143,6 +166,23 @@ void reset_abft_stats() {
   g_detections.store(0, std::memory_order_relaxed);
   g_corrections.store(0, std::memory_order_relaxed);
   g_uncorrectable.store(0, std::memory_order_relaxed);
+}
+
+AbftStatsScope::AbftStatsScope()
+    : slot_(std::make_unique<Slot>()), prev_scope_(task_scope()) {
+  slot_->parent = static_cast<Slot*>(prev_scope_);
+  set_task_scope(slot_.get());
+}
+
+AbftStatsScope::~AbftStatsScope() { set_task_scope(prev_scope_); }
+
+AbftStats AbftStatsScope::stats() const {
+  AbftStats s;
+  s.checks = slot_->checks.load(std::memory_order_relaxed);
+  s.detections = slot_->detections.load(std::memory_order_relaxed);
+  s.corrections = slot_->corrections.load(std::memory_order_relaxed);
+  s.uncorrectable = slot_->uncorrectable.load(std::memory_order_relaxed);
+  return s;
 }
 
 Matrix abft_matmul(const Matrix& a, const Matrix& b, const char* site,

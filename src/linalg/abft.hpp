@@ -24,6 +24,7 @@
 /// would.
 
 #include <cstddef>
+#include <memory>
 #include <string>
 
 #include "common/error.hpp"
@@ -59,6 +60,35 @@ struct AbftStats {
 
 [[nodiscard]] AbftStats abft_stats();
 void reset_abft_stats();
+
+/// Scoped ABFT accounting for long-lived multi-tenant processes: the
+/// process-wide AbftStats accumulate across every job a solve server runs,
+/// so "delta the global counters" mis-attributes work the moment two jobs
+/// overlap. An AbftStatsScope opens a private accumulator on the
+/// constructing thread (via the common/task_scope.hpp context, which simmpi
+/// rank threads inherit), so stats() reports exactly the checks/detections/
+/// corrections performed on behalf of this scope -- including work done on
+/// rank threads the scope's task spawned, and excluding every concurrent
+/// sibling. Scopes nest: an inner scope (e.g. a RecoveryDriver attempt)
+/// also credits its enclosing scope (the owning service job). The global
+/// counters keep accumulating unchanged.
+class AbftStatsScope {
+public:
+  AbftStatsScope();
+  ~AbftStatsScope();
+  AbftStatsScope(const AbftStatsScope&) = delete;
+  AbftStatsScope& operator=(const AbftStatsScope&) = delete;
+
+  /// Counts observed while this scope has been active (live; callable
+  /// before destruction and from the owning thread at any time).
+  [[nodiscard]] AbftStats stats() const;
+
+  struct Slot;  ///< opaque accumulator (defined in abft.cpp)
+
+private:
+  std::unique_ptr<Slot> slot_;
+  void* prev_scope_ = nullptr;
+};
 
 /// C = A * B with checksum verification of the product. `site` (a static
 /// string) names the call site in probes, traces, and errors.

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/crc32.hpp"
+#include "common/task_scope.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/fault.hpp"
@@ -186,8 +187,13 @@ std::vector<std::exception_ptr> Cluster::run_collect(
   std::vector<std::thread> threads;
   threads.reserve(n_ranks_);
   std::vector<std::exception_ptr> errors(n_ranks_);
+  // Rank threads inherit the spawning thread's task scope so per-task
+  // counters (e.g. the scoped ABFT stats a service job opens) keep
+  // attributing work done on rank threads to the owning task.
+  void* const parent_scope = task_scope();
   for (std::size_t r = 0; r < n_ranks_; ++r) {
-    threads.emplace_back([this, &fn, &errors, r] {
+    threads.emplace_back([this, &fn, &errors, r, parent_scope] {
+      const ScopedTaskScope inherit(parent_scope);
       Communicator comm(*this, r);
       try {
         fn(comm);

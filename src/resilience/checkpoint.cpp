@@ -309,8 +309,39 @@ bool CheckpointStore::exists(const std::string& key) const {
   return std::filesystem::exists(path_of(key));
 }
 
-void CheckpointStore::remove(const std::string& key) const {
-  std::filesystem::remove(path_of(key));
+bool CheckpointStore::remove(const std::string& key) const {
+  std::error_code ec;
+  const bool removed = std::filesystem::remove(path_of(key), ec);
+  AEQP_CHECK(!ec, "CheckpointStore: cannot remove " + path_of(key).string() +
+                      ": " + ec.message());
+  return removed;
+}
+
+CheckpointStore CheckpointStore::scoped(const std::string& ns) const {
+  AEQP_CHECK(!ns.empty() && ns.find('/') == std::string::npos &&
+                 ns.find('\\') == std::string::npos && ns != "." &&
+                 ns != "..",
+             "CheckpointStore: invalid namespace '" + ns + "'");
+  return CheckpointStore(directory_ / ns);
+}
+
+std::size_t CheckpointStore::clear() const {
+  std::size_t removed = 0;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(directory_, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file()) continue;
+    const std::string name = it->path().filename().string();
+    // Checkpoints plus any stale temp file a killed writer left behind.
+    if (name.find(".ckpt") == std::string::npos) continue;
+    std::error_code rm;
+    if (std::filesystem::remove(it->path(), rm)) ++removed;
+    AEQP_CHECK(!rm, "CheckpointStore: cannot remove " + it->path().string() +
+                        ": " + rm.message());
+  }
+  AEQP_CHECK(!ec, "CheckpointStore: cannot enumerate " + directory_.string() +
+                      ": " + ec.message());
+  return removed;
 }
 
 }  // namespace aeqp::resilience

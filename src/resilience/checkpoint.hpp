@@ -108,7 +108,27 @@ public:
       const std::string& key) const;
 
   [[nodiscard]] bool exists(const std::string& key) const;
-  void remove(const std::string& key) const;
+
+  /// Delete the checkpoint under `key`. Returns true when a file was
+  /// removed, false when none existed; a filesystem failure (permissions,
+  /// I/O error) throws aeqp::Error carrying the OS error text instead of
+  /// being silently swallowed -- a long-lived server that cannot
+  /// garbage-collect its checkpoints is leaking disk and must know.
+  bool remove(const std::string& key) const;
+
+  /// A sub-store rooted at `<directory>/<ns>` -- the per-job namespace a
+  /// long-lived server gives every admitted job, so concurrent jobs can use
+  /// identical keys ("cpscf-dir2") without colliding and a job's state can
+  /// be garbage-collected wholesale with clear() on terminal
+  /// success/failure. `ns` obeys the same syntax as a key (non-empty, no
+  /// path separators).
+  [[nodiscard]] CheckpointStore scoped(const std::string& ns) const;
+
+  /// Delete every checkpoint (and stale temp file) in this store's own
+  /// directory, non-recursively; returns the number of files removed.
+  /// Filesystem failures throw aeqp::Error. The terminal-state hygiene hook
+  /// of per-job namespaces: nothing outlives the job that wrote it.
+  std::size_t clear() const;
 
 private:
   std::filesystem::path directory_;

@@ -28,8 +28,52 @@ struct AttemptContext {
   int last_iteration = 0;        ///< last iteration the observer saw
   int checkpoint_iteration = 0;  ///< iteration of the last saved checkpoint
   bool fault = false;
+  bool cancelled = false;        ///< the cancel hook tripped mid-solve
   std::string fault_reason;
 };
+
+/// splitmix64 -- the deterministic hash behind backoff jitter.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Exponential backoff with deterministic jitter: attempt k sleeps
+/// base * 2^(k-1), scaled by a factor in [1 - j, 1 + j] hashed from
+/// (key, attempt). Reproducible per scenario, de-synchronized across jobs.
+void backoff_sleep(const RecoveryOptions& ropt, const std::string& key,
+                   int attempt) {
+  if (ropt.backoff_base_ms == 0) return;
+  const int shift = std::min(attempt - 1, 20);
+  double ms = static_cast<double>(ropt.backoff_base_ms << shift);
+  if (ropt.backoff_jitter > 0.0) {
+    const std::uint64_t h =
+        mix64(std::hash<std::string>{}(key) +
+              static_cast<std::uint64_t>(attempt) * 0x9E3779B97F4A7C15ull);
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+    ms *= 1.0 + ropt.backoff_jitter * (2.0 * u - 1.0);
+  }
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<std::size_t>(ms)));
+}
+
+/// Structured cancellation error naming where the budget ran out.
+[[noreturn]] void throw_cancelled(const char* what, int direction, int attempt,
+                                  int iteration) {
+  throw DeadlineExceeded(std::string(what) + ": cancelled for direction " +
+                         std::to_string(direction) + " on attempt " +
+                         std::to_string(attempt + 1) + " at iteration " +
+                         std::to_string(iteration));
+}
+
+/// Poll the cooperative cancellation hook before committing to (more) work.
+void throw_if_cancelled(const RecoveryOptions& ropt, const char* what,
+                        int direction, int attempt, int iteration) {
+  if (ropt.cancel && ropt.cancel())
+    throw_cancelled(what, direction, attempt, iteration);
+}
 
 /// The shared retry loop of both CPSCF front-ends. `run` executes one solver
 /// attempt with the given (possibly warm-started, possibly damped) options;
@@ -49,8 +93,10 @@ auto run_recovered(CheckpointStore& store, const RecoveryOptions& ropt,
   std::size_t last_failed_rank = 0;
   std::size_t last_observer_rank = 0;
   // ABFT corrections are healed inside the kernels and never surface as
-  // exceptions; account for them by deltaing the process-wide counter.
-  const std::size_t abft_base = linalg::abft_stats().corrections;
+  // exceptions; account for them with a scoped accumulator (rank threads
+  // inherit it), so concurrent drivers in a multi-tenant server never read
+  // each other's corrections.
+  const linalg::AbftStatsScope abft_scope;
   for (int attempt = 0;; ++attempt) {
     AttemptContext ctx;
     core::DfptOptions opts = base;
@@ -75,15 +121,16 @@ auto run_recovered(CheckpointStore& store, const RecoveryOptions& ropt,
         ++stats.restores;
         obs::trace_instant("recovery/rollback");
       }
-      if (ropt.backoff_base_ms > 0) {
-        const int shift = std::min(attempt - 1, 20);
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(ropt.backoff_base_ms << shift));
-      }
+      backoff_sleep(ropt, key, attempt);
+      throw_if_cancelled(ropt, what, direction, attempt, ctx.checkpoint_iteration);
     }
 
     opts.observer = [&](const core::CpscfIterationState& s) {
       ctx.last_iteration = s.iteration;
+      if (ropt.cancel && ropt.cancel()) {
+        ctx.cancelled = true;
+        return core::CpscfAction::Abort;
+      }
       const HealthReport hr =
           check_iteration_health(*s.p1, s.delta, ctx.prev_delta, ropt.health);
       if (!hr.healthy) {
@@ -108,7 +155,9 @@ auto run_recovered(CheckpointStore& store, const RecoveryOptions& ropt,
 
     try {
       auto result = run(opts);
-      stats.abft_corrections = linalg::abft_stats().corrections - abft_base;
+      stats.abft_corrections = abft_scope.stats().corrections;
+      if (ctx.cancelled)
+        throw_cancelled(what, direction, attempt, ctx.last_iteration);
       if (!ctx.fault && !aborted_of(result)) return result;  // healthy
       // An abort this driver never requested means the abort decision
       // itself was corrupted in transit -- treat it as a fault, not as a
@@ -144,7 +193,7 @@ auto run_recovered(CheckpointStore& store, const RecoveryOptions& ropt,
       last_reason = e.what();
       last_rank_failure = false;
     }
-    stats.abft_corrections = linalg::abft_stats().corrections - abft_base;
+    stats.abft_corrections = abft_scope.stats().corrections;
     ++stats.faults_detected;
     obs::trace_instant("recovery/fault_detected");
     stats.wasted_iterations += static_cast<std::size_t>(
@@ -201,7 +250,7 @@ core::ParallelDfptResult run_elastic(CheckpointStore& store,
   bool last_rank_failure = false;
   std::size_t last_failed_original = 0;
   std::size_t last_observer_rank = 0;
-  const std::size_t abft_base = linalg::abft_stats().corrections;
+  const linalg::AbftStatsScope abft_scope;
 
   for (int attempt = 0;; ++attempt) {
     AttemptContext ctx;
@@ -250,15 +299,17 @@ core::ParallelDfptResult run_elastic(CheckpointStore& store,
         ++stats.restores;
         obs::trace_instant("recovery/rollback");
       }
-      if (ropt.backoff_base_ms > 0) {
-        const int shift = std::min(attempt - 1, 20);
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(ropt.backoff_base_ms << shift));
-      }
+      backoff_sleep(ropt, key, attempt);
+      throw_if_cancelled(ropt, "RecoveryDriver[elastic]", direction, attempt,
+                         ctx.checkpoint_iteration);
     }
 
     popts.dfpt.observer = [&](const core::CpscfIterationState& s) {
       ctx.last_iteration = s.iteration;
+      if (ropt.cancel && ropt.cancel()) {
+        ctx.cancelled = true;
+        return core::CpscfAction::Abort;
+      }
       const HealthReport hr =
           check_iteration_health(*s.p1, s.delta, ctx.prev_delta, ropt.health);
       if (!hr.healthy) {
@@ -297,7 +348,10 @@ core::ParallelDfptResult run_elastic(CheckpointStore& store,
 
     try {
       auto result = core::solve_direction_parallel(ground, popts, direction);
-      stats.abft_corrections = linalg::abft_stats().corrections - abft_base;
+      stats.abft_corrections = abft_scope.stats().corrections;
+      if (ctx.cancelled)
+        throw_cancelled("RecoveryDriver[elastic]", direction, attempt,
+                        ctx.last_iteration);
       if (!ctx.fault && !result.direction.aborted) {
         stats.remap_seconds = result.stats.remap_seconds;
         result.stats.faults_detected = stats.faults_detected;
@@ -359,7 +413,7 @@ core::ParallelDfptResult run_elastic(CheckpointStore& store,
       repeat_rank = kNone;
       repeat_count = 0;
     }
-    stats.abft_corrections = linalg::abft_stats().corrections - abft_base;
+    stats.abft_corrections = abft_scope.stats().corrections;
     ++stats.faults_detected;
     obs::trace_instant("recovery/fault_detected");
     stats.wasted_iterations += static_cast<std::size_t>(
@@ -428,6 +482,8 @@ RecoveryDriver::RecoveryDriver(CheckpointStore& store, RecoveryOptions options)
              "RecoveryDriver: checkpoint_every must be >= 1");
   AEQP_CHECK(options_.mixing_damping > 0.0 && options_.mixing_damping <= 1.0,
              "RecoveryDriver: mixing_damping must be in (0, 1]");
+  AEQP_CHECK(options_.backoff_jitter >= 0.0 && options_.backoff_jitter < 1.0,
+             "RecoveryDriver: backoff_jitter must be in [0, 1)");
 }
 
 core::DfptDirectionResult RecoveryDriver::solve_direction(

@@ -33,6 +33,7 @@
 /// onto survivors with the locality-aware re-mapping, and resumes the CPSCF
 /// iteration on the shrunken world.
 
+#include <functional>
 #include <string>
 
 #include "core/dfpt.hpp"
@@ -55,6 +56,18 @@ struct RecoveryOptions {
   /// Exponential backoff between retries: attempt k sleeps
   /// backoff_base_ms * 2^(k-1). 0 disables sleeping (tests, simulation).
   std::size_t backoff_base_ms = 0;
+  /// Deterministic jitter on the backoff: each sleep is scaled by a factor
+  /// in [1 - j, 1 + j] hashed from (checkpoint key, attempt), so retries of
+  /// concurrent jobs de-synchronize (no retry stampede on a shared
+  /// resource) while any single scenario stays bit-reproducible. Must be in
+  /// [0, 1); 0 = pure exponential backoff.
+  double backoff_jitter = 0.0;
+  /// Cooperative deadline/cancellation hook, polled at every CPSCF
+  /// iteration (via the driver's observer) and before every retry. When it
+  /// returns true the driver stops immediately with a structured
+  /// DeadlineExceeded instead of burning more of a budget the caller
+  /// already knows is gone. Null = never cancelled.
+  std::function<bool()> cancel;
   HealthPolicy health;            ///< per-iteration validation bounds
   std::string checkpoint_key = "cpscf";  ///< prefix; "-dir<j>" is appended
   int checkpoint_every = 1;       ///< save every N healthy iterations

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file job.hpp
+/// Job vocabulary of the multi-tenant solve service: what a client submits
+/// (JobSpec), how far the degradation ladder had to reach (ServiceTier),
+/// and what every job terminates with (JobOutcome). The service's headline
+/// contract is encoded in the types: a submitted job always reaches a
+/// terminal JobState carrying either a DFPT result or a structured error --
+/// never a crash, never a wedged queue entry, never a silent drop.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/dfpt.hpp"
+#include "grid/structure.hpp"
+#include "linalg/abft.hpp"
+#include "parallel/fault.hpp"
+#include "resilience/recovery.hpp"
+#include "scf/scf_solver.hpp"
+
+namespace aeqp::service {
+
+/// Lifecycle of a job. Queued/Running are transient; the other four are
+/// terminal and exactly one of them is reached by every submitted job.
+enum class JobState {
+  Queued,           ///< admitted, waiting for a worker
+  Running,          ///< a worker is executing it
+  Succeeded,        ///< result is valid (possibly at a degraded tier)
+  Rejected,         ///< shed at admission or pre-run (QueueFull/JobRejected)
+  DeadlineExpired,  ///< budget ran out before any rung could finish
+  Failed,           ///< every degradation rung exhausted; error is structured
+};
+
+[[nodiscard]] const char* job_state_name(JobState s);
+
+/// Rung of the graceful-degradation ladder a job's result was produced at.
+/// The ladder trades fidelity for termination: each rung keeps the job
+/// inside its deadline at a cost the outcome reports honestly.
+enum class ServiceTier {
+  Full = 0,             ///< as requested
+  ReducedRanks = 1,     ///< same physics, fewer simmpi ranks
+  ReducedAccuracy = 2,  ///< loosened CPSCF tolerance, serial execution
+};
+
+[[nodiscard]] const char* service_tier_name(ServiceTier t);
+
+/// One molecule/perturbation solve request.
+struct JobSpec {
+  grid::Structure structure;        ///< molecule (validated at admission)
+  int direction = 2;                ///< perturbation direction in {0, 1, 2}
+  scf::ScfOptions scf;              ///< ground-state settings
+  core::DfptOptions dfpt;           ///< CPSCF settings
+  /// Simulated MPI ranks for the CPSCF phase; 0 or 1 = serial solver.
+  std::size_t ranks = 0;
+  std::size_t ranks_per_node = 2;
+  /// Wall-clock budget measured from ADMISSION (queue wait spends it too).
+  std::chrono::milliseconds deadline{30000};
+  /// Let the server walk the degradation ladder on repeated faults; false
+  /// pins the job to ServiceTier::Full (fail rather than degrade).
+  bool allow_degradation = true;
+  /// Optional per-job fault injection replayed by the simmpi runtime (chaos
+  /// testing; must outlive the job). Null = fault-free.
+  parallel::FaultInjector* fault_injector = nullptr;
+};
+
+/// Terminal report of one job. `result` is meaningful only when
+/// `state == Succeeded`; `error`/`error_kind` only otherwise.
+struct JobOutcome {
+  std::uint64_t id = 0;
+  JobState state = JobState::Queued;
+  ServiceTier tier = ServiceTier::Full;  ///< rung the result came from
+  int degradations = 0;                  ///< ladder steps taken
+  core::DfptDirectionResult result;      ///< valid when Succeeded
+
+  std::string error;       ///< structured error text (terminal failures)
+  std::string error_kind;  ///< taxonomy name: "QueueFull", "DeadlineExceeded",
+                           ///< "RankFailure", "InvariantViolation", ...
+
+  // Per-job accounting, isolated from concurrent siblings.
+  resilience::RecoveryStats recovery;  ///< retries/rollbacks of this job only
+  linalg::AbftStats abft;              ///< scoped ABFT counts of this job only
+  int scf_iterations = 0;              ///< 0 when the ground state was cached
+  bool ground_cache_hit = false;       ///< full ground state served from cache
+  bool density_warm_start = false;     ///< SCF warm-started from a cached density
+  double queue_seconds = 0.0;          ///< admission -> worker pickup
+  double run_seconds = 0.0;            ///< worker pickup -> terminal state
+};
+
+}  // namespace aeqp::service

@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file warm_cache.hpp
+/// Shared warm-state cache of the solve service (ROADMAP item 1): the
+/// expensive per-structure state that a stream of similar jobs keeps
+/// recomputing, kept across requests with bounded size, LRU eviction, and
+/// corruption-safe invalidation.
+///
+/// Two tiers, both keyed by a quantized structure hash:
+///
+///  - **Ground tier**: the full converged scf::ScfResult of an exact
+///    (structure, SCF options) pair, held by shared_ptr. This is the heavy
+///    reuse: the ScfResult carries the radial splines, Lebedev/angular
+///    tables, basis tabulations, grid, integrator and Hartree solver that
+///    dominate setup cost, so a repeat geometry skips both tabulation and
+///    the SCF cycle entirely. Entries are immutable shared state; a hit
+///    hands out the shared_ptr (safe to use concurrently -- nothing in the
+///    DFPT phase mutates the ground state).
+///
+///  - **Density tier**: a CRC-framed serialization of the converged density
+///    matrix keyed by structure alone. When the ground tier misses (e.g.
+///    the same geometry requested with different options, or a near-
+///    identical geometry re-quantized to the same hash), the density seeds
+///    scf::ScfOptions::warm_start so the SCF converges in a fraction of the
+///    iterations (the PR 1 warm-start hooks). Entries are stored as framed
+///    bytes (header + payload + CRC-32, the checkpoint wire format), so a
+///    bit-flipped cache entry is DETECTED at fetch, dropped, and recomputed
+///    -- a poisoned entry is never served (the cache equivalent of the
+///    docs/sdc.md contract).
+///
+/// Thread-safe; all methods take an internal mutex (the cache sits on the
+/// job execution path of concurrent workers, not inside numeric kernels).
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "grid/structure.hpp"
+#include "obs/metrics.hpp"
+#include "scf/scf_solver.hpp"
+
+namespace aeqp::service {
+
+/// Order-sensitive FNV-1a hash of the structure: atomic numbers plus
+/// coordinates quantized to `quantum` bohr (geometries closer than the
+/// quantum share warm state; distinct geometries practically never
+/// collide, and a collision only costs a rejected warm start, never a
+/// wrong result -- SCF re-converges from any seed).
+[[nodiscard]] std::uint64_t structure_hash(const grid::Structure& structure,
+                                           double quantum = 1e-6);
+
+/// Hash of the ScfOptions fields that change the converged ground state.
+[[nodiscard]] std::uint64_t scf_options_hash(const scf::ScfOptions& options);
+
+struct WarmCacheOptions {
+  std::size_t ground_capacity = 8;    ///< full ScfResult entries (heavy)
+  std::size_t density_capacity = 64;  ///< framed density blobs (light)
+};
+
+/// Hit/miss/eviction accounting (monotonic, queried for the service
+/// metrics source).
+struct WarmCacheStats {
+  std::size_t ground_hits = 0;
+  std::size_t ground_misses = 0;
+  std::size_t density_hits = 0;
+  std::size_t density_misses = 0;
+  std::size_t evictions = 0;          ///< both tiers
+  std::size_t poisoned_dropped = 0;   ///< corrupt entries caught by CRC
+};
+
+class WarmCache {
+public:
+  explicit WarmCache(WarmCacheOptions options);
+
+  /// Ground tier: the converged result of (structure_hash ^ options_hash).
+  /// nullptr on miss. Capacity 0 disables the tier (always miss).
+  [[nodiscard]] std::shared_ptr<const scf::ScfResult> find_ground(
+      std::uint64_t key);
+  void put_ground(std::uint64_t key,
+                  std::shared_ptr<const scf::ScfResult> ground);
+
+  /// Density tier: a warm start seeded from the cached converged density of
+  /// `key`, or nullopt on miss. A CRC-invalid (poisoned) entry is dropped,
+  /// counted, and reported as a miss -- the caller recomputes from scratch.
+  [[nodiscard]] std::optional<scf::ScfWarmStart> find_density(
+      std::uint64_t key);
+  void put_density(std::uint64_t key, const linalg::Matrix& density_matrix);
+
+  [[nodiscard]] WarmCacheStats stats() const;
+  [[nodiscard]] std::size_t ground_size() const;
+  [[nodiscard]] std::size_t density_size() const;
+
+  /// Flip one byte of the stored density entry for `key` (if present) --
+  /// the corruption-injection hook of the cache tests and the chaos bench;
+  /// the next find_density must detect, drop, and recount it. Returns
+  /// false when the key holds no entry.
+  bool corrupt_density_for_test(std::uint64_t key);
+
+private:
+  struct GroundEntry {
+    std::uint64_t key = 0;
+    std::shared_ptr<const scf::ScfResult> ground;
+  };
+  struct DensityEntry {
+    std::uint64_t key = 0;
+    std::vector<unsigned char> framed;  ///< CRC-framed ScfCheckpoint bytes
+  };
+
+  mutable std::mutex mutex_;
+  WarmCacheOptions options_;
+  WarmCacheStats stats_;
+  // LRU: most-recently-used at the front; lookup maps key -> list node.
+  std::list<GroundEntry> ground_lru_;
+  std::unordered_map<std::uint64_t, std::list<GroundEntry>::iterator> ground_;
+  std::list<DensityEntry> density_lru_;
+  std::unordered_map<std::uint64_t, std::list<DensityEntry>::iterator> density_;
+};
+
+/// Register `cache`'s counters as an obs metrics source
+/// ("<prefix>/ground_hits", ...). The cache must outlive the registration.
+[[nodiscard]] obs::ScopedMetricsSource register_metrics(
+    const WarmCache& cache, std::string prefix = "service/cache");
+
+}  // namespace aeqp::service
