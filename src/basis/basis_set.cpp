@@ -1,10 +1,12 @@
 #include "basis/basis_set.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/constants.hpp"
 #include "common/error.hpp"
 #include "basis/spherical_harmonics.hpp"
+#include "obs/metrics.hpp"
 
 namespace aeqp::basis {
 
@@ -26,6 +28,22 @@ BasisSet::BasisSet(const grid::Structure& structure, BasisTier tier, double r_cu
             std::make_unique<NumericRadialFunction>(shell, mesh_, r_cut));
         l_max_ = std::max(l_max_, shell.l);
       }
+      // Pack the element's shell splines channel-contiguous (they all live
+      // on mesh_) and record the radial tail envelope for screening.
+      std::vector<const CubicSpline*> shell_splines;
+      for (const std::size_t idx : entry.radial_indices)
+        shell_splines.push_back(&radials_[idx]->spline());
+      entry.radial_bundle = SplineBundle::pack(shell_splines);
+      entry.tail_envelope.assign(mesh_.size(), 0.0);
+      for (const std::size_t idx : entry.radial_indices) {
+        const auto& samples = radials_[idx]->samples();
+        for (std::size_t i = 0; i < samples.size(); ++i)
+          entry.tail_envelope[i] =
+              std::max(entry.tail_envelope[i], std::fabs(samples[i]));
+      }
+      for (std::size_t i = mesh_.size() - 1; i-- > 0;)
+        entry.tail_envelope[i] =
+            std::max(entry.tail_envelope[i], entry.tail_envelope[i + 1]);
       elements_.emplace(z, std::move(entry));
     }
   }
@@ -47,6 +65,12 @@ BasisSet::BasisSet(const grid::Structure& structure, BasisTier tier, double r_cu
     }
   }
   atom_first_.push_back(functions_.size());
+
+  // Resolve each atom's element entry once; elements_ never changes after
+  // construction, so the pointers stay valid for the BasisSet lifetime.
+  atom_entries_.reserve(structure_.size());
+  for (std::size_t a = 0; a < structure_.size(); ++a)
+    atom_entries_.push_back(&elements_.at(structure_.atom(a).z));
 }
 
 std::pair<std::size_t, std::size_t> BasisSet::atom_range(std::size_t a) const {
@@ -62,7 +86,7 @@ void BasisSet::evaluate(const Vec3& p, bool with_laplacian, PointEval& out) cons
     const double r2 = d.norm2();
     if (r2 >= r_cut_ * r_cut_) continue;
     const double r = std::sqrt(r2);
-    const ElementEntry& entry = elements_.at(structure_.atom(a).z);
+    const ElementEntry& entry = *atom_entries_[a];
 
     const Vec3 u = (r > 1e-12) ? d / r : Vec3{0.0, 0.0, 1.0};
     real_ylm_all(entry.def.l_max(), u, ylm);
@@ -94,6 +118,115 @@ void BasisSet::evaluate(const Vec3& p, bool with_laplacian, PointEval& out) cons
   }
 }
 
+std::vector<double> BasisSet::screening_radii(double tau) const {
+  std::vector<double> radii(structure_.size(), r_cut_);
+  if (tau <= 0.0) return radii;
+  for (std::size_t a = 0; a < structure_.size(); ++a) {
+    const ElementEntry& entry = *atom_entries_[a];
+    // Outermost mesh point whose tail envelope still exceeds tau; the next
+    // point bounds the radius beyond which every shell is <= ~tau.
+    std::size_t last = 0;
+    for (std::size_t i = mesh_.size(); i-- > 0;) {
+      if (entry.tail_envelope[i] > tau) {
+        last = i;
+        break;
+      }
+    }
+    const std::size_t bound = std::min(last + 1, mesh_.size() - 1);
+    radii[a] = std::min(r_cut_, mesh_.r(bound));
+  }
+  return radii;
+}
+
+void BasisSet::evaluate_batch(const Vec3* pts, std::size_t n,
+                              std::span<const double> screen,
+                              BatchEval& out) const {
+  AEQP_CHECK(screen.empty() || screen.size() == structure_.size(),
+             "evaluate_batch: screening radii must match the atom count");
+  static obs::Counter& c_skipped = obs::counter("rho/screen/atom_blocks_skipped");
+  static obs::Counter& c_kept = obs::counter("rho/screen/atom_blocks_evaluated");
+  static obs::Counter& c_points = obs::counter("rho/batch_points_evaluated");
+
+  out.offsets.assign(1, 0);
+  out.indices.clear();
+  out.values.clear();
+  out.offsets.reserve(n + 1);
+  out.ylm.resize(lm_count(l_max_));
+  out.radial.resize(radials_.size());
+  c_points.add(n);
+
+  // Block bounds for the per-(atom, block) screening decision: the points
+  // lie in a spherical shell [r_lo, r_hi] around their centroid. The shell
+  // is tight for the projection's angular rings (hollow: r_lo = r_hi = ring
+  // radius), where a plain bounding ball would contain the ring center and
+  // never screen anything; for compact grid blocks r_lo ~ 0 and the shell
+  // degenerates to the ball. Geometry-only, so the decision is identical on
+  // every thread and rank.
+  Vec3 centroid{};
+  for (std::size_t k = 0; k < n; ++k) centroid += pts[k];
+  if (n > 0) centroid = centroid / static_cast<double>(n);
+  double lo2 = n > 0 ? (pts[0] - centroid).norm2() : 0.0, hi2 = lo2;
+  for (std::size_t k = 1; k < n; ++k) {
+    const double d2 = (pts[k] - centroid).norm2();
+    lo2 = std::min(lo2, d2);
+    hi2 = std::max(hi2, d2);
+  }
+  const double r_lo = std::sqrt(lo2), r_hi = std::sqrt(hi2);
+
+  // Active-atom list for the whole block: skip atom a when every block
+  // point is at least `reach` away (min distance from the atom to the
+  // shell). Skipping at tau = 0 only drops points with r >= r_cut --
+  // exactly the entries the per-point path skips -- so the batched CSR
+  // matches it entry for entry.
+  thread_local std::vector<std::uint32_t> active;
+  active.clear();
+  for (std::size_t a = 0; a < structure_.size(); ++a) {
+    const double reach = screen.empty() ? r_cut_ : screen[a];
+    const double dist = (structure_.atom(a).pos - centroid).norm();
+    const double min_dist = std::max(dist - r_hi, r_lo - dist);
+    if (min_dist >= reach) {
+      c_skipped.increment();
+      continue;
+    }
+    c_kept.increment();
+    active.push_back(static_cast<std::uint32_t>(a));
+  }
+
+  const double* screen_radii = screen.empty() ? nullptr : screen.data();
+  for (std::size_t k = 0; k < n; ++k) {
+    const Vec3 p = pts[k];
+    for (const std::uint32_t a : active) {
+      const Vec3 d = p - structure_.atom(a).pos;
+      const double r2 = d.norm2();
+      if (r2 >= r_cut_ * r_cut_) continue;
+      const double r = std::sqrt(r2);
+      // Per-point refinement of the block decision (tau > 0 only): the
+      // same tau envelope, applied at point resolution.
+      if (screen_radii && r >= screen_radii[a]) continue;
+      const ElementEntry& entry = *atom_entries_[a];
+
+      const Vec3 u = (r > 1e-12) ? d / r : Vec3{0.0, 0.0, 1.0};
+      real_ylm_all(entry.def.l_max(), u, out.ylm.data());
+      // One interval search for every shell of the element; bit-identical
+      // to NumericRadialFunction::value per shell (r < r_cut here).
+      entry.radial_bundle.eval_all(r, out.radial.data());
+
+      std::size_t mu = atom_first_[a];
+      for (std::size_t s = 0; s < entry.def.shells.size(); ++s) {
+        const int l = entry.def.shells[s].l;
+        const double rv = out.radial[s];
+        for (int m = -l; m <= l; ++m, ++mu) {
+          const double v = rv * out.ylm[lm_index(l, m)];
+          if (v == 0.0) continue;
+          out.indices.push_back(static_cast<std::uint32_t>(mu));
+          out.values.push_back(v);
+        }
+      }
+    }
+    out.offsets.push_back(static_cast<std::uint32_t>(out.indices.size()));
+  }
+}
+
 double BasisSet::free_atom_density(int z, double r) const {
   const auto it = elements_.find(z);
   AEQP_CHECK(it != elements_.end(), "free_atom_density: element not in basis");
@@ -105,6 +238,22 @@ double BasisSet::free_atom_density(int z, double r) const {
     n += occ * rv * rv / constants::four_pi;
   }
   return n;
+}
+
+void contract_density(const linalg::Matrix& p, const BatchEval& ev, double* out) {
+  const std::size_t nb = p.cols();
+  for (std::size_t k = 0; k < ev.points(); ++k) {
+    const std::uint32_t* idx = ev.indices.data() + ev.offsets[k];
+    const double* val = ev.values.data() + ev.offsets[k];
+    const std::size_t ne = ev.offsets[k + 1] - ev.offsets[k];
+    double n = 0.0;
+    for (std::size_t a = 0; a < ne; ++a) {
+      const double* prow = p.data() + static_cast<std::size_t>(idx[a]) * nb;
+      const double va = val[a];
+      for (std::size_t b = 0; b < ne; ++b) n += prow[idx[b]] * va * val[b];
+    }
+    out[k] = n;
+  }
 }
 
 }  // namespace aeqp::basis

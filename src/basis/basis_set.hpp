@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "basis/element.hpp"
@@ -16,6 +17,7 @@
 #include "common/vec3.hpp"
 #include "grid/radial_grid.hpp"
 #include "grid/structure.hpp"
+#include "linalg/matrix.hpp"
 
 namespace aeqp::basis {
 
@@ -38,6 +40,26 @@ struct PointEval {
     values.clear();
     laplacians.clear();
   }
+};
+
+/// Result + scratch of one batched basis evaluation: the nonzero basis
+/// values of a whole block of points in one CSR-like SoA layout
+/// (offsets/indices/values), plus the per-point working buffers the batch
+/// kernel reuses across calls. Keeping the container alive across batches
+/// eliminates the per-point heap traffic (ylm vector, PointEval push_back
+/// growth) of the per-point path.
+struct BatchEval {
+  std::vector<std::uint32_t> offsets;  ///< size n_points + 1
+  std::vector<std::uint32_t> indices;  ///< global basis index per entry
+  std::vector<double> values;          ///< chi values per entry
+
+  [[nodiscard]] std::size_t points() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+
+  // Internal scratch (sized by the batch kernel; contents transient).
+  std::vector<double> ylm;      ///< one point's Y_lm values
+  std::vector<double> radial;   ///< one point's radial shell values
 };
 
 /// All-electron numeric atomic orbital basis over a structure.
@@ -68,6 +90,28 @@ public:
   /// the Laplacians needed for kinetic-energy integrals.
   void evaluate(const Vec3& p, bool with_laplacian, PointEval& out) const;
 
+  /// Per-atom screening radii for the batched evaluation path: atom a may
+  /// be skipped for a whole point block when every block point is at least
+  /// radii[a] away from it. At tau = 0 the radius is exactly r_cut (the
+  /// support of the orbitals), so screening drops only exact zeros and the
+  /// batched path stays bit-identical to the per-point one. At tau > 0 the
+  /// radius shrinks to the outermost mesh point where any shell's |R|
+  /// envelope still exceeds tau, dropping contributions of magnitude
+  /// <= ~tau. The radii depend on geometry and tau only -- never on thread
+  /// count, rank count, or block partition -- preserving the determinism
+  /// contract (docs/performance.md).
+  [[nodiscard]] std::vector<double> screening_radii(double tau) const;
+
+  /// Evaluate a block of points at once into `out` (values only, the Rho
+  /// hot path). Per point, the emitted (index, value) entries and their
+  /// order are identical to evaluate(p, false, ev) -- same atom/shell/m
+  /// order, same v == 0 skip -- so per-point consumers are bit-identical.
+  /// `screen` is either empty (no screening) or one radius per atom from
+  /// screening_radii(). Screening decisions are made per (atom, block)
+  /// from geometry alone; obs counters rho/screen/* record them.
+  void evaluate_batch(const Vec3* pts, std::size_t n,
+                      std::span<const double> screen, BatchEval& out) const;
+
   /// Spherical free-atom density n_atom(r) of element z (occupied shells,
   /// 1/(4 pi) angular average); the SCF initial guess superposes these.
   [[nodiscard]] double free_atom_density(int z, double r) const;
@@ -79,6 +123,12 @@ private:
   struct ElementEntry {
     ElementBasis def;
     std::vector<std::size_t> radial_indices;  // one per shell
+    /// Shell splines packed channel-contiguous (all share mesh_): one
+    /// interval search serves every shell of the element at a point.
+    SplineBundle radial_bundle;
+    /// Suffix maximum of max_s |R_s(r_i)| over the mesh -- the tail
+    /// envelope screening_radii() thresholds against.
+    std::vector<double> tail_envelope;
   };
 
   grid::Structure structure_;
@@ -89,7 +139,17 @@ private:
   std::vector<std::unique_ptr<NumericRadialFunction>> radials_;
   std::vector<BasisFunction> functions_;
   std::vector<std::size_t> atom_first_;  // first function of each atom, +sentinel
+  /// Per-atom element entry, resolved once at construction so the hot
+  /// paths never touch the elements_ map (satellite of ISSUE 7).
+  std::vector<const ElementEntry*> atom_entries_;
   int l_max_ = 0;
 };
+
+/// Density contraction n(p) = sum_{mu,nu} P_mu_nu chi_mu(p) chi_nu(p) for
+/// every point of a batched evaluation (Eq. 8 -- serves both n and the
+/// response n^(1)). The per-point accumulation runs over the point's entry
+/// pairs in ascending order with the exact multiply order of the per-point
+/// path, so results are bit-identical to it.
+void contract_density(const linalg::Matrix& p, const BatchEval& ev, double* out);
 
 }  // namespace aeqp::basis

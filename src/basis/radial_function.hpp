@@ -40,6 +40,10 @@ public:
   /// Tabulated samples aligned with the construction mesh.
   [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
 
+  /// Interpolating spline (all shells of one basis share the construction
+  /// mesh, so callers can pack them into a SplineBundle).
+  [[nodiscard]] const CubicSpline& spline() const { return spline_; }
+
 private:
   RadialShell shell_;
   double r_cut_ = 0.0;

@@ -70,8 +70,90 @@ double real_ylm(int l, int m, const Vec3& u) {
 
 void real_ylm_all(int l_max, const Vec3& u, std::vector<double>& out) {
   out.resize(lm_count(l_max));
-  for (int l = 0; l <= l_max; ++l)
-    for (int m = -l; m <= l; ++m) out[lm_index(l, m)] = real_ylm(l, m, u);
+  real_ylm_all(l_max, u, out.data());
+}
+
+namespace {
+
+/// Cached normalization factors: n0[l] = ylm_norm(l, 0) for the m = 0
+/// harmonics and n2[l][m] = sqrt(2) * ylm_norm(l, m) for m > 0, computed
+/// once with exactly the arithmetic real_ylm() uses per call (multiplying
+/// by the cached product is bit-identical because the +-1 Condon-Shortley
+/// sign commutes exactly through the product).
+struct NormTable {
+  static constexpr int kLMax = 12;
+  double n0[kLMax + 1];
+  double n2[kLMax + 1][kLMax + 1];
+  NormTable() {
+    const double sqrt2 = std::sqrt(2.0);
+    for (int l = 0; l <= kLMax; ++l) {
+      n0[l] = ylm_norm(l, 0);
+      for (int m = 1; m <= l; ++m) n2[l][m] = sqrt2 * ylm_norm(l, m);
+    }
+  }
+};
+
+}  // namespace
+
+void real_ylm_all(int l_max, const Vec3& u, double* out) {
+  static const NormTable norms;
+  AEQP_CHECK(l_max >= 0 && l_max <= NormTable::kLMax,
+             "real_ylm_all: l_max exceeds the cached normalization table");
+  const double ct = u.z;
+  // Two distinct sine expressions, matching real_ylm()/assoc_legendre()
+  // bit for bit: the Legendre seed uses (1-x)(1+x), the azimuthal phase
+  // uses 1 - x^2.
+  const double somx2 = std::sqrt(std::max(0.0, (1.0 - ct) * (1.0 + ct)));
+  const double st = std::sqrt(std::max(0.0, 1.0 - ct * ct));
+  double cphi = 1.0, sphi = 0.0;
+  if (st > 1e-15) {
+    cphi = u.x / st;
+    sphi = u.y / st;
+  }
+
+  // March m upward, carrying P_m^m, cos(m phi), sin(m phi) incrementally;
+  // each per-m update replays one step of the loops real_ylm() runs from
+  // scratch, so every intermediate is identical to the per-harmonic path.
+  double pmm = 1.0;   // P_m^m (Condon-Shortley phase included)
+  double fact = 1.0;  // 2m - 1 accumulated by += 2.0, as in assoc_legendre
+  double c = 1.0, s = 0.0;  // cos(m phi), sin(m phi)
+  for (int m = 0; m <= l_max; ++m) {
+    if (m > 0) {
+      pmm *= -fact * somx2;
+      fact += 2.0;
+      if (m == 1) {
+        c = cphi;
+        s = sphi;
+      } else {
+        const double cn = c * cphi - s * sphi;
+        s = s * cphi + c * sphi;
+        c = cn;
+      }
+    }
+    const double sign = (m % 2 == 1) ? -1.0 : 1.0;
+    const auto emit = [&](int l, double plm) {
+      if (m == 0) {
+        out[lm_index(l, 0)] = norms.n0[l] * plm;
+      } else {
+        const double t = sign * (norms.n2[l][m] * plm);
+        out[lm_index(l, m)] = t * c;
+        out[lm_index(l, -m)] = t * s;
+      }
+    };
+    emit(m, pmm);
+    if (m < l_max) {
+      double pa = pmm;                        // P_m^m
+      double pb = ct * (2.0 * m + 1.0) * pmm;  // P_{m+1}^m
+      emit(m + 1, pb);
+      for (int ll = m + 2; ll <= l_max; ++ll) {
+        const double pc =
+            (ct * (2.0 * ll - 1.0) * pb - (ll + m - 1.0) * pa) / (ll - m);
+        pa = pb;
+        pb = pc;
+        emit(ll, pc);
+      }
+    }
+  }
 }
 
 }  // namespace aeqp::basis

@@ -29,6 +29,15 @@ double real_ylm(int l, int m, const Vec3& unit_dir);
 /// lm_index order. `out` is resized to lm_count(l_max).
 void real_ylm_all(int l_max, const Vec3& unit_dir, std::vector<double>& out);
 
+/// Allocation-free variant writing into caller-owned scratch of at least
+/// lm_count(l_max) doubles. One upward pass shares the Legendre and phase
+/// recurrences across all (l, m) instead of recomputing them per harmonic;
+/// the recurrence arithmetic is replayed in exactly the order the
+/// per-harmonic real_ylm() uses, so the values are bit-identical to it
+/// (asserted in tests/test_rho_batch.cpp). This is the Rho-phase hot path:
+/// it runs once per (grid point, atom) pair.
+void real_ylm_all(int l_max, const Vec3& unit_dir, double* out);
+
 /// Associated Legendre P_l^m(x) (m >= 0) with Condon-Shortley phase.
 double assoc_legendre(int l, int m, double x);
 

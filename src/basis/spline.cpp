@@ -78,6 +78,78 @@ double CubicSpline::derivative(double x) const {
          (3.0 * b * b - 1.0) / 6.0 * h * y2_[i + 1];
 }
 
+SplineBundle SplineBundle::pack(const std::vector<const CubicSpline*>& splines) {
+  SplineBundle b;
+  if (splines.empty()) return b;
+  const std::vector<double>& x0 = splines.front()->knots();
+  b.nch_ = splines.size();
+  b.x_ = x0;
+  const std::size_t nk = x0.size();
+  b.y_.resize(nk * b.nch_);
+  b.y2_.resize(nk * b.nch_);
+  b.slope_front_.resize(b.nch_);
+  b.slope_back_.resize(b.nch_);
+  for (std::size_t ch = 0; ch < b.nch_; ++ch) {
+    const CubicSpline& s = *splines[ch];
+    AEQP_CHECK(s.knots() == x0, "SplineBundle: splines must share one knot mesh");
+    for (std::size_t k = 0; k < nk; ++k) {
+      b.y_[k * b.nch_ + ch] = s.samples()[k];
+      b.y2_[k * b.nch_ + ch] = s.second_derivs()[k];
+    }
+    // The spline's own derivative at the end knots reproduces value()'s
+    // extrapolation slopes bit for bit.
+    b.slope_front_[ch] = s.derivative(x0.front());
+    b.slope_back_[ch] = s.derivative(x0.back());
+  }
+  return b;
+}
+
+SplineBundle SplineBundle::pack(const std::vector<CubicSpline>& splines) {
+  std::vector<const CubicSpline*> ptrs;
+  ptrs.reserve(splines.size());
+  for (const auto& s : splines) ptrs.push_back(&s);
+  return pack(ptrs);
+}
+
+void SplineBundle::eval_all(double x, double* out) const {
+  AEQP_ASSERT(nch_ > 0);
+  const std::size_t nch = nch_;
+  if (x <= x_.front()) {
+    const double dx = x - x_.front();
+    const double* y0 = y_.data();
+    for (std::size_t ch = 0; ch < nch; ++ch)
+      out[ch] = y0[ch] + slope_front_[ch] * dx;
+    return;
+  }
+  if (x >= x_.back()) {
+    const double dx = x - x_.back();
+    const double* yb = y_.data() + (x_.size() - 1) * nch;
+    for (std::size_t ch = 0; ch < nch; ++ch)
+      out[ch] = yb[ch] + slope_back_[ch] * dx;
+    return;
+  }
+  // Same interval search as CubicSpline::interval, run once for the bundle.
+  const auto it = std::upper_bound(x_.begin(), x_.end(), x);
+  std::size_t hi = static_cast<std::size_t>(it - x_.begin());
+  if (hi >= x_.size()) hi = x_.size() - 1;
+  const std::size_t i = (hi == 0) ? 0 : hi - 1;
+  const double h = x_[i + 1] - x_[i];
+  const double a = (x_[i + 1] - x) / h;
+  const double b = (x - x_[i]) / h;
+  const double wa = a * a * a - a;
+  const double wb = b * b * b - b;
+  const double hh = h * h;
+  const double* yi = y_.data() + i * nch;
+  const double* yj = y_.data() + (i + 1) * nch;
+  const double* zi = y2_.data() + i * nch;
+  const double* zj = y2_.data() + (i + 1) * nch;
+  // Elementwise over contiguous channels: no gather, no reduction, no
+  // branch -- the loop the vectorizer is meant to eat (value()'s exact
+  // expression, including the trailing * (h*h) / 6.0 association).
+  for (std::size_t ch = 0; ch < nch; ++ch)
+    out[ch] = a * yi[ch] + b * yj[ch] + (wa * zi[ch] + wb * zj[ch]) * hh / 6.0;
+}
+
 double CubicSpline::second_derivative(double x) const {
   AEQP_ASSERT(!x_.empty());
   const double xc = std::clamp(x, x_.front(), x_.back());

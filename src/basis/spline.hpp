@@ -45,10 +45,49 @@ public:
   static std::size_t constructions();
   static void reset_construction_counter();
 
+  /// Read access for bulk repacking (SplineBundle).
+  [[nodiscard]] const std::vector<double>& knots() const { return x_; }
+  [[nodiscard]] const std::vector<double>& samples() const { return y_; }
+  [[nodiscard]] const std::vector<double>& second_derivs() const { return y2_; }
+
 private:
   [[nodiscard]] std::size_t interval(double x) const;
 
   std::vector<double> x_, y_, y2_;
+};
+
+/// Many cubic splines sharing one knot mesh, packed channel-contiguous so a
+/// single evaluation point costs ONE interval search plus an elementwise
+/// loop over channels (contiguous loads, no per-channel binary search).
+/// This is the Rho-phase consumer layout: the (l,m) channels of one atom's
+/// partitioned potential and the radial shells of one element are all
+/// evaluated at the same radius. Per-channel arithmetic replicates
+/// CubicSpline::value() exactly -- including the boundary extrapolation --
+/// so eval_all() is bit-identical to calling value() channel by channel
+/// (asserted in tests/test_rho_batch.cpp).
+class SplineBundle {
+public:
+  SplineBundle() = default;
+
+  /// Pack splines with identical knot vectors (checked).
+  static SplineBundle pack(const std::vector<const CubicSpline*>& splines);
+  /// Convenience overload over a contiguous container of splines.
+  static SplineBundle pack(const std::vector<CubicSpline>& splines);
+
+  [[nodiscard]] bool empty() const { return nch_ == 0; }
+  [[nodiscard]] std::size_t channels() const { return nch_; }
+  [[nodiscard]] std::size_t knots() const { return x_.size(); }
+
+  /// Evaluate every channel at x into out[0..channels()).
+  void eval_all(double x, double* out) const;
+
+private:
+  std::size_t nch_ = 0;
+  std::vector<double> x_;        // shared knots
+  std::vector<double> y_, y2_;   // [knot * nch_ + channel]
+  // Boundary slopes (CubicSpline::derivative at the end knots), for the
+  // clamped linear extrapolation outside the knot span.
+  std::vector<double> slope_front_, slope_back_;
 };
 
 }  // namespace aeqp::basis

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file ipow.hpp
+/// Small-integer powers by iterative multiplication. The Rho-phase inner
+/// loops need r^(l+1), s^(l+3), s^(2-l) for l <= 9; `std::pow` is a libm
+/// call that blocks autovectorization and costs ~50-100 cycles, while a
+/// short multiply chain inlines, vectorizes, and differs from the
+/// correctly-rounded pow by at most a few ulps (documented in
+/// docs/performance.md -- the determinism contract is about thread-count
+/// invariance, which a fixed multiply chain preserves exactly).
+
+namespace aeqp {
+
+/// x^n for small integer n (negative n via one final division). The chain
+/// is a plain left-to-right product, so the rounding sequence is fixed and
+/// identical on every thread/rank.
+[[nodiscard]] constexpr double ipow(double x, int n) {
+  if (n < 0) return 1.0 / ipow(x, -n);
+  double r = 1.0;
+  for (int k = 0; k < n; ++k) r *= x;
+  return r;
+}
+
+}  // namespace aeqp

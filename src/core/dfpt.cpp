@@ -12,6 +12,7 @@
 #include "obs/trace.hpp"
 #include "resilience/guards.hpp"
 #include "resilience/sdc_inject.hpp"
+#include "tune/tune.hpp"
 #include "xc/lda.hpp"
 
 namespace aeqp::core {
@@ -62,10 +63,13 @@ DfptSolver::DfptSolver(const scf::ScfResult& ground, DfptOptions options)
   for (std::size_t p = 0; p < fxc_.size(); ++p)
     fxc_[p] = xc::lda_evaluate(std::max(ground_.density_samples[p], 0.0)).fxc;
 
+  screen_radii_ = ground_.basis->screening_radii(options_.screening_threshold);
+
   if (options_.device) {
     // Device engine: precompute batches and per-batch basis supports once
     // (the initialization phase the paper's Fig. 11 targets).
-    device_batches_ = grid::make_batches(*ground_.grid, options_.device_batch_points);
+    device_batches_ = grid::make_batches(
+        *ground_.grid, tune::grid_batch_points(options_.device_batch_points));
     device_supports_ = kernels::build_batch_supports(*ground_.basis, *ground_.grid,
                                                      device_batches_);
   }
@@ -112,20 +116,29 @@ DfptDirectionResult DfptSolver::solve_direction(int j) const {
     resilience::sdc_probe("cpscf/rho_batch", {n1.data(), n1.size()});
   };
   const auto compute_rho = [&](const Matrix& p) {
-    const poisson::DensityFn n1_fn = [&](const Vec3& pos) {
-      basis::PointEval ev;
-      basis.evaluate(pos, false, ev);
-      double n = 0.0;
-      for (std::size_t a = 0; a < ev.indices.size(); ++a)
-        for (std::size_t b = 0; b < ev.indices.size(); ++b)
-          n += p(ev.indices[a], ev.indices[b]) * ev.values[a] * ev.values[b];
-      return n;
+    // Batched producer: the projection hands whole angular rings to this
+    // callback; the basis layer screens atoms per ring and evaluates into
+    // reusable thread-local scratch (no per-point allocation).
+    const poisson::BatchDensityFn n1_fn = [&](const Vec3* pts, std::size_t m,
+                                              double* outp) {
+      thread_local basis::BatchEval ev;
+      basis.evaluate_batch(pts, m, screen_radii_, ev);
+      basis::contract_density(p, ev, outp);
     };
     const auto v1_part = hartree.solve_density(n1_fn);
-    exec::parallel_for_ranges(0, np, 16, [&](std::size_t b, std::size_t e) {
+    // Batched consumer: interpolate the partitioned potential block by
+    // block. Each point's value is independent, so the block size is pure
+    // cache tuning and never changes v1.
+    const std::size_t block = tune::rho_block_size(options_.rho_block_size);
+    exec::parallel_for_ranges(0, np, block, [&](std::size_t b, std::size_t e) {
+      thread_local std::vector<Vec3> ppos;
+      thread_local std::vector<double> vh;
+      ppos.resize(e - b);
+      vh.resize(e - b);
+      for (std::size_t pt = b; pt < e; ++pt) ppos[pt - b] = grid.point(pt).pos;
+      hartree.potential_batch(v1_part, ppos.data(), e - b, vh.data());
       for (std::size_t pt = b; pt < e; ++pt)
-        v1[pt] =
-            hartree.potential(v1_part, grid.point(pt).pos) + fxc_[pt] * n1[pt];
+        v1[pt] = vh[pt - b] + fxc_[pt] * n1[pt];
     });
   };
 

@@ -84,8 +84,20 @@ struct DfptOptions {
   /// the host integrator. Results are identical; the runtime's counters
   /// feed the device models. Null = host execution.
   std::shared_ptr<simt::SimtRuntime> device;
-  /// Batch size used when `device` is set.
-  std::size_t device_batch_points = 128;
+  /// Batch size used when `device` is set; 0 = the tuned value
+  /// (tune::config().grid_batch_points, default 128).
+  std::size_t device_batch_points = 0;
+  /// Cutoff-screening threshold tau for the batched Rho-phase evaluation
+  /// (BasisSet::screening_radii). 0 disables screening entirely, which is
+  /// bit-identical to the unscreened path; the default drops contributions
+  /// of magnitude <= ~1e-12, far below the 1e-6 CPSCF tolerance. Screening
+  /// decisions derive from geometry and tau only, so any tau preserves the
+  /// thread/rank determinism contract (docs/performance.md).
+  double screening_threshold = 1e-12;
+  /// Grid points per potential_batch block in the Rho phase; 0 = the tuned
+  /// value. Blocking never changes results (each point's potential is
+  /// independent), only cache behavior.
+  std::size_t rho_block_size = 0;
   bool verbose = false;
   /// Run the Sternheimer/DM matmuls through the ABFT-checksummed variants
   /// (linalg/abft.hpp): a single corrupted product element is located and
@@ -152,6 +164,9 @@ private:
   linalg::Matrix c_occ_;   ///< occupied orbital coefficients
   linalg::Matrix c_virt_;  ///< virtual orbital coefficients
   std::vector<double> fxc_;  ///< LDA kernel f_xc(n_0(r)) per grid point
+  /// Per-atom screening radii for the batched Rho evaluation, from
+  /// options.screening_threshold (empty span semantics handled downstream).
+  std::vector<double> screen_radii_;
   // Device-engine state (populated when options.device is set).
   std::vector<grid::Batch> device_batches_;
   std::vector<kernels::BatchSupport> device_supports_;

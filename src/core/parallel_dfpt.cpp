@@ -17,6 +17,7 @@
 #include "parallel/fault.hpp"
 #include "resilience/guards.hpp"
 #include "resilience/sdc_inject.hpp"
+#include "tune/tune.hpp"
 #include "xc/lda.hpp"
 
 namespace aeqp::core {
@@ -58,7 +59,8 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
   // Shared, read-only setup: batches, locality mapping, XC kernel, the
   // occupied/virtual splits and the bare perturbation (identical to the
   // serial DfptSolver; see dfpt.cpp).
-  const auto batches = grid::make_batches(grid, options.batch_points);
+  const auto batches =
+      grid::make_batches(grid, tune::grid_batch_points(options.batch_points));
   AEQP_CHECK(batches.size() >= options.ranks,
              "solve_direction_parallel: more ranks than batches");
   auto assignment = mapping::locality_enhancing_mapping(batches, options.ranks);
@@ -79,6 +81,11 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
   std::vector<double> fxc(np);
   for (std::size_t p = 0; p < np; ++p)
     fxc[p] = xc::lda_evaluate(std::max(ground.density_samples[p], 0.0)).fxc;
+
+  // Screening radii are shared read-only state: geometry + threshold only,
+  // so every rank derives identical screening decisions.
+  const std::vector<double> screen_radii =
+      basis.screening_radii(options.dfpt.screening_threshold);
 
   Matrix c_occ(nb, n_occ), c_virt(nb, n_virt);
   for (std::size_t mu = 0; mu < nb; ++mu) {
@@ -176,19 +183,30 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
       resilience::sdc_probe("cpscf/rho_batch", {n1_own.data(), n1_own.size()});
     };
     const auto compute_rho_own = [&]() {
-      const poisson::DensityFn n1_fn = [&](const Vec3& pos) {
-        basis::PointEval ev;
-        basis.evaluate(pos, false, ev);
-        double n = 0.0;
-        for (std::size_t a = 0; a < ev.indices.size(); ++a)
-          for (std::size_t b = 0; b < ev.indices.size(); ++b)
-            n += p1(ev.indices[a], ev.indices[b]) * ev.values[a] * ev.values[b];
-        return n;
+      // Batched producer: angular rings are evaluated through the screened
+      // batch path (ring blocks are geometry-defined, hence rank-identical).
+      const poisson::BatchDensityFn n1_fn = [&](const Vec3* pts, std::size_t m,
+                                                double* outp) {
+        thread_local basis::BatchEval ev;
+        basis.evaluate_batch(pts, m, screen_radii, ev);
+        basis::contract_density(p1, ev, outp);
       };
       const auto v1_part = hartree.solve_density(n1_fn);
-      for (std::size_t k = 0; k < my_points.size(); ++k)
-        v1_own[k] = hartree.potential(v1_part, grid.point(my_points[k]).pos) +
-                    fxc[my_points[k]] * n1_own[k];
+      // Batched consumer over this rank's points; per-point values are
+      // independent, so blocking never changes v1_own.
+      const std::size_t block = tune::rho_block_size(options.dfpt.rho_block_size);
+      std::vector<Vec3> ppos;
+      std::vector<double> vh;
+      for (std::size_t b0 = 0; b0 < my_points.size(); b0 += block) {
+        const std::size_t e0 = std::min(my_points.size(), b0 + block);
+        ppos.resize(e0 - b0);
+        vh.resize(e0 - b0);
+        for (std::size_t k = b0; k < e0; ++k)
+          ppos[k - b0] = grid.point(my_points[k]).pos;
+        hartree.potential_batch(v1_part, ppos.data(), e0 - b0, vh.data());
+        for (std::size_t k = b0; k < e0; ++k)
+          v1_own[k] = vh[k - b0] + fxc[my_points[k]] * n1_own[k];
+      }
     };
 
     int start_iteration = 0;
@@ -226,7 +244,7 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
           }
         }
         comm::PackedAllReducer packer(comm, options.reduce_mode,
-                                      comm::kDefaultPackBytes,
+                                      tune::pack_window_bytes(options.pack_bytes),
                                       options.verify_collectives);
         for (std::size_t row = 0; row < nb; ++row)
           packer.add(std::span<double>(partial.data() + row * nb, nb));

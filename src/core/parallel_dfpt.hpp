@@ -40,7 +40,12 @@ struct ParallelDfptOptions {
   DfptOptions dfpt;                 ///< convergence/mixing settings
   std::size_t ranks = 4;            ///< simulated MPI ranks
   std::size_t ranks_per_node = 2;   ///< SHM node width
-  std::size_t batch_points = 128;   ///< cut-plane batch size
+  /// Cut-plane batch size; 0 = the tuned value (default 128).
+  std::size_t batch_points = 0;
+  /// Packed-AllReduce staging window in bytes; 0 = the tuned value
+  /// (default comm::kDefaultPackBytes). Packing regroups rows without
+  /// reordering the reduction, so the window never changes results.
+  std::size_t pack_bytes = 0;
   comm::ReduceMode reduce_mode = comm::ReduceMode::Hierarchical;
   HamiltonianStorage storage = HamiltonianStorage::LocalDense;
   /// Optional fault injection replayed by the simmpi runtime (must outlive

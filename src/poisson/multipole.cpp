@@ -5,8 +5,10 @@
 #include "basis/spherical_harmonics.hpp"
 #include "common/constants.hpp"
 #include "common/error.hpp"
+#include "common/ipow.hpp"
 #include "exec/thread_pool.hpp"
 #include "grid/angular_grid.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "poisson/adams_moulton.hpp"
 #include "resilience/guards.hpp"
@@ -53,6 +55,15 @@ HartreeSolver::HartreeSolver(const grid::Structure& structure,
 }
 
 MultipoleDensity HartreeSolver::project(const DensityFn& density) const {
+  // Ring-at-a-time adapter: the batched path evaluates the same points in
+  // the same order with the same arithmetic, so delegation is bit-exact.
+  return project(BatchDensityFn(
+      [&density](const Vec3* pts, std::size_t n, double* out) {
+        for (std::size_t k = 0; k < n; ++k) out[k] = density(pts[k]);
+      }));
+}
+
+MultipoleDensity HartreeSolver::project(const BatchDensityFn& density) const {
   AEQP_TRACE_SCOPE("poisson/project");
   const std::size_t n_atoms = structure_.size();
   const std::size_t nlm = lm_count(spec_.l_max);
@@ -65,18 +76,27 @@ MultipoleDensity HartreeSolver::project(const DensityFn& density) const {
 
   // Parallel over (atom, radial shell): each task owns the [a][*][i] slots
   // it writes, and the angular loop order inside one shell is unchanged, so
-  // the projection is bit-identical for every thread count. The density
-  // callback must be thread-safe (pure evaluation; every caller in the
-  // codebase captures only const state).
+  // the projection is bit-identical for every thread count. One task hands
+  // its whole angular ring to the density callback at once -- the ring is a
+  // geometry-defined block (atom center, shell radius, fixed angular rule),
+  // so batch-level screening decisions inside the callback are identical on
+  // every thread and rank. The callback must be thread-safe (pure
+  // evaluation; every caller in the codebase captures only const state).
   exec::parallel_for(0, n_atoms * nr, [&](std::size_t task) {
     const std::size_t a = task / nr;
     const std::size_t i = task % nr;
     const Vec3 center = structure_.atom(a).pos;
     const double r = mesh_.r(i);
     auto& per_lm = rho.samples[a];
-    for (std::size_t k = 0; k < ang_dirs_.size(); ++k) {
-      const Vec3 p = center + r * ang_dirs_[k];
-      const double val = density(p) * partition_.weight(a, p) * ang_weights_[k];
+    thread_local std::vector<Vec3> ring;
+    thread_local std::vector<double> dens;
+    const std::size_t nk = ang_dirs_.size();
+    ring.resize(nk);
+    dens.resize(nk);
+    for (std::size_t k = 0; k < nk; ++k) ring[k] = center + r * ang_dirs_[k];
+    density(ring.data(), nk, dens.data());
+    for (std::size_t k = 0; k < nk; ++k) {
+      const double val = dens[k] * partition_.weight(a, ring[k]) * ang_weights_[k];
       if (val == 0.0) continue;
       const std::vector<double>& ylm = ang_ylm_[k];
       for (std::size_t lm = 0; lm < nlm; ++lm) per_lm[lm][i] += val * ylm[lm];
@@ -123,63 +143,122 @@ PartitionedPotential HartreeSolver::solve(const MultipoleDensity& rho) const {
 
     std::vector<double> g_inner(nr), g_outer(nr), v(nr);
     const std::vector<double>& rho_lm = rho.samples[a][lm];
-    // Integrands in t = log r: ds = s dt.
+    // Integrands in t = log r: ds = s dt. Small integer powers by repeated
+    // multiplication (ipow): elementwise, branch-free, vectorizable --
+    // std::pow's transcendental path is neither.
     for (std::size_t i = 0; i < nr; ++i) {
       const double s = mesh_.r(i);
-      g_inner[i] = std::pow(s, l + 3) * rho_lm[i];
-      g_outer[i] = std::pow(s, 2 - l) * rho_lm[i];
+      g_inner[i] = ipow(s, l + 3) * rho_lm[i];
+      g_outer[i] = ipow(s, 2 - l) * rho_lm[i];
     }
     const std::vector<double> inner = cumulative_integral_am4(h, g_inner);
     const std::vector<double> outer = cumulative_integral_am4(h, g_outer);
     // Tail below r_min, where the density is treated as constant; only
     // the inner integral reaches into [0, r_min).
     const double r0 = mesh_.r_min();
-    const double inner0 = rho_lm[0] * std::pow(r0, l + 3) / (l + 3);
+    const double inner0 = rho_lm[0] * ipow(r0, l + 3) / (l + 3);
 
     const double prefac = constants::four_pi / (2.0 * l + 1.0);
     for (std::size_t i = 0; i < nr; ++i) {
       const double r = mesh_.r(i);
       const double q_in = inner0 + inner[i];
       const double q_out = (outer.back() - outer[i]);
-      v[i] = prefac * (q_in / std::pow(r, l + 1) + std::pow(r, l) * q_out);
+      v[i] = prefac * (q_in / ipow(r, l + 1) + ipow(r, l) * q_out);
     }
     out.moments[a][lm] = inner0 + inner.back();
     out.splines[a][lm] = basis::CubicSpline(mesh_.points(), v);
   });
+  // Repack each atom's channels for the consumer kernel: one interval
+  // search per (atom, point) instead of one per (atom, lm, point).
+  out.bundles.resize(structure_.size());
+  for (std::size_t a = 0; a < structure_.size(); ++a)
+    out.bundles[a] = basis::SplineBundle::pack(out.splines[a]);
   return out;
 }
 
 double HartreeSolver::potential(const PartitionedPotential& v, const Vec3& p) const {
+  double out = 0.0;
+  potential_batch(v, &p, 1, &out);
+  return out;
+}
+
+void HartreeSolver::potential_batch(const PartitionedPotential& v,
+                                    const Vec3* pts, std::size_t n,
+                                    double* out) const {
   AEQP_CHECK(v.splines.size() == structure_.size(),
              "HartreeSolver::potential: potential built for a different structure");
+  static obs::Counter& c_far = obs::counter("rho/screen/potential_far_blocks");
+  static obs::Counter& c_near = obs::counter("rho/screen/potential_near_blocks");
+  static obs::Counter& c_mixed = obs::counter("rho/screen/potential_mixed_blocks");
+
   const std::size_t nlm = lm_count(v.l_max);
-  double total = 0.0;
-  std::vector<double> ylm;
+  const double r_floor = mesh_.r_min();
+  thread_local std::vector<double> ylm, vch;
+  ylm.resize(nlm);
+  vch.resize(nlm);
+  for (std::size_t k = 0; k < n; ++k) out[k] = 0.0;
+
+  // Block bounds around the centroid (spherical shell [r_lo, r_hi], tight
+  // for hollow rings) for the per-(atom, block) near/far classification.
+  // Geometry only: the classification never changes a point's branch
+  // outcome (it only skips re-deriving it per point), so results are
+  // independent of blocking, thread count, and rank count.
+  Vec3 centroid{};
+  for (std::size_t k = 0; k < n; ++k) centroid += pts[k];
+  if (n > 0) centroid = centroid / static_cast<double>(n);
+  double lo2 = n > 0 ? (pts[0] - centroid).norm2() : 0.0, hi2 = lo2;
+  for (std::size_t k = 1; k < n; ++k) {
+    const double d2 = (pts[k] - centroid).norm2();
+    lo2 = std::min(lo2, d2);
+    hi2 = std::max(hi2, d2);
+  }
+  const double r_lo = std::sqrt(lo2), r_hi = std::sqrt(hi2);
+
   for (std::size_t a = 0; a < structure_.size(); ++a) {
-    const Vec3 d = p - structure_.atom(a).pos;
-    const double r = d.norm();
-    const Vec3 u = (r > 1e-12) ? d / r : Vec3{0.0, 0.0, 1.0};
-    basis::real_ylm_all(v.l_max, u, ylm);
-    if (r <= v.r_max) {
-      for (std::size_t lm = 0; lm < nlm; ++lm) {
-        const double ylm_v = ylm[lm];
-        if (ylm_v == 0.0) continue;
-        total += v.splines[a][lm].value(std::max(r, mesh_.r_min())) * ylm_v;
-      }
-    } else {
-      // Far field from the stored moments.
-      for (int l = 0; l <= v.l_max; ++l) {
-        const double radial =
-            constants::four_pi / (2.0 * l + 1.0) / std::pow(r, l + 1);
-        for (int m = -l; m <= l; ++m)
-          total += radial * v.moments[a][lm_index(l, m)] * ylm[lm_index(l, m)];
+    const Vec3 center = structure_.atom(a).pos;
+    const double dist = (center - centroid).norm();
+    const bool all_far = n > 1 && std::max(dist - r_hi, r_lo - dist) > v.r_max;
+    const bool all_near = n > 1 && dist + r_hi <= v.r_max;
+    if (n > 1) (all_far ? c_far : all_near ? c_near : c_mixed).increment();
+
+    const basis::SplineBundle& bundle = v.bundles[a];
+    const std::vector<double>& moments = v.moments[a];
+    for (std::size_t k = 0; k < n; ++k) {
+      const Vec3 d = pts[k] - center;
+      const double r = d.norm();
+      const Vec3 u = (r > 1e-12) ? d / r : Vec3{0.0, 0.0, 1.0};
+      basis::real_ylm_all(v.l_max, u, ylm.data());
+      if (all_near || (!all_far && r <= v.r_max)) {
+        // Near field: one interval search for all channels, then the same
+        // per-lm accumulation (and ylm == 0 skip) as the scalar path.
+        bundle.eval_all(std::max(r, r_floor), vch.data());
+        double total = out[k];
+        for (std::size_t lm = 0; lm < nlm; ++lm) {
+          const double ylm_v = ylm[lm];
+          if (ylm_v == 0.0) continue;
+          total += vch[lm] * ylm_v;
+        }
+        out[k] = total;
+      } else {
+        // Far field from the stored moments.
+        double total = out[k];
+        for (int l = 0; l <= v.l_max; ++l) {
+          const double radial =
+              constants::four_pi / (2.0 * l + 1.0) / ipow(r, l + 1);
+          for (int m = -l; m <= l; ++m)
+            total += radial * moments[lm_index(l, m)] * ylm[lm_index(l, m)];
+        }
+        out[k] = total;
       }
     }
   }
-  return total;
 }
 
 PartitionedPotential HartreeSolver::solve_density(const DensityFn& density) const {
+  return solve(project(density));
+}
+
+PartitionedPotential HartreeSolver::solve_density(const BatchDensityFn& density) const {
   return solve(project(density));
 }
 

@@ -29,6 +29,12 @@ namespace aeqp::poisson {
 /// Density callback n(r) evaluated at arbitrary Cartesian points.
 using DensityFn = std::function<double(const Vec3&)>;
 
+/// Batched density callback: evaluate n at `n` points into out[0..n). The
+/// Rho-phase hot path hands whole angular rings to the callback at once so
+/// the basis layer can amortize screening and scratch across the ring.
+using BatchDensityFn =
+    std::function<void(const Vec3* pts, std::size_t n, double* out)>;
+
 /// Configuration of the multipole Poisson solver.
 struct PoissonSpec {
   int l_max = 4;                  ///< multipole expansion order
@@ -55,6 +61,9 @@ struct MultipoleDensity {
 struct PartitionedPotential {
   std::vector<std::vector<basis::CubicSpline>> splines;  // [a][lm]
   std::vector<std::vector<double>> moments;              // [a][lm] outer moments
+  /// splines[a] repacked channel-contiguous: one interval search serves all
+  /// (l,m) channels of an atom in the consumer kernel (potential_batch).
+  std::vector<basis::SplineBundle> bundles;              // [a]
   int l_max = 0;
   double r_max = 0.0;
 
@@ -66,17 +75,32 @@ class HartreeSolver {
 public:
   HartreeSolver(const grid::Structure& structure, const PoissonSpec& spec);
 
-  /// Step 1: project a density onto per-atom multipole components.
+  /// Step 1: project a density onto per-atom multipole components. The
+  /// batched overload hands each (atom, radial shell)'s full angular ring to
+  /// the callback in one call; the per-point overload wraps the density in a
+  /// ring-at-a-time adapter, so both produce bit-identical projections.
+  [[nodiscard]] MultipoleDensity project(const BatchDensityFn& density) const;
   [[nodiscard]] MultipoleDensity project(const DensityFn& density) const;
 
   /// Step 2: radial Poisson solve for every (atom, l, m) channel.
   [[nodiscard]] PartitionedPotential solve(const MultipoleDensity& rho) const;
 
-  /// Step 3: evaluate the summed potential at a point.
+  /// Step 3: evaluate the summed potential at a point. Delegates to
+  /// potential_batch with a single-point block.
   [[nodiscard]] double potential(const PartitionedPotential& v, const Vec3& p) const;
+
+  /// Step 3, batched: evaluate the summed potential at a block of points
+  /// into out[0..n). Per point the accumulation order (atom-major, then lm,
+  /// with the ylm == 0 skip) matches the scalar potential() exactly, so the
+  /// two are bit-identical. Whole blocks provably inside/outside an atom's
+  /// spline span skip the per-point near/far branch (geometry-only
+  /// classification; counters under rho/screen/*).
+  void potential_batch(const PartitionedPotential& v, const Vec3* pts,
+                       std::size_t n, double* out) const;
 
   /// Convenience: all three steps.
   [[nodiscard]] PartitionedPotential solve_density(const DensityFn& density) const;
+  [[nodiscard]] PartitionedPotential solve_density(const BatchDensityFn& density) const;
 
   [[nodiscard]] const PoissonSpec& spec() const { return spec_; }
   [[nodiscard]] const grid::RadialGrid& mesh() const { return mesh_; }

@@ -11,6 +11,7 @@
 #include "resilience/guards.hpp"
 #include "scf/diis.hpp"
 #include "scf/occupations.hpp"
+#include "tune/tune.hpp"
 #include "xc/lda.hpp"
 
 namespace aeqp::scf {
@@ -86,35 +87,43 @@ ScfResult ScfSolver::run() const {
     if (xi != 0.0) h_core.axpy(-xi, integ->dipole_matrix(axis));
   }
 
-  // Initial density: superposition of spherical free atoms.
-  poisson::DensityFn density_fn = [&](const Vec3& p) {
-    double n = 0.0;
-    for (const auto& a : structure_.atoms()) {
-      const double r = distance(p, a.pos);
-      if (r < basis->r_cut()) n += basis->free_atom_density(a.z, r);
+  // Per-atom screening radii for the batched density evaluation (geometry +
+  // threshold only, so screening is thread/rank deterministic).
+  const std::vector<double> screen =
+      basis->screening_radii(options_.screening_threshold);
+
+  // Initial density: superposition of spherical free atoms, as a batched
+  // callback (the Hartree projection hands whole angular rings at once).
+  poisson::BatchDensityFn density_fn = [&](const Vec3* pts, std::size_t m,
+                                           double* outp) {
+    for (std::size_t k = 0; k < m; ++k) {
+      double n = 0.0;
+      for (const auto& a : structure_.atoms()) {
+        const double r = distance(pts[k], a.pos);
+        if (r < basis->r_cut()) n += basis->free_atom_density(a.z, r);
+      }
+      outp[k] = n;
     }
-    return n;
   };
 
   Matrix p_mat;  // density matrix of the current iteration (empty initially)
   std::vector<double> n_samples(np, 0.0);
   exec::parallel_for_ranges(0, np, 64, [&](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i)
-      n_samples[i] = density_fn(grid->point(i).pos);
+    thread_local std::vector<Vec3> ppos;
+    ppos.resize(e - b);
+    for (std::size_t i = b; i < e; ++i) ppos[i - b] = grid->point(i).pos;
+    density_fn(ppos.data(), e - b, n_samples.data() + b);
   });
 
   // Density functor bound to the current density matrix; rebuilt after every
   // mixing step and on warm start (identical construction keeps a resumed
   // trajectory bit-for-bit equal to an uninterrupted one).
   const auto rebuild_density_fn = [&]() {
-    density_fn = [integ, basis, p = p_mat](const Vec3& pos) {
-      basis::PointEval ev;
-      basis->evaluate(pos, false, ev);
-      double n = 0.0;
-      for (std::size_t i = 0; i < ev.indices.size(); ++i)
-        for (std::size_t j = 0; j < ev.indices.size(); ++j)
-          n += p(ev.indices[i], ev.indices[j]) * ev.values[i] * ev.values[j];
-      return n;
+    density_fn = [basis, screen, p = p_mat](const Vec3* pts, std::size_t m,
+                                            double* outp) {
+      thread_local basis::BatchEval ev;
+      basis->evaluate_batch(pts, m, screen, ev);
+      basis::contract_density(p, ev, outp);
     };
   };
 
@@ -148,10 +157,16 @@ ScfResult ScfSolver::run() const {
     const auto v_part = hartree->solve_density(density_fn);
     std::vector<double> v_eff(np), v_h(np), v_xc(np), exc(np);
     // The Sumup analogue of the SCF cycle: every point evaluates the
-    // partitioned potential independently.
-    exec::parallel_for_ranges(0, np, 16, [&](std::size_t b, std::size_t e) {
+    // partitioned potential independently, interpolated block by block
+    // through the bundled consumer kernel (block size is pure cache tuning
+    // and never changes v_h).
+    const std::size_t block = tune::rho_block_size(options_.rho_block_size);
+    exec::parallel_for_ranges(0, np, block, [&](std::size_t b, std::size_t e) {
+      thread_local std::vector<Vec3> ppos;
+      ppos.resize(e - b);
+      for (std::size_t i = b; i < e; ++i) ppos[i - b] = grid->point(i).pos;
+      hartree->potential_batch(v_part, ppos.data(), e - b, v_h.data() + b);
       for (std::size_t i = b; i < e; ++i) {
-        v_h[i] = hartree->potential(v_part, grid->point(i).pos);
         const xc::LdaPoint ldap = xc::lda_evaluate(std::max(n_samples[i], 0.0));
         v_xc[i] = ldap.vxc;
         exc[i] = ldap.exc;

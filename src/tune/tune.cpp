@@ -1,0 +1,351 @@
+#include "tune/tune.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "common/constants.hpp"
+#include "common/log.hpp"
+#include "common/timer.hpp"
+#include "common/vec3.hpp"
+#include "grid/batch.hpp"
+#include "grid/structure.hpp"
+#include "mapping/synthetic_points.hpp"
+#include "mapping/task_mapping.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/machine_model.hpp"
+#include "poisson/multipole.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace aeqp::tune {
+
+namespace {
+
+std::mutex g_mutex;
+TuneConfig g_config;
+bool g_loaded = false;
+
+std::string hostname() {
+#if defined(__unix__) || defined(__APPLE__)
+  char buf[256] = {};
+  if (::gethostname(buf, sizeof(buf) - 1) == 0) return buf;
+#endif
+  return "unknown";
+}
+
+/// Scan `text` for `"key" : <number>` and return the number. The format is
+/// our own flat JSON object, so a tolerant scanner beats a dependency.
+bool find_number(const std::string& text, const std::string& key, double& out) {
+  const std::string quoted = "\"" + key + "\"";
+  std::size_t pos = text.find(quoted);
+  if (pos == std::string::npos) return false;
+  pos = text.find(':', pos + quoted.size());
+  if (pos == std::string::npos) return false;
+  ++pos;
+  while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos])))
+    ++pos;
+  std::size_t parsed = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(text.substr(pos), &parsed);
+  } catch (...) {
+    return false;
+  }
+  if (parsed == 0) return false;
+  out = v;
+  return true;
+}
+
+bool find_string(const std::string& text, const std::string& key, std::string& out) {
+  const std::string quoted = "\"" + key + "\"";
+  std::size_t pos = text.find(quoted);
+  if (pos == std::string::npos) return false;
+  pos = text.find(':', pos + quoted.size());
+  if (pos == std::string::npos) return false;
+  const std::size_t open = text.find('"', pos);
+  if (open == std::string::npos) return false;
+  const std::size_t close = text.find('"', open + 1);
+  if (close == std::string::npos) return false;
+  out = text.substr(open + 1, close - open - 1);
+  return true;
+}
+
+void load_from_env_locked() {
+  g_loaded = true;
+  const char* path = std::getenv("AEQP_TUNE_FILE");
+  if (path == nullptr || *path == '\0') return;
+  TuneConfig c;
+  if (load_file(path, c)) {
+    g_config = c;
+    obs::counter("tune/file_loaded").increment();
+    AEQP_LOG_INFO << "tune: loaded " << path << " (rho_block_size="
+                  << c.rho_block_size << ", grid_batch_points="
+                  << c.grid_batch_points << ", pack_window_bytes="
+                  << c.pack_window_bytes << ")";
+  } else {
+    obs::counter("tune/file_rejected").increment();
+    AEQP_LOG_WARN << "tune: ignoring " << path
+                  << " (unreadable or version != " << kTuneFileVersion << ")";
+  }
+}
+
+}  // namespace
+
+const TuneConfig& config() {
+  std::lock_guard lock(g_mutex);
+  if (!g_loaded) load_from_env_locked();
+  return g_config;
+}
+
+void set_config_for_testing(const TuneConfig& c) {
+  std::lock_guard lock(g_mutex);
+  g_config = c;
+  g_loaded = true;
+}
+
+void reset_config_for_testing() {
+  std::lock_guard lock(g_mutex);
+  g_config = TuneConfig{};
+  g_loaded = false;
+}
+
+std::size_t rho_block_size(std::size_t requested) {
+  return requested != 0 ? requested : std::max<std::size_t>(1, config().rho_block_size);
+}
+
+std::size_t grid_batch_points(std::size_t requested) {
+  return requested != 0 ? requested
+                        : std::max<std::size_t>(1, config().grid_batch_points);
+}
+
+std::size_t pack_window_bytes(std::size_t requested) {
+  return requested != 0 ? requested
+                        : std::max<std::size_t>(1, config().pack_window_bytes);
+}
+
+std::string to_json(const TuneConfig& c) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"aeqp_tune_version\": " << kTuneFileVersion << ",\n"
+     << "  \"machine\": \"" << c.machine << "\",\n"
+     << "  \"rho_block_size\": " << c.rho_block_size << ",\n"
+     << "  \"grid_batch_points\": " << c.grid_batch_points << ",\n"
+     << "  \"pack_window_bytes\": " << c.pack_window_bytes << ",\n"
+     << "  \"poisson_l_max\": " << c.poisson_l_max << "\n"
+     << "}\n";
+  return os.str();
+}
+
+bool parse_json(const std::string& text, TuneConfig& out) {
+  double version = 0.0;
+  if (!find_number(text, "aeqp_tune_version", version)) return false;
+  if (static_cast<int>(version) != kTuneFileVersion) return false;
+  TuneConfig c;
+  double v = 0.0;
+  if (find_number(text, "rho_block_size", v) && v >= 1.0)
+    c.rho_block_size = static_cast<std::size_t>(v);
+  if (find_number(text, "grid_batch_points", v) && v >= 1.0)
+    c.grid_batch_points = static_cast<std::size_t>(v);
+  if (find_number(text, "pack_window_bytes", v) && v >= 1.0)
+    c.pack_window_bytes = static_cast<std::size_t>(v);
+  if (find_number(text, "poisson_l_max", v) && v >= 0.0 && v <= 9.0)
+    c.poisson_l_max = static_cast<int>(v);
+  find_string(text, "machine", c.machine);
+  out = c;
+  return true;
+}
+
+bool load_file(const std::string& path, TuneConfig& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_json(buf.str(), out);
+}
+
+bool save_file(const std::string& path, const TuneConfig& c) {
+  std::ofstream outf(path);
+  if (!outf) return false;
+  outf << to_json(c);
+  return static_cast<bool>(outf);
+}
+
+namespace {
+
+/// Inlined water geometry (bohr). tune sits below core in the module graph,
+/// so it cannot use core::structures; the sweep only needs a realistic
+/// few-atom workload, not the canonical one.
+grid::Structure water_like() {
+  grid::Structure s;
+  s.add_atom(8, {0.0, 0.0, 0.0});
+  s.add_atom(1, {0.0, 1.43, -1.11});
+  s.add_atom(1, {0.0, -1.43, -1.11});
+  return s;
+}
+
+/// Deterministic low-discrepancy point cloud around the molecule (additive
+/// lattice on a ball); no RNG so repeated runs sweep identical work.
+std::vector<Vec3> sweep_points(std::size_t n) {
+  std::vector<Vec3> pts;
+  pts.reserve(n);
+  double a = 0.0, b = 0.0, c = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    a += 0.6180339887498949;  // additive recurrence, irrational steps
+    b += 0.7548776662466927;
+    c += 0.5698402909980532;
+    const double u = a - std::floor(a);
+    const double v = b - std::floor(b);
+    const double w = c - std::floor(c);
+    const double r = 6.0 * std::cbrt(u);
+    const double ct = 2.0 * v - 1.0;
+    const double st = std::sqrt(std::max(0.0, 1.0 - ct * ct));
+    const double phi = 2.0 * constants::pi * w;
+    pts.push_back({r * st * std::cos(phi), r * st * std::sin(phi), r * ct});
+  }
+  return pts;
+}
+
+poisson::DensityFn gaussian_density(const grid::Structure& s) {
+  return [s](const Vec3& p) {
+    double n = 0.0;
+    for (std::size_t a = 0; a < s.size(); ++a) {
+      const double z = s.atom(a).z;
+      const double r2 = (p - s.atom(a).pos).norm2();
+      n += z * std::exp(-1.5 * r2);
+    }
+    return n;
+  };
+}
+
+}  // namespace
+
+AutotuneResult autotune() {
+  AutotuneResult res;
+  res.best.machine = hostname();
+  std::ostringstream rep;
+  rep << "autotune on " << res.best.machine << "\n";
+
+  const grid::Structure mol = water_like();
+
+  // --- rho_block_size: real potential_batch timing over block sizes. ---
+  {
+    poisson::PoissonSpec spec;
+    const poisson::HartreeSolver solver(mol, spec);
+    const auto v = solver.solve_density(gaussian_density(mol));
+    const std::vector<Vec3> pts = sweep_points(6000);
+    std::vector<double> out(pts.size(), 0.0);
+
+    rep << "\nrho_block_size sweep (potential_batch, " << pts.size()
+        << " points):\n";
+    double best_rate = 0.0;
+    for (const std::size_t block : {16u, 32u, 64u, 128u, 256u, 512u}) {
+      Timer timer;
+      int reps = 0;
+      do {
+        for (std::size_t b = 0; b < pts.size(); b += block) {
+          const std::size_t e = std::min(pts.size(), b + block);
+          solver.potential_batch(v, pts.data() + b, e - b, out.data() + b);
+        }
+        ++reps;
+      } while (timer.seconds() < 0.05);
+      const double rate =
+          static_cast<double>(pts.size()) * reps / timer.seconds();
+      rep << "  block " << block << ": " << static_cast<long>(rate)
+          << " points/s\n";
+      if (rate > best_rate) {
+        best_rate = rate;
+        res.best.rho_block_size = block;
+      }
+    }
+    rep << "  -> rho_block_size = " << res.best.rho_block_size << "\n";
+  }
+
+  // --- grid_batch_points: load-imbalance objective on a synthetic chain
+  //     (the mapper granularity trade-off of the ablation bench). ---
+  {
+    grid::Structure chain;
+    for (int i = 0; i < 120; ++i) {
+      const double x = 1.4 * i;
+      const double y = (i % 2 == 0) ? 0.0 : 0.9;
+      chain.add_atom(6, {x, y, 0.0});
+    }
+    const auto cloud = mapping::synthetic_point_cloud(chain, 48);
+    const std::size_t ranks = 16;
+    rep << "\ngrid_batch_points sweep (load imbalance, " << ranks
+        << " ranks):\n";
+    double best_obj = 1e300;
+    for (const std::size_t target : {64u, 128u, 256u, 512u}) {
+      const auto batches =
+          grid::make_batches(cloud.positions, cloud.parent_atom, target);
+      if (batches.size() < ranks) {
+        rep << "  target " << target << ": fewer batches than ranks, skipped\n";
+        continue;
+      }
+      const auto a = mapping::locality_enhancing_mapping(batches, ranks);
+      const double imb = mapping::load_imbalance(a, batches);
+      rep << "  target " << target << ": imbalance " << imb << "\n";
+      if (imb < best_obj) {
+        best_obj = imb;
+        res.best.grid_batch_points = target;
+      }
+    }
+    rep << "  -> grid_batch_points = " << res.best.grid_batch_points << "\n";
+  }
+
+  // --- pack_window_bytes: communication cost model sweep (Fig. 10 regime),
+  //     capped at the paper's 30 MB staging limit. ---
+  {
+    const parallel::CommCostModel model(parallel::MachineModel::hpc2_amd());
+    constexpr std::size_t kRowBytes = 16384;
+    constexpr std::size_t kRows = 30002;
+    constexpr std::size_t kRanks = 4096;
+    rep << "\npack_window_bytes sweep (cost model, " << kRanks << " ranks):\n";
+    double best_time = 1e300;
+    for (const std::size_t pack : {8u, 32u, 128u, 512u, 1024u, 1920u}) {
+      const std::size_t windows = (kRows + pack - 1) / pack;
+      const double time =
+          static_cast<double>(windows) *
+          model.packed_allreduce_seconds(kRowBytes, pack, kRanks);
+      rep << "  " << pack << " rows (" << (pack * kRowBytes) / (1 << 20)
+          << " MB): " << time << " s\n";
+      if (time < best_time) {
+        best_time = time;
+        res.best.pack_window_bytes = pack * kRowBytes;
+      }
+    }
+    rep << "  -> pack_window_bytes = " << res.best.pack_window_bytes << "\n";
+  }
+
+  // --- poisson_l_max: producer cost per order, for the report only. The
+  //     knob changes the physics, so the recommendation stays at the
+  //     accuracy-gated default and is never applied implicitly. ---
+  {
+    rep << "\npoisson_l_max producer cost (projection + radial solve):\n";
+    const auto density = gaussian_density(mol);
+    for (const int lmax : {0, 2, 4, 6}) {
+      poisson::PoissonSpec spec;
+      spec.l_max = lmax;
+      spec.radial_points = 64;
+      const poisson::HartreeSolver solver(mol, spec);
+      Timer timer;
+      const auto v = solver.solve_density(density);
+      rep << "  l_max " << lmax << ": " << timer.seconds() << " s, "
+          << v.spline_bytes() / 1024 << " spline KB\n";
+    }
+    res.best.poisson_l_max = 4;
+    rep << "  -> poisson_l_max = 4 (accuracy-gated default; see "
+           "docs/performance.md)\n";
+  }
+
+  res.report = rep.str();
+  return res;
+}
+
+}  // namespace aeqp::tune

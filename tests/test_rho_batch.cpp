@@ -1,0 +1,331 @@
+// Tests for the ISSUE 7 Rho-phase batching stack: the raw real_ylm_all
+// overload, SplineBundle::eval_all, ipow, BasisSet::evaluate_batch +
+// contract_density, cutoff screening, HartreeSolver::potential_batch, and
+// the tune/ persistence layer. The headline claims are all bit-for-bit:
+// the batched kernels must reproduce the per-point call chain exactly, and
+// screening at tau = 0 must change nothing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "basis/basis_set.hpp"
+#include "basis/spherical_harmonics.hpp"
+#include "basis/spline.hpp"
+#include "common/ipow.hpp"
+#include "common/rng.hpp"
+#include "core/dfpt.hpp"
+#include "core/structures.hpp"
+#include "exec/thread_pool.hpp"
+#include "grid/molecular_grid.hpp"
+#include "poisson/multipole.hpp"
+#include "scf/scf_solver.hpp"
+#include "tune/tune.hpp"
+
+namespace {
+
+using namespace aeqp;
+
+TEST(RhoBatch, RawYlmMatchesVectorOverloadAndPerHarmonic) {
+  Rng rng(1234);
+  const int l_max = 8;
+  std::vector<double> ref;
+  std::vector<double> raw(basis::lm_count(l_max), -1.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    Vec3 d{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    if (d.norm() < 1e-8) d = {0, 0, 1};
+    const Vec3 u = d / d.norm();
+    basis::real_ylm_all(l_max, u, ref);
+    basis::real_ylm_all(l_max, u, raw.data());
+    ASSERT_EQ(ref.size(), raw.size());
+    for (int l = 0; l <= l_max; ++l)
+      for (int m = -l; m <= l; ++m) {
+        const std::size_t i = basis::lm_index(l, m);
+        EXPECT_EQ(raw[i], ref[i]) << "l=" << l << " m=" << m;
+        EXPECT_EQ(raw[i], basis::real_ylm(l, m, u)) << "l=" << l << " m=" << m;
+      }
+  }
+}
+
+TEST(RhoBatch, SplineBundleBitIdenticalToCubicSpline) {
+  const std::size_t nk = 40;
+  std::vector<double> x(nk);
+  for (std::size_t i = 0; i < nk; ++i) x[i] = 0.05 * static_cast<double>(i * i);
+  std::vector<basis::CubicSpline> splines;
+  for (int c = 0; c < 5; ++c) {
+    std::vector<double> y(nk);
+    for (std::size_t i = 0; i < nk; ++i)
+      y[i] = std::sin(0.7 * (c + 1) * x[i]) + 0.1 * c * x[i];
+    splines.emplace_back(x, y);
+  }
+  const basis::SplineBundle bundle = basis::SplineBundle::pack(splines);
+  ASSERT_EQ(bundle.channels(), splines.size());
+
+  std::vector<double> out(splines.size());
+  // Interior points, the knots themselves, and both extrapolation sides.
+  std::vector<double> probes = {-1.0, -0.001, 0.0,    0.013, 1.7,
+                                x.back(),     x.back() + 0.5, x.back() + 10.0};
+  Rng rng(99);
+  for (int t = 0; t < 200; ++t) probes.push_back(rng.uniform(-0.5, x.back() + 0.5));
+  for (const double p : probes) {
+    bundle.eval_all(p, out.data());
+    for (std::size_t c = 0; c < splines.size(); ++c)
+      EXPECT_EQ(out[c], splines[c].value(p)) << "x=" << p << " ch=" << c;
+  }
+}
+
+TEST(RhoBatch, IpowIsAFixedMultiplyChain) {
+  EXPECT_EQ(ipow(3.7, 0), 1.0);
+  EXPECT_EQ(ipow(3.7, 1), 3.7);
+  EXPECT_EQ(ipow(3.7, 3), 3.7 * 3.7 * 3.7);
+  EXPECT_EQ(ipow(0.2, 5), 0.2 * 0.2 * 0.2 * 0.2 * 0.2);
+  EXPECT_EQ(ipow(2.5, -2), 1.0 / (2.5 * 2.5));
+  EXPECT_EQ(ipow(0.0, 3), 0.0);
+  EXPECT_EQ(ipow(-2.0, 3), -8.0);
+}
+
+struct BasisFixture {
+  std::shared_ptr<const basis::BasisSet> basis;
+  std::vector<Vec3> pts;
+};
+
+BasisFixture water_points() {
+  BasisFixture f;
+  const grid::Structure s = core::water();
+  f.basis = std::make_shared<const basis::BasisSet>(s, basis::BasisTier::Light);
+  grid::GridSpec spec;
+  spec.radial_points = 20;
+  spec.angular_degree = 7;
+  const auto grid = grid::MolecularGrid::build(s, spec);
+  for (std::size_t i = 0; i < grid.size(); ++i) f.pts.push_back(grid.point(i).pos);
+  // A few points far outside every cutoff: must yield empty rows.
+  f.pts.push_back({50.0, 0.0, 0.0});
+  f.pts.push_back({0.0, -80.0, 3.0});
+  return f;
+}
+
+TEST(RhoBatch, EvaluateBatchMatchesPerPointEntryForEntry) {
+  const BasisFixture f = water_points();
+  basis::BatchEval batch;
+  f.basis->evaluate_batch(f.pts.data(), f.pts.size(), {}, batch);
+  ASSERT_EQ(batch.points(), f.pts.size());
+
+  basis::PointEval point;
+  for (std::size_t k = 0; k < f.pts.size(); ++k) {
+    f.basis->evaluate(f.pts[k], false, point);
+    const std::size_t b0 = batch.offsets[k], b1 = batch.offsets[k + 1];
+    ASSERT_EQ(b1 - b0, point.indices.size()) << "point " << k;
+    for (std::size_t e = 0; e < point.indices.size(); ++e) {
+      EXPECT_EQ(batch.indices[b0 + e], point.indices[e]) << "point " << k;
+      EXPECT_EQ(batch.values[b0 + e], point.values[e]) << "point " << k;
+    }
+  }
+  // The two far points contribute nothing.
+  const std::size_t n = f.pts.size();
+  EXPECT_EQ(batch.offsets[n], batch.offsets[n - 2]);
+}
+
+TEST(RhoBatch, ScreeningAtTauZeroIsBitExact) {
+  const BasisFixture f = water_points();
+  const std::vector<double> radii = f.basis->screening_radii(0.0);
+  ASSERT_EQ(radii.size(), f.basis->structure().size());
+
+  basis::BatchEval off, on;
+  f.basis->evaluate_batch(f.pts.data(), f.pts.size(), {}, off);
+  f.basis->evaluate_batch(f.pts.data(), f.pts.size(), radii, on);
+  EXPECT_EQ(on.offsets, off.offsets);
+  EXPECT_EQ(on.indices, off.indices);
+  EXPECT_EQ(on.values, off.values);
+}
+
+TEST(RhoBatch, ScreeningRadiiShrinkWithTau) {
+  const BasisFixture f = water_points();
+  const std::vector<double> r0 = f.basis->screening_radii(0.0);
+  const std::vector<double> r1 = f.basis->screening_radii(1e-12);
+  const std::vector<double> r2 = f.basis->screening_radii(1e-4);
+  for (std::size_t a = 0; a < r0.size(); ++a) {
+    EXPECT_GT(r2[a], 0.0);
+    EXPECT_LE(r1[a], r0[a]);
+    EXPECT_LE(r2[a], r1[a]);
+  }
+}
+
+TEST(RhoBatch, ContractDensityMatchesDoubleLoop) {
+  const BasisFixture f = water_points();
+  const std::size_t nb = f.basis->size();
+  Rng rng(7);
+  linalg::Matrix p(nb, nb);
+  for (std::size_t i = 0; i < nb; ++i)
+    for (std::size_t j = 0; j <= i; ++j) p(i, j) = p(j, i) = rng.uniform(-1, 1);
+
+  basis::BatchEval ev;
+  f.basis->evaluate_batch(f.pts.data(), f.pts.size(), {}, ev);
+  std::vector<double> n(f.pts.size());
+  basis::contract_density(p, ev, n.data());
+
+  basis::PointEval pe;
+  for (std::size_t k = 0; k < f.pts.size(); ++k) {
+    f.basis->evaluate(f.pts[k], false, pe);
+    double ref = 0.0;
+    for (std::size_t a = 0; a < pe.indices.size(); ++a) {
+      const double va = pe.values[a];
+      for (std::size_t b = 0; b < pe.indices.size(); ++b)
+        ref += p(pe.indices[a], pe.indices[b]) * va * pe.values[b];
+    }
+    EXPECT_EQ(n[k], ref) << "point " << k;
+  }
+}
+
+TEST(RhoBatch, PotentialBatchBitIdenticalToScalar) {
+  const grid::Structure s = core::water();
+  poisson::PoissonSpec spec;
+  spec.l_max = 4;
+  spec.radial_points = 60;
+  const poisson::HartreeSolver hartree(s, spec);
+  // A smooth two-center model density; no SCF needed for a kernel test.
+  const auto v = hartree.solve_density(poisson::DensityFn([&s](const Vec3& p) {
+    double n = 0.0;
+    for (std::size_t a = 0; a < s.size(); ++a)
+      n += std::exp(-1.3 * (p - s.atom(a).pos).norm2());
+    return n;
+  }));
+
+  // Probe blocks straddling near-field, far-field, and mixed geometry.
+  std::vector<Vec3> pts;
+  Rng rng(42);
+  for (int t = 0; t < 300; ++t)
+    pts.push_back({rng.uniform(-15, 15), rng.uniform(-15, 15), rng.uniform(-15, 15)});
+  for (int t = 0; t < 50; ++t)  // tight near-field cluster
+    pts.push_back(s.atom(0).pos + Vec3{rng.uniform(-0.3, 0.3),
+                                       rng.uniform(-0.3, 0.3),
+                                       rng.uniform(-0.3, 0.3)});
+
+  for (const std::size_t block : {std::size_t{1}, std::size_t{7}, std::size_t{64}}) {
+    std::vector<double> out(pts.size());
+    for (std::size_t b = 0; b < pts.size(); b += block) {
+      const std::size_t e = std::min(pts.size(), b + block);
+      hartree.potential_batch(v, pts.data() + b, e - b, out.data() + b);
+    }
+    for (std::size_t k = 0; k < pts.size(); ++k)
+      EXPECT_EQ(out[k], hartree.potential(v, pts[k])) << "block=" << block;
+  }
+}
+
+scf::ScfResult h2_ground() {
+  grid::Structure s;
+  s.add_atom(1, {0, 0, -0.7});
+  s.add_atom(1, {0, 0, 0.7});
+  scf::ScfOptions opt;
+  opt.tier = basis::BasisTier::Light;
+  opt.grid.radial_points = 32;
+  opt.grid.angular_degree = 9;
+  opt.poisson.radial_points = 70;
+  opt.poisson.l_max = 2;
+  return scf::ScfSolver(s, opt).run();
+}
+
+TEST(RhoBatch, PolarizabilityInsensitiveToScreeningThreshold) {
+  const scf::ScfResult ground = h2_ground();
+  ASSERT_TRUE(ground.converged);
+
+  core::DfptOptions base;
+  base.tolerance = 1e-8;
+  auto exact = base;
+  exact.screening_threshold = 0.0;  // tau = 0: screening is a no-op
+
+  const auto r_tau = core::DfptSolver(ground, base).solve_direction(2);
+  const auto r_exact = core::DfptSolver(ground, exact).solve_direction(2);
+  ASSERT_TRUE(r_tau.converged);
+  ASSERT_TRUE(r_exact.converged);
+  EXPECT_NEAR(r_tau.dipole_response.z, r_exact.dipole_response.z, 1e-10);
+  EXPECT_NEAR(r_tau.dipole_response.x, r_exact.dipole_response.x, 1e-10);
+}
+
+TEST(RhoBatch, RhoPhaseDeterministicAcrossThreadCounts) {
+  const scf::ScfResult ground = h2_ground();
+  ASSERT_TRUE(ground.converged);
+  core::DfptOptions opt;
+  opt.tolerance = 1e-8;
+
+  exec::ThreadPool::set_global_threads(1);
+  const auto r1 = core::DfptSolver(ground, opt).solve_direction(2);
+  exec::ThreadPool::set_global_threads(4);
+  const auto r4 = core::DfptSolver(ground, opt).solve_direction(2);
+  exec::ThreadPool::set_global_threads(0);
+  ASSERT_TRUE(r1.converged);
+  ASSERT_TRUE(r4.converged);
+  EXPECT_EQ(r1.dipole_response.x, r4.dipole_response.x);
+  EXPECT_EQ(r1.dipole_response.y, r4.dipole_response.y);
+  EXPECT_EQ(r1.dipole_response.z, r4.dipole_response.z);
+  EXPECT_EQ(r1.iterations, r4.iterations);
+}
+
+TEST(TunePersistence, JsonRoundTrip) {
+  tune::TuneConfig c;
+  c.rho_block_size = 96;
+  c.grid_batch_points = 192;
+  c.pack_window_bytes = 12345678;
+  c.poisson_l_max = 6;
+  c.machine = "test-host";
+  tune::TuneConfig back;
+  ASSERT_TRUE(tune::parse_json(tune::to_json(c), back));
+  EXPECT_EQ(back.rho_block_size, c.rho_block_size);
+  EXPECT_EQ(back.grid_batch_points, c.grid_batch_points);
+  EXPECT_EQ(back.pack_window_bytes, c.pack_window_bytes);
+  EXPECT_EQ(back.poisson_l_max, c.poisson_l_max);
+  EXPECT_EQ(back.machine, c.machine);
+}
+
+TEST(TunePersistence, VersionMismatchLeavesDefaults) {
+  tune::TuneConfig c;
+  c.rho_block_size = 96;
+  std::string text = tune::to_json(c);
+  const auto pos = text.find("\"aeqp_tune_version\"");
+  ASSERT_NE(pos, std::string::npos);
+  const auto colon = text.find(':', pos);
+  text.replace(colon + 1, text.find_first_of(",\n", colon) - colon - 1, " 999");
+  tune::TuneConfig out;
+  const std::size_t before = out.rho_block_size;
+  EXPECT_FALSE(tune::parse_json(text, out));
+  EXPECT_EQ(out.rho_block_size, before);  // untouched on rejection
+  EXPECT_FALSE(tune::parse_json("not json at all", out));
+}
+
+TEST(TunePersistence, EnvFileLoadsIntoResolvers) {
+  tune::TuneConfig c;
+  c.rho_block_size = 208;
+  c.grid_batch_points = 176;
+  c.pack_window_bytes = 4 * 1024 * 1024;
+  const std::string path = "aeqp_tune_test_env.json";
+  ASSERT_TRUE(tune::save_file(path, c));
+
+  ::setenv("AEQP_TUNE_FILE", path.c_str(), 1);
+  tune::reset_config_for_testing();  // force a re-read of the env
+  EXPECT_EQ(tune::rho_block_size(0), 208u);
+  EXPECT_EQ(tune::grid_batch_points(0), 176u);
+  EXPECT_EQ(tune::pack_window_bytes(0), 4u * 1024 * 1024);
+  // Explicit requests always beat the tuned value.
+  EXPECT_EQ(tune::rho_block_size(17), 17u);
+  EXPECT_EQ(tune::grid_batch_points(33), 33u);
+
+  ::unsetenv("AEQP_TUNE_FILE");
+  tune::reset_config_for_testing();
+  std::remove(path.c_str());
+  const tune::TuneConfig defaults;
+  EXPECT_EQ(tune::rho_block_size(0), defaults.rho_block_size);
+}
+
+TEST(TunePersistence, MissingFileFallsBackToDefaults) {
+  ::setenv("AEQP_TUNE_FILE", "/nonexistent/aeqp_tune.json", 1);
+  tune::reset_config_for_testing();
+  const tune::TuneConfig defaults;
+  EXPECT_EQ(tune::rho_block_size(0), defaults.rho_block_size);
+  ::unsetenv("AEQP_TUNE_FILE");
+  tune::reset_config_for_testing();
+}
+
+}  // namespace
