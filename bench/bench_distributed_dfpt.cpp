@@ -15,6 +15,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_output.hpp"
 #include "common/table.hpp"
 #include "core/dfpt.hpp"
 #include "core/parallel_dfpt.hpp"
@@ -157,10 +158,12 @@ void elastic_degraded_run() {
   t.print("Elastic recovery after a permanent rank-0 loss (4 -> 3 ranks): "
           "buddy-restore + shrink + re-map + resume");
 
-  if (std::FILE* f = std::fopen("BENCH_elastic.json", "w")) {
+  std::string path;
+  if (std::FILE* f = benchio::open_bench("BENCH_elastic.json", &path)) {
+    benchio::write_envelope(f, "elastic_recovery");
     std::fprintf(
         f,
-        "{\n  \"bench\": \"elastic_recovery\",\n  \"ranks\": %zu,\n"
+        "  \"ranks\": %zu,\n"
         "  \"survivor_ranks\": %zu,\n  \"lost_ranks\": %zu,\n"
         "  \"shrinks\": %zu,\n  \"buddy_restores\": %zu,\n"
         "  \"retries\": %zu,\n  \"wasted_iterations\": %zu,\n"
@@ -172,7 +175,7 @@ void elastic_degraded_run() {
         rec.direction.converged ? "true" : "false",
         rec.direction.dipole_response.z);
     std::fclose(f);
-    std::printf("Wrote BENCH_elastic.json\n");
+    std::printf("Wrote %s\n", path.c_str());
   }
 }
 
@@ -248,10 +251,11 @@ void sdc_injected_run() {
   t.print("SDC defense under injected faults (H2): ABFT heals the matmul "
           "flip in place; the multipole NaN trips a guard and rolls back");
 
-  if (std::FILE* f = std::fopen("BENCH_sdc.json", "w")) {
+  std::string path;
+  if (std::FILE* f = benchio::open_bench("BENCH_sdc.json", &path)) {
+    benchio::write_envelope(f, "sdc_defense");
     std::fprintf(
         f,
-        "{\n  \"bench\": \"sdc_defense\",\n"
         "  \"abft_checks\": %zu,\n  \"abft_detections\": %zu,\n"
         "  \"abft_corrections\": %zu,\n  \"invariant_violations\": %zu,\n"
         "  \"rollbacks\": %zu,\n  \"retries\": %zu,\n"
@@ -265,7 +269,7 @@ void sdc_injected_run() {
         guards_on_s, guards_off_s, overhead_pct,
         rec.converged ? "true" : "false", rec.dipole_response.z, alpha_err);
     std::fclose(f);
-    std::printf("Wrote BENCH_sdc.json\n");
+    std::printf("Wrote %s\n", path.c_str());
   }
   (void)guarded;
 }

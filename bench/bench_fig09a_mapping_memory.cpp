@@ -6,18 +6,37 @@
 //
 // Paper reference points: existing = 21,373 KB per task; proposed =
 // 58-455 KB on average across tasks.
+//
+// Beyond the analytic table, the bench now BUILDS the real structures at a
+// sweep of system sizes with the memory audit armed and reads every
+// ROADMAP-item-3 gauge back from obs::mem_snapshot() -- instrumented bytes,
+// not hand-counted estimates -- then fits each gauge's scaling exponent
+// (log bytes vs log atoms) and publishes the whole sweep as
+// BENCH_memory.json for the perf-regression ledger.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
 
+#include "basis/basis_set.hpp"
 #include "basis/element.hpp"
+#include "bench_output.hpp"
+#include "comm/packed.hpp"
 #include "common/table.hpp"
 #include "core/structures.hpp"
 #include "grid/batch.hpp"
+#include "linalg/matrix.hpp"
 #include "mapping/hamiltonian_analysis.hpp"
 #include "mapping/synthetic_points.hpp"
 #include "mapping/task_mapping.hpp"
+#include "obs/memaudit.hpp"
+#include "parallel/cluster.hpp"
+#include "resilience/buddy.hpp"
+#include "resilience/checkpoint.hpp"
+#include "service/warm_cache.hpp"
 
 namespace {
 
@@ -62,6 +81,145 @@ void print_figure() {
           "(paper: 21,373 KB vs 58-455 KB)");
 }
 
+// ---------------------------------------------------------------------------
+// Instrumented memory sweep: one sample per system size, gauges read back
+// from the audit rather than computed by hand.
+
+struct SizeSample {
+  std::size_t atoms = 0;
+  std::size_t n_basis = 0;
+  std::map<std::string, double> bytes;  ///< gauge name -> measured bytes
+};
+
+/// Build every N-scaling structure the audit instruments for an RBD-like
+/// cluster of `n_atoms`, with one rank's view taken from a `ranks`-way
+/// locality mapping, and read the gauges while everything is live.
+SizeSample measure(std::size_t n_atoms, std::size_t ranks) {
+  obs::reset_mem_gauges();
+  SizeSample out;
+  out.atoms = n_atoms;
+
+  const auto rbd = core::rbd_like_cluster(n_atoms, 1);
+  const auto counts =
+      mapping::basis_function_counts(rbd, basis::BasisTier::Minimal);
+  for (auto c : counts) out.n_basis += c;
+  const auto cloud = mapping::synthetic_point_cloud(rbd, 12);
+  const auto batches =
+      grid::make_batches(cloud.positions, cloud.parent_atom, 96);
+  const auto assignment = mapping::locality_enhancing_mapping(batches, ranks);
+
+  // Real structures, each charging its own gauge on construction:
+  // basis/spline_tables + basis/function_table ...
+  const basis::BasisSet basis_set(rbd, basis::BasisTier::Minimal, kHaloCutoff);
+  // ... mapping/assignment ...
+  const obs::MemScope assign_mem = mapping::track_assignment(assignment);
+  // ... mapping/global_csr (what every rank holds under the legacy
+  // mapping) and mapping/local_block (rank 0's dense block under the
+  // proposed mapping) ...
+  const auto csr = mapping::materialize_global_csr(rbd, counts,
+                                                   kInteractionCutoff);
+  const auto block = mapping::materialize_local_block(
+      rbd, counts, kHaloCutoff, assignment, batches, /*rank=*/0);
+  const std::size_t local_nb = block.block.rows();
+
+  // ... resilience/checkpoint_frame (peak of the serialized density-matrix
+  // frame a rank writes), resilience/buddy_replicas (the in-memory copies
+  // buddies hold), service/warm_cache (the cached density entry).
+  resilience::ScfCheckpoint ckpt;
+  ckpt.iteration = 1;
+  ckpt.density_matrix = linalg::Matrix(local_nb, local_nb);
+  const std::vector<unsigned char> frame = resilience::serialize(ckpt);
+
+  resilience::BuddyReplicator buddy(2);
+  {
+    parallel::Cluster pair(2, 2);
+    pair.run([&](parallel::Communicator& c) { buddy.replicate(c, frame); });
+  }
+
+  service::WarmCache cache(service::WarmCacheOptions{});
+  cache.put_density(1, ckpt.density_matrix);
+
+  // comm/packed_buffer: stage a pack window of local-block rows, then read
+  // all gauges while the reducer (and everything above) is still alive.
+  parallel::Cluster solo(1, 1);
+  solo.run([&](parallel::Communicator& c) {
+    comm::PackedAllReducer packer(c, comm::ReduceMode::Flat);
+    std::vector<double> row(local_nb > 0 ? local_nb : 1, 1.0);
+    for (int i = 0; i < 32; ++i) packer.add(row);
+    packer.flush();
+    for (const auto& g : obs::mem_snapshot()) {
+      // checkpoint_frame is peak-only (the blob is transient); every other
+      // gauge reports its live resident bytes.
+      const double b = g.current_bytes > 0
+                           ? static_cast<double>(g.current_bytes)
+                           : static_cast<double>(g.peak_bytes);
+      if (b > 0) out.bytes[g.name] = b;
+    }
+  });
+  return out;
+}
+
+void memory_sweep_and_json() {
+  const bool was_on = obs::memaudit_enabled();
+  obs::set_memaudit(true);
+  // 16 ranks keeps at least one batch per rank down to the smallest sweep
+  // size (188 atoms x 12 points / 96-point batches = 23 batches).
+  constexpr std::size_t kRanks = 16;
+  const std::vector<std::size_t> sizes = {188, 376, 752, 1503, 3006};
+
+  std::vector<SizeSample> samples;
+  samples.reserve(sizes.size());
+  for (const std::size_t n : sizes) samples.push_back(measure(n, kRanks));
+  obs::reset_mem_gauges();
+  obs::set_memaudit(was_on);
+
+  // Collate per-gauge series and fit the scaling exponent vs atom count.
+  std::map<std::string, std::vector<std::pair<std::size_t, double>>> series;
+  for (const SizeSample& s : samples)
+    for (const auto& [name, bytes] : s.bytes)
+      series[name].push_back({s.atoms, bytes});
+
+  Table t({"gauge", "bytes @ smallest", "bytes @ largest", "exponent"});
+  std::string path;
+  std::FILE* f = benchio::open_bench("BENCH_memory.json", &path);
+  if (f != nullptr) {
+    benchio::write_envelope(f, "mapping_memory");
+    std::fprintf(f, "  \"ranks\": %zu,\n  \"gauges\": [\n", kRanks);
+  }
+  std::size_t emitted = 0;
+  for (const auto& [name, pts] : series) {
+    std::vector<double> n, b;
+    for (const auto& [atoms, bytes] : pts) {
+      n.push_back(static_cast<double>(atoms));
+      b.push_back(bytes);
+    }
+    const double exp = obs::fit_scaling_exponent(n, b);
+    t.add_row({name, Table::num(b.front(), 0), Table::num(b.back(), 0),
+               Table::num(exp, 3)});
+    if (f != nullptr) {
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"exponent\": %.4f, \"samples\": [",
+                   name.c_str(), exp);
+      for (std::size_t i = 0; i < pts.size(); ++i)
+        std::fprintf(f, "{\"atoms\": %zu, \"bytes\": %.0f}%s", pts[i].first,
+                     pts[i].second, i + 1 < pts.size() ? ", " : "");
+      std::fprintf(f, "]}%s\n", ++emitted < series.size() ? "," : "");
+    }
+  }
+  if (f != nullptr) {
+    std::fprintf(f, "  ],\n  \"sizes\": [");
+    for (std::size_t i = 0; i < samples.size(); ++i)
+      std::fprintf(f, "{\"atoms\": %zu, \"n_basis\": %zu}%s",
+                   samples[i].atoms, samples[i].n_basis,
+                   i + 1 < samples.size() ? ", " : "");
+    std::fprintf(f, "]\n}\n");
+    std::fclose(f);
+    std::printf("Wrote %s\n", path.c_str());
+  }
+  t.print("Memory-audit gauges across the size sweep (instrumented bytes; "
+          "exponent = d log bytes / d log atoms)");
+}
+
 void BM_LocalityMapping3006Atoms(benchmark::State& state) {
   const auto rbd = core::rbd_like_cluster(3006, 1);
   const auto cloud = mapping::synthetic_point_cloud(rbd, 12);
@@ -78,6 +236,7 @@ BENCHMARK(BM_LocalityMapping3006Atoms)->Arg(64)->Arg(256)->Arg(512);
 
 int main(int argc, char** argv) {
   print_figure();
+  memory_sweep_and_json();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_output.hpp"
 #include "common/table.hpp"
 #include "kernels/density_kernels.hpp"
 #include "obs/metrics.hpp"
@@ -123,13 +124,13 @@ void traced_run_and_report() {
     benchmark::DoNotOptimize(r.density);
   }
   obs::write_phase_report(std::cout, "fig09b dense vs sparse (1359 basis)");
-  if (std::FILE* f = std::fopen("BENCH_fig09b.json", "w")) {
-    std::fprintf(f,
-                 "{\n  \"bench\": \"fig09b_dense_access\",\n"
-                 "  \"basis\": 1359,\n  \"profile\": %s\n}\n",
+  std::string path;
+  if (std::FILE* f = benchio::open_bench("BENCH_fig09b.json", &path)) {
+    benchio::write_envelope(f, "fig09b_dense_access");
+    std::fprintf(f, "  \"basis\": 1359,\n  \"profile\": %s\n}\n",
                  obs::profile_json(2).c_str());
     std::fclose(f);
-    std::printf("Wrote BENCH_fig09b.json\n");
+    std::printf("Wrote %s\n", path.c_str());
   }
 }
 

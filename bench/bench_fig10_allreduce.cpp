@@ -15,13 +15,17 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <string>
 #include <vector>
 
+#include "bench_output.hpp"
 #include "comm/hierarchical.hpp"
 #include "comm/packed.hpp"
 #include "common/table.hpp"
 #include "common/thread_ident.hpp"
+#include "obs/comm_matrix.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -128,13 +132,25 @@ void traced_run_and_report() {
   });
   obs::write_phase_report(std::cout,
                           "fig10 packed hierarchical (8 ranks, real run)");
-  if (std::FILE* f = std::fopen("BENCH_fig10.json", "w")) {
+  // The packed-allreduce bench is the natural producer of the comm-matrix
+  // heatmap: dump the rank-x-rank byte/message matrix recorded by the run
+  // (the CI artifact next to the trace; see docs/observability.md).
+  if (!obs::comm_edges().empty()) {
+    const char* env = std::getenv("AEQP_COMM_MATRIX_FILE");
+    const std::string cm = (env != nullptr && *env != '\0')
+                               ? env
+                               : benchio::bench_path("comm_matrix.json");
+    if (obs::write_comm_matrix(cm)) std::printf("Wrote %s\n", cm.c_str());
+  }
+  std::string path;
+  if (std::FILE* f = benchio::open_bench("BENCH_fig10.json", &path)) {
+    benchio::write_envelope(f, "fig10_allreduce");
     std::fprintf(f,
-                 "{\n  \"bench\": \"fig10_allreduce\",\n  \"ranks\": %zu,\n"
+                 "  \"ranks\": %zu,\n"
                  "  \"rows\": %zu,\n  \"row_len\": %zu,\n  \"profile\": %s\n}\n",
                  ranks, rows, row_len, obs::profile_json(2).c_str());
     std::fclose(f);
-    std::printf("Wrote BENCH_fig10.json\n");
+    std::printf("Wrote %s\n", path.c_str());
   }
 }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "basis/basis_set.hpp"
+#include "bench_output.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "core/structures.hpp"
@@ -181,16 +182,16 @@ void print_table(const Rates& r) {
                                                      : "  ** MISMATCH **");
 }
 
-void write_json(const Rates& r, const char* path) {
-  std::FILE* f = std::fopen(path, "w");
+void write_json(const Rates& r, const char* filename) {
+  std::string path;
+  std::FILE* f = benchio::open_bench(filename, &path);
   if (!f) {
-    std::fprintf(stderr, "bench_rho_phase: cannot write %s\n", path);
+    std::fprintf(stderr, "bench_rho_phase: cannot write %s\n", path.c_str());
     return;
   }
+  benchio::write_envelope(f, "rho_phase");
   std::fprintf(
       f,
-      "{\n"
-      "  \"bench\": \"rho_phase\",\n"
       "  \"molecule\": \"H2O\",\n"
       "  \"grid_points\": %zu,\n"
       "  \"basis_size\": %zu,\n"
@@ -220,7 +221,7 @@ void write_json(const Rates& r, const char* path) {
                                 : 0,
       r.batched_vs_per_point_max_diff);
   std::fclose(f);
-  std::printf("Wrote %s\n", path);
+  std::printf("Wrote %s\n", path.c_str());
 }
 
 }  // namespace

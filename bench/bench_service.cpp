@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_output.hpp"
 #include "common/table.hpp"
 #include "grid/structure.hpp"
 #include "obs/metrics.hpp"
@@ -257,10 +258,11 @@ void traffic_run() {
   c.print("Warm-state cache and recovery during the run (the corrupted "
           "density entry was CRC-detected and dropped, never served)");
 
-  if (std::FILE* f = std::fopen("BENCH_service.json", "w")) {
+  std::string path;
+  if (std::FILE* f = benchio::open_bench("BENCH_service.json", &path)) {
+    benchio::write_envelope(f, "solve_service_traffic");
     std::fprintf(
         f,
-        "{\n  \"bench\": \"solve_service_traffic\",\n"
         "  \"submitted\": %zu,\n  \"admitted\": %zu,\n"
         "  \"shed_queue_full\": %zu,\n  \"rejected_invalid\": %zu,\n"
         "  \"completed\": %zu,\n  \"succeeded\": %zu,\n  \"failed\": %zu,\n"
@@ -278,7 +280,7 @@ void traffic_run() {
         cache.density_hits, cache.poisoned_dropped, cache.evictions, retries,
         ground_hits, warm_starts, rep.wall_seconds);
     std::fclose(f);
-    std::printf("Wrote BENCH_service.json\n");
+    std::printf("Wrote %s\n", path.c_str());
   }
 }
 

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_output.hpp"
 #include "common/table.hpp"
 #include "core/dfpt.hpp"
 #include "core/structures.hpp"
@@ -137,15 +138,16 @@ void print_table(const SweepResult& r) {
   t.print("Thread scaling: CPSCF phase wall-clock vs AEQP_NUM_THREADS");
 }
 
-void write_json(const SweepResult& r, const char* path) {
-  std::FILE* f = std::fopen(path, "w");
+void write_json(const SweepResult& r, const char* filename) {
+  std::string path;
+  std::FILE* f = benchio::open_bench(filename, &path);
   if (!f) {
-    std::fprintf(stderr, "bench_threads_scaling: cannot write %s\n", path);
+    std::fprintf(stderr, "bench_threads_scaling: cannot write %s\n",
+                 path.c_str());
     return;
   }
+  benchio::write_envelope(f, "threads_scaling");
   std::fprintf(f,
-               "{\n"
-               "  \"bench\": \"threads_scaling\",\n"
                "  \"molecule\": \"H2O\",\n"
                "  \"grid_points\": %zu,\n"
                "  \"points_per_atom\": %zu,\n"
@@ -166,7 +168,7 @@ void write_json(const SweepResult& r, const char* path) {
   std::fprintf(f, "  ],\n  \"profile\": %s\n}\n",
                aeqp::obs::profile_json(2).c_str());
   std::fclose(f);
-  std::printf("Wrote %s\n", path);
+  std::printf("Wrote %s\n", path.c_str());
 }
 
 }  // namespace

@@ -71,6 +71,26 @@ BasisSet::BasisSet(const grid::Structure& structure, BasisTier tier, double r_cu
   atom_entries_.reserve(structure_.size());
   for (std::size_t a = 0; a < structure_.size(); ++a)
     atom_entries_.push_back(&elements_.at(structure_.atom(a).z));
+
+  // Memory audit (ROADMAP item 3): the spline tables are per-element (O(1)
+  // in atom count), while the function/atom tables replicate O(N) per rank
+  // -- exactly the split the fig09a memory bench fits exponents for.
+  if (obs::memaudit_enabled()) {
+    std::size_t spline_bytes = 0;
+    for (const auto& [z, entry] : elements_) {
+      spline_bytes += entry.radial_bundle.bytes();
+      spline_bytes += entry.tail_envelope.capacity() * sizeof(double);
+    }
+    for (const auto& rad : radials_)
+      spline_bytes += rad->samples().capacity() * sizeof(double) +
+                      rad->spline().bytes();
+    spline_mem_.add(static_cast<std::int64_t>(spline_bytes));
+    const std::size_t table_bytes =
+        functions_.capacity() * sizeof(BasisFunction) +
+        atom_first_.capacity() * sizeof(std::size_t) +
+        atom_entries_.capacity() * sizeof(const ElementEntry*);
+    table_mem_.add(static_cast<std::int64_t>(table_bytes));
+  }
 }
 
 std::pair<std::size_t, std::size_t> BasisSet::atom_range(std::size_t a) const {

@@ -18,6 +18,7 @@
 #include "grid/radial_grid.hpp"
 #include "grid/structure.hpp"
 #include "linalg/matrix.hpp"
+#include "obs/memaudit.hpp"
 
 namespace aeqp::basis {
 
@@ -143,6 +144,10 @@ private:
   /// paths never touch the elements_ map (satellite of ISSUE 7).
   std::vector<const ElementEntry*> atom_entries_;
   int l_max_ = 0;
+  /// Memory-audit registrations (released when the BasisSet dies):
+  /// per-element spline/envelope tables vs per-function O(N) tables.
+  obs::MemScope spline_mem_{"basis/spline_tables"};
+  obs::MemScope table_mem_{"basis/function_table"};
 };
 
 /// Density contraction n(p) = sum_{mu,nu} P_mu_nu chi_mu(p) chi_nu(p) for

@@ -81,6 +81,14 @@ public:
   /// Evaluate every channel at x into out[0..channels()).
   void eval_all(double x, double* out) const;
 
+  /// Bytes of packed coefficient storage (knots, per-channel samples and
+  /// second derivatives, boundary slopes); feeds the memory audit.
+  [[nodiscard]] std::size_t bytes() const {
+    return (x_.size() + y_.size() + y2_.size() + slope_front_.size() +
+            slope_back_.size()) *
+           sizeof(double);
+  }
+
 private:
   std::size_t nch_ = 0;
   std::vector<double> x_;        // shared knots

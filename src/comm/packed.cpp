@@ -5,6 +5,7 @@
 
 #include "comm/hierarchical.hpp"
 #include "common/error.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -25,11 +26,18 @@ PackedAllReducer::~PackedAllReducer() {
   if (std::uncaught_exceptions() == 0) AEQP_ASSERT(pending_.empty());
 }
 
+void PackedAllReducer::account_buffer() {
+  buf_mem_.add(
+      static_cast<std::int64_t>(buffer_.capacity() * sizeof(double)) -
+      buf_mem_.held());
+}
+
 void PackedAllReducer::add(std::span<double> row) {
   if ((buffer_.size() + row.size()) * sizeof(double) > max_bytes_ &&
       !pending_.empty())
     flush();
   buffer_.insert(buffer_.end(), row.begin(), row.end());
+  account_buffer();
   pending_.push_back(row);
   ++rows_total_;
   // A single oversized row still has to go out in one piece.
@@ -48,6 +56,9 @@ void PackedAllReducer::flush() {
     rows.add(pending_.size());
   }
   const std::size_t payload_size = buffer_.size();
+  bytes_reduced_ += payload_size * sizeof(double);
+  obs::flight_metric("comm/packed_bytes",
+                     static_cast<double>(payload_size * sizeof(double)));
   if (verify_) {
     // Linear checksum element: the reduction is linear, so the reduced
     // checksum must equal the sum of the reduced payload. Computed per

@@ -9,9 +9,11 @@
 /// the staging buffer stays inside the last-level cache budget.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
+#include "obs/memaudit.hpp"
 #include "parallel/cluster.hpp"
 
 namespace aeqp::comm {
@@ -76,7 +78,18 @@ public:
     return buffer_.size() * sizeof(double);
   }
 
+  /// Payload bytes this rank's reducer has pushed through flushed
+  /// collectives so far (excluding the verify checksum element). With P
+  /// ranks, the comm-matrix row of this rank carries exactly
+  /// bytes_reduced() * (P - 1) bytes for the underlying collective.
+  [[nodiscard]] std::uint64_t bytes_reduced() const { return bytes_reduced_; }
+
 private:
+  /// Re-sync the "comm/packed_buffer" gauge with the staging buffer's
+  /// current capacity (ROADMAP item 3: the pack window is per-rank state
+  /// bounded by max_bytes_, and the audit should show it).
+  void account_buffer();
+
   parallel::Communicator* comm_;
   ReduceMode mode_;
   std::size_t max_bytes_;
@@ -85,6 +98,8 @@ private:
   std::vector<std::span<double>> pending_;
   std::size_t flushes_ = 0;
   std::size_t rows_total_ = 0;
+  std::uint64_t bytes_reduced_ = 0;
+  obs::MemScope buf_mem_{"comm/packed_buffer"};
 };
 
 /// One-shot convenience: flat sum-AllReduce of `data` (baseline of Fig. 10).

@@ -11,6 +11,7 @@
 #include "common/timer.hpp"
 #include "linalg/abft.hpp"
 #include "linalg/sparse.hpp"
+#include "obs/memaudit.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/cluster.hpp"
@@ -139,6 +140,24 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
       basis.evaluate(grid.point(my_points[k]).pos, false, my_eval[k]);
 
     Matrix p1(nb, nb);
+    // Memory audit (ROADMAP item 3): P^(1) is fully replicated per rank
+    // (O(N^2) in global basis size) and the point-eval cache scales with
+    // the rank's point share -- the two dominant per-rank structures this
+    // solver holds. Scopes release when the rank lambda returns.
+    obs::MemScope p1_mem("dfpt/p1_replicated");
+    obs::MemScope eval_mem("dfpt/point_cache");
+    if (obs::memaudit_enabled()) {
+      p1_mem.add(static_cast<std::int64_t>(nb * nb * sizeof(double)));
+      std::int64_t eval_bytes = static_cast<std::int64_t>(
+          my_eval.capacity() * sizeof(basis::PointEval) +
+          my_points.capacity() * sizeof(std::uint32_t));
+      for (const auto& ev : my_eval)
+        eval_bytes += static_cast<std::int64_t>(
+            ev.indices.capacity() * sizeof(std::uint32_t) +
+            (ev.values.capacity() + ev.laplacians.capacity()) *
+                sizeof(double));
+      eval_mem.add(eval_bytes);
+    }
     std::vector<double> v1_own(my_points.size(), 0.0);
     std::vector<double> n1_own(my_points.size(), 0.0);
     bool have_response = false;

@@ -152,6 +152,74 @@ HamiltonianMemory hamiltonian_memory(const grid::Structure& structure,
   return mem;
 }
 
+GlobalCsr materialize_global_csr(const grid::Structure& structure,
+                                 const std::vector<std::size_t>& nb_per_atom,
+                                 double interaction_cutoff) {
+  AEQP_CHECK(nb_per_atom.size() == structure.size(),
+             "materialize_global_csr: per-atom count mismatch");
+  const SparsityStats stats =
+      global_hamiltonian_sparsity(structure, nb_per_atom, interaction_cutoff);
+
+  // Function-index ranges per atom.
+  std::vector<std::size_t> first(structure.size() + 1, 0);
+  for (std::size_t i = 0; i < structure.size(); ++i)
+    first[i + 1] = first[i] + nb_per_atom[i];
+
+  GlobalCsr csr;
+  csr.mem = obs::MemScope("mapping/global_csr");
+  csr.row_ptr.reserve(stats.n_basis + 1);
+  csr.col_idx.reserve(stats.nnz);
+  csr.values.reserve(stats.nnz);
+
+  const CellList cells(structure, interaction_cutoff);
+  std::vector<std::uint32_t> partners;
+  csr.row_ptr.push_back(0);
+  for (std::size_t i = 0; i < structure.size(); ++i) {
+    partners.clear();
+    cells.for_neighbors(i, [&](std::uint32_t j) { partners.push_back(j); });
+    std::sort(partners.begin(), partners.end());
+    // Every row of atom i has the same column pattern: all functions of
+    // its interacting partners.
+    std::vector<std::uint32_t> cols;
+    for (const std::uint32_t j : partners)
+      for (std::size_t f = first[j]; f < first[j + 1]; ++f)
+        cols.push_back(static_cast<std::uint32_t>(f));
+    for (std::size_t row = first[i]; row < first[i + 1]; ++row) {
+      csr.col_idx.insert(csr.col_idx.end(), cols.begin(), cols.end());
+      csr.values.insert(csr.values.end(), cols.size(), 0.0);
+      csr.row_ptr.push_back(csr.col_idx.size());
+    }
+  }
+  csr.mem.add(static_cast<std::int64_t>(csr.bytes()));
+  return csr;
+}
+
+LocalBlock materialize_local_block(const grid::Structure& structure,
+                                   const std::vector<std::size_t>& nb_per_atom,
+                                   double halo_cutoff,
+                                   const Assignment& assignment,
+                                   const std::vector<grid::Batch>& batches,
+                                   std::size_t rank) {
+  AEQP_CHECK(nb_per_atom.size() == structure.size(),
+             "materialize_local_block: per-atom count mismatch");
+  AEQP_CHECK(rank < assignment.rank_count(),
+             "materialize_local_block: rank out of range");
+  const CellList cells(structure, halo_cutoff);
+  std::vector<char> relevant(structure.size(), 0);
+  for (auto a : assignment.atoms_of_rank(rank, batches))
+    cells.for_neighbors(a, [&](std::uint32_t j) { relevant[j] = 1; });
+  std::size_t local_nb = 0;
+  for (std::size_t i = 0; i < structure.size(); ++i)
+    if (relevant[i]) local_nb += nb_per_atom[i];
+
+  LocalBlock out;
+  out.mem = obs::MemScope("mapping/local_block");
+  out.block = linalg::Matrix(local_nb, local_nb);
+  out.mem.add(
+      static_cast<std::int64_t>(local_nb * local_nb * sizeof(double)));
+  return out;
+}
+
 std::vector<std::size_t> splines_per_rank(const Assignment& assignment,
                                           const std::vector<grid::Batch>& batches,
                                           int poisson_l_max) {

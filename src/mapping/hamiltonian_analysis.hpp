@@ -15,11 +15,14 @@
 /// processes replicates its splines; gathering them enables reuse.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "basis/element.hpp"
 #include "grid/structure.hpp"
+#include "linalg/matrix.hpp"
 #include "mapping/task_mapping.hpp"
+#include "obs/memaudit.hpp"
 
 namespace aeqp::mapping {
 
@@ -73,5 +76,46 @@ HamiltonianMemory hamiltonian_memory(const grid::Structure& structure,
 std::vector<std::size_t> splines_per_rank(const Assignment& assignment,
                                           const std::vector<grid::Batch>& batches,
                                           int poisson_l_max);
+
+/// The ACTUAL global sparse Hamiltonian a rank holds under the legacy
+/// mapping -- real row_ptr/col_idx/values arrays, not the analytic byte
+/// count of SparsityStats -- with its allocation registered under the
+/// memory-audit gauge "mapping/global_csr". This is what lets the fig09a
+/// memory bench report instrumented bytes instead of hand-counted
+/// estimates. The scope releases the gauge when the struct dies.
+struct GlobalCsr {
+  std::vector<std::size_t> row_ptr;    ///< size n_basis + 1
+  std::vector<std::uint32_t> col_idx;  ///< size nnz
+  std::vector<double> values;          ///< size nnz, zero-initialized
+  obs::MemScope mem;
+
+  [[nodiscard]] std::size_t bytes() const {
+    return row_ptr.capacity() * sizeof(std::size_t) +
+           col_idx.capacity() * sizeof(std::uint32_t) +
+           values.capacity() * sizeof(double);
+  }
+};
+
+/// Build the CSR pattern with the same cell-list neighbour search the
+/// analytic path uses; bytes() matches SparsityStats::csr_bytes for exact
+/// vector sizing.
+GlobalCsr materialize_global_csr(const grid::Structure& structure,
+                                 const std::vector<std::size_t>& nb_per_atom,
+                                 double interaction_cutoff);
+
+/// The ACTUAL dense local Hamiltonian block of `rank` under the proposed
+/// locality mapping (local atoms + interacting halo), registered under
+/// "mapping/local_block".
+struct LocalBlock {
+  linalg::Matrix block;  ///< local_nb x local_nb
+  obs::MemScope mem;
+};
+
+LocalBlock materialize_local_block(const grid::Structure& structure,
+                                   const std::vector<std::size_t>& nb_per_atom,
+                                   double halo_cutoff,
+                                   const Assignment& assignment,
+                                   const std::vector<grid::Batch>& batches,
+                                   std::size_t rank);
 
 }  // namespace aeqp::mapping

@@ -222,6 +222,17 @@ double load_imbalance(const Assignment& a, const std::vector<grid::Batch>& batch
   return mean > 0.0 ? static_cast<double>(max_pts) / mean : 0.0;
 }
 
+obs::MemScope track_assignment(const Assignment& a) {
+  obs::MemScope scope("mapping/assignment");
+  std::int64_t bytes =
+      static_cast<std::int64_t>(a.batches_of_rank.capacity() *
+                                sizeof(std::vector<std::uint32_t>));
+  for (const auto& ids : a.batches_of_rank)
+    bytes += static_cast<std::int64_t>(ids.capacity() * sizeof(std::uint32_t));
+  scope.add(bytes);
+  return scope;
+}
+
 double mean_rank_spread(const Assignment& a, const std::vector<grid::Batch>& batches) {
   double sum = 0.0;
   std::size_t counted = 0;

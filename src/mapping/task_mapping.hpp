@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "grid/batch.hpp"
+#include "obs/memaudit.hpp"
 
 namespace aeqp::mapping {
 
@@ -38,6 +39,13 @@ struct Assignment {
 /// Legacy strategy: greedy least-loaded assignment in batch order.
 Assignment least_loaded_mapping(const std::vector<grid::Batch>& batches,
                                 std::size_t n_ranks);
+
+/// Register the real container bytes of `a` under the memory-audit gauge
+/// "mapping/assignment" (ROADMAP item 3: the batch-to-rank tables are
+/// per-rank state growing with global N). The returned scope owns the
+/// registration and releases it on destruction; keep it alive exactly as
+/// long as the assignment. One relaxed atomic load when the audit is off.
+[[nodiscard]] obs::MemScope track_assignment(const Assignment& a);
 
 /// Outcome of an elastic re-mapping: the survivor assignment (densely
 /// renumbered: slot s of the result is survivors[s] of the previous

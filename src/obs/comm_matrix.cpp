@@ -1,0 +1,230 @@
+#include "obs/comm_matrix.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "obs/trace.hpp"
+
+namespace aeqp::obs {
+
+namespace {
+
+struct Cell {
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+};
+
+struct CommState {
+  std::mutex mutex;
+  std::map<std::string, std::map<std::pair<int, int>, Cell>> cells;
+  int max_rank = -1;
+};
+
+CommState& state() {
+  static CommState* s = new CommState();  // leaked: process lifetime
+  return *s;
+}
+
+}  // namespace
+
+void comm_record(const char* collective, int src, int dst,
+                 std::uint64_t bytes) {
+  if (!enabled()) return;
+  CommState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  Cell& cell = s.cells[collective][{src, dst}];
+  cell.bytes += bytes;
+  cell.messages += 1;
+  s.max_rank = std::max({s.max_rank, src, dst});
+}
+
+void comm_record_all(const char* collective, int src, int world_size,
+                     std::uint64_t bytes_per_dst) {
+  if (!enabled()) return;
+  CommState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  auto& per_collective = s.cells[collective];
+  for (int dst = 0; dst < world_size; ++dst) {
+    if (dst == src) continue;
+    Cell& cell = per_collective[{src, dst}];
+    cell.bytes += bytes_per_dst;
+    cell.messages += 1;
+  }
+  s.max_rank = std::max(s.max_rank, world_size - 1);
+}
+
+std::vector<CommEdge> comm_edges() {
+  CommState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  std::vector<CommEdge> out;
+  for (const auto& [collective, cells] : s.cells)
+    for (const auto& [key, cell] : cells)
+      out.push_back(
+          {collective, key.first, key.second, cell.bytes, cell.messages});
+  return out;  // map iteration order is already (collective, src, dst)
+}
+
+std::uint64_t comm_row_bytes(int src) {
+  CommState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  std::uint64_t total = 0;
+  for (const auto& [collective, cells] : s.cells)
+    for (const auto& [key, cell] : cells)
+      if (key.first == src) total += cell.bytes;
+  return total;
+}
+
+namespace {
+
+/// Dense row-major matrix built from one collective's (or all) cells.
+std::vector<std::uint64_t> dense_bytes(
+    const std::map<std::string, std::map<std::pair<int, int>, Cell>>& cells,
+    const std::string* only, int world) {
+  std::vector<std::uint64_t> m(
+      static_cast<std::size_t>(world) * static_cast<std::size_t>(world), 0);
+  for (const auto& [collective, per] : cells) {
+    if (only != nullptr && collective != *only) continue;
+    for (const auto& [key, cell] : per)
+      m[static_cast<std::size_t>(key.first) * world + key.second] +=
+          cell.bytes;
+  }
+  return m;
+}
+
+void append_matrix(std::ostringstream& os, const std::vector<std::uint64_t>& m,
+                   int world, const std::string& pad) {
+  os << "[";
+  for (int r = 0; r < world; ++r) {
+    os << (r == 0 ? "" : ",") << "\n" << pad << "  [";
+    for (int c = 0; c < world; ++c)
+      os << (c == 0 ? "" : ", ")
+         << m[static_cast<std::size_t>(r) * world + c];
+    os << "]";
+  }
+  if (world > 0) os << "\n" << pad;
+  os << "]";
+}
+
+}  // namespace
+
+std::string comm_matrix_json(int indent) {
+  // Snapshot under the lock, format outside it.
+  std::map<std::string, std::map<std::pair<int, int>, Cell>> cells;
+  int world = 0;
+  {
+    CommState& s = state();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    cells = s.cells;
+    world = s.max_rank + 1;
+  }
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::ostringstream os;
+  os << pad << "{\n";
+  os << pad << "  \"schema_version\": 1,\n";
+  os << pad << "  \"world_size\": " << world << ",\n";
+
+  std::uint64_t total_bytes = 0, total_messages = 0;
+  for (const auto& [collective, per] : cells)
+    for (const auto& [key, cell] : per) {
+      total_bytes += cell.bytes;
+      total_messages += cell.messages;
+    }
+  os << pad << "  \"total_bytes\": " << total_bytes << ",\n";
+  os << pad << "  \"total_messages\": " << total_messages << ",\n";
+
+  const std::vector<std::uint64_t> total = dense_bytes(cells, nullptr, world);
+  std::vector<std::uint64_t> row(world, 0), col(world, 0);
+  for (int r = 0; r < world; ++r)
+    for (int c = 0; c < world; ++c) {
+      const std::uint64_t b = total[static_cast<std::size_t>(r) * world + c];
+      row[r] += b;
+      col[c] += b;
+    }
+  std::uint64_t row_max = 0, row_sum = 0;
+  for (int r = 0; r < world; ++r) {
+    row_max = std::max(row_max, row[r]);
+    row_sum += row[r];
+  }
+  const double row_mean = world > 0 ? static_cast<double>(row_sum) / world : 0;
+  char skew[64];
+  std::snprintf(skew, sizeof skew, "%.6g",
+                row_mean > 0 ? static_cast<double>(row_max) / row_mean : 0.0);
+
+  os << pad << "  \"row_bytes\": [";
+  for (int r = 0; r < world; ++r) os << (r == 0 ? "" : ", ") << row[r];
+  os << "],\n";
+  os << pad << "  \"col_bytes\": [";
+  for (int c = 0; c < world; ++c) os << (c == 0 ? "" : ", ") << col[c];
+  os << "],\n";
+  os << pad << "  \"row_skew_max_over_mean\": " << skew << ",\n";
+
+  os << pad << "  \"bytes\": ";
+  append_matrix(os, total, world, pad + "  ");
+  os << ",\n";
+
+  os << pad << "  \"collectives\": {";
+  bool first = true;
+  for (const auto& [collective, per] : cells) {
+    os << (first ? "" : ",") << "\n"
+       << pad << "    \"" << collective << "\": ";
+    append_matrix(os, dense_bytes(cells, &collective, world), world,
+                  pad + "    ");
+    first = false;
+  }
+  if (!cells.empty()) os << "\n" << pad << "  ";
+  os << "}\n";
+  os << pad << "}";
+  return os.str();
+}
+
+std::string comm_matrix_summary() {
+  std::map<std::string, std::map<std::pair<int, int>, Cell>> cells;
+  int world = 0;
+  {
+    CommState& s = state();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    cells = s.cells;
+    world = s.max_rank + 1;
+  }
+  if (world <= 0 || cells.empty()) return {};
+  std::vector<std::uint64_t> row(world, 0);
+  std::uint64_t total_bytes = 0, total_messages = 0;
+  for (const auto& [collective, per] : cells)
+    for (const auto& [key, cell] : per) {
+      row[key.first] += cell.bytes;
+      total_bytes += cell.bytes;
+      total_messages += cell.messages;
+    }
+  std::uint64_t row_max = 0;
+  for (int r = 0; r < world; ++r) row_max = std::max(row_max, row[r]);
+  const double row_mean = static_cast<double>(total_bytes) / world;
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "comm matrix: %d ranks, %.3f MiB / %llu messages, "
+                "row skew max/mean = %.2f",
+                world, static_cast<double>(total_bytes) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(total_messages),
+                row_mean > 0 ? static_cast<double>(row_max) / row_mean : 0.0);
+  return buf;
+}
+
+void reset_comm_matrix() {
+  CommState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.cells.clear();
+  s.max_rank = -1;
+}
+
+bool write_comm_matrix(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = comm_matrix_json(0);
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  const bool newline_ok = std::fputc('\n', f) != EOF;
+  return (std::fclose(f) == 0) && ok && newline_ok;
+}
+
+}  // namespace aeqp::obs

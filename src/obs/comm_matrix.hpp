@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file comm_matrix.hpp
+/// Per-(collective, src -> dst) byte and message accounting: the who-talks-
+/// to-whom view the span tracer cannot give. simmpi collectives and the
+/// PackedAllReducer record, for every logical transfer a collective
+/// implies, which source rank's payload reached which destination rank and
+/// how many bytes moved. An allreduce over P ranks with an s-byte payload
+/// per rank is modeled as every src sending its s bytes to every dst != src
+/// (the information flow of the reduction, independent of the tree the
+/// transport actually uses); a broadcast is root -> every other rank.
+///
+/// Gated by obs::enabled() exactly like the existing collective counters:
+/// when tracing is off nothing is recorded and the only cost at a site is
+/// the one relaxed atomic load obs::enabled() already performs. Recording
+/// takes a per-process mutex -- collectives are millisecond-scale
+/// synchronization points, so a microsecond of bookkeeping under the lock
+/// is invisible, and it keeps the accumulation trivially TSan-clean.
+///
+/// Exporters: comm_matrix_json() writes a rank x rank heatmap (total and
+/// per-collective) next to the Chrome trace; comm_matrix_summary() feeds
+/// the phase report's skew lines. Purely observational -- never feeds back
+/// into a computation.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aeqp::obs {
+
+/// One (collective, src, dst) cell of the communication matrix.
+struct CommEdge {
+  std::string collective;  ///< e.g. "allreduce_sum", "broadcast", "packed"
+  int src = 0;
+  int dst = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+};
+
+/// Record one logical transfer. `collective` must outlive the process
+/// (string literal). No-op unless obs::enabled().
+void comm_record(const char* collective, int src, int dst,
+                 std::uint64_t bytes);
+
+/// Record src's payload reaching every other rank of an all-to-all style
+/// collective (allreduce information flow). No-op unless obs::enabled().
+void comm_record_all(const char* collective, int src, int world_size,
+                     std::uint64_t bytes_per_dst);
+
+/// All recorded edges, sorted by (collective, src, dst). Deterministic for
+/// a given recording state.
+[[nodiscard]] std::vector<CommEdge> comm_edges();
+
+/// Total bytes sent by rank `src` across all collectives (heatmap row sum).
+[[nodiscard]] std::uint64_t comm_row_bytes(int src);
+
+/// Ranks x ranks heatmap JSON: world size, per-collective and total dense
+/// byte matrices (row = src, col = dst), message counts, and row/column
+/// totals with a skew summary. Empty matrices when nothing was recorded.
+[[nodiscard]] std::string comm_matrix_json(int indent = 0);
+
+/// Short human skew summary for the phase report ("comm matrix: P ranks,
+/// X MiB total, row skew max/mean = ..."). Empty string when nothing was
+/// recorded.
+[[nodiscard]] std::string comm_matrix_summary();
+
+/// Drop all recorded edges. For tests and back-to-back profiled runs.
+void reset_comm_matrix();
+
+/// Write comm_matrix_json() to `path`. Returns false on I/O failure.
+bool write_comm_matrix(const std::string& path);
+
+}  // namespace aeqp::obs

@@ -1,0 +1,238 @@
+#include "obs/flight.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "common/thread_ident.hpp"
+#include "obs/metrics.hpp"
+
+namespace aeqp::obs {
+
+namespace {
+
+constexpr std::size_t kSlots = 256;  ///< last-K window per thread
+
+/// One ring slot: every field an atomic so dump-time readers racing the
+/// owning writer are race-free. Relaxed stores, publication via the ring
+/// head's release store.
+struct Slot {
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::uint8_t> kind{0};
+  std::atomic<int> rank{-1};
+  std::atomic<double> ts_us{0.0};
+  std::atomic<double> value{0.0};
+};
+
+class FlightRing {
+public:
+  explicit FlightRing(std::size_t lane) : lane_(lane) {}
+
+  void push(const char* name, FlightKind kind, int rank, double ts_us,
+            double value) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    Slot& s = slots_[h % kSlots];
+    s.name.store(name, std::memory_order_relaxed);
+    s.kind.store(static_cast<std::uint8_t>(kind), std::memory_order_relaxed);
+    s.rank.store(rank, std::memory_order_relaxed);
+    s.ts_us.store(ts_us, std::memory_order_relaxed);
+    s.value.store(value, std::memory_order_relaxed);
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  void snapshot(std::vector<FlightEvent>& out) const {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    const std::uint64_t start = h > kSlots ? h - kSlots : 0;
+    for (std::uint64_t seq = start; seq < h; ++seq) {
+      const Slot& s = slots_[seq % kSlots];
+      FlightEvent e;
+      e.name = s.name.load(std::memory_order_relaxed);
+      e.kind = static_cast<FlightKind>(s.kind.load(std::memory_order_relaxed));
+      e.rank = s.rank.load(std::memory_order_relaxed);
+      e.ts_us = s.ts_us.load(std::memory_order_relaxed);
+      e.value = s.value.load(std::memory_order_relaxed);
+      e.lane = lane_;
+      e.seq = seq;
+      if (e.name != nullptr) out.push_back(e);
+    }
+  }
+
+  void clear() { head_.store(0, std::memory_order_release); }
+
+private:
+  std::size_t lane_;
+  std::atomic<std::uint64_t> head_{0};
+  std::array<Slot, kSlots> slots_;
+};
+
+struct FlightRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<FlightRing>> rings;
+  std::mutex dump_mutex;  ///< serializes concurrent post-mortem writes
+};
+
+FlightRegistry& registry() {
+  static FlightRegistry* r = new FlightRegistry();  // leaked: process lifetime
+  return *r;
+}
+
+thread_local std::shared_ptr<FlightRing> tl_ring;
+
+FlightRing& thread_ring() {
+  if (!tl_ring) {
+    FlightRegistry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    tl_ring = std::make_shared<FlightRing>(r.rings.size());
+    r.rings.push_back(tl_ring);
+  }
+  return *tl_ring;
+}
+
+const char* kind_name(FlightKind k) {
+  switch (k) {
+    case FlightKind::Begin: return "begin";
+    case FlightKind::End: return "end";
+    case FlightKind::Instant: return "instant";
+    case FlightKind::Metric: return "metric";
+    case FlightKind::Error: return "error";
+  }
+  return "unknown";
+}
+
+void append_escaped(std::ostringstream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << static_cast<char>(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+void flight_push(const TraceEvent& e) {
+  FlightKind k = FlightKind::Instant;
+  if (e.type == EventType::Begin) k = FlightKind::Begin;
+  else if (e.type == EventType::End) k = FlightKind::End;
+  thread_ring().push(e.name, k, e.rank, e.ts_us, 0.0);
+}
+
+}  // namespace detail
+
+void flight_metric(const char* name, double delta) {
+  if ((detail::gate() & detail::kGateFlight) == 0) return;
+  thread_ring().push(name, FlightKind::Metric, thread_rank(), now_us(), delta);
+}
+
+std::vector<FlightEvent> flight_events() {
+  std::vector<std::shared_ptr<FlightRing>> rings;
+  {
+    FlightRegistry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    rings = r.rings;
+  }
+  std::vector<FlightEvent> out;
+  for (const auto& ring : rings) ring->snapshot(out);
+  // snapshot() appends per ring in registration order, each in seq order,
+  // so the merge is deterministic for a given recorded state.
+  return out;
+}
+
+std::size_t flight_lane_count() {
+  FlightRegistry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  return r.rings.size();
+}
+
+std::string flight_json(const char* error_kind, const std::string& what) {
+  std::ostringstream os;
+  os << "{\n  \"schema_version\": 1,\n";
+  os << "  \"error\": {\"kind\": \"";
+  append_escaped(os, error_kind);
+  os << "\", \"what\": \"";
+  append_escaped(os, what.c_str());
+  os << "\"},\n";
+  os << "  \"events\": [";
+  bool first = true;
+  for (const FlightEvent& e : flight_events()) {
+    os << (first ? "" : ",") << "\n    {\"lane\": " << e.lane
+       << ", \"seq\": " << e.seq << ", \"name\": \"";
+    append_escaped(os, e.name);
+    os << "\", \"kind\": \"" << kind_name(e.kind) << "\", \"rank\": " << e.rank
+       << ", \"ts_us\": " << e.ts_us << ", \"value\": " << e.value << "}";
+    first = false;
+  }
+  if (!first) os << "\n  ";
+  os << "],\n";
+  os << "  \"metrics\": [";
+  first = true;
+  for (const MetricSample& m : metrics_snapshot()) {
+    os << (first ? "" : ",") << "\n    {\"name\": \"";
+    append_escaped(os, m.name.c_str());
+    os << "\", \"value\": " << m.value << "}";
+    first = false;
+  }
+  if (!first) os << "\n  ";
+  os << "]\n}\n";
+  return os.str();
+}
+
+void flight_on_error(const char* error_kind, const std::string& what) noexcept {
+  try {
+    if ((detail::gate() & detail::kGateFlight) == 0) return;
+    thread_ring().push(error_kind, FlightKind::Error, thread_rank(), now_us(),
+                       0.0);
+    const std::string body = flight_json(error_kind, what);
+    const char* env = std::getenv("AEQP_FLIGHT_FILE");
+    const std::string path = (env != nullptr && *env != '\0') ? env
+                                                              : "flight.json";
+    {
+      // Latest error wins, but two concurrent dumps must not interleave.
+      FlightRegistry& r = registry();
+      const std::lock_guard<std::mutex> lock(r.dump_mutex);
+      if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+        std::fwrite(body.data(), 1, body.size(), f);
+        std::fclose(f);
+      }
+    }
+    static Counter& dumps = counter("flight/dumps");
+    dumps.increment();
+  } catch (...) {
+    // Already on an error path; the post-mortem is best effort.
+  }
+}
+
+std::uint64_t flight_dump_count() {
+  static Counter& dumps = counter("flight/dumps");
+  return dumps.value();
+}
+
+void reset_flight() {
+  std::vector<std::shared_ptr<FlightRing>> rings;
+  {
+    FlightRegistry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    rings = r.rings;
+  }
+  for (const auto& ring : rings) ring->clear();
+}
+
+}  // namespace aeqp::obs

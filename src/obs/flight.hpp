@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file flight.hpp
+/// Per-rank flight recorder: a lock-free ring holding the last K spans,
+/// instants, and metric deltas each thread recorded, dumped to a
+/// post-mortem JSON the moment a structured error escapes (RankFailure,
+/// InvariantViolation, AbftError, PayloadCorruption, DeadlineExceeded).
+/// Chaos-soak and service failures become diagnosable after the fact
+/// without paying for full tracing: the ring is bounded, so an armed
+/// recorder costs a handful of relaxed stores per event regardless of run
+/// length.
+///
+/// Gating shares the trace layer's single combined gate atomic (bit 2 =
+/// flight, env var AEQP_FLIGHT=on, overridable with set_flight): when both
+/// tracing and the recorder are off, a TraceScope or trace_instant still
+/// costs exactly one relaxed atomic load. With only the recorder armed,
+/// span Begin/End and instants are captured into the ring and nothing is
+/// allocated in the trace buffers.
+///
+/// Ring slots are structs of relaxed atomics and the head is published
+/// with a release store, so concurrent dump-time readers are race-free
+/// (TSan-clean). A reader racing a very active writer may observe a slot
+/// mixing two generations -- acceptable for a best-effort post-mortem,
+/// and error paths are quiescent in practice.
+///
+/// flight_on_error(kind, what) is the hook error paths call from catch
+/// blocks: it records an Error event, dumps the ring plus a metrics
+/// snapshot to AEQP_FLIGHT_FILE (default "flight.json", latest error
+/// wins), and bumps the flight/dumps counter. It never throws.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace aeqp::obs {
+
+namespace detail {
+/// Capture a trace-layer event into the recording thread's ring (called
+/// by detail::record when the flight bit is set).
+void flight_push(const TraceEvent& e);
+}  // namespace detail
+
+/// Programmatic override of the flight bit (tests, services). Takes
+/// effect immediately; trace mode bits are untouched.
+void set_flight(bool on);
+
+/// Record a named metric delta into the ring (e.g. bytes this flush,
+/// retries this attempt). One relaxed atomic load and out when the
+/// recorder is off. `name` must outlive the process (string literal).
+void flight_metric(const char* name, double delta);
+
+/// What one ring entry is.
+enum class FlightKind : std::uint8_t {
+  Begin = 0,
+  End = 1,
+  Instant = 2,
+  Metric = 3,
+  Error = 4,
+};
+
+/// One recovered ring entry.
+struct FlightEvent {
+  const char* name = nullptr;
+  FlightKind kind = FlightKind::Instant;
+  int rank = -1;
+  double ts_us = 0.0;
+  double value = 0.0;       ///< metric delta (Metric entries only)
+  std::size_t lane = 0;     ///< ring registration order (stable)
+  std::uint64_t seq = 0;    ///< monotonic position within its ring
+};
+
+/// Snapshot of every ring's surviving entries, ordered by (lane, seq).
+[[nodiscard]] std::vector<FlightEvent> flight_events();
+
+/// Number of rings ever registered (one per thread that recorded at least
+/// one event while armed). Exposed so tests can assert the disabled path
+/// allocates nothing.
+[[nodiscard]] std::size_t flight_lane_count();
+
+/// Post-mortem hook: record an Error entry, then dump the ring and a
+/// metrics snapshot as JSON to AEQP_FLIGHT_FILE (default "flight.json").
+/// Never throws; failures to write are swallowed (we are already on an
+/// error path). No-op when the recorder is off.
+void flight_on_error(const char* error_kind, const std::string& what) noexcept;
+
+/// Dumps performed so far (mirrors the flight/dumps counter).
+[[nodiscard]] std::uint64_t flight_dump_count();
+
+/// The JSON body a dump writes (schema in docs/observability.md). For
+/// tests and exporters wanting the dump without the file.
+[[nodiscard]] std::string flight_json(const char* error_kind,
+                                      const std::string& what);
+
+/// Drop all ring contents (rings stay registered). For tests.
+void reset_flight();
+
+}  // namespace aeqp::obs

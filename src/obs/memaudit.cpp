@@ -1,0 +1,124 @@
+#include "obs/memaudit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+
+namespace aeqp::obs {
+
+namespace detail {
+std::atomic<int> g_memaudit{-1};
+}  // namespace detail
+
+namespace {
+
+struct MemState {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<MemGauge>> gauges;
+  bool source_registered = false;
+};
+
+MemState& state() {
+  static MemState* s = new MemState();  // leaked: process lifetime
+  return *s;
+}
+
+void export_gauges(std::vector<MetricSample>& out) {
+  for (const MemGaugeSample& g : mem_snapshot()) {
+    out.push_back({"mem/" + g.name + "/current_bytes",
+                   static_cast<double>(g.current_bytes)});
+    out.push_back(
+        {"mem/" + g.name + "/peak_bytes", static_cast<double>(g.peak_bytes)});
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+bool init_memaudit_from_env() {
+  const char* env = std::getenv("AEQP_MEMAUDIT");
+  int on = 0;
+  if (env != nullptr &&
+      (std::strcmp(env, "on") == 0 || std::strcmp(env, "1") == 0)) {
+    on = 1;
+  }
+  // First initializer wins; a concurrent set_memaudit is not overwritten.
+  int expected = -1;
+  if (!g_memaudit.compare_exchange_strong(expected, on,
+                                          std::memory_order_relaxed)) {
+    on = expected;
+  }
+  return on != 0;
+}
+
+}  // namespace detail
+
+void set_memaudit(bool on) {
+  detail::g_memaudit.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+MemGauge& mem_gauge(const char* name) {
+  MemState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  if (!s.source_registered) {
+    // Folded into the metrics registry on first gauge creation, so runs
+    // that never arm the audit contribute nothing to metrics_snapshot().
+    add_metrics_source(export_gauges);
+    s.source_registered = true;
+  }
+  auto& slot = s.gauges[name];
+  if (!slot) slot = std::make_unique<MemGauge>();
+  return *slot;
+}
+
+std::vector<MemGaugeSample> mem_snapshot() {
+  MemState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  std::vector<MemGaugeSample> out;
+  out.reserve(s.gauges.size());
+  for (const auto& [name, g] : s.gauges)
+    out.push_back({name, g->current(), g->peak()});
+  return out;  // std::map iteration is already name-sorted
+}
+
+std::size_t registered_gauge_count() {
+  MemState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return s.gauges.size();
+}
+
+void reset_mem_gauges() {
+  MemState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  for (auto& [name, g] : s.gauges) g->reset();
+}
+
+double fit_scaling_exponent(std::span<const double> n,
+                            std::span<const double> bytes) {
+  const std::size_t count = std::min(n.size(), bytes.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t valid = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!(n[i] > 0.0) || !(bytes[i] > 0.0)) continue;
+    const double x = std::log(n[i]);
+    const double y = std::log(bytes[i]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++valid;
+  }
+  if (valid < 2) return 0.0;
+  const double denom = valid * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return 0.0;  // all sizes equal
+  return (valid * sxy - sx * sy) / denom;
+}
+
+}  // namespace aeqp::obs

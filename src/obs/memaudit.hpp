@@ -1,0 +1,190 @@
+#pragma once
+
+/// \file memaudit.hpp
+/// Registered-scope byte accounting for every per-rank structure that grows
+/// with global N -- the audit ROADMAP item 3 asks for ("we cannot shard
+/// what we cannot see"). Owners of N-scaling state register the bytes they
+/// hold against a named gauge:
+///
+///   obs::MemScope mem("basis/spline_tables");   // RAII registration
+///   mem.add(samples.capacity() * sizeof(double));
+///   // ... destructor releases everything it added
+///
+///   obs::mem_track("dfpt/p1_replicated", +bytes);  // manual delta
+///   obs::mem_peak("resilience/checkpoint_frame", bytes);  // transient blob
+///
+/// Each gauge is a pair of relaxed atomics (current bytes, peak bytes);
+/// concurrent rank threads add and subtract deltas, so `current` is the sum
+/// over live owners and `peak` the process high-water mark. Gauges fold
+/// into the existing metrics registry as "mem/<name>/current_bytes" and
+/// "mem/<name>/peak_bytes" samples, so every exporter (phase report,
+/// profile_json, bench JSON embeds) carries them for free.
+///
+/// Gating mirrors AEQP_TRACE: the env var AEQP_MEMAUDIT (off | on, read
+/// once on first use, overridable with set_memaudit) arms the layer; when
+/// off every site costs exactly one relaxed atomic load -- no gauge is
+/// created, no registry touched, nothing recorded. The audit observes and
+/// never feeds back into a computation: a run with AEQP_MEMAUDIT=on is
+/// bit-for-bit identical to an unaudited run (asserted in test_obs).
+///
+/// Gauge names must be string literals (or otherwise outlive the process):
+/// the registry stores the pointer for hot-path lookup caching. Naming
+/// convention "module/structure", e.g. "basis/spline_tables".
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace aeqp::obs {
+
+namespace detail {
+/// -1 = not yet initialized from AEQP_MEMAUDIT.
+extern std::atomic<int> g_memaudit;
+bool init_memaudit_from_env();
+}  // namespace detail
+
+/// Whether the memory audit is armed. One relaxed atomic load (the whole
+/// cost of an instrumentation site when the audit is off).
+[[nodiscard]] inline bool memaudit_enabled() {
+  const int m = detail::g_memaudit.load(std::memory_order_relaxed);
+  if (m >= 0) return m != 0;
+  return detail::init_memaudit_from_env();
+}
+
+/// Programmatic override (tests, benches). Takes effect immediately.
+void set_memaudit(bool on);
+
+/// One byte gauge: current = sum of outstanding deltas, peak = high-water.
+/// Obtain via mem_gauge(); references stay valid for the process lifetime.
+class MemGauge {
+public:
+  /// Apply a signed delta to `current` and raise `peak` to the new value.
+  /// Relaxed atomics: purely observational, never ordering-critical.
+  void add(std::int64_t delta) {
+    const std::int64_t now =
+        current_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    raise_peak(now);
+  }
+
+  /// Raise `peak` to at least `bytes` without touching `current` -- the
+  /// hook for transient allocations (serialized checkpoint frames) whose
+  /// lifetime is too short for delta tracking to mean anything.
+  void note_peak(std::int64_t bytes) { raise_peak(bytes); }
+
+  [[nodiscard]] std::int64_t current() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t peak() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    current_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  void raise_peak(std::int64_t now) {
+    std::int64_t prev = peak_.load(std::memory_order_relaxed);
+    while (now > prev &&
+           !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+    }
+  }
+  std::atomic<std::int64_t> current_{0};
+  std::atomic<std::int64_t> peak_{0};
+};
+
+/// Look up (creating on first use) the process-wide gauge `name`. The
+/// lookup takes a mutex -- cache the reference outside loops. `name` must
+/// outlive the process (string literal).
+[[nodiscard]] MemGauge& mem_gauge(const char* name);
+
+/// Apply a delta to gauge `name` when the audit is armed; single relaxed
+/// atomic load and out when it is not.
+inline void mem_track(const char* name, std::int64_t delta_bytes) {
+  if (!memaudit_enabled()) return;
+  mem_gauge(name).add(delta_bytes);
+}
+
+/// Record a transient allocation's size into gauge `name`'s peak only.
+inline void mem_peak(const char* name, std::int64_t bytes) {
+  if (!memaudit_enabled()) return;
+  mem_gauge(name).note_peak(bytes);
+}
+
+/// RAII byte registration: everything add()ed through this object is
+/// subtracted from the gauge when the object is destroyed, so owners (a
+/// BasisSet, a rank thread's solve scope) cannot leak accounting. Movable;
+/// a moved-from scope releases nothing. In off mode every method is a
+/// single relaxed atomic load.
+class MemScope {
+public:
+  MemScope() = default;
+  explicit MemScope(const char* name) : name_(name) {}
+  ~MemScope() { release(); }
+  MemScope(MemScope&& o) noexcept : name_(o.name_), held_(o.held_) {
+    o.name_ = nullptr;
+    o.held_ = 0;
+  }
+  MemScope& operator=(MemScope&& o) noexcept {
+    if (this != &o) {
+      release();
+      name_ = o.name_;
+      held_ = o.held_;
+      o.name_ = nullptr;
+      o.held_ = 0;
+    }
+    return *this;
+  }
+  MemScope(const MemScope&) = delete;
+  MemScope& operator=(const MemScope&) = delete;
+
+  /// Account `bytes` against the gauge for the rest of this scope's life.
+  void add(std::int64_t bytes) {
+    if (name_ == nullptr || !memaudit_enabled()) return;
+    held_ += bytes;
+    mem_gauge(name_).add(bytes);
+  }
+
+  [[nodiscard]] std::int64_t held() const { return held_; }
+  [[nodiscard]] const char* name() const { return name_; }
+
+  /// Release everything held now instead of at destruction. Idempotent.
+  void release() {
+    if (name_ != nullptr && held_ != 0) mem_gauge(name_).add(-held_);
+    held_ = 0;
+  }
+
+private:
+  const char* name_ = nullptr;
+  std::int64_t held_ = 0;
+};
+
+/// Snapshot of one gauge, for exporters and the fig09a memory bench.
+struct MemGaugeSample {
+  std::string name;
+  std::int64_t current_bytes = 0;
+  std::int64_t peak_bytes = 0;
+};
+
+/// All registered gauges, sorted by name. Deterministic for a given
+/// registry state. Empty when the audit never armed.
+[[nodiscard]] std::vector<MemGaugeSample> mem_snapshot();
+
+/// Number of gauges ever registered. Exposed so tests can assert the
+/// off-mode path registers nothing.
+[[nodiscard]] std::size_t registered_gauge_count();
+
+/// Zero every gauge (registrations stay). For tests and back-to-back
+/// bench sweeps.
+void reset_mem_gauges();
+
+/// Least-squares slope of log(bytes) vs log(n): the scaling exponent of a
+/// structure's footprint (1 = O(N), 2 = O(N^2), ~0 = replication-free).
+/// Requires >= 2 samples with positive n and bytes; returns 0 otherwise.
+[[nodiscard]] double fit_scaling_exponent(std::span<const double> n,
+                                          std::span<const double> bytes);
+
+}  // namespace aeqp::obs

@@ -9,6 +9,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/comm_matrix.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -212,6 +213,8 @@ void write_phase_report(std::ostream& os, const std::string& label) {
       os << "  " << std::left << std::setw(34) << m.name << " "
          << format_number(m.value) << "\n";
   }
+  if (const std::string comm = comm_matrix_summary(); !comm.empty())
+    os << comm << "\n";
   os.unsetf(std::ios::fixed);
   os << std::setprecision(6);
 }
@@ -249,11 +252,14 @@ ScopedRunProfile::ScopedRunProfile(std::string label)
     : label_(std::move(label)) {
   const char* env = std::getenv("AEQP_TRACE_FILE");
   trace_path_ = env && *env ? env : "trace.json";
+  const char* cenv = std::getenv("AEQP_COMM_MATRIX_FILE");
+  comm_matrix_path_ = cenv && *cenv ? cenv : "comm_matrix.json";
   if (mode() == TraceMode::Off) {
     finished_ = true;  // nothing to emit later
     return;
   }
   reset();
+  reset_comm_matrix();
 }
 
 ScopedRunProfile::~ScopedRunProfile() { finish(); }
@@ -266,6 +272,15 @@ void ScopedRunProfile::finish() {
       std::cerr << "[aeqp obs] wrote " << trace_path_ << "\n";
     else
       std::cerr << "[aeqp obs] could not write " << trace_path_ << "\n";
+    // Heatmap JSON rides next to the Chrome trace whenever any collective
+    // recorded an edge.
+    if (!comm_edges().empty()) {
+      if (write_comm_matrix(comm_matrix_path_))
+        std::cerr << "[aeqp obs] wrote " << comm_matrix_path_ << "\n";
+      else
+        std::cerr << "[aeqp obs] could not write " << comm_matrix_path_
+                  << "\n";
+    }
   }
   write_phase_report(std::cerr, label_);
 }

@@ -9,11 +9,12 @@
 #include <mutex>
 
 #include "common/thread_ident.hpp"
+#include "obs/flight.hpp"
 
 namespace aeqp::obs {
 
 namespace detail {
-std::atomic<int> g_mode{-1};
+std::atomic<int> g_gate{-1};
 }  // namespace detail
 
 namespace {
@@ -116,32 +117,48 @@ TraceBuffer& thread_buffer() {
 
 namespace detail {
 
-TraceMode init_mode_from_env() {
-  TraceMode m = TraceMode::Off;
+int init_gate_from_env() {
+  int gate = 0;
   if (const char* env = std::getenv("AEQP_TRACE")) {
-    if (std::strcmp(env, "summary") == 0) m = TraceMode::Summary;
-    else if (std::strcmp(env, "full") == 0) m = TraceMode::Full;
-    // anything else (incl. "off") stays Off
+    if (std::strcmp(env, "summary") == 0)
+      gate |= static_cast<int>(TraceMode::Summary);
+    else if (std::strcmp(env, "full") == 0)
+      gate |= static_cast<int>(TraceMode::Full);
+    // anything else (incl. "off") leaves the mode bits Off
+  }
+  if (const char* env = std::getenv("AEQP_FLIGHT")) {
+    if (std::strcmp(env, "on") == 0 || std::strcmp(env, "1") == 0)
+      gate |= kGateFlight;
   }
   int expected = -1;
-  g_mode.compare_exchange_strong(expected, static_cast<int>(m),
-                                 std::memory_order_relaxed);
-  return static_cast<TraceMode>(g_mode.load(std::memory_order_relaxed));
+  g_gate.compare_exchange_strong(expected, gate, std::memory_order_relaxed);
+  return g_gate.load(std::memory_order_relaxed);
 }
 
 void record(const char* name, EventType type) {
+  const int g = gate();
   TraceEvent e;
   e.name = name;
   e.type = type;
   e.rank = thread_rank();
   e.ts_us = now_us();
-  thread_buffer().push(e);
+  if ((g & kGateModeMask) != 0) thread_buffer().push(e);
+  if ((g & kGateFlight) != 0) flight_push(e);
 }
 
 }  // namespace detail
 
 void set_mode(TraceMode m) {
-  detail::g_mode.store(static_cast<int>(m), std::memory_order_relaxed);
+  const int g = detail::gate();  // forces env init so the flight bit holds
+  detail::g_gate.store((g & ~detail::kGateModeMask) | static_cast<int>(m),
+                       std::memory_order_relaxed);
+}
+
+void set_flight(bool on) {
+  const int g = detail::gate();
+  detail::g_gate.store(on ? (g | detail::kGateFlight)
+                          : (g & ~detail::kGateFlight),
+                       std::memory_order_relaxed);
 }
 
 double now_us() {
@@ -151,7 +168,7 @@ double now_us() {
 }
 
 void trace_instant(const char* name) {
-  if (mode() == TraceMode::Off) return;
+  if (detail::gate() == 0) return;
   detail::record(name, EventType::Instant);
 }
 

@@ -16,6 +16,11 @@
 ///   full     additionally exportable as Chrome trace-event JSON
 ///            (chrome://tracing / Perfetto), one lane per rank x thread.
 ///
+/// The flight recorder (obs/flight.hpp, AEQP_FLIGHT) shares this layer's
+/// single gate atomic: spans and instants are captured into the per-thread
+/// post-mortem ring when its bit is set, and a site where both layers are
+/// off still costs exactly one relaxed atomic load.
+///
 /// The hot path is lock-free for the recording thread: each thread owns a
 /// chunked buffer it alone appends to; the event count is published with a
 /// release store so collectors (which run at quiescent points) only read
@@ -38,24 +43,40 @@ namespace aeqp::obs {
 enum class TraceMode { Off = 0, Summary = 1, Full = 2 };
 
 namespace detail {
-/// -1 = not yet initialized from the environment.
-extern std::atomic<int> g_mode;
-/// Slow path of mode(): parse AEQP_TRACE once.
-TraceMode init_mode_from_env();
+/// One combined gate for the trace and flight-recorder layers so a site
+/// that feeds both (TraceScope, trace_instant) still costs exactly one
+/// relaxed atomic load when everything is off. Bits 0-1 hold the
+/// TraceMode, bit 2 the flight-recorder arm bit. -1 = not yet
+/// initialized from the environment (AEQP_TRACE + AEQP_FLIGHT).
+constexpr int kGateModeMask = 3;
+constexpr int kGateFlight = 4;
+extern std::atomic<int> g_gate;
+/// Slow path of gate(): parse AEQP_TRACE and AEQP_FLIGHT once.
+int init_gate_from_env();
+
+[[nodiscard]] inline int gate() {
+  const int g = g_gate.load(std::memory_order_relaxed);
+  if (g >= 0) return g;
+  return init_gate_from_env();
+}
 }  // namespace detail
 
 /// Current trace mode (lazily initialized from AEQP_TRACE).
 [[nodiscard]] inline TraceMode mode() {
-  const int m = detail::g_mode.load(std::memory_order_relaxed);
-  if (m >= 0) return static_cast<TraceMode>(m);
-  return detail::init_mode_from_env();
+  return static_cast<TraceMode>(detail::gate() & detail::kGateModeMask);
 }
 
 /// Programmatic override (tests, benches). Takes effect immediately for
-/// spans opened afterwards.
+/// spans opened afterwards. The flight-recorder bit is untouched.
 void set_mode(TraceMode m);
 
 [[nodiscard]] inline bool enabled() { return mode() != TraceMode::Off; }
+
+/// Whether the flight recorder (obs/flight.hpp) is armed. Same single
+/// gate load as mode().
+[[nodiscard]] inline bool flight_enabled() {
+  return (detail::gate() & detail::kGateFlight) != 0;
+}
 
 /// What one recorded event is.
 enum class EventType : std::uint8_t { Begin, End, Instant };
@@ -86,7 +107,7 @@ void record(const char* name, EventType type);
 class TraceScope {
 public:
   explicit TraceScope(const char* name) {
-    if (mode() == TraceMode::Off) return;
+    if (detail::gate() == 0) return;  // neither tracing nor flight armed
     name_ = name;
     detail::record(name, EventType::Begin);
   }
@@ -112,7 +133,7 @@ public:
 
   void begin(const char* name) {
     end();
-    if (mode() == TraceMode::Off) return;
+    if (detail::gate() == 0) return;
     name_ = name;
     detail::record(name, EventType::Begin);
   }

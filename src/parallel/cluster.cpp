@@ -6,12 +6,43 @@
 #include <thread>
 
 #include "common/crc32.hpp"
+#include "common/error.hpp"
 #include "common/task_scope.hpp"
+#include "obs/comm_matrix.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/fault.hpp"
 
 namespace aeqp::parallel {
+
+namespace {
+
+/// Post-mortem hook for structured errors escaping Cluster::run: classify
+/// the exception and hand the flight recorder its kind so the dump names
+/// what killed the run.
+void flight_dump_for(const std::exception_ptr& error) {
+  if (!obs::flight_enabled()) return;
+  try {
+    std::rethrow_exception(error);
+  } catch (const RankFailure& e) {
+    obs::flight_on_error("RankFailure", e.what());
+  } catch (const CollectiveTimeout& e) {
+    obs::flight_on_error("CollectiveTimeout", e.what());
+  } catch (const PayloadCorruption& e) {
+    obs::flight_on_error("PayloadCorruption", e.what());
+  } catch (const InvariantViolation& e) {
+    obs::flight_on_error("InvariantViolation", e.what());
+  } catch (const DeadlineExceeded& e) {
+    obs::flight_on_error("DeadlineExceeded", e.what());
+  } catch (const std::exception& e) {
+    obs::flight_on_error("Error", e.what());
+  } catch (...) {
+    obs::flight_on_error("Error", "non-standard exception");
+  }
+}
+
+}  // namespace
 
 Cluster::Cluster(std::size_t n_ranks, std::size_t ranks_per_node)
     : Cluster(n_ranks, ranks_per_node, {}) {}
@@ -224,9 +255,15 @@ void Cluster::run(const std::function<void(Communicator&)>& fn) {
   }
   // Prefer the originating failure; the RankFailures it triggered on the
   // other ranks are secondary.
-  if (root) std::rethrow_exception(root);
+  if (root) {
+    flight_dump_for(root);
+    std::rethrow_exception(root);
+  }
   for (const auto& e : errors)
-    if (e) std::rethrow_exception(e);
+    if (e) {
+      flight_dump_for(e);
+      std::rethrow_exception(e);
+    }
 }
 
 std::size_t Communicator::size() const { return cluster_->n_ranks_; }
@@ -308,6 +345,11 @@ void Communicator::node_barrier() {
 void Communicator::allreduce_sum(std::span<double> data) {
   AEQP_TRACE_SCOPE("comm/allreduce_sum");
   enter_collective("allreduce_sum", data);
+  // Information flow of the reduction: this rank's contribution reaches
+  // every other rank, whatever tree the transport would use.
+  obs::comm_record_all("allreduce_sum", static_cast<int>(rank_),
+                       static_cast<int>(size()),
+                       data.size() * sizeof(double));
   {
     std::lock_guard<std::mutex> lock(cluster_->reduce_mutex_);
     if (cluster_->reduce_arrivals_ == 0) {
@@ -335,6 +377,9 @@ void Communicator::allreduce_sum(std::span<double> data) {
 void Communicator::allreduce_max(std::span<double> data) {
   AEQP_TRACE_SCOPE("comm/allreduce_max");
   enter_collective("allreduce_max", data);
+  obs::comm_record_all("allreduce_max", static_cast<int>(rank_),
+                       static_cast<int>(size()),
+                       data.size() * sizeof(double));
   {
     std::lock_guard<std::mutex> lock(cluster_->reduce_mutex_);
     if (cluster_->reduce_arrivals_ == 0) {
@@ -365,6 +410,13 @@ void Communicator::allreduce_sum_leaders(std::span<double> data) {
   const bool leader = node_rank() == 0;
   enter_collective("allreduce_sum_leaders",
                    leader ? data : std::span<double>{});
+  if (leader && obs::enabled()) {
+    // Leaders exchange among themselves only; follower rows stay zero.
+    for (std::size_t dst = 0; dst < size(); dst += cluster_->ranks_per_node_)
+      if (dst != rank_)
+        obs::comm_record("allreduce_sum_leaders", static_cast<int>(rank_),
+                         static_cast<int>(dst), data.size() * sizeof(double));
+  }
   if (leader) {
     std::lock_guard<std::mutex> lock(cluster_->reduce_mutex_);
     if (cluster_->reduce_arrivals_ == 0) {
@@ -394,6 +446,10 @@ void Communicator::broadcast(std::span<double> data, std::size_t root) {
   AEQP_TRACE_SCOPE("comm/broadcast");
   AEQP_CHECK(root < size(), "broadcast: root out of range");
   enter_collective("broadcast", rank_ == root ? data : std::span<double>{});
+  if (rank_ == root)
+    obs::comm_record_all("broadcast", static_cast<int>(root),
+                         static_cast<int>(size()),
+                         data.size() * sizeof(double));
   if (rank_ == root)
     cluster_->bcast_buffer_.assign(data.begin(), data.end());
   cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_);

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "obs/memaudit.hpp"
 #include "obs/trace.hpp"
 
 namespace aeqp::resilience {
@@ -65,6 +66,12 @@ void BuddyReplicator::replicate(parallel::Communicator& comm,
       std::lock_guard<std::mutex> lock(mutex_);
       AEQP_CHECK(owner < blobs_.size(),
                  "BuddyReplicator: original rank out of range");
+      // Delta-track resident replica bytes: a refresh replaces the slot.
+      obs::mem_track(
+          "resilience/buddy_replicas",
+          static_cast<std::int64_t>(nbytes) -
+              static_cast<std::int64_t>(
+                  blobs_[owner] ? blobs_[owner]->bytes.size() : 0));
       blobs_[owner] = std::move(stored);
       ++stats_.blobs_mirrored;
       stats_.bytes_mirrored += nbytes;
@@ -88,6 +95,8 @@ std::size_t BuddyReplicator::drop_holder(std::size_t original_rank) {
   std::size_t dropped = 0;
   for (auto& blob : blobs_) {
     if (blob && blob->holder == original_rank) {
+      obs::mem_track("resilience/buddy_replicas",
+                     -static_cast<std::int64_t>(blob->bytes.size()));
       blob.reset();
       ++dropped;
     }

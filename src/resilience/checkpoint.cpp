@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "obs/memaudit.hpp"
 #include "obs/trace.hpp"
 
 namespace aeqp::resilience {
@@ -250,11 +251,19 @@ std::filesystem::path CheckpointStore::path_of(const std::string& key) const {
 }
 
 std::vector<unsigned char> serialize(const CpscfCheckpoint& ckpt) {
-  return frame(kKindCpscf, encode(ckpt));
+  auto blob = frame(kKindCpscf, encode(ckpt));
+  // Frames are transient (handed to the buddy ring or a writer and then
+  // dropped), so only the high-water mark is meaningful.
+  obs::mem_peak("resilience/checkpoint_frame",
+                static_cast<std::int64_t>(blob.size()));
+  return blob;
 }
 
 std::vector<unsigned char> serialize(const ScfCheckpoint& ckpt) {
-  return frame(kKindScf, encode(ckpt));
+  auto blob = frame(kKindScf, encode(ckpt));
+  obs::mem_peak("resilience/checkpoint_frame",
+                static_cast<std::int64_t>(blob.size()));
+  return blob;
 }
 
 CpscfCheckpoint deserialize_cpscf(std::span<const unsigned char> blob,

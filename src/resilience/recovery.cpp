@@ -13,6 +13,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "linalg/abft.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 #include "parallel/cluster.hpp"
 #include "resilience/buddy.hpp"
@@ -212,6 +213,10 @@ auto run_recovered(CheckpointStore& store, const RecoveryOptions& ropt,
       // elastic shrink the budget runs out against it. Surface the failure
       // structurally so callers can identify the culprit rank (RankFailure
       // derives from Error, so untyped handlers still work).
+      // Retry exhaustion is terminal for the job: dump the flight recorder
+      // before the structured error escapes to the caller.
+      obs::flight_on_error(last_rank_failure ? "RankFailure" : "Error",
+                           msg.str());
       if (last_rank_failure)
         throw parallel::RankFailure(last_failed_rank, last_observer_rank,
                                     msg.str());
@@ -434,6 +439,7 @@ core::ParallelDfptResult run_elastic(CheckpointStore& store,
                " floor ("
             << ropt.min_ranks << "); retry budget abandoned for direction "
             << direction << ", last failure: " << last_reason;
+        obs::flight_on_error("RankFailure", msg.str());
         throw parallel::RankFailure(repeat_rank, last_observer_rank,
                                     msg.str());
       }
@@ -464,6 +470,8 @@ core::ParallelDfptResult run_elastic(CheckpointStore& store,
           << stats.faults_detected << " faults detected, " << stats.shrinks
           << " shrinks, " << stats.restores
           << " checkpoint restores, last failure: " << last_reason;
+      obs::flight_on_error(last_rank_failure ? "RankFailure" : "Error",
+                           msg.str());
       if (last_rank_failure)
         throw parallel::RankFailure(
             last_failed_original == kNone ? 0 : last_failed_original,

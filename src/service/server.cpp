@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "linalg/abft.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 #include "parallel/cluster.hpp"
 
@@ -423,18 +424,23 @@ void SolveServer::execute(JobRecord& rec) {
       out.state = JobState::Failed;
       out.error = last_error;
       out.error_kind = last_kind;
+      // Terminal for this job: every degradation rung failed. Dump the
+      // flight recorder so the post-mortem shows the run-up.
+      obs::flight_on_error(out.error_kind.c_str(), out.error);
     }
   } catch (const DeadlineExceeded& e) {
     out.state = JobState::DeadlineExpired;
     out.error = e.what();
     out.error_kind = "DeadlineExceeded";
     obs::trace_instant("service/deadline");
+    obs::flight_on_error("DeadlineExceeded", out.error);
   } catch (const std::exception& e) {
     // Job-boundary isolation: any escape becomes THIS job's structured
     // failure; the worker, the queue, and sibling jobs are unaffected.
     out.state = JobState::Failed;
     out.error = e.what();
     out.error_kind = classify(e);
+    obs::flight_on_error(out.error_kind.c_str(), out.error);
   }
 
   out.abft = abft_scope.stats();

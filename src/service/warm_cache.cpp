@@ -5,12 +5,30 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/memaudit.hpp"
 #include "obs/trace.hpp"
 #include "resilience/checkpoint.hpp"
 
 namespace aeqp::service {
 
 namespace {
+
+/// Resident bytes of a cached ground-state entry: the dense matrices and
+/// vectors of the ScfResult plus the grid-sampled density. The tabulation
+/// machinery behind the result (splines, Lebedev tables) is shared state
+/// not owned by the cache slot, so it is not charged here.
+std::int64_t ground_entry_bytes(const scf::ScfResult& r) {
+  const auto mat = [](const linalg::Matrix& m) {
+    return static_cast<std::int64_t>(m.rows() * m.cols() * sizeof(double));
+  };
+  const auto vec = [](const linalg::Vector& v) {
+    return static_cast<std::int64_t>(v.size() * sizeof(double));
+  };
+  return mat(r.coefficients) + mat(r.density_matrix) + mat(r.overlap) +
+         mat(r.hamiltonian) + vec(r.eigenvalues) + vec(r.occupations) +
+         static_cast<std::int64_t>(r.density_samples.capacity() *
+                                   sizeof(double));
+}
 
 constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
 constexpr std::uint64_t kFnvPrime = 1099511628211ull;
@@ -98,13 +116,19 @@ void WarmCache::put_ground(std::uint64_t key,
   const std::lock_guard<std::mutex> lk(mutex_);
   if (options_.ground_capacity == 0) return;
   if (const auto it = ground_.find(key); it != ground_.end()) {
+    obs::mem_track("service/warm_cache",
+                   ground_entry_bytes(*ground) -
+                       ground_entry_bytes(*it->second->ground));
     it->second->ground = std::move(ground);
     ground_lru_.splice(ground_lru_.begin(), ground_lru_, it->second);
     return;
   }
+  obs::mem_track("service/warm_cache", ground_entry_bytes(*ground));
   ground_lru_.push_front({key, std::move(ground)});
   ground_.emplace(key, ground_lru_.begin());
   while (ground_lru_.size() > options_.ground_capacity) {
+    obs::mem_track("service/warm_cache",
+                   -ground_entry_bytes(*ground_lru_.back().ground));
     ground_.erase(ground_lru_.back().key);
     ground_lru_.pop_back();
     ++stats_.evictions;
@@ -131,6 +155,9 @@ std::optional<scf::ScfWarmStart> WarmCache::find_density(std::uint64_t key) {
   } catch (const Error&) {
     // Corruption-safe invalidation: a poisoned entry is dropped and the
     // caller recomputes -- it is never served, and it never kills the job.
+    obs::mem_track(
+        "service/warm_cache",
+        -static_cast<std::int64_t>(it->second->framed.size()));
     density_lru_.erase(it->second);
     density_.erase(it);
     ++stats_.poisoned_dropped;
@@ -151,13 +178,21 @@ void WarmCache::put_density(std::uint64_t key,
   const std::lock_guard<std::mutex> lk(mutex_);
   if (options_.density_capacity == 0) return;
   if (const auto it = density_.find(key); it != density_.end()) {
+    obs::mem_track("service/warm_cache",
+                   static_cast<std::int64_t>(framed.size()) -
+                       static_cast<std::int64_t>(it->second->framed.size()));
     it->second->framed = std::move(framed);
     density_lru_.splice(density_lru_.begin(), density_lru_, it->second);
     return;
   }
+  obs::mem_track("service/warm_cache",
+                 static_cast<std::int64_t>(framed.size()));
   density_lru_.push_front({key, std::move(framed)});
   density_.emplace(key, density_lru_.begin());
   while (density_lru_.size() > options_.density_capacity) {
+    obs::mem_track(
+        "service/warm_cache",
+        -static_cast<std::int64_t>(density_lru_.back().framed.size()));
     density_.erase(density_lru_.back().key);
     density_lru_.pop_back();
     ++stats_.evictions;

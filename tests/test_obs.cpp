@@ -17,7 +17,10 @@
 
 #include "common/log.hpp"
 #include "common/thread_ident.hpp"
+#include "core/dfpt.hpp"
 #include "core/structures.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/memaudit.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -345,6 +348,80 @@ TEST_F(ObsTest, TracedScfIsBitIdenticalToUntraced) {
   EXPECT_TRUE(has("scf/density"));
   EXPECT_TRUE(has("poisson/project"));
   EXPECT_TRUE(has("poisson/solve"));
+}
+
+// ---------------------------------------------------------------------------
+// Memory audit (obs/memaudit.hpp): observe-only contract and gauge
+// semantics. Deeper comm-matrix / flight-recorder coverage lives in
+// test_memobs.cpp.
+
+TEST_F(ObsTest, MemauditOffRegistersNoGauges) {
+  obs::set_memaudit(false);
+  const std::size_t before = obs::registered_gauge_count();
+  // Instrumented owners built with the audit off must not touch the
+  // registry: the whole per-site cost is the single gate load.
+  const scf::ScfResult r = run_small_scf();
+  ASSERT_TRUE(r.converged);
+  obs::mem_track("obs_test/never_armed", 4096);
+  EXPECT_EQ(obs::registered_gauge_count(), before);
+}
+
+TEST_F(ObsTest, MemauditScfCpscfBitIdentical) {
+  obs::set_mode(obs::TraceMode::Off);
+  obs::set_memaudit(false);
+  const scf::ScfResult ground_off = run_small_scf();
+  ASSERT_TRUE(ground_off.converged);
+  core::DfptOptions dopt;
+  dopt.tolerance = 1e-8;
+  const auto dfpt_off = core::DfptSolver(ground_off, dopt).solve_direction(2);
+
+  obs::set_memaudit(true);
+  obs::reset_mem_gauges();
+  const scf::ScfResult ground_on = run_small_scf();
+  ASSERT_TRUE(ground_on.converged);
+  const auto dfpt_on = core::DfptSolver(ground_on, dopt).solve_direction(2);
+  obs::set_memaudit(false);
+
+  // The audit observes; it must not perturb a single bit of the physics.
+  EXPECT_EQ(ground_off.total_energy, ground_on.total_energy);
+  EXPECT_EQ(ground_off.density_matrix.max_abs_diff(ground_on.density_matrix),
+            0.0);
+  EXPECT_EQ(dfpt_off.iterations, dfpt_on.iterations);
+  EXPECT_EQ(dfpt_off.dipole_response.z, dfpt_on.dipole_response.z);
+  EXPECT_EQ(dfpt_off.p1.max_abs_diff(dfpt_on.p1), 0.0);
+
+  // And the audited run actually measured the N-scaling structures.
+  double spline_bytes = 0, table_bytes = 0;
+  for (const auto& g : obs::mem_snapshot()) {
+    if (g.name == "basis/spline_tables")
+      spline_bytes = static_cast<double>(g.peak_bytes);
+    if (g.name == "basis/function_table")
+      table_bytes = static_cast<double>(g.peak_bytes);
+  }
+  EXPECT_GT(spline_bytes, 0.0);
+  EXPECT_GT(table_bytes, 0.0);
+}
+
+TEST_F(ObsTest, MemGaugePeakUnderThreadPool) {
+  obs::set_memaudit(true);
+  obs::reset_mem_gauges();
+  constexpr std::size_t kItems = 64;
+  constexpr std::int64_t kBytes = 4096;
+  // Concurrent adds only: every interleaving ends at the same current, and
+  // peak equals it because the gauge never decreases during this phase.
+  exec::parallel_for(0, kItems,
+                     [](std::size_t) { obs::mem_track("obs_test/pool", kBytes); });
+  obs::MemGauge& g = obs::mem_gauge("obs_test/pool");
+  EXPECT_EQ(g.current(), static_cast<std::int64_t>(kItems) * kBytes);
+  EXPECT_EQ(g.peak(), g.current());
+
+  const std::int64_t high_water = g.peak();
+  exec::parallel_for(0, kItems, [](std::size_t) {
+    obs::mem_track("obs_test/pool", -kBytes);
+  });
+  EXPECT_EQ(g.current(), 0);
+  EXPECT_EQ(g.peak(), high_water);  // the high-water mark survives release
+  obs::set_memaudit(false);
 }
 
 }  // namespace
