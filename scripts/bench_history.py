@@ -209,9 +209,16 @@ def cmd_check(args) -> int:
             if e.get("machine", "local") == tag
         ]
         if not history:
-            print(f"{bench}: no ledger history for machine '{tag}' at "
-                  f"{ledger_file(ledger, bench)} -- nothing to gate "
-                  "(run 'append' to seed it)")
+            # Empty-ledger seeding: a brand-new bench series has nothing to
+            # gate against, but silently skipping it forever means the gate
+            # never arms. Seed the ledger with this first entry (the next
+            # check has a baseline) and pass.
+            ledger.mkdir(parents=True, exist_ok=True)
+            with open(ledger_file(ledger, bench), "a") as f:
+                f.write(json.dumps(entry, sort_keys=True) + "\n")
+            print(f"{bench}: no ledger history for machine '{tag}' -- "
+                  f"seeded {ledger_file(ledger, bench)} with this run "
+                  f"({len(entry['metrics'])} metrics); gating starts next run")
             continue
         regressions, lines = check_entry(
             bench, entry, history, args.window, args.tolerance
@@ -321,6 +328,36 @@ def cmd_self_test(args) -> int:
         print("-- self-test: improvement (must pass) --")
         if candidate(120.0, 8.0) != 0:
             failures.append("an improvement was flagged as a regression")
+
+        # Empty-ledger seeding: the FIRST check of a new series must pass
+        # and write the seed entry; a 10% regression against that seed on
+        # the SECOND check must then fail (single-entry history has zero
+        # MAD, so the base tolerance gates it).
+        fresh = tmp / "fresh-history"
+
+        def fresh_candidate(pps):
+            path = tmp / "BENCH_fresh.json"
+            path.write_text(json.dumps({
+                "schema_version": 1,
+                "bench": "fresh",
+                "timestamp": "",
+                "points_per_second": {"kernel": pps},
+            }))
+            ns = argparse.Namespace(
+                ledger=str(fresh), files=[str(path)],
+                window=DEFAULT_WINDOW, tolerance=DEFAULT_TOLERANCE,
+            )
+            return cmd_check(ns)
+
+        print("-- self-test: empty ledger (must pass and seed) --")
+        if fresh_candidate(100.0) != 0:
+            failures.append("first check on an empty ledger did not pass")
+        if not (fresh / "fresh.jsonl").exists():
+            failures.append("first check on an empty ledger did not seed it")
+        print("-- self-test: 10% regression against the seed (must fail) --")
+        if fresh_candidate(90.0) == 0:
+            failures.append("10% regression against the seeded entry "
+                            "was NOT flagged")
 
     if failures:
         print("\nSELF-TEST FAILED:")

@@ -8,6 +8,7 @@
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "resilience/membudget.hpp"
 
 namespace aeqp::comm {
 
@@ -36,6 +37,12 @@ void PackedAllReducer::add(std::span<double> row) {
   if ((buffer_.size() + row.size()) * sizeof(double) > max_bytes_ &&
       !pending_.empty())
     flush();
+  // Governor probe before the staging buffer grows: the relief ladder
+  // shrinks pack_window_bytes precisely so this request gets smaller.
+  const std::size_t need = (buffer_.size() + row.size()) * sizeof(double);
+  if (need > buffer_.capacity() * sizeof(double))
+    resilience::oom_probe("comm/packed_buffer",
+                          need - buffer_.capacity() * sizeof(double));
   buffer_.insert(buffer_.end(), row.begin(), row.end());
   account_buffer();
   pending_.push_back(row);

@@ -75,17 +75,27 @@ private:
 };
 
 /// Admission control rejected a request on its merits: oversized, malformed
-/// (non-finite coordinates, empty structure), or otherwise unservable. The
-/// request itself is at fault -- retrying unchanged will be rejected again.
+/// (non-finite coordinates, empty structure), estimated to exceed the
+/// per-rank memory budget, or otherwise unservable. The request itself is at
+/// fault -- retrying unchanged will be rejected again. `kind` refines the
+/// rejection for the structured-error taxonomy ("JobRejected" for plain
+/// validation failures, "MemoryBudgetExceeded" for admission-time memory
+/// estimates that cannot fit AEQP_MEM_BUDGET).
 class JobRejected : public Error {
 public:
-  explicit JobRejected(const std::string& reason)
-      : Error("job rejected: " + reason), reason_(reason) {}
+  explicit JobRejected(const std::string& reason,
+                       std::string kind = "JobRejected")
+      : Error("job rejected: " + reason),
+        reason_(reason),
+        kind_(std::move(kind)) {}
 
   [[nodiscard]] const std::string& reason() const noexcept { return reason_; }
+  /// Taxonomy kind: "JobRejected" or "MemoryBudgetExceeded".
+  [[nodiscard]] const std::string& kind() const noexcept { return kind_; }
 
 private:
   std::string reason_;
+  std::string kind_;
 };
 
 /// A deadline-bounded computation ran out of budget. Raised by the
@@ -115,6 +125,48 @@ public:
 private:
   std::size_t budget_ms_ = 0;
   std::size_t elapsed_ms_ = 0;
+};
+
+/// The per-rank memory-budget governor (resilience/membudget.hpp) refused an
+/// allocation: admitting `requested_bytes` more at `site` would cross the
+/// hard watermark of the AEQP_MEM_BUDGET ceiling (or an OomInjector fired
+/// there). This is the structured replacement for an unrecoverable
+/// std::bad_alloc: it names the allocation site and carries the live byte
+/// accounting so the pressure-relief ladder (drop point cache, evict warm
+/// cache, shrink staging windows, spill buddy replicas) can route it like
+/// any other fault class instead of aborting the run.
+class OutOfMemoryBudget : public Error {
+public:
+  OutOfMemoryBudget(std::string site, std::size_t requested_bytes,
+                    std::size_t budget_bytes, std::size_t in_use_bytes)
+      : Error("out of memory budget: " + site + " requested " +
+              std::to_string(requested_bytes) + " bytes with " +
+              std::to_string(in_use_bytes) + " of " +
+              std::to_string(budget_bytes) + " budget bytes in use"),
+        site_(std::move(site)),
+        requested_bytes_(requested_bytes),
+        budget_bytes_(budget_bytes),
+        in_use_bytes_(in_use_bytes) {}
+
+  /// The allocation site that breached, e.g. "dfpt/point_cache".
+  [[nodiscard]] const std::string& site() const noexcept { return site_; }
+  [[nodiscard]] std::size_t requested_bytes() const noexcept {
+    return requested_bytes_;
+  }
+  /// The hard ceiling in force; 0 when the breach came from an injector
+  /// with no byte budget armed.
+  [[nodiscard]] std::size_t budget_bytes() const noexcept {
+    return budget_bytes_;
+  }
+  [[nodiscard]] std::size_t in_use_bytes() const noexcept {
+    return in_use_bytes_;
+  }
+
+private:
+  std::string site_;
+  std::size_t requested_bytes_;
+  std::size_t budget_bytes_;
+  std::size_t in_use_bytes_;
 };
 
 namespace detail {

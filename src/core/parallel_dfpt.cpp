@@ -17,6 +17,7 @@
 #include "parallel/cluster.hpp"
 #include "parallel/fault.hpp"
 #include "resilience/guards.hpp"
+#include "resilience/membudget.hpp"
 #include "resilience/sdc_inject.hpp"
 #include "tune/tune.hpp"
 #include "xc/lda.hpp"
@@ -135,10 +136,21 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
     for (auto b : my_batches)
       my_points.insert(my_points.end(), batches[b].points.begin(),
                        batches[b].points.end());
-    std::vector<basis::PointEval> my_eval(my_points.size());
-    for (std::size_t k = 0; k < my_points.size(); ++k)
-      basis.evaluate(grid.point(my_points[k]).pos, false, my_eval[k]);
-
+    // Governor probes (resilience/membudget.hpp) fire before the two
+    // dominant per-rank allocations are committed: an over-budget rank
+    // raises the structured OutOfMemoryBudget here, where the recovery
+    // ladder can catch it, instead of dying in std::bad_alloc mid-resize.
+    std::vector<basis::PointEval> my_eval;
+    basis::PointEval eval_scratch;  // on-the-fly slot when the cache is shed
+    if (options.cache_point_evals) {
+      resilience::oom_probe("dfpt/point_cache",
+                            my_points.size() * (sizeof(basis::PointEval) +
+                                                sizeof(std::uint32_t)));
+      my_eval.resize(my_points.size());
+      for (std::size_t k = 0; k < my_points.size(); ++k)
+        basis.evaluate(grid.point(my_points[k]).pos, false, my_eval[k]);
+    }
+    resilience::oom_probe("dfpt/p1_replicated", nb * nb * sizeof(double));
     Matrix p1(nb, nb);
     // Memory audit (ROADMAP item 3): P^(1) is fully replicated per rank
     // (O(N^2) in global basis size) and the point-eval cache scales with
@@ -158,10 +170,24 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
                 sizeof(double));
       eval_mem.add(eval_bytes);
     }
+    // Re-check committed usage now that the measured cache bytes are on the
+    // gauges: the pre-allocation probe used a per-slot estimate, this one
+    // is exact (request 0 = audit the ceiling, admit nothing new).
+    resilience::oom_probe("dfpt/point_cache_commit", 0);
     std::vector<double> v1_own(my_points.size(), 0.0);
     std::vector<double> n1_own(my_points.size(), 0.0);
     bool have_response = false;
     Timer timer;
+
+    // Point-eval accessor shared by the Sumup and H loops: the cached slot
+    // when the cache is resident, deterministic re-evaluation into the
+    // scratch slot when the relief ladder shed it. Bit-identical either
+    // way: same evaluator, same points, same accumulation order.
+    const auto eval_of = [&](std::size_t k) -> const basis::PointEval& {
+      if (options.cache_point_evals) return my_eval[k];
+      basis.evaluate(grid.point(my_points[k]).pos, false, eval_scratch);
+      return eval_scratch;
+    };
 
     // Sumup and Rho restricted to this rank's points, as functions of the
     // (replicated) P^(1); shared by the iteration body and the warm-start
@@ -177,7 +203,7 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
         p1_csr = linalg::CsrMatrix(nb, nb, std::move(trips));
       }
       for (std::size_t k = 0; k < my_points.size(); ++k) {
-        const auto& ev = my_eval[k];
+        const auto& ev = eval_of(k);
         double acc = 0.0;
         if (options.storage == HamiltonianStorage::GlobalSparseCsr) {
           for (std::size_t i = 0; i < ev.indices.size(); ++i) {
@@ -255,7 +281,7 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
         Matrix partial(nb, nb);
         for (std::size_t k = 0; k < my_points.size(); ++k) {
           const double w = grid.point(my_points[k]).weight * v1_own[k];
-          const auto& ev = my_eval[k];
+          const auto& ev = eval_of(k);
           for (std::size_t i = 0; i < ev.indices.size(); ++i) {
             const double wi = w * ev.values[i];
             for (std::size_t j = 0; j < ev.indices.size(); ++j)

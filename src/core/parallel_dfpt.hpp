@@ -48,6 +48,12 @@ struct ParallelDfptOptions {
   std::size_t pack_bytes = 0;
   comm::ReduceMode reduce_mode = comm::ReduceMode::Hierarchical;
   HamiltonianStorage storage = HamiltonianStorage::LocalDense;
+  /// Keep the per-rank basis point-eval cache resident (default). The
+  /// memory-budget relief ladder clears this to re-evaluate basis functions
+  /// on the fly: slower, bit-identical (same evaluator, same accumulation
+  /// order), and it sheds the O(points/rank) "dfpt/point_cache" structure
+  /// when the AEQP_MEM_BUDGET ceiling is under pressure.
+  bool cache_point_evals = true;
   /// Optional fault injection replayed by the simmpi runtime (must outlive
   /// the call); null = fault-free run.
   parallel::FaultInjector* fault_injector = nullptr;

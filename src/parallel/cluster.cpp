@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <new>
 #include <thread>
 
 #include "common/crc32.hpp"
@@ -35,6 +36,12 @@ void flight_dump_for(const std::exception_ptr& error) {
     obs::flight_on_error("InvariantViolation", e.what());
   } catch (const DeadlineExceeded& e) {
     obs::flight_on_error("DeadlineExceeded", e.what());
+  } catch (const OutOfMemoryBudget& e) {
+    obs::flight_on_error("OutOfMemoryBudget", e.what());
+  } catch (const std::bad_alloc& e) {
+    // A REAL allocation failure (not a governor probe): the dump is the
+    // last observable act before the process likely dies anyway.
+    obs::flight_on_error("BadAlloc", e.what());
   } catch (const std::exception& e) {
     obs::flight_on_error("Error", e.what());
   } catch (...) {

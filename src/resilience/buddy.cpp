@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "obs/memaudit.hpp"
 #include "obs/trace.hpp"
+#include "resilience/membudget.hpp"
 
 namespace aeqp::resilience {
 
@@ -58,6 +59,10 @@ void BuddyReplicator::replicate(parallel::Communicator& comm,
 
     const std::size_t buddy = (s + 1) % world;
     if (comm.rank() == buddy && nbytes > 0) {
+      // Governor probe before this rank commits replica memory; a breach
+      // surfaces as a structured fault the recovery ladder relieves (e.g.
+      // by spilling the very replicas this is about to grow).
+      oom_probe("resilience/buddy_replicas", nbytes);
       BuddyBlob stored;
       stored.holder = comm.original_rank();
       stored.bytes.resize(nbytes);
@@ -87,7 +92,23 @@ std::optional<BuddyBlob> BuddyReplicator::blob_of(
     std::size_t original_rank) const {
   std::lock_guard<std::mutex> lock(mutex_);
   if (original_rank >= blobs_.size()) return std::nullopt;
-  return blobs_[original_rank];
+  const auto& slot = blobs_[original_rank];
+  if (!slot || !slot->spilled) return slot;
+  // Spilled replica: reload the framed bytes from the spill store. A
+  // missing or corrupt spill file degrades to "no replica" (the recovery
+  // driver then falls back to a fresh start) rather than throwing from a
+  // read-only query.
+  if (spill_store_ == nullptr) return std::nullopt;
+  try {
+    auto bytes = spill_store_->try_load_blob(spill_key(original_rank));
+    if (!bytes) return std::nullopt;
+    BuddyBlob out;
+    out.holder = slot->holder;
+    out.bytes = std::move(*bytes);
+    return out;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
 }
 
 std::size_t BuddyReplicator::drop_holder(std::size_t original_rank) {
@@ -95,6 +116,9 @@ std::size_t BuddyReplicator::drop_holder(std::size_t original_rank) {
   std::size_t dropped = 0;
   for (auto& blob : blobs_) {
     if (blob && blob->holder == original_rank) {
+      // Spilled replicas outlive their holder: the bytes are on shared
+      // disk, not in the dead rank's memory.
+      if (blob->spilled) continue;
       obs::mem_track("resilience/buddy_replicas",
                      -static_cast<std::int64_t>(blob->bytes.size()));
       blob.reset();
@@ -102,6 +126,36 @@ std::size_t BuddyReplicator::drop_holder(std::size_t original_rank) {
     }
   }
   return dropped;
+}
+
+void BuddyReplicator::set_spill_store(const CheckpointStore* store) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spill_store_ = store;
+}
+
+std::int64_t BuddyReplicator::spill() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spill_store_ == nullptr) return 0;
+  std::int64_t freed = 0;
+  for (std::size_t owner = 0; owner < blobs_.size(); ++owner) {
+    auto& blob = blobs_[owner];
+    if (!blob || blob->spilled || blob->bytes.empty()) continue;
+    spill_store_->save_blob(spill_key(owner), blob->bytes);
+    const auto bytes = static_cast<std::int64_t>(blob->bytes.size());
+    obs::mem_track("resilience/buddy_replicas", -bytes);
+    blob->bytes.clear();
+    blob->bytes.shrink_to_fit();
+    blob->spilled = true;
+    freed += bytes;
+    ++stats_.blobs_spilled;
+    stats_.bytes_spilled += static_cast<std::size_t>(bytes);
+  }
+  if (freed > 0) obs::trace_instant("buddy/spill");
+  return freed;
+}
+
+std::string BuddyReplicator::spill_key(std::size_t original_rank) {
+  return "buddy-spill-" + std::to_string(original_rank);
 }
 
 BuddyReplicatorStats BuddyReplicator::stats() const {
@@ -122,6 +176,10 @@ obs::ScopedMetricsSource register_metrics(const BuddyReplicator& replicator,
             {prefix + "/bytes_mirrored", static_cast<double>(s.bytes_mirrored)});
         out.push_back(
             {prefix + "/slots_skipped", static_cast<double>(s.slots_skipped)});
+        out.push_back(
+            {prefix + "/blobs_spilled", static_cast<double>(s.blobs_spilled)});
+        out.push_back(
+            {prefix + "/bytes_spilled", static_cast<double>(s.bytes_spilled)});
       });
 }
 

@@ -18,6 +18,7 @@
 /// replica.
 
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -25,14 +26,17 @@
 
 #include "obs/metrics.hpp"
 #include "parallel/cluster.hpp"
+#include "resilience/checkpoint.hpp"
 
 namespace aeqp::resilience {
 
 /// One mirrored checkpoint blob: the framed bytes plus the original rank
-/// holding the replica in its memory.
+/// holding the replica in its memory. A spilled blob's bytes live in the
+/// spill store instead of memory; blob_of() reloads them transparently.
 struct BuddyBlob {
   std::size_t holder = 0;  ///< original rank whose memory holds the replica
   std::vector<unsigned char> bytes;
+  bool spilled = false;    ///< bytes moved to the disk-backed spill store
 };
 
 /// Counters of what the replicator did (mirrored into obs metrics).
@@ -41,6 +45,8 @@ struct BuddyReplicatorStats {
   std::size_t blobs_mirrored = 0;    ///< blobs stored at a buddy
   std::size_t bytes_mirrored = 0;    ///< framed bytes moved to buddies
   std::size_t slots_skipped = 0;     ///< slots dropped: corrupt size announce
+  std::size_t blobs_spilled = 0;     ///< replicas moved to the spill store
+  std::size_t bytes_spilled = 0;     ///< bytes freed from memory by spilling
 };
 
 /// Mirrors per-rank checkpoint blobs across the world. The object is shared
@@ -68,16 +74,31 @@ public:
   [[nodiscard]] std::optional<BuddyBlob> blob_of(std::size_t original_rank) const;
 
   /// Forget every replica HELD BY `original_rank` (its memory died with
-  /// it); returns how many replicas were lost.
+  /// it); returns how many replicas were lost. Spilled replicas survive --
+  /// their bytes live in the shared spill store, not the dead rank's
+  /// memory, which is exactly what spilling buys.
   std::size_t drop_holder(std::size_t original_rank);
+
+  /// Attach the disk-backed store spill() writes to (must outlive the
+  /// replicator's use); nullptr detaches, making spill() a no-op.
+  void set_spill_store(const CheckpointStore* store);
+
+  /// Memory-pressure relief: move every resident replica to the spill
+  /// store and free its in-memory bytes (decrementing the
+  /// "resilience/buddy_replicas" gauge). Returns bytes freed. The
+  /// reclaimer the elastic recovery loop registers with the membudget
+  /// relief ladder.
+  std::int64_t spill();
 
   [[nodiscard]] std::size_t world_size() const { return world_size_; }
   [[nodiscard]] BuddyReplicatorStats stats() const;
 
 private:
+  [[nodiscard]] static std::string spill_key(std::size_t original_rank);
   std::size_t world_size_;
   mutable std::mutex mutex_;
   std::vector<std::optional<BuddyBlob>> blobs_;  ///< by original rank id
+  const CheckpointStore* spill_store_ = nullptr;
   BuddyReplicatorStats stats_;
 };
 

@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "obs/memaudit.hpp"
 #include "obs/trace.hpp"
+#include "resilience/membudget.hpp"
 
 namespace aeqp::resilience {
 
@@ -18,6 +19,7 @@ namespace {
 constexpr std::uint32_t kMagic = 0x41455150;  // 'AEQP'
 constexpr std::uint32_t kKindCpscf = 1;
 constexpr std::uint32_t kKindScf = 2;
+constexpr std::uint32_t kKindRaw = 3;  // verbatim blob (buddy spill tier)
 
 /// Little binary archive; all multi-byte values native-endian (the format
 /// version gates any future change).
@@ -251,6 +253,10 @@ std::filesystem::path CheckpointStore::path_of(const std::string& key) const {
 }
 
 std::vector<unsigned char> serialize(const CpscfCheckpoint& ckpt) {
+  // Governor probe before the frame is materialized: the payload is
+  // dominated by P^(1), so the estimate is sharp to within the header.
+  oom_probe("resilience/checkpoint_frame",
+            ckpt.p1.rows() * ckpt.p1.cols() * sizeof(double) + 64);
   auto blob = frame(kKindCpscf, encode(ckpt));
   // Frames are transient (handed to the buddy ring or a writer and then
   // dropped), so only the high-water mark is meaningful.
@@ -312,6 +318,21 @@ std::optional<ScfCheckpoint> CheckpointStore::try_load_scf(
     const std::string& key) const {
   if (!exists(key)) return std::nullopt;
   return load_scf(key);
+}
+
+void CheckpointStore::save_blob(const std::string& key,
+                                std::span<const unsigned char> blob) const {
+  write_file_atomic(path_of(key), kKindRaw,
+                    std::vector<unsigned char>(blob.begin(), blob.end()));
+  obs::trace_instant("checkpoint/save_blob");
+}
+
+std::optional<std::vector<unsigned char>> CheckpointStore::try_load_blob(
+    const std::string& key) const {
+  if (!exists(key)) return std::nullopt;
+  auto payload = read_file_validated(path_of(key), kKindRaw);
+  obs::trace_instant("checkpoint/load_blob");
+  return payload;
 }
 
 bool CheckpointStore::exists(const std::string& key) const {

@@ -107,6 +107,16 @@ public:
   [[nodiscard]] std::optional<ScfCheckpoint> try_load_scf(
       const std::string& key) const;
 
+  /// Raw-blob tier for disk spill (the membudget relief ladder spills buddy
+  /// replicas here): the bytes are stored verbatim inside a framed file of
+  /// their own kind tag, so spilled data gets the same magic/version/CRC
+  /// validation as checkpoints on reload.
+  void save_blob(const std::string& key,
+                 std::span<const unsigned char> blob) const;
+  /// Missing file yields nullopt; corruption (CRC, truncation) throws.
+  [[nodiscard]] std::optional<std::vector<unsigned char>> try_load_blob(
+      const std::string& key) const;
+
   [[nodiscard]] bool exists(const std::string& key) const;
 
   /// Delete the checkpoint under `key`. Returns true when a file was

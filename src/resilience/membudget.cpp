@@ -1,0 +1,184 @@
+#include "resilience/membudget.hpp"
+
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/thread_ident.hpp"
+#include "obs/trace.hpp"
+
+namespace aeqp::resilience {
+
+void OomPlan::add(const OomEvent& event) {
+  AEQP_CHECK(!event.site.empty(), "OomPlan: event site must be non-empty");
+  events_.push_back(event);
+}
+
+OomInjector::OomInjector(OomPlan plan) {
+  for (const auto& e : plan.events()) events_.push_back(Armed{e, 0, false});
+}
+
+bool OomInjector::should_fail(const char* site, std::size_t /*request_bytes*/) {
+  const int rank = thread_rank();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.probes;
+  const std::size_t invocation = invocations_[site]++;
+  for (auto& armed : events_) {
+    if (armed.done || armed.event.site != site) continue;
+    if (armed.event.rank >= 0 && armed.event.rank != rank) continue;
+    // Transient events (and the first firing of permanent ones) wait for
+    // their exact planned invocation; a permanent event that already fired
+    // strikes at every later matching probe, like a rank whose heap is
+    // genuinely full staying full.
+    if (invocation != armed.event.invocation &&
+        (armed.event.transient || armed.fired == 0))
+      continue;
+    ++armed.fired;
+    if (armed.event.transient) armed.done = true;
+    ++stats_.failures_injected;
+    return true;
+  }
+  return false;
+}
+
+OomInjectorStats OomInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t OomInjector::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& armed : events_)
+    if (armed.fired == 0) ++n;
+  return n;
+}
+
+std::size_t OomInjector::invocations(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = invocations_.find(site);
+  return it == invocations_.end() ? 0 : it->second;
+}
+
+obs::ScopedMetricsSource register_metrics(const OomInjector& injector,
+                                          std::string prefix) {
+  return obs::ScopedMetricsSource(
+      [&injector, prefix = std::move(prefix)](
+          std::vector<obs::MetricSample>& out) {
+        const auto s = injector.stats();
+        out.push_back({prefix + "/probes", static_cast<double>(s.probes)});
+        out.push_back({prefix + "/failures_injected",
+                       static_cast<double>(s.failures_injected)});
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Pressure-relief reclaimer registry
+
+namespace {
+
+struct Reclaimer {
+  std::string name;
+  MemReclaimFn fn;
+};
+
+struct ReclaimerRegistry {
+  std::mutex mutex;
+  // Ordered by registration id so relief runs cheapest-registered-first
+  // (the registration order is the shed order by contract).
+  std::map<std::uint64_t, Reclaimer> entries;
+  std::uint64_t next_id = 1;
+};
+
+ReclaimerRegistry& registry() {
+  static ReclaimerRegistry r;
+  return r;
+}
+
+}  // namespace
+
+ScopedMemReclaimer::ScopedMemReclaimer(std::string name, MemReclaimFn fn)
+    : id_(0) {
+  AEQP_CHECK(static_cast<bool>(fn), "ScopedMemReclaimer: null reclaim fn");
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  id_ = r.next_id++;
+  r.entries.emplace(id_, Reclaimer{std::move(name), std::move(fn)});
+}
+
+ScopedMemReclaimer::~ScopedMemReclaimer() {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.entries.erase(id_);
+}
+
+std::int64_t relieve_pressure() {
+  // Snapshot under the lock, run outside it: a reclaimer may itself take
+  // subsystem locks (warm cache, buddy store) and must not hold the
+  // registry hostage while it evicts.
+  std::vector<std::pair<std::string, MemReclaimFn>> work;
+  {
+    auto& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    work.reserve(r.entries.size());
+    for (const auto& [id, rec] : r.entries) work.emplace_back(rec.name, rec.fn);
+  }
+  const std::int64_t budget = mem_budget_bytes();
+  const std::int64_t soft = budget > 0 ? budget * mem_soft_percent() / 100 : 0;
+  std::int64_t freed = 0;
+  for (const auto& [name, fn] : work) {
+    // Stop early once back under the soft watermark; with no byte ceiling
+    // armed (manual relieve_pressure call) run everything.
+    if (budget > 0 && mem_in_use() <= soft) break;
+    const std::int64_t bytes = fn();
+    if (bytes <= 0) continue;
+    freed += bytes;
+    obs::trace_instant("membudget/relief");
+    obs::counter("membudget/relief_bytes").add(static_cast<std::uint64_t>(bytes));
+    obs::counter("membudget/relief_actions").increment();
+  }
+  return freed;
+}
+
+std::size_t registered_reclaimer_count() {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.entries.size();
+}
+
+// ---------------------------------------------------------------------------
+// Admission-time memory estimation
+
+MemModel MemModel::default_model() {
+  // Coefficients seeded from the measured gauges the fig09a bench fits
+  // into BENCH_memory.json on the Light-tier test structures: the
+  // replicated response matrix is O(N^2) and does NOT shrink with ranks;
+  // the per-rank point-eval cache shards with the grid; spline tables are
+  // replicated O(N) in distinct elements but bounded, modeled linear with
+  // a small coefficient; the packed allreduce staging window is a
+  // rank-count-independent constant.
+  MemModel m;
+  m.terms.push_back({"dfpt/p1_replicated", 2048.0, 2.0, /*per_rank=*/false});
+  m.terms.push_back({"dfpt/point_cache", 96.0 * 1024.0, 1.0, /*per_rank=*/true});
+  m.terms.push_back({"basis/spline_tables", 64.0 * 1024.0, 1.0,
+                     /*per_rank=*/false});
+  m.terms.push_back({"comm/packed_buffer", 4.0 * 1024.0 * 1024.0, 0.0,
+                     /*per_rank=*/false});
+  return m;
+}
+
+std::int64_t estimate_job_memory(std::size_t n_atoms, std::size_t ranks,
+                                 const MemModel& model) {
+  AEQP_CHECK(ranks >= 1, "estimate_job_memory: ranks must be >= 1");
+  double total = 0.0;
+  for (const auto& t : model.terms) {
+    double bytes = t.coeff_bytes * std::pow(static_cast<double>(n_atoms),
+                                            t.exponent);
+    if (t.per_rank) bytes /= static_cast<double>(ranks);
+    total += bytes;
+  }
+  return static_cast<std::int64_t>(std::ceil(total));
+}
+
+}  // namespace aeqp::resilience

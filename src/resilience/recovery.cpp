@@ -17,7 +17,9 @@
 #include "obs/trace.hpp"
 #include "parallel/cluster.hpp"
 #include "resilience/buddy.hpp"
+#include "resilience/membudget.hpp"
 #include "scf/diis.hpp"
+#include "tune/tune.hpp"
 
 namespace aeqp::resilience {
 
@@ -78,12 +80,15 @@ void throw_if_cancelled(const RecoveryOptions& ropt, const char* what,
 
 /// The shared retry loop of both CPSCF front-ends. `run` executes one solver
 /// attempt with the given (possibly warm-started, possibly damped) options;
-/// `aborted_of` extracts the solver's aborted flag from its result type.
-template <typename Run, typename AbortedOf>
+/// `aborted_of` extracts the solver's aborted flag from its result type;
+/// `apply_relief` walks one more rung of the pressure-relief ladder before
+/// a retry forced by an OutOfMemoryBudget fault (it returns how many relief
+/// actions it applied).
+template <typename Run, typename AbortedOf, typename ApplyRelief>
 auto run_recovered(CheckpointStore& store, const RecoveryOptions& ropt,
                    RecoveryStats& stats, const core::DfptOptions& base,
                    int direction, const char* what, Run&& run,
-                   AbortedOf&& aborted_of) {
+                   AbortedOf&& aborted_of, ApplyRelief&& apply_relief) {
   stats = RecoveryStats{};
   const std::string key =
       ropt.checkpoint_key + "-dir" + std::to_string(direction);
@@ -98,8 +103,10 @@ auto run_recovered(CheckpointStore& store, const RecoveryOptions& ropt,
   // inherit it), so concurrent drivers in a multi-tenant server never read
   // each other's corrections.
   const linalg::AbftStatsScope abft_scope;
+  int oom_rung = 0;  // relief-ladder position, advanced per OOM fault
   for (int attempt = 0;; ++attempt) {
     AttemptContext ctx;
+    bool oom_fault = false;
     core::DfptOptions opts = base;
     // Graceful degradation: the first retry replays the original trajectory
     // (a transient fault needs no damping, and the replay is bit-identical);
@@ -141,6 +148,13 @@ auto run_recovered(CheckpointStore& store, const RecoveryOptions& ropt,
         return core::CpscfAction::Abort;
       }
       ctx.prev_delta = s.delta;
+      // Soft-watermark polling: shed reclaimable state between iterations
+      // BEFORE the hard ceiling is reached. Non-aborting, observer-only --
+      // reclaimers free caches and replicas, never solver state.
+      if (ropt.memory_relief && mem_pressure().over_soft) {
+        obs::trace_instant("membudget/soft_watermark");
+        if (relieve_pressure() > 0) ++stats.relief_actions;
+      }
       if (s.iteration % ropt.checkpoint_every == 0) {
         CpscfCheckpoint ckpt;
         ckpt.direction = s.direction;
@@ -193,6 +207,15 @@ auto run_recovered(CheckpointStore& store, const RecoveryOptions& ropt,
       // location, so in-place repair is off the table -- rollback.
       last_reason = e.what();
       last_rank_failure = false;
+    } catch (const OutOfMemoryBudget& e) {
+      // Memory exhaustion enters the same ladder: the governor turned a
+      // would-be std::bad_alloc into a structured fault, and each retry
+      // below first walks one more relief rung so the re-attempt fits.
+      last_reason = e.what();
+      last_rank_failure = false;
+      oom_fault = true;
+      ++stats.oom_events;
+      obs::trace_instant("recovery/oom");
     }
     stats.abft_corrections = abft_scope.stats().corrections;
     ++stats.faults_detected;
@@ -202,6 +225,11 @@ auto run_recovered(CheckpointStore& store, const RecoveryOptions& ropt,
     AEQP_LOG_INFO << what << ": fault on attempt " << attempt + 1 << " ("
                   << last_reason << "); rolling back to iteration "
                   << ctx.checkpoint_iteration;
+
+    if (oom_fault && ropt.memory_relief) {
+      ++oom_rung;
+      stats.relief_actions += apply_relief(oom_rung);
+    }
 
     if (attempt >= ropt.max_retries) {
       std::ostringstream msg;
@@ -215,11 +243,18 @@ auto run_recovered(CheckpointStore& store, const RecoveryOptions& ropt,
       // derives from Error, so untyped handlers still work).
       // Retry exhaustion is terminal for the job: dump the flight recorder
       // before the structured error escapes to the caller.
-      obs::flight_on_error(last_rank_failure ? "RankFailure" : "Error",
-                           msg.str());
+      obs::flight_on_error(
+          last_rank_failure ? "RankFailure"
+                            : (oom_fault ? "OutOfMemoryBudget" : "Error"),
+          msg.str());
       if (last_rank_failure)
         throw parallel::RankFailure(last_failed_rank, last_observer_rank,
                                     msg.str());
+      if (oom_fault)
+        throw OutOfMemoryBudget(
+            "recovery/" + key, 0,
+            static_cast<std::size_t>(mem_budget_bytes()),
+            static_cast<std::size_t>(std::max<std::int64_t>(mem_in_use(), 0)));
       AEQP_THROW(msg.str());
     }
   }
@@ -247,6 +282,13 @@ core::ParallelDfptResult run_elastic(CheckpointStore& store,
   std::vector<std::size_t> active(base.ranks);
   std::iota(active.begin(), active.end(), std::size_t{0});
   BuddyReplicator buddy(base.ranks);
+  // Buddy replicas are reclaimable under memory pressure: spilled to the
+  // disk-backed store they survive BOTH the holder's death and the relief
+  // that evicted them. Registered for the lifetime of this solve only.
+  buddy.set_spill_store(&store);
+  std::optional<ScopedMemReclaimer> buddy_spill;
+  if (ropt.memory_relief)
+    buddy_spill.emplace("buddy_spill", [&buddy] { return buddy.spill(); });
 
   constexpr std::size_t kNone = static_cast<std::size_t>(-1);
   std::size_t repeat_rank = kNone;  // original id of the rank failing in a row
@@ -256,13 +298,23 @@ core::ParallelDfptResult run_elastic(CheckpointStore& store,
   std::size_t last_failed_original = 0;
   std::size_t last_observer_rank = 0;
   const linalg::AbftStatsScope abft_scope;
+  // Relief-ladder state persists across attempts: once a rung has shed
+  // state, every later attempt runs in the reduced-footprint configuration.
+  int oom_rung = 0;
+  bool relief_drop_point_cache = false;
+  std::size_t relief_pack_bytes = 0;     // 0 = untouched
+  std::size_t relief_batch_points = 0;   // 0 = untouched
 
   for (int attempt = 0;; ++attempt) {
     AttemptContext ctx;
+    bool oom_fault = false;
     core::ParallelDfptOptions popts = base;
     popts.active_ranks = active.size() == base.ranks
                              ? std::vector<std::size_t>{}
                              : active;
+    if (relief_drop_point_cache) popts.cache_point_evals = false;
+    if (relief_pack_bytes != 0) popts.pack_bytes = relief_pack_bytes;
+    if (relief_batch_points != 0) popts.batch_points = relief_batch_points;
     if (attempt >= 2)
       popts.dfpt.mixing =
           base.dfpt.mixing * std::pow(ropt.mixing_damping, attempt - 1);
@@ -324,6 +376,11 @@ core::ParallelDfptResult run_elastic(CheckpointStore& store,
         return core::CpscfAction::Abort;
       }
       ctx.prev_delta = s.delta;
+      // Soft-watermark polling, same contract as the non-elastic loop.
+      if (ropt.memory_relief && mem_pressure().over_soft) {
+        obs::trace_instant("membudget/soft_watermark");
+        if (relieve_pressure() > 0) ++stats.relief_actions;
+      }
       if (s.iteration % ropt.checkpoint_every == 0) {
         CpscfCheckpoint ckpt;
         ckpt.direction = s.direction;
@@ -417,6 +474,16 @@ core::ParallelDfptResult run_elastic(CheckpointStore& store,
       last_rank_failure = false;
       repeat_rank = kNone;
       repeat_count = 0;
+    } catch (const OutOfMemoryBudget& e) {
+      // A budget breach is not a node death: it never drives a shrink
+      // (shrinking RAISES per-rank memory). It walks the relief ladder.
+      last_reason = e.what();
+      last_rank_failure = false;
+      oom_fault = true;
+      ++stats.oom_events;
+      repeat_rank = kNone;
+      repeat_count = 0;
+      obs::trace_instant("recovery/oom");
     }
     stats.abft_corrections = abft_scope.stats().corrections;
     ++stats.faults_detected;
@@ -426,6 +493,28 @@ core::ParallelDfptResult run_elastic(CheckpointStore& store,
     AEQP_LOG_INFO << "RecoveryDriver[elastic]: fault on attempt " << attempt + 1
                   << " (" << last_reason << "); rolling back to iteration "
                   << ctx.checkpoint_iteration;
+
+    // --- Pressure-relief ladder: one more rung per OOM fault. Rung 1
+    //     sheds the point-eval cache (bit-identical re-evaluation), rung 2
+    //     runs the reclaimer registry (warm cache, buddy spill), rung 3
+    //     shrinks the pack window and grid batch through the tune knobs.
+    if (oom_fault && ropt.memory_relief) {
+      ++oom_rung;
+      if (oom_rung >= 1 && !relief_drop_point_cache && base.cache_point_evals) {
+        relief_drop_point_cache = true;
+        ++stats.relief_actions;
+        obs::trace_instant("membudget/relief_point_cache");
+      }
+      if (oom_rung >= 2 && relieve_pressure() > 0) ++stats.relief_actions;
+      if (oom_rung >= 3 && relief_pack_bytes == 0) {
+        relief_pack_bytes = std::max<std::size_t>(
+            tune::pack_window_bytes(base.pack_bytes) / 4, std::size_t{4096});
+        relief_batch_points = std::max<std::size_t>(
+            tune::grid_batch_points(base.batch_points) / 2, std::size_t{16});
+        ++stats.relief_actions;
+        obs::trace_instant("membudget/relief_shrink_windows");
+      }
+    }
 
     // --- Escalation rung 3: a rank that fails on consecutive attempts is a
     //     dead node, not a glitch -- retrying at the same world size would
@@ -470,12 +559,19 @@ core::ParallelDfptResult run_elastic(CheckpointStore& store,
           << stats.faults_detected << " faults detected, " << stats.shrinks
           << " shrinks, " << stats.restores
           << " checkpoint restores, last failure: " << last_reason;
-      obs::flight_on_error(last_rank_failure ? "RankFailure" : "Error",
-                           msg.str());
+      obs::flight_on_error(
+          last_rank_failure ? "RankFailure"
+                            : (oom_fault ? "OutOfMemoryBudget" : "Error"),
+          msg.str());
       if (last_rank_failure)
         throw parallel::RankFailure(
             last_failed_original == kNone ? 0 : last_failed_original,
             last_observer_rank, msg.str());
+      if (oom_fault)
+        throw OutOfMemoryBudget(
+            "recovery/" + key, 0,
+            static_cast<std::size_t>(mem_budget_bytes()),
+            static_cast<std::size_t>(std::max<std::int64_t>(mem_in_use(), 0)));
       AEQP_THROW(msg.str());
     }
   }
@@ -501,7 +597,12 @@ core::DfptDirectionResult RecoveryDriver::solve_direction(
       [&](const core::DfptOptions& opts) {
         return core::DfptSolver(ground, opts).solve_direction(direction);
       },
-      [](const core::DfptDirectionResult& r) { return r.aborted; });
+      [](const core::DfptDirectionResult& r) { return r.aborted; },
+      // The serial solver holds no shed-able caches of its own; relief is
+      // the process-wide reclaimer registry.
+      [](int /*rung*/) -> std::size_t {
+        return relieve_pressure() > 0 ? std::size_t{1} : std::size_t{0};
+      });
 }
 
 core::ParallelDfptResult RecoveryDriver::solve_direction_parallel(
@@ -524,7 +625,34 @@ core::ParallelDfptResult RecoveryDriver::solve_direction_parallel(
         popts.dfpt = opts;
         return core::solve_direction_parallel(ground, popts, direction);
       },
-      [](const core::ParallelDfptResult& r) { return r.direction.aborted; });
+      [](const core::ParallelDfptResult& r) { return r.direction.aborted; },
+      // Pressure-relief ladder, cheapest rung first; mutations of `options`
+      // persist across the remaining attempts of this solve.
+      [&options](int rung) -> std::size_t {
+        std::size_t actions = 0;
+        if (rung >= 1 && options.cache_point_evals) {
+          options.cache_point_evals = false;
+          ++actions;
+          obs::trace_instant("membudget/relief_point_cache");
+        }
+        if (rung >= 2 && relieve_pressure() > 0) ++actions;
+        if (rung >= 3) {
+          const std::size_t pack = tune::pack_window_bytes(options.pack_bytes);
+          const std::size_t batch =
+              tune::grid_batch_points(options.batch_points);
+          const std::size_t shrunk_pack =
+              std::max<std::size_t>(pack / 4, std::size_t{4096});
+          const std::size_t shrunk_batch =
+              std::max<std::size_t>(batch / 2, std::size_t{16});
+          if (shrunk_pack < pack || shrunk_batch < batch) {
+            options.pack_bytes = shrunk_pack;
+            options.batch_points = shrunk_batch;
+            ++actions;
+            obs::trace_instant("membudget/relief_shrink_windows");
+          }
+        }
+        return actions;
+      });
   result.stats.faults_detected = stats_.faults_detected;
   result.stats.restores = stats_.restores;
   result.stats.retries = stats_.retries;
@@ -555,6 +683,8 @@ obs::ScopedMetricsSource register_metrics(const RecoveryStats& stats,
              static_cast<double>(stats.invariant_violations));
         push("payload_corruptions",
              static_cast<double>(stats.payload_corruptions));
+        push("oom_events", static_cast<double>(stats.oom_events));
+        push("relief_actions", static_cast<double>(stats.relief_actions));
       });
 }
 

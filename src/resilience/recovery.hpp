@@ -84,6 +84,14 @@ struct RecoveryOptions {
   /// many consecutive attempts. 2 = one free retry, matching the transient
   /// rollback rung.
   int permanent_failure_threshold = 2;
+  /// Pressure-relief ladder (membudget.hpp): when an OutOfMemoryBudget
+  /// fault is caught, each retry first sheds reclaimable state -- drop the
+  /// point-eval cache, run registered reclaimers (warm-cache eviction,
+  /// buddy spill), shrink the pack window and grid batch -- so the
+  /// re-attempt fits the budget; observers also poll the soft watermark
+  /// between iterations and relieve pre-emptively. Disable to surface the
+  /// first breach unrelieved.
+  bool memory_relief = true;
 };
 
 /// What recovery cost: mirrored into ParallelDfptStats for parallel runs.
@@ -101,6 +109,9 @@ struct RecoveryStats {
   std::size_t abft_corrections = 0;     ///< matmul elements fixed in place
   std::size_t invariant_violations = 0; ///< physics guards tripped
   std::size_t payload_corruptions = 0;  ///< CRC/checksum collective failures
+  // Memory-budget governor rungs (docs/resilience.md "Memory budget").
+  std::size_t oom_events = 0;     ///< OutOfMemoryBudget faults caught
+  std::size_t relief_actions = 0; ///< pressure-relief rungs applied
 };
 
 /// Wraps DfptSolver / solve_direction_parallel in checkpointed retry.

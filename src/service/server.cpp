@@ -33,7 +33,9 @@ std::size_t ms_between(Clock::time_point a, Clock::time_point b) {
 const char* classify(const std::exception& e) {
   if (dynamic_cast<const DeadlineExceeded*>(&e)) return "DeadlineExceeded";
   if (dynamic_cast<const QueueFull*>(&e)) return "QueueFull";
-  if (dynamic_cast<const JobRejected*>(&e)) return "JobRejected";
+  if (const auto* jr = dynamic_cast<const JobRejected*>(&e))
+    return jr->kind().c_str();
+  if (dynamic_cast<const OutOfMemoryBudget*>(&e)) return "OutOfMemoryBudget";
   if (dynamic_cast<const parallel::RankFailure*>(&e)) return "RankFailure";
   if (dynamic_cast<const parallel::CollectiveTimeout*>(&e))
     return "CollectiveTimeout";
@@ -58,6 +60,8 @@ void accumulate(resilience::RecoveryStats& into,
   into.abft_corrections += from.abft_corrections;
   into.invariant_violations += from.invariant_violations;
   into.payload_corruptions += from.payload_corruptions;
+  into.oom_events += from.oom_events;
+  into.relief_actions += from.relief_actions;
 }
 
 }  // namespace
@@ -99,7 +103,8 @@ struct SolveServer::JobRecord {
 SolveServer::SolveServer(ServerOptions options)
     : options_(std::move(options)),
       store_(options_.checkpoint_dir),
-      cache_(options_.cache) {
+      cache_(options_.cache),
+      cache_reclaimer_("warm_cache", [this] { return cache_.clear(); }) {
   AEQP_CHECK(options_.workers >= 1, "SolveServer: need at least one worker");
   AEQP_CHECK(options_.queue_capacity >= 1,
              "SolveServer: queue capacity must be positive");
@@ -144,12 +149,35 @@ std::uint64_t SolveServer::submit(JobSpec spec) {
     }
   }
 
+  // Admission-time memory estimation: with a budget armed, a job whose
+  // fitted-scaling estimate cannot fit is rejected up front -- a structured
+  // refusal now beats an OutOfMemoryBudget after burning queue and solver
+  // time. Estimation is per rank: MORE ranks mean LESS replicated state
+  // each, so the estimate uses the ranks the job asked for.
+  std::string reason_kind = "JobRejected";
+  if (reason.empty() && resilience::mem_budget_enabled()) {
+    const std::size_t ranks = std::max<std::size_t>(spec.ranks, 1);
+    const std::size_t estimate = resilience::estimate_job_memory(
+        spec.structure.size(), ranks, options_.mem_model);
+    const std::size_t budget = resilience::mem_budget_bytes();
+    if (estimate > budget) {
+      reason = "estimated per-rank memory " + std::to_string(estimate) +
+               " bytes exceeds the budget of " + std::to_string(budget) +
+               " bytes";
+      reason_kind = "MemoryBudgetExceeded";
+    }
+  }
+
   std::unique_lock<std::mutex> lk(mutex_);
   if (!reason.empty()) {
-    ++stats_.rejected_invalid;
+    if (reason_kind == "MemoryBudgetExceeded") {
+      ++stats_.rejected_memory;
+    } else {
+      ++stats_.rejected_invalid;
+    }
     lk.unlock();
     obs::trace_instant("service/reject");
-    throw JobRejected(reason);
+    throw JobRejected(reason, reason_kind);
   }
   if (!accepting_) {
     ++stats_.rejected_invalid;
@@ -357,7 +385,22 @@ void SolveServer::execute(JobRecord& rec) {
     rungs.push_back({ServiceTier::Full, rec.spec.ranks, base});
     if (rec.spec.allow_degradation) {
       if (rec.spec.ranks > 1) {
-        rungs.push_back({ServiceTier::ReducedRanks, rec.spec.ranks / 2, base});
+        // Memory-aware ladder: halving the ranks RAISES the per-rank
+        // footprint (the same replicated state spread over fewer ranks).
+        // Under an armed budget the rung is skipped when the halved-world
+        // estimate no longer fits -- degrading into a guaranteed OOM is
+        // worse than jumping straight to the serial reduced-accuracy tier.
+        const std::size_t half = rec.spec.ranks / 2;
+        const bool fits =
+            !resilience::mem_budget_enabled() ||
+            resilience::estimate_job_memory(rec.spec.structure.size(), half,
+                                            options_.mem_model) <=
+                resilience::mem_budget_bytes();
+        if (fits) {
+          rungs.push_back({ServiceTier::ReducedRanks, half, base});
+        } else {
+          obs::trace_instant("service/skip_reduced_ranks");
+        }
       }
       core::DfptOptions loose = base;
       loose.tolerance =
@@ -473,6 +516,7 @@ obs::ScopedMetricsSource register_metrics(const SolveServer& server,
         push("admitted", static_cast<double>(s.admitted));
         push("rejected_queue_full", static_cast<double>(s.rejected_queue_full));
         push("rejected_invalid", static_cast<double>(s.rejected_invalid));
+        push("rejected_memory", static_cast<double>(s.rejected_memory));
         push("completed", static_cast<double>(s.completed));
         push("succeeded", static_cast<double>(s.succeeded));
         push("failed", static_cast<double>(s.failed));

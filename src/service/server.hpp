@@ -54,6 +54,7 @@
 
 #include "obs/metrics.hpp"
 #include "resilience/checkpoint.hpp"
+#include "resilience/membudget.hpp"
 #include "resilience/recovery.hpp"
 #include "service/job.hpp"
 #include "service/warm_cache.hpp"
@@ -79,6 +80,15 @@ struct ServerOptions {
   /// Accuracy cost of the ReducedAccuracy rung: the CPSCF tolerance is
   /// multiplied by this (capped at 1e-3 absolute).
   double reduced_accuracy_factor = 100.0;
+  /// Admission-time memory estimation model (membudget.hpp). When a
+  /// per-rank memory budget is armed (AEQP_MEM_BUDGET), a job whose
+  /// estimated footprint exceeds the budget is rejected at submit() with a
+  /// structured JobRejected of kind "MemoryBudgetExceeded" -- failing fast
+  /// beats admitting a job that will OOM mid-solve. The same model keeps
+  /// the degradation ladder memory-aware: the ReducedRanks rung RAISES the
+  /// per-rank footprint (fewer ranks hold the same replicated state), so it
+  /// is skipped when the halved-ranks estimate no longer fits.
+  resilience::MemModel mem_model = resilience::MemModel::default_model();
 };
 
 /// Monotonic server-wide counters plus live gauges; snapshot via
@@ -89,6 +99,7 @@ struct ServerStats {
   std::size_t admitted = 0;             ///< entered the queue
   std::size_t rejected_queue_full = 0;  ///< shed by backpressure
   std::size_t rejected_invalid = 0;     ///< malformed/oversized at admission
+  std::size_t rejected_memory = 0;      ///< estimated footprint over budget
   std::size_t completed = 0;            ///< reached a terminal state
   std::size_t succeeded = 0;
   std::size_t failed = 0;
@@ -147,6 +158,10 @@ private:
   ServerOptions options_;
   resilience::CheckpointStore store_;
   WarmCache cache_;
+  /// Registers the warm cache with the membudget relief ladder: under
+  /// memory pressure the governor may clear it (recompute-only cost).
+  /// Declared after cache_ so it unregisters before the cache dies.
+  resilience::ScopedMemReclaimer cache_reclaimer_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_work_;   ///< queue became non-empty / stopping

@@ -8,6 +8,7 @@
 #include "obs/memaudit.hpp"
 #include "obs/trace.hpp"
 #include "resilience/checkpoint.hpp"
+#include "resilience/membudget.hpp"
 
 namespace aeqp::service {
 
@@ -53,6 +54,16 @@ std::int64_t quantize(double x, double quantum) {
   return static_cast<std::int64_t>(std::llround(x / quantum));
 }
 
+/// Best-effort admission: under an armed memory budget that is already
+/// past its soft watermark, a cache insert is skipped rather than risking
+/// pushing the rank over the hard limit for state that is merely an
+/// optimization. Skipping never fails the job -- the solve result is
+/// already computed; only future warm starts are foregone.
+bool over_budget_pressure() {
+  return resilience::mem_budget_enabled() &&
+         resilience::mem_pressure().over_soft;
+}
+
 }  // namespace
 
 std::uint64_t structure_hash(const grid::Structure& structure, double quantum) {
@@ -96,6 +107,11 @@ std::uint64_t scf_options_hash(const scf::ScfOptions& options) {
 
 WarmCache::WarmCache(WarmCacheOptions options) : options_(options) {}
 
+void WarmCache::track(std::int64_t delta) {
+  owned_bytes_ += delta;
+  obs::mem_track("service/warm_cache", delta);
+}
+
 std::shared_ptr<const scf::ScfResult> WarmCache::find_ground(
     std::uint64_t key) {
   const std::lock_guard<std::mutex> lk(mutex_);
@@ -115,20 +131,23 @@ void WarmCache::put_ground(std::uint64_t key,
   AEQP_CHECK(ground != nullptr, "WarmCache: null ground-state entry");
   const std::lock_guard<std::mutex> lk(mutex_);
   if (options_.ground_capacity == 0) return;
+  if (over_budget_pressure()) {
+    ++stats_.budget_skips;
+    obs::trace_instant("service/cache_budget_skip");
+    return;
+  }
   if (const auto it = ground_.find(key); it != ground_.end()) {
-    obs::mem_track("service/warm_cache",
-                   ground_entry_bytes(*ground) -
-                       ground_entry_bytes(*it->second->ground));
+    track(ground_entry_bytes(*ground) -
+          ground_entry_bytes(*it->second->ground));
     it->second->ground = std::move(ground);
     ground_lru_.splice(ground_lru_.begin(), ground_lru_, it->second);
     return;
   }
-  obs::mem_track("service/warm_cache", ground_entry_bytes(*ground));
+  track(ground_entry_bytes(*ground));
   ground_lru_.push_front({key, std::move(ground)});
   ground_.emplace(key, ground_lru_.begin());
   while (ground_lru_.size() > options_.ground_capacity) {
-    obs::mem_track("service/warm_cache",
-                   -ground_entry_bytes(*ground_lru_.back().ground));
+    track(-ground_entry_bytes(*ground_lru_.back().ground));
     ground_.erase(ground_lru_.back().key);
     ground_lru_.pop_back();
     ++stats_.evictions;
@@ -155,9 +174,7 @@ std::optional<scf::ScfWarmStart> WarmCache::find_density(std::uint64_t key) {
   } catch (const Error&) {
     // Corruption-safe invalidation: a poisoned entry is dropped and the
     // caller recomputes -- it is never served, and it never kills the job.
-    obs::mem_track(
-        "service/warm_cache",
-        -static_cast<std::int64_t>(it->second->framed.size()));
+    track(-static_cast<std::int64_t>(it->second->framed.size()));
     density_lru_.erase(it->second);
     density_.erase(it);
     ++stats_.poisoned_dropped;
@@ -177,22 +194,23 @@ void WarmCache::put_density(std::uint64_t key,
   std::vector<unsigned char> framed = resilience::serialize(ckpt);
   const std::lock_guard<std::mutex> lk(mutex_);
   if (options_.density_capacity == 0) return;
+  if (over_budget_pressure()) {
+    ++stats_.budget_skips;
+    obs::trace_instant("service/cache_budget_skip");
+    return;
+  }
   if (const auto it = density_.find(key); it != density_.end()) {
-    obs::mem_track("service/warm_cache",
-                   static_cast<std::int64_t>(framed.size()) -
-                       static_cast<std::int64_t>(it->second->framed.size()));
+    track(static_cast<std::int64_t>(framed.size()) -
+          static_cast<std::int64_t>(it->second->framed.size()));
     it->second->framed = std::move(framed);
     density_lru_.splice(density_lru_.begin(), density_lru_, it->second);
     return;
   }
-  obs::mem_track("service/warm_cache",
-                 static_cast<std::int64_t>(framed.size()));
+  track(static_cast<std::int64_t>(framed.size()));
   density_lru_.push_front({key, std::move(framed)});
   density_.emplace(key, density_lru_.begin());
   while (density_lru_.size() > options_.density_capacity) {
-    obs::mem_track(
-        "service/warm_cache",
-        -static_cast<std::int64_t>(density_lru_.back().framed.size()));
+    track(-static_cast<std::int64_t>(density_lru_.back().framed.size()));
     density_.erase(density_lru_.back().key);
     density_lru_.pop_back();
     ++stats_.evictions;
@@ -212,6 +230,23 @@ std::size_t WarmCache::ground_size() const {
 std::size_t WarmCache::density_size() const {
   const std::lock_guard<std::mutex> lk(mutex_);
   return density_lru_.size();
+}
+
+std::int64_t WarmCache::clear() {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  const std::int64_t freed = owned_bytes_;
+  if (freed != 0) track(-freed);
+  ground_.clear();
+  ground_lru_.clear();
+  density_.clear();
+  density_lru_.clear();
+  if (freed > 0) obs::trace_instant("service/cache_clear");
+  return freed;
+}
+
+std::int64_t WarmCache::owned_bytes() const {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  return owned_bytes_;
 }
 
 bool WarmCache::corrupt_density_for_test(std::uint64_t key) {
@@ -238,8 +273,10 @@ obs::ScopedMetricsSource register_metrics(const WarmCache& cache,
         push("density_misses", static_cast<double>(s.density_misses));
         push("evictions", static_cast<double>(s.evictions));
         push("poisoned_dropped", static_cast<double>(s.poisoned_dropped));
+        push("budget_skips", static_cast<double>(s.budget_skips));
         push("ground_entries", static_cast<double>(cache.ground_size()));
         push("density_entries", static_cast<double>(cache.density_size()));
+        push("owned_bytes", static_cast<double>(cache.owned_bytes()));
       });
 }
 

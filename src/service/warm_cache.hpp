@@ -71,6 +71,7 @@ struct WarmCacheStats {
   std::size_t density_misses = 0;
   std::size_t evictions = 0;          ///< both tiers
   std::size_t poisoned_dropped = 0;   ///< corrupt entries caught by CRC
+  std::size_t budget_skips = 0;       ///< puts skipped under memory pressure
 };
 
 class WarmCache {
@@ -95,6 +96,17 @@ public:
   [[nodiscard]] std::size_t ground_size() const;
   [[nodiscard]] std::size_t density_size() const;
 
+  /// Drop every entry of both tiers and return the bytes freed (the
+  /// "service/warm_cache" gauge returns to zero). The memory-pressure
+  /// reclaimer the solve service registers with the membudget relief
+  /// ladder; a cleared cache only costs recomputation, never correctness.
+  std::int64_t clear();
+
+  /// Bytes currently charged to the "service/warm_cache" gauge by this
+  /// cache (both tiers). Tracked internally so clear() can report what it
+  /// freed without consulting global obs state.
+  [[nodiscard]] std::int64_t owned_bytes() const;
+
   /// Flip one byte of the stored density entry for `key` (if present) --
   /// the corruption-injection hook of the cache tests and the chaos bench;
   /// the next find_density must detect, drop, and recount it. Returns
@@ -111,9 +123,14 @@ private:
     std::vector<unsigned char> framed;  ///< CRC-framed ScfCheckpoint bytes
   };
 
+  /// Adjust owned_bytes_ and the "service/warm_cache" gauge together.
+  /// Callers hold mutex_.
+  void track(std::int64_t delta);
+
   mutable std::mutex mutex_;
   WarmCacheOptions options_;
   WarmCacheStats stats_;
+  std::int64_t owned_bytes_ = 0;  ///< resident bytes across both tiers
   // LRU: most-recently-used at the front; lookup maps key -> list node.
   std::list<GroundEntry> ground_lru_;
   std::unordered_map<std::uint64_t, std::list<GroundEntry>::iterator> ground_;
