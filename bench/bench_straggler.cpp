@@ -1,0 +1,295 @@
+// Straggler-defense bench: the cost of the arrival-lag ledger and the win
+// of rebalance-before-shrink.
+//
+// Two promises are priced here. First, the observe-only hot path: every
+// collective entry pays one ring store + two relaxed accumulates into the
+// StragglerDetector and (when adaptive deadlines are armed) one relaxed
+// load for the per-class deadline -- nanoseconds, cheap enough to leave on
+// for every governed run. Second, the ladder's rebalance rung: with one
+// rank persistently 8x slow, the governed run must complete at FULL world
+// size (no shrink), with the weighted re-mapping holding the walltime to
+// under 2x the clean run -- against the ~8x a do-nothing schedule would
+// cost. The JSON lands in BENCH_straggler.json for the perf-regression
+// sentinel (scripts/bench_history.py); the correctness rails (full world,
+// rebalance engaged, 1e-8 vs reference, ratio < 2) hard-fail the harness.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "bench_output.hpp"
+#include "common/table.hpp"
+#include "comm/packed.hpp"
+#include "core/dfpt.hpp"
+#include "core/parallel_dfpt.hpp"
+#include "grid/structure.hpp"
+#include "parallel/fault.hpp"
+#include "parallel/straggler.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/recovery.hpp"
+#include "scf/scf_solver.hpp"
+
+namespace {
+
+using namespace aeqp;
+using namespace aeqp::resilience;
+using Clock = std::chrono::steady_clock;
+
+// A 4-atom hydrogen chain rather than H2: the rebalance win is bounded by
+// the ratio of distributed grid work (which the weighted re-mapping can
+// move off the straggler) to the replicated per-iteration tail (Sternheimer
+// update, P^(1) assembly, radial Poisson solve -- paid by every rank, so an
+// 8x rank pays it at 8x no matter the mapping). Four atoms quadruple the
+// distributed share while the replicated tail grows slowly, which keeps a
+// governed run with one 8x rank comfortably inside the 2x walltime rail
+// even on an oversubscribed CI box.
+grid::Structure hydrogen_chain() {
+  grid::Structure s;
+  for (int a = 0; a < 4; ++a) s.add_atom(1, {0, 0, -2.1 + 1.4 * a});
+  return s;
+}
+
+scf::ScfResult light_ground() {
+  scf::ScfOptions opt;
+  opt.tier = basis::BasisTier::Light;
+  opt.grid.radial_points = 40;
+  opt.grid.angular_degree = 11;
+  opt.poisson.radial_points = 72;
+  return scf::ScfSolver(hydrogen_chain(), opt).run();
+}
+
+core::ParallelDfptOptions bench_popt(parallel::FaultInjector* injector) {
+  core::ParallelDfptOptions popt;
+  popt.dfpt.tolerance = 1e-8;
+  popt.ranks = 4;
+  popt.ranks_per_node = 2;
+  popt.reduce_mode = comm::ReduceMode::Flat;
+  popt.batch_points = 96;
+  // Weighted Rho-producer shares: under a persistent straggler the
+  // replicated producer would run at the slowest rank's speed no matter how
+  // the grid batches are re-homed, capping the rebalance win far above 2x.
+  popt.distribute_rho = true;
+  popt.fault_injector = injector;
+  popt.collective_timeout_ms = 30000;
+  return popt;
+}
+
+double governed_seconds(const scf::ScfResult& ground,
+                        parallel::FaultInjector* injector, const char* tag,
+                        core::ParallelDfptResult* out) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (std::string("aeqp_bench_straggler_") + tag);
+  std::filesystem::remove_all(dir);
+  CheckpointStore store(dir);
+  RecoveryOptions ropt;
+  ropt.elastic = true;
+  ropt.max_retries = 6;
+  ropt.mixing_damping = 1.0;
+  ropt.backoff_base_ms = 0;
+  // Per-iteration checkpointing serializes a buddy exchange against the
+  // straggler's delayed arrivals; every 4th iteration bounds the rollback
+  // at 3 iterations while keeping the steady-state sync cost off the
+  // critical path.
+  ropt.checkpoint_every = 4;
+  RecoveryDriver driver(store, ropt);
+  // This molecule's per-collective work windows are a few ms; drop the
+  // ledger's noise floor (production default 5 ms) so they carry signal.
+  // min_relative comes down from the production 4x as well: with all rank
+  // threads time-slicing one oversubscribed host core, a healthy rank's
+  // wall window contains the whole pack's interleaved compute, which
+  // compresses the straggler's observable arrival-lag ratio to about
+  // 1 + (factor-1)/ranks (~2.7 here) -- on dedicated cores the same 8x
+  // rank shows the full 8x ratio. degrade_after stays at the default 2:
+  // one-window classification is measurably trigger-happy (scheduler
+  // jitter degrades healthy ranks and burns the retry budget on spurious
+  // rebalances).
+  parallel::StragglerDetector::Options dopt;
+  dopt.min_window_ms = 0.5;
+  dopt.min_relative = 2.5;
+  parallel::StragglerDetector detector(4, dopt);
+  auto popt = bench_popt(injector);
+  popt.straggler_detector = &detector;
+  const auto t0 = Clock::now();
+  *out = driver.solve_direction_parallel(ground, popt, 2);
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+void straggler_run() {
+  // --- Ledger hot-path cost -------------------------------------------
+  // One record_work per collective entry per rank: a relaxed ring store
+  // plus two relaxed accumulates.
+  parallel::StragglerDetector detector(4);
+  constexpr std::size_t kRecords = 10'000'000;
+  const auto d0 = Clock::now();
+  for (std::size_t i = 0; i < kRecords; ++i) {
+    detector.record_work(i % 4, 1.0);
+    benchmark::ClobberMemory();
+  }
+  const double record_ns =
+      std::chrono::duration<double, std::nano>(Clock::now() - d0).count() /
+      static_cast<double>(kRecords);
+
+  // Adaptive deadline lookup: one relaxed load of the cached estimate plus
+  // clamping, paid per collective when the estimator is armed.
+  parallel::DeadlineEstimator estimator;
+  for (int i = 0; i < 64; ++i)
+    estimator.record(parallel::CollectiveClass::AllreduceSum, 5.0);
+  constexpr std::size_t kLookups = 10'000'000;
+  const auto l0 = Clock::now();
+  std::chrono::milliseconds sink{0};
+  for (std::size_t i = 0; i < kLookups; ++i) {
+    sink += estimator.deadline(parallel::CollectiveClass::AllreduceSum,
+                               std::chrono::milliseconds(120000));
+    benchmark::DoNotOptimize(sink);
+  }
+  const double deadline_ns =
+      std::chrono::duration<double, std::nano>(Clock::now() - l0).count() /
+      static_cast<double>(kLookups);
+
+  // --- Clean vs persistently-slow governed runs ------------------------
+  // Each side is timed twice and the minimum kept: walltime on a shared CI
+  // box carries ambient load spikes, and min-of-N is the standard estimator
+  // of the undisturbed run. Correctness rails are asserted on EVERY slow
+  // trial (a missed detection would otherwise hide inside the discarded
+  // sample).
+  const auto ground = light_ground();
+  core::DfptOptions ref_opt;
+  ref_opt.tolerance = 1e-8;
+  const auto ref = core::DfptSolver(ground, ref_opt).solve_direction(2);
+
+  core::ParallelDfptResult clean;
+  double clean_seconds = governed_seconds(ground, nullptr, "clean0", &clean);
+  {
+    core::ParallelDfptResult again;
+    clean_seconds = std::min(
+        clean_seconds, governed_seconds(ground, nullptr, "clean1", &again));
+  }
+
+  const auto slow_trial = [&](const char* tag, core::ParallelDfptResult* out,
+                              double* injected_ms) {
+    parallel::FaultPlan plan;
+    parallel::FaultEvent ev;
+    ev.kind = parallel::FaultKind::Slowdown;
+    ev.rank = 1;
+    ev.collective = 10;
+    ev.slow_factor = 8.0;
+    ev.transient = false;  // slow until the ladder rebalances around it
+    plan.add(ev);
+    parallel::FaultInjector injector(std::move(plan));
+    const double secs = governed_seconds(ground, &injector, tag, out);
+    *injected_ms = injector.stats().slowdown_ms;
+    return secs;
+  };
+  core::ParallelDfptResult slow;
+  double injected_ms = 0.0;
+  double slow_seconds = slow_trial("slow0", &slow, &injected_ms);
+  bool slow_rails = slow.direction.converged && slow.stats.shrinks == 0 &&
+                    slow.stats.survivor_ranks == 4 &&
+                    slow.stats.rebalances >= 1;
+  {
+    core::ParallelDfptResult again;
+    double again_ms = 0.0;
+    const double secs = slow_trial("slow1", &again, &again_ms);
+    slow_rails = slow_rails && again.direction.converged &&
+                 again.stats.shrinks == 0 &&
+                 again.stats.survivor_ranks == 4 &&
+                 again.stats.rebalances >= 1;
+    if (secs < slow_seconds) {
+      slow_seconds = secs;
+      slow = again;
+      injected_ms = again_ms;
+    }
+  }
+  const double ratio = slow_seconds / clean_seconds;
+  const double max_diff = slow.direction.p1.max_abs_diff(ref.p1);
+
+  // --- Rails ----------------------------------------------------------
+  // The acceptance bar of the rebalance rung: full world kept, rebalance
+  // engaged, reference-accurate, and the walltime win is real.
+  const bool rails_ok = clean.direction.converged && slow_rails &&
+                        max_diff <= 1e-8 && ratio < 2.0;
+  if (!rails_ok) {
+    std::fprintf(stderr,
+                 "bench_straggler: rebalance rung FAILED its rails "
+                 "(converged=%d/%d shrinks=%zu survivors=%zu rebalances=%zu "
+                 "max_diff=%g clean=%.3fs slow=%.3fs ratio=%.2f)\n",
+                 clean.direction.converged ? 1 : 0,
+                 slow.direction.converged ? 1 : 0, slow.stats.shrinks,
+                 slow.stats.survivor_ranks, slow.stats.rebalances, max_diff,
+                 clean_seconds, slow_seconds, ratio);
+    std::exit(1);
+  }
+
+  // --- Report ----------------------------------------------------------
+  Table t({"record_work (ns)", "deadline lookup (ns)"});
+  t.add_row({Table::num(record_ns, 2), Table::num(deadline_ns, 2)});
+  t.print("Straggler ledger hot-path cost (paid once per collective entry "
+          "per rank; observe-only)");
+
+  Table g({"clean (s)", "8x-slow (s)", "ratio", "rebalances",
+           "batches moved", "shrinks", "max |diff| vs ref"});
+  g.add_row({Table::num(clean_seconds, 3), Table::num(slow_seconds, 3),
+             Table::num(ratio, 2), std::to_string(slow.stats.rebalances),
+             std::to_string(slow.stats.rebalance_batches_moved),
+             std::to_string(slow.stats.shrinks), Table::num(max_diff, 3)});
+  g.print("Governed CPSCF with one rank persistently 8x slow: the rebalance "
+          "rung keeps the full world and holds walltime under 2x clean");
+
+  std::string path;
+  if (std::FILE* f = benchio::open_bench("BENCH_straggler.json", &path)) {
+    benchio::write_envelope(f, "straggler_defense");
+    std::fprintf(
+        f,
+        "  \"detector_record_overhead_ns\": %.4f,\n"
+        "  \"deadline_lookup_overhead_ns\": %.4f,\n"
+        "  \"slowdown_walltime_ratio\": %.4f,\n"
+        "  \"injected_slowdown_ms\": %.2f,\n"
+        "  \"governed_rebalances\": %zu,\n"
+        "  \"governed_rebalance_batches_moved\": %zu,\n"
+        "  \"governed_shrinks\": %zu,\n"
+        "  \"governed_degraded_ranks\": %zu,\n"
+        "  \"straggler_max_diff\": %.3e\n}\n",
+        record_ns, deadline_ns, ratio, injected_ms, slow.stats.rebalances,
+        slow.stats.rebalance_batches_moved, slow.stats.shrinks,
+        slow.stats.degraded_ranks, max_diff);
+    std::fclose(f);
+    std::printf("Wrote %s\n", path.c_str());
+  }
+}
+
+/// Google-benchmark probes for interactive tuning (the JSON numbers above
+/// come from the deterministic loop, not these).
+void BM_DetectorRecordWork(benchmark::State& state) {
+  parallel::StragglerDetector detector(4);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    detector.record_work(i++ % 4, 1.0);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_DetectorRecordWork);
+
+void BM_DeadlineLookup(benchmark::State& state) {
+  parallel::DeadlineEstimator estimator;
+  for (int i = 0; i < 64; ++i)
+    estimator.record(parallel::CollectiveClass::Barrier, 1.0);
+  for (auto _ : state) {
+    auto d = estimator.deadline(parallel::CollectiveClass::Barrier,
+                                std::chrono::milliseconds(120000));
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_DeadlineLookup);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  straggler_run();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -5,6 +5,7 @@
 
 #include "comm/hierarchical.hpp"
 #include "common/error.hpp"
+#include "common/timer.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -54,6 +55,7 @@ void PackedAllReducer::add(std::span<double> row) {
 void PackedAllReducer::flush() {
   if (pending_.empty()) return;
   AEQP_TRACE_SCOPE("comm/packed_flush");
+  const Timer flush_timer;
   if (obs::enabled()) {
     static obs::Counter& bytes = obs::counter("comm/packed_bytes");
     static obs::Counter& collectives = obs::counter("comm/packed_collectives");
@@ -117,6 +119,7 @@ void PackedAllReducer::flush() {
   AEQP_ASSERT(offset == buffer_.size());
   buffer_.clear();
   pending_.clear();
+  flush_seconds_ += flush_timer.seconds();
 }
 
 void flat_allreduce_sum(parallel::Communicator& comm, std::span<double> data) {

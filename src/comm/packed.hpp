@@ -84,6 +84,12 @@ public:
   /// bytes_reduced() * (P - 1) bytes for the underlying collective.
   [[nodiscard]] std::uint64_t bytes_reduced() const { return bytes_reduced_; }
 
+  /// Wall time this rank has spent inside flush() so far -- the comm/wait
+  /// share of the packed H-phase synthesis. On a straggler's PEERS this is
+  /// dominated by barrier wait for the slow rank, which makes it the
+  /// natural span to cross-check the arrival-lag ledger against.
+  [[nodiscard]] double flush_seconds() const { return flush_seconds_; }
+
 private:
   /// Re-sync the "comm/packed_buffer" gauge with the staging buffer's
   /// current capacity (ROADMAP item 3: the pack window is per-rank state
@@ -99,6 +105,7 @@ private:
   std::size_t flushes_ = 0;
   std::size_t rows_total_ = 0;
   std::uint64_t bytes_reduced_ = 0;
+  double flush_seconds_ = 0.0;
   obs::MemScope buf_mem_{"comm/packed_buffer"};
 };
 

@@ -16,6 +16,7 @@
 #include "obs/trace.hpp"
 #include "parallel/cluster.hpp"
 #include "parallel/fault.hpp"
+#include "poisson/multipole.hpp"
 #include "resilience/guards.hpp"
 #include "resilience/membudget.hpp"
 #include "resilience/sdc_inject.hpp"
@@ -80,6 +81,59 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
   out.stats.survivor_ranks = n_active;
   out.stats.lost_ranks = options.ranks - n_active;
 
+  // Current-world speed weights (1.0 = healthy); reused by the weighted
+  // Rho-producer row split when distribute_rho is on.
+  std::vector<double> world_weights(n_active, 1.0);
+  if (!options.rank_speed_weights.empty()) {
+    // Straggler rebalance rung: re-home batches around the measured rank
+    // speeds. Weights are original-world indexed; translate to the running
+    // world's slots (identity when no shrink happened). Every rank computes
+    // the same deterministic mapping, so results stay bit-identical to a
+    // run that started from this assignment.
+    AEQP_CHECK(options.rank_speed_weights.size() == options.ranks,
+               "solve_direction_parallel: rank_speed_weights must cover the "
+               "original world");
+    std::size_t n_slow = 0;
+    for (std::size_t s = 0; s < n_active; ++s) {
+      world_weights[s] =
+          options.rank_speed_weights[active.empty() ? s : active[s]];
+      if (world_weights[s] < 1.0) ++n_slow;
+    }
+    Timer rebalance_timer;
+    auto rebalance =
+        mapping::rebalance_for_slow_ranks(assignment, batches, world_weights);
+    out.stats.rebalance_seconds = rebalance_timer.seconds();
+    out.stats.rebalance_batches_moved = rebalance.moved_batches;
+    out.stats.rebalances = 1;
+    out.stats.degraded_ranks = n_slow;
+    assignment = std::move(rebalance.assignment);
+    obs::trace_instant("mapping/rebalance");
+  }
+
+  // Weighted contiguous row ranges of the Poisson producer (empty = the
+  // replicated producer). Shares are proportional to the measured speed
+  // weights -- an 8x-slow rank projects ~1/8 as many rho_multipole rows --
+  // and every rank derives the identical split, so the packed synthesis
+  // below sums disjoint contributions in a fixed order.
+  std::vector<std::size_t> rho_row_begin;
+  if (options.distribute_rho && n_active > 1) {
+    const std::size_t nrows = hartree.projection_row_count();
+    rho_row_begin.assign(n_active + 1, 0);
+    double wsum = 0.0;
+    for (double wv : world_weights) wsum += wv;
+    double acc = 0.0;
+    for (std::size_t s = 0; s + 1 < n_active; ++s) {
+      acc += world_weights[s];
+      rho_row_begin[s + 1] = std::max(
+          rho_row_begin[s],
+          static_cast<std::size_t>(std::llround(
+              static_cast<double>(nrows) * acc / wsum)));
+    }
+    rho_row_begin[n_active] = nrows;
+    for (std::size_t s = 0; s < n_active; ++s)
+      rho_row_begin[s + 1] = std::max(rho_row_begin[s + 1], rho_row_begin[s]);
+  }
+
   std::vector<double> fxc(np);
   for (std::size_t p = 0; p < np; ++p)
     fxc[p] = xc::lda_evaluate(std::max(ground.density_samples[p], 0.0)).fxc;
@@ -125,6 +179,14 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
       std::chrono::milliseconds(options.collective_timeout_ms));
   cluster.set_fault_injector(options.fault_injector);
   cluster.set_verify_payloads(options.verify_collectives);
+  cluster.set_straggler_detector(options.straggler_detector);
+  // The constructor already armed adaptive deadlines when the env gate is
+  // on (adaptive_deadlines == -1 keeps that); 0/1 force the state.
+  if (options.adaptive_deadlines == 0)
+    cluster.set_adaptive_deadlines(false);
+  else if (options.adaptive_deadlines == 1 ||
+           (cluster.adaptive_deadlines() && options.adaptive_floor_ms > 0.0))
+    cluster.set_adaptive_deadlines(true, options.adaptive_floor_ms);
   cluster.run([&](parallel::Communicator& comm) {
     // Tag this rank thread: the log sink prefixes its lines and the trace
     // exporter gives it its own lane. Purely observational.
@@ -236,7 +298,31 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
         basis.evaluate_batch(pts, m, screen_radii, ev);
         basis::contract_density(p1, ev, outp);
       };
-      const auto v1_part = hartree.solve_density(n1_fn);
+      poisson::PartitionedPotential v1_part;
+      if (!rho_row_begin.empty()) {
+        // Distributed producer: this rank projects only its weighted share
+        // of the (atom, shell) rows; the full rho_multipole is synthesized
+        // with a packed row-by-row AllReduce. Each row is computed by
+        // exactly one rank and summed with exact zeros, so the synthesized
+        // samples -- and everything downstream -- are bit-identical to the
+        // replicated producer.
+        auto rho_m = hartree.project_rows(n1_fn, rho_row_begin[comm.rank()],
+                                          rho_row_begin[comm.rank() + 1]);
+        comm::PackedAllReducer packer(
+            comm, options.reduce_mode,
+            tune::pack_window_bytes(options.pack_bytes),
+            options.verify_collectives);
+        for (auto& per_atom : rho_m.samples)
+          for (auto& channel : per_atom)
+            packer.add(std::span<double>(channel.data(), channel.size()));
+        packer.flush();
+        collectives[comm.rank()] += packer.collective_count();
+        rows[comm.rank()] += packer.rows_packed();
+        hartree.finalize_splines(rho_m);
+        v1_part = hartree.solve(rho_m);
+      } else {
+        v1_part = hartree.solve_density(n1_fn);
+      }
       // Batched consumer over this rank's points; per-point values are
       // independent, so blocking never changes v1_own.
       const std::size_t block = tune::rho_block_size(options.dfpt.rho_block_size);
@@ -417,7 +503,9 @@ ParallelDfptResult solve_direction_parallel(const scf::ScfResult& ground,
       if (comm.rank() == 0) result.phase_seconds[Phase::Sumup] += timer.seconds();
 
       // --- Rho phase: the Poisson producer is replicated on every rank
-      //     (communication avoidance), the consumer runs on own points. ---
+      //     (communication avoidance) or, with distribute_rho, split into
+      //     weighted row shares and synthesized by packed AllReduce; the
+      //     consumer runs on own points either way. ---
       timer.reset();
       {
         AEQP_TRACE_SCOPE("cpscf/rho");
@@ -495,6 +583,11 @@ obs::ScopedMetricsSource register_metrics(const ParallelDfptStats& stats,
         push("remap_batches_moved",
              static_cast<double>(stats.remap_batches_moved));
         push("remap_seconds", stats.remap_seconds);
+        push("rebalances", static_cast<double>(stats.rebalances));
+        push("rebalance_batches_moved",
+             static_cast<double>(stats.rebalance_batches_moved));
+        push("rebalance_seconds", stats.rebalance_seconds);
+        push("degraded_ranks", static_cast<double>(stats.degraded_ranks));
         push("shrinks", static_cast<double>(stats.shrinks));
         push("buddy_restores", static_cast<double>(stats.buddy_restores));
         push("abft_corrections", static_cast<double>(stats.abft_corrections));

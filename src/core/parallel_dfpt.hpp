@@ -10,8 +10,12 @@
 ///    locality-enhancing batch mapping; partial H^(1) contributions are
 ///    synthesized with a packed (optionally hierarchical) AllReduce.
 ///  - The Poisson producer (multipole projection + radial solves) is
-///    replicated on every rank, "trading redundant calculations for
-///    communication avoidance" exactly as the paper's producer kernels do.
+///    replicated on every rank by default, "trading redundant calculations
+///    for communication avoidance" exactly as the paper's producer kernels
+///    do. With `distribute_rho` the projection rows are split across ranks
+///    (weighted by measured rank speeds) and synthesized with a packed
+///    rho_multipole AllReduce -- bit-identical output, used by the
+///    straggler-rebalance rung so a slow rank sheds producer work too.
 ///  - The Sternheimer update and P^(1) assembly are replicated (identical
 ///    inputs -> identical outputs on every rank).
 ///
@@ -60,6 +64,38 @@ struct ParallelDfptOptions {
   /// Collective deadline handed to the cluster; a rank stalled past it
   /// surfaces as CollectiveTimeout on the surviving ranks.
   std::size_t collective_timeout_ms = 120000;
+  /// Adaptive per-collective-class deadlines (parallel::DeadlineEstimator):
+  /// -1 = follow the AEQP_ADAPTIVE_TIMEOUT env gate (default), 0 = force
+  /// off, 1 = force on. The fixed collective_timeout_ms stays the ceiling
+  /// either way -- the smaller deadline always wins.
+  int adaptive_deadlines = -1;
+  /// Optional floor override (ms) for the adaptive deadline; 0 = estimator
+  /// default. Tests drop it so an injected straggler times out in tens of
+  /// milliseconds instead of seconds.
+  double adaptive_floor_ms = 0.0;
+  /// Optional straggler detector fed by the runtime with per-rank work
+  /// intervals (must outlive the call); null = no arrival-lag ledger and a
+  /// bit-identical collective schedule to the un-instrumented baseline.
+  parallel::StragglerDetector* straggler_detector = nullptr;
+  /// Measured per-rank speed weights, ORIGINAL-world indexed (size
+  /// `ranks`); non-empty = re-home batches with
+  /// mapping::rebalance_for_slow_ranks so slow ranks carry
+  /// proportionally less grid work. World size and rank numbering are
+  /// unchanged -- this is the recovery ladder's rebalance rung, fired
+  /// before any shrink. Empty = keep the locality mapping as-is.
+  std::vector<double> rank_speed_weights;
+  /// Distribute the Rho-phase Poisson producer: each rank projects a
+  /// contiguous share of the (atom, radial shell) rho_multipole rows --
+  /// sized by rank_speed_weights when present -- and the partial
+  /// projections are synthesized with a packed row-by-row AllReduce (the
+  /// paper's rho_multipole reduction). Every row is computed by exactly one
+  /// rank and x + 0 is exact in IEEE addition, so the summed projection is
+  /// bit-identical to the replicated producer. Off by default: replicating
+  /// the producer trades redundant compute for communication avoidance,
+  /// the right call when ranks are homogeneous -- but under a straggler
+  /// the replicated producer runs at the slowest rank's speed, so the
+  /// rebalance rung enables this to shed producer work too.
+  bool distribute_rho = false;
   /// CRC-verify every collective payload (Cluster::set_verify_payloads) and
   /// run the packed H-phase AllReduce with a linear checksum element, so
   /// in-flight corruption surfaces as parallel::PayloadCorruption at the
@@ -93,6 +129,11 @@ struct ParallelDfptStats {
   std::size_t lost_ranks = 0;       ///< original ranks excluded by shrinks
   std::size_t remap_batches_moved = 0; ///< orphaned batches re-homed
   double remap_seconds = 0.0;       ///< wall time of the survivor re-mapping
+  // Straggler-rebalance shape of this run (filled by the solver).
+  std::size_t rebalances = 0;           ///< weighted re-mappings applied
+  std::size_t rebalance_batches_moved = 0; ///< batches moved off slow ranks
+  double rebalance_seconds = 0.0;       ///< wall time of weighted re-mapping
+  std::size_t degraded_ranks = 0;       ///< ranks rebalanced around
   // Recovery counters, filled by resilience::RecoveryDriver when a run is
   // wrapped in fault recovery (zero for bare runs).
   std::size_t faults_detected = 0;  ///< health violations + rank failures

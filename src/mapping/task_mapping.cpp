@@ -127,6 +127,116 @@ RemapResult remap_for_survivors(const Assignment& previous,
   return out;
 }
 
+RemapResult rebalance_for_slow_ranks(const Assignment& previous,
+                                     const std::vector<grid::Batch>& batches,
+                                     const std::vector<double>& weights) {
+  const std::size_t n_ranks = previous.rank_count();
+  AEQP_CHECK(n_ranks >= 1, "rebalance_for_slow_ranks: empty assignment");
+  AEQP_CHECK(weights.size() == n_ranks,
+             "rebalance_for_slow_ranks: weight count " +
+                 std::to_string(weights.size()) + " != rank count " +
+                 std::to_string(n_ranks));
+  double weight_sum = 0.0;
+  for (const double w : weights) {
+    AEQP_CHECK(w > 0.0, "rebalance_for_slow_ranks: weights must be > 0");
+    weight_sum += w;
+  }
+
+  RemapResult out;
+  out.assignment.batches_of_rank.resize(n_ranks);
+
+  std::vector<std::size_t> points(n_ranks, 0);
+  std::vector<Vec3> centroid_sum(n_ranks, Vec3{});
+  std::vector<std::size_t> owned(n_ranks, 0);
+  std::size_t total_points = 0;
+  for (std::size_t r = 0; r < n_ranks; ++r) {
+    out.assignment.batches_of_rank[r] = previous.batches_of_rank[r];
+    for (const auto b : out.assignment.batches_of_rank[r]) {
+      points[r] += batches[b].size();
+      centroid_sum[r] += batches[b].centroid;
+      ++owned[r];
+    }
+    total_points += points[r];
+  }
+
+  // Per-rank point target proportional to measured speed; a floor of one
+  // point keeps the balance term below finite.
+  std::vector<double> target(n_ranks);
+  for (std::size_t r = 0; r < n_ranks; ++r)
+    target[r] = std::max(static_cast<double>(total_points) * weights[r] /
+                             weight_sum,
+                         1.0);
+
+  // Overloaded ranks shed batches farthest from their own mean centroid
+  // first: the spatial core that makes their caches and splines valuable
+  // stays put, the fringe moves.
+  std::vector<std::uint32_t> orphans;
+  for (std::size_t r = 0; r < n_ranks; ++r) {
+    if (static_cast<double>(points[r]) <= target[r] || owned[r] == 0) continue;
+    auto& ids = out.assignment.batches_of_rank[r];
+    const Vec3 mean = centroid_sum[r] / static_cast<double>(owned[r]);
+    std::sort(ids.begin(), ids.end(), [&](std::uint32_t a, std::uint32_t b) {
+      const double da = (batches[a].centroid - mean).norm2();
+      const double db = (batches[b].centroid - mean).norm2();
+      if (da != db) return da < db;
+      return a < b;
+    });
+    // Pop from the far end until the target is met (keep at least one
+    // batch so the rank still participates in every distributed phase).
+    while (ids.size() > 1 &&
+           static_cast<double>(points[r]) > target[r]) {
+      const std::uint32_t b = ids.back();
+      ids.pop_back();
+      points[r] -= batches[b].size();
+      centroid_sum[r] -= batches[b].centroid;
+      --owned[r];
+      orphans.push_back(b);
+    }
+  }
+
+  std::sort(orphans.begin(), orphans.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (batches[a].size() != batches[b].size())
+                return batches[a].size() > batches[b].size();
+              return a < b;
+            });
+
+  for (const auto b : orphans) {
+    std::size_t best = 0;
+    double best_score = 0.0;
+    bool found = false;
+    for (std::size_t r = 0; r < n_ranks; ++r) {
+      double dist = 0.0;
+      if (owned[r] > 0) {
+        const Vec3 mean = centroid_sum[r] / static_cast<double>(owned[r]);
+        dist = (batches[b].centroid - mean).norm();
+      }
+      // Balance term against the *weighted* target: a slow rank's small
+      // target repels work exactly in proportion to its measured speed.
+      const double load =
+          static_cast<double>(points[r] + batches[b].size()) / target[r];
+      const double score = (1.0 + dist) * load;
+      if (!found || score < best_score) {
+        best = r;
+        best_score = score;
+        found = true;
+      }
+    }
+    out.assignment.batches_of_rank[best].push_back(b);
+    points[best] += batches[b].size();
+    centroid_sum[best] += batches[b].centroid;
+    ++owned[best];
+    ++out.moved_batches;
+    out.moved_points += batches[b].size();
+  }
+
+  // Batch order within a rank feeds downstream loops; keep it sorted so the
+  // result is independent of shedding/placement order.
+  for (auto& ids : out.assignment.batches_of_rank)
+    std::sort(ids.begin(), ids.end());
+  return out;
+}
+
 namespace {
 
 /// One round of the bisection of paper Fig. 5 / Algorithm 1 lines 5-13.

@@ -69,6 +69,22 @@ RemapResult remap_for_survivors(const Assignment& previous,
                                 const std::vector<grid::Batch>& batches,
                                 const std::vector<std::size_t>& survivors);
 
+/// Weighted re-mapping around measured rank speeds (the recovery ladder's
+/// rebalance rung, fired for stragglers *before* any shrink). Every rank
+/// stays in the world -- no renumbering, rank_count is preserved and the
+/// result is safe to use under the same Cluster -- but each rank r is
+/// targeted at total_points * weights[r] / sum(weights): a rank measured 8x
+/// slow (weight 1/8) keeps ~1/8 of a fair share. Overloaded ranks shed
+/// their farthest-from-centroid batches first (their locality core stays
+/// intact), and the orphans are re-homed with the same locality-vs-balance
+/// objective remap_for_survivors uses, with the balance term measured
+/// against the weighted target. Deterministic: results depend only on the
+/// inputs, so every rank computing its own copy agrees bit-for-bit.
+/// `weights` has previous.rank_count() entries, each > 0.
+RemapResult rebalance_for_slow_ranks(const Assignment& previous,
+                                     const std::vector<grid::Batch>& batches,
+                                     const std::vector<double>& weights);
+
 /// Paper Algorithm 1: locality-enhancing recursive bisection.
 Assignment locality_enhancing_mapping(const std::vector<grid::Batch>& batches,
                                       std::size_t n_ranks);

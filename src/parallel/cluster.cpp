@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <ctime>
 #include <limits>
 #include <new>
 #include <thread>
@@ -14,10 +15,29 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/fault.hpp"
+#include "parallel/straggler.hpp"
 
 namespace aeqp::parallel {
 
 namespace {
+
+/// CPU time consumed by the calling thread, in milliseconds. The Slowdown
+/// fault scales this -- the rank's OWN burned cycles -- so that on an
+/// oversubscribed host the wall span (which also contains co-scheduled
+/// peers' compute) never inflates the injected delay. Where no per-thread
+/// CPU clock exists the wall clock stands in; the caller clamps against the
+/// wall span, so the fallback degrades to the old behaviour, never worse.
+double thread_cpu_ms() {
+#ifdef CLOCK_THREAD_CPUTIME_ID
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+    return static_cast<double>(ts.tv_sec) * 1e3 +
+           static_cast<double>(ts.tv_nsec) * 1e-6;
+#endif
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Post-mortem hook for structured errors escaping Cluster::run: classify
 /// the exception and hand the flight recorder its kind so the dump names
@@ -76,6 +96,9 @@ Cluster::Cluster(std::size_t n_ranks, std::size_t ranks_per_node,
     const std::size_t count = std::min(ranks_per_node_, n_ranks_ - first);
     nodes_[nd].barrier = std::make_unique<FtBarrier>(count);
   }
+  // AEQP_ADAPTIVE_TIMEOUT arms adaptive deadlines process-wide;
+  // set_adaptive_deadlines overrides per cluster.
+  if (adaptive_timeout_enabled()) set_adaptive_deadlines(true);
 }
 
 std::unique_ptr<Cluster> Cluster::shrink(
@@ -97,6 +120,21 @@ std::unique_ptr<Cluster> Cluster::shrink(
   shrunk->collective_timeout_ = collective_timeout_;
   shrunk->injector_ = injector_;
   shrunk->verify_payloads_ = verify_payloads_;
+  // The straggler ledger carries over -- it is keyed by original ids, so
+  // survivor classifications stay meaningful -- with the dead ranks
+  // retired so no stale "degraded" verdict outlives its rank. The
+  // adaptive-deadline armed state carries with a FRESH estimator: the
+  // latency structure of an N-rank world says nothing about the shrunken
+  // one (fewer participants per barrier changes every arrival spread).
+  if (straggler_ != nullptr) {
+    straggler_->retain(shrunk->origin_);
+    shrunk->straggler_ = straggler_;
+  }
+  if (adaptive_ && deadline_est_ != nullptr) {
+    shrunk->adaptive_ = true;
+    shrunk->deadline_est_ =
+        std::make_shared<DeadlineEstimator>(deadline_est_->options());
+  }
   obs::trace_instant("cluster/shrink");
   return shrunk;
 }
@@ -116,11 +154,41 @@ void Cluster::set_fault_injector(FaultInjector* injector) {
   injector_ = injector;
 }
 
+void Cluster::set_straggler_detector(StragglerDetector* detector) {
+  if (detector != nullptr) {
+    // Every original id this world can hand the detector must have a row;
+    // an undersized detector would silently drop the highest ranks' lag.
+    for (const std::size_t id : origin_)
+      AEQP_CHECK(id < detector->rank_count(),
+                 "Cluster::set_straggler_detector: world original rank " +
+                     std::to_string(id) + " outside the detector's world (" +
+                     std::to_string(detector->rank_count()) + " ranks)");
+  }
+  straggler_ = detector;
+}
+
+void Cluster::set_adaptive_deadlines(bool on, double floor_ms) {
+  adaptive_ = on;
+  if (!on) {
+    deadline_est_.reset();
+    return;
+  }
+  DeadlineEstimator::Options opts;
+  if (floor_ms > 0.0) opts.floor_ms = floor_ms;
+  deadline_est_ = std::make_shared<DeadlineEstimator>(opts);
+}
+
+std::chrono::milliseconds Cluster::effective_timeout(CollectiveClass c) const {
+  if (!adaptive_ || deadline_est_ == nullptr) return collective_timeout_;
+  return deadline_est_->deadline(c, collective_timeout_);
+}
+
 std::size_t Cluster::node_count() const {
   return (n_ranks_ + ranks_per_node_ - 1) / ranks_per_node_;
 }
 
-void Cluster::FtBarrier::arrive_and_wait(Cluster& cluster, std::size_t rank) {
+void Cluster::FtBarrier::arrive_and_wait(Cluster& cluster, std::size_t rank,
+                                         std::chrono::milliseconds timeout) {
   // The wait-vs-work split: everything inside this span is time the rank
   // spends blocked on peers, not computing.
   AEQP_TRACE_SCOPE("comm/wait");
@@ -136,8 +204,7 @@ void Cluster::FtBarrier::arrive_and_wait(Cluster& cluster, std::size_t rank) {
     cv.notify_all();
     return;
   }
-  const auto deadline =
-      std::chrono::steady_clock::now() + cluster.collective_timeout_;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
   while (generation == gen) {
     if (cluster.failed()) {
       lk.unlock();
@@ -148,9 +215,10 @@ void Cluster::FtBarrier::arrive_and_wait(Cluster& cluster, std::size_t rank) {
       const std::size_t seen = arrived;
       lk.unlock();
       cluster.fail(rank,
-                   "collective deadline (" +
-                       std::to_string(cluster.collective_timeout_.count()) +
-                       " ms) exceeded with " + std::to_string(seen) + "/" +
+                   "collective deadline (" + std::to_string(timeout.count()) +
+                       (cluster.adaptive_deadlines() ? " ms, adaptive"
+                                                     : " ms") +
+                       ") exceeded with " + std::to_string(seen) + "/" +
                        std::to_string(count) + " participants arrived",
                    nullptr, /*is_timeout=*/true);
       cluster.throw_failure(rank);
@@ -290,7 +358,8 @@ std::size_t Communicator::node_size() const {
 }
 std::size_t Communicator::node_count() const { return cluster_->node_count(); }
 
-void Communicator::enter_collective(const char* what, std::span<double> payload) {
+std::chrono::steady_clock::time_point Communicator::enter_collective(
+    const char* what, std::span<double> payload) {
   if (obs::enabled()) {
     static obs::Counter& calls = obs::counter("comm/collectives");
     static obs::Counter& doubles = obs::counter("comm/collective_doubles");
@@ -312,12 +381,48 @@ void Communicator::enter_collective(const char* what, std::span<double> payload)
     static obs::Counter& verified = obs::counter("comm/payloads_verified");
     verified.increment();
   }
+  // Work-clock measurement: time since this rank LEFT its previous
+  // collective is compute (its wait time was spent inside the previous
+  // collective and is excluded) -- the wall span the straggler ledger
+  // accumulates. The Slowdown fault instead scales the rank thread's own
+  // consumed CPU time over the same span: on a dedicated core the two
+  // coincide, but on an oversubscribed host the wall span also contains
+  // co-scheduled peers' compute, and scaling it would keep punishing a
+  // victim even after the rebalance rung has moved its work away. Zero
+  // clock reads when nothing is attached.
+  const bool timed = cluster_->timing_armed();
+  std::chrono::steady_clock::time_point t_enter{};
+  double work_ms = 0.0;
+  if (timed) {
+    t_enter = std::chrono::steady_clock::now();
+    if (last_leave_valid_)
+      work_ms = std::chrono::duration<double, std::milli>(t_enter - last_leave_)
+                    .count();
+  }
   if (cluster_->injector_ != nullptr) {
+    double cpu_ms = 0.0;
+    if (last_leave_valid_)
+      cpu_ms = std::min(work_ms,
+                        std::max(0.0, thread_cpu_ms() - last_leave_cpu_ms_));
     cluster_->injector_->on_collective(
         rank_, cluster_->origin_[rank_], seq, what, payload,
-        [this] { return cluster_->failed(); });
+        [this] { return cluster_->failed(); }, cpu_ms);
+    // Deposit the straggler evidence BEFORE the post-injector failure
+    // recheck: a victim whose injected delay was cut short by its peers'
+    // timing out must still land its slow-work sample in the ledger, or
+    // the classifier would never see the very slowness that tripped the
+    // deadline.
+    if (cluster_->straggler_ != nullptr && last_leave_valid_) {
+      const auto t_after = std::chrono::steady_clock::now();
+      cluster_->straggler_->record_work(
+          cluster_->origin_[rank_],
+          std::chrono::duration<double, std::milli>(t_after - last_leave_)
+              .count());
+    }
     // A peer may have failed while this rank was stalled by the injector.
     if (cluster_->failed()) cluster_->throw_failure(rank_);
+  } else if (cluster_->straggler_ != nullptr && last_leave_valid_) {
+    cluster_->straggler_->record_work(cluster_->origin_[rank_], work_ms);
   }
   if (verify) {
     const std::uint32_t check =
@@ -335,23 +440,46 @@ void Communicator::enter_collective(const char* what, std::span<double> payload)
               " doubles): silent corruption detected at the collective");
     }
   }
+  return t_enter;
+}
+
+void Communicator::leave_collective(
+    CollectiveClass c, std::chrono::steady_clock::time_point t_enter) {
+  if (!cluster_->timing_armed()) return;
+  const auto now = std::chrono::steady_clock::now();
+  last_leave_ = now;
+  if (cluster_->injector_ != nullptr) last_leave_cpu_ms_ = thread_cpu_ms();
+  last_leave_valid_ = true;
+  // Entry-to-completion duration feeds the adaptive deadline. Completed
+  // collectives only: a timed-out collective throws before reaching here,
+  // so the estimate never adapts upward to accommodate a slowdown.
+  if (cluster_->adaptive_ && cluster_->deadline_est_ != nullptr)
+    cluster_->deadline_est_->record(
+        c, std::chrono::duration<double, std::milli>(now - t_enter).count());
 }
 
 void Communicator::barrier() {
   AEQP_TRACE_SCOPE("comm/barrier");
-  enter_collective("barrier", {});
-  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_);
+  const auto t0 = enter_collective("barrier", {});
+  cluster_->global_barrier_->arrive_and_wait(
+      *cluster_, rank_, cluster_->effective_timeout(CollectiveClass::Barrier));
+  leave_collective(CollectiveClass::Barrier, t0);
 }
 
 void Communicator::node_barrier() {
   AEQP_TRACE_SCOPE("comm/node_barrier");
-  enter_collective("node_barrier", {});
-  cluster_->nodes_[node()].barrier->arrive_and_wait(*cluster_, rank_);
+  const auto t0 = enter_collective("node_barrier", {});
+  cluster_->nodes_[node()].barrier->arrive_and_wait(
+      *cluster_, rank_,
+      cluster_->effective_timeout(CollectiveClass::NodeBarrier));
+  leave_collective(CollectiveClass::NodeBarrier, t0);
 }
 
 void Communicator::allreduce_sum(std::span<double> data) {
   AEQP_TRACE_SCOPE("comm/allreduce_sum");
-  enter_collective("allreduce_sum", data);
+  const auto t0 = enter_collective("allreduce_sum", data);
+  const auto timeout =
+      cluster_->effective_timeout(CollectiveClass::AllreduceSum);
   // Information flow of the reduction: this rank's contribution reaches
   // every other rank, whatever tree the transport would use.
   obs::comm_record_all("allreduce_sum", static_cast<int>(rank_),
@@ -373,17 +501,20 @@ void Communicator::allreduce_sum(std::span<double> data) {
       cluster_->reduce_buffer_[i] += data[i];
     ++cluster_->reduce_arrivals_;
   }
-  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_);
+  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_, timeout);
   for (std::size_t i = 0; i < data.size(); ++i)
     data[i] = cluster_->reduce_buffer_[i];
-  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_);
+  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_, timeout);
   if (rank_ == 0) cluster_->reduce_arrivals_ = 0;
-  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_);
+  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_, timeout);
+  leave_collective(CollectiveClass::AllreduceSum, t0);
 }
 
 void Communicator::allreduce_max(std::span<double> data) {
   AEQP_TRACE_SCOPE("comm/allreduce_max");
-  enter_collective("allreduce_max", data);
+  const auto t0 = enter_collective("allreduce_max", data);
+  const auto timeout =
+      cluster_->effective_timeout(CollectiveClass::AllreduceMax);
   obs::comm_record_all("allreduce_max", static_cast<int>(rank_),
                        static_cast<int>(size()),
                        data.size() * sizeof(double));
@@ -404,19 +535,22 @@ void Communicator::allreduce_max(std::span<double> data) {
       cluster_->reduce_buffer_[i] = std::max(cluster_->reduce_buffer_[i], data[i]);
     ++cluster_->reduce_arrivals_;
   }
-  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_);
+  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_, timeout);
   for (std::size_t i = 0; i < data.size(); ++i)
     data[i] = cluster_->reduce_buffer_[i];
-  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_);
+  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_, timeout);
   if (rank_ == 0) cluster_->reduce_arrivals_ = 0;
-  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_);
+  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_, timeout);
+  leave_collective(CollectiveClass::AllreduceMax, t0);
 }
 
 void Communicator::allreduce_sum_leaders(std::span<double> data) {
   AEQP_TRACE_SCOPE("comm/allreduce_sum_leaders");
   const bool leader = node_rank() == 0;
-  enter_collective("allreduce_sum_leaders",
-                   leader ? data : std::span<double>{});
+  const auto t0 = enter_collective("allreduce_sum_leaders",
+                                   leader ? data : std::span<double>{});
+  const auto timeout =
+      cluster_->effective_timeout(CollectiveClass::AllreduceSumLeaders);
   if (leader && obs::enabled()) {
     // Leaders exchange among themselves only; follower rows stay zero.
     for (std::size_t dst = 0; dst < size(); dst += cluster_->ranks_per_node_)
@@ -440,26 +574,29 @@ void Communicator::allreduce_sum_leaders(std::span<double> data) {
       cluster_->reduce_buffer_[i] += data[i];
     ++cluster_->reduce_arrivals_;
   }
-  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_);
+  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_, timeout);
   if (leader)
     for (std::size_t i = 0; i < data.size(); ++i)
       data[i] = cluster_->reduce_buffer_[i];
-  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_);
+  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_, timeout);
   if (rank_ == 0) cluster_->reduce_arrivals_ = 0;
-  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_);
+  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_, timeout);
+  leave_collective(CollectiveClass::AllreduceSumLeaders, t0);
 }
 
 void Communicator::broadcast(std::span<double> data, std::size_t root) {
   AEQP_TRACE_SCOPE("comm/broadcast");
   AEQP_CHECK(root < size(), "broadcast: root out of range");
-  enter_collective("broadcast", rank_ == root ? data : std::span<double>{});
+  const auto t0 = enter_collective(
+      "broadcast", rank_ == root ? data : std::span<double>{});
+  const auto timeout = cluster_->effective_timeout(CollectiveClass::Broadcast);
   if (rank_ == root)
     obs::comm_record_all("broadcast", static_cast<int>(root),
                          static_cast<int>(size()),
                          data.size() * sizeof(double));
   if (rank_ == root)
     cluster_->bcast_buffer_.assign(data.begin(), data.end());
-  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_);
+  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_, timeout);
   if (rank_ != root) {
     if (cluster_->bcast_buffer_.size() != data.size())
       AEQP_THROW("broadcast: element count mismatch: root rank " +
@@ -470,7 +607,8 @@ void Communicator::broadcast(std::span<double> data, std::size_t root) {
     for (std::size_t i = 0; i < data.size(); ++i)
       data[i] = cluster_->bcast_buffer_[i];
   }
-  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_);
+  cluster_->global_barrier_->arrive_and_wait(*cluster_, rank_, timeout);
+  leave_collective(CollectiveClass::Broadcast, t0);
 }
 
 std::span<double> Communicator::node_window(std::size_t size) {

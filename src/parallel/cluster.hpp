@@ -41,6 +41,9 @@ namespace aeqp::parallel {
 
 class Cluster;
 class FaultInjector;
+class StragglerDetector;
+class DeadlineEstimator;
+enum class CollectiveClass : int;
 
 /// Structured error raised on every surviving rank when a peer rank died
 /// mid-collective (and on the dying rank itself when a Kill fault fires).
@@ -155,12 +158,32 @@ private:
   /// cluster already failed, then gives the fault injector (if any) a shot
   /// at this rank's payload. `payload` is this rank's in-transit
   /// contribution (empty for payload-less collectives and for ranks whose
-  /// data the operation ignores).
-  void enter_collective(const char* what, std::span<double> payload);
+  /// data the operation ignores). Returns the entry timestamp when timing
+  /// is armed (straggler detector, adaptive deadlines, or an injector),
+  /// a default-constructed time point otherwise -- the disabled path takes
+  /// zero clock reads.
+  std::chrono::steady_clock::time_point enter_collective(
+      const char* what, std::span<double> payload);
+
+  /// Common epilogue: stamps the work clock (the straggler ledger measures
+  /// compute as time between a collective's completion and the next one's
+  /// entry) and feeds the adaptive-deadline estimator with this rank's
+  /// entry-to-completion duration. Only *completed* collectives record --
+  /// a timed-out one throws before reaching here, so the learned deadline
+  /// never chases a slowdown upward.
+  void leave_collective(CollectiveClass c,
+                        std::chrono::steady_clock::time_point t_enter);
 
   Cluster* cluster_;
   std::size_t rank_;
   std::size_t seq_ = 0;
+  std::chrono::steady_clock::time_point last_leave_{};
+  /// This rank thread's consumed CPU time at the last collective's
+  /// completion. The Slowdown fault scales the CPU time the rank itself
+  /// burned -- not the wall span, which on an oversubscribed host also
+  /// contains co-scheduled peers' compute and would over-punish the victim.
+  double last_leave_cpu_ms_ = 0.0;
+  bool last_leave_valid_ = false;
 };
 
 /// Simulated cluster: spawns one thread per rank and runs the given rank
@@ -193,8 +216,11 @@ public:
   /// `failed_ranks` (ids in THIS cluster's numbering). Survivors are
   /// renumbered densely in rank order; the collective timeout and the
   /// attached fault injector carry over, and the origin map is composed so
-  /// fault events keep addressing original-world ids. Throws when no rank
-  /// survives or a failed id is out of range.
+  /// fault events keep addressing original-world ids. The straggler
+  /// detector carries over with dropped ranks retired (retain), and the
+  /// adaptive-deadline armed state carries with a FRESH estimator: latency
+  /// structure learned on the old world must not time out the new one.
+  /// Throws when no rank survives or a failed id is out of range.
   [[nodiscard]] std::unique_ptr<Cluster> shrink(
       const std::vector<std::size_t>& failed_ranks) const;
 
@@ -225,6 +251,42 @@ public:
   void set_verify_payloads(bool on) { verify_payloads_ = on; }
   [[nodiscard]] bool verify_payloads() const { return verify_payloads_; }
 
+  /// Attach a straggler detector: every collective entry records how much
+  /// work (wall time since this rank left its previous collective) the
+  /// rank arrived with, keyed by ORIGINAL rank id so classifications
+  /// survive shrink renumberings. The detector must outlive the runs; it
+  /// must cover every original id this world can produce. nullptr
+  /// detaches. Observe-only: the collective schedule and all numerics are
+  /// bit-identical with and without a detector.
+  void set_straggler_detector(StragglerDetector* detector);
+  [[nodiscard]] StragglerDetector* straggler_detector() const {
+    return straggler_;
+  }
+
+  /// Arm (or disarm) adaptive per-collective-class deadlines. When armed,
+  /// each collective's deadline is the DeadlineEstimator's rolling
+  /// median + k*MAD estimate for its class, clamped by the estimator's
+  /// floor/ceiling and never above collective_timeout() (so a service
+  /// deadline clamp still wins). `floor_ms` > 0 overrides the estimator's
+  /// default floor (tests and benches trade the spurious-timeout margin
+  /// for detection latency explicitly; production keeps the safe default).
+  /// Constructors arm automatically when AEQP_ADAPTIVE_TIMEOUT is on.
+  void set_adaptive_deadlines(bool on, double floor_ms = 0.0);
+  [[nodiscard]] bool adaptive_deadlines() const { return adaptive_; }
+
+  /// The live estimator (created lazily when adaptive deadlines arm);
+  /// nullptr while disarmed. Exposed so tests and the recovery driver can
+  /// inspect the learned deadlines.
+  [[nodiscard]] DeadlineEstimator* deadline_estimator() const {
+    return deadline_est_.get();
+  }
+
+  /// Deadline a collective of class `c` runs under right now: the fixed
+  /// collective_timeout() when adaptive deadlines are off, the estimator's
+  /// clamped estimate when on.
+  [[nodiscard]] std::chrono::milliseconds effective_timeout(
+      CollectiveClass c) const;
+
   /// Execute fn on every rank concurrently; blocks until all finish.
   /// Rethrows the root-cause exception (the first failure, preferring the
   /// originating error over the secondary RankFailures it triggers).
@@ -244,7 +306,8 @@ private:
   /// fault model has to avoid).
   struct FtBarrier {
     explicit FtBarrier(std::size_t count) : count(count) {}
-    void arrive_and_wait(Cluster& cluster, std::size_t rank);
+    void arrive_and_wait(Cluster& cluster, std::size_t rank,
+                         std::chrono::milliseconds timeout);
     void wake();
     std::mutex mutex;
     std::condition_variable cv;
@@ -275,6 +338,16 @@ private:
   std::chrono::milliseconds collective_timeout_{120000};
   FaultInjector* injector_ = nullptr;
   bool verify_payloads_ = false;
+  StragglerDetector* straggler_ = nullptr;
+  std::shared_ptr<DeadlineEstimator> deadline_est_;
+  bool adaptive_ = false;
+
+  /// Whether any consumer of the collective timing hooks is attached (the
+  /// one branch the disabled path pays; no clock is read when false).
+  [[nodiscard]] bool timing_armed() const {
+    return straggler_ != nullptr || injector_ != nullptr ||
+           (adaptive_ && deadline_est_ != nullptr);
+  }
 
   std::unique_ptr<FtBarrier> global_barrier_;
   std::mutex reduce_mutex_;

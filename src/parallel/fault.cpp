@@ -21,9 +21,23 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::InfPayload: return "inf-payload";
     case FaultKind::Stall: return "stall";
     case FaultKind::Kill: return "kill";
+    case FaultKind::Slowdown: return "slowdown";
   }
   return "?";
 }
+
+namespace {
+
+/// splitmix64 finalizer: deterministic per-(rank, seq) jitter draw without
+/// touching the injector's plan RNG (which must stay replayable).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 FaultPlan& FaultPlan::add(const FaultEvent& event) {
   AEQP_CHECK(event.bit >= 0 && event.bit <= 63,
@@ -32,6 +46,14 @@ FaultPlan& FaultPlan::add(const FaultEvent& event) {
   AEQP_CHECK(event.repeat >= 1,
              "FaultPlan: repeat must be >= 1 (an event that never fires is "
              "a plan bug)");
+  if (event.kind == FaultKind::Slowdown) {
+    AEQP_CHECK(event.slow_factor >= 1.0,
+               "FaultPlan: slow_factor " + std::to_string(event.slow_factor) +
+                   " must be >= 1 (a slowdown cannot speed a rank up)");
+    AEQP_CHECK(event.slow_jitter >= 0.0 && event.slow_jitter < 1.0,
+               "FaultPlan: slow_jitter " + std::to_string(event.slow_jitter) +
+                   " out of range [0, 1)");
+  }
   events_.push_back(event);
   return *this;
 }
@@ -40,7 +62,8 @@ FaultPlan FaultPlan::random(std::uint64_t seed, std::size_t n_events,
                             std::size_t n_ranks, std::size_t first_collective,
                             std::size_t last_collective,
                             std::vector<FaultKind> kinds,
-                            std::size_t permanent_kills) {
+                            std::size_t permanent_kills,
+                            std::size_t slowdowns, double slow_factor) {
   AEQP_CHECK(n_ranks >= 1, "FaultPlan::random: need at least one rank");
   AEQP_CHECK(last_collective > first_collective,
              "FaultPlan::random: empty collective window");
@@ -74,6 +97,24 @@ FaultPlan FaultPlan::random(std::uint64_t seed, std::size_t n_events,
     e.transient = false;
     plan.add(e);
   }
+  // Slowdowns strike ranks distinct from each other and from the kill
+  // victims (continuing the same Fisher-Yates walk), so the straggler is
+  // never also the node that dies -- a soak exercises both ladders at once.
+  slowdowns = std::min(slowdowns, n_ranks - permanent_kills);
+  for (std::size_t k = 0; k < slowdowns; ++k) {
+    const std::size_t base = permanent_kills + k;
+    const std::size_t pick = base + rng.uniform_index(n_ranks - base);
+    std::swap(victims[base], victims[pick]);
+    FaultEvent e;
+    e.kind = FaultKind::Slowdown;
+    e.rank = victims[base];
+    e.collective = first_collective +
+                   rng.uniform_index(last_collective - first_collective);
+    e.slow_factor = slow_factor;
+    e.slow_jitter = 0.3;
+    e.repeat = 2 + rng.uniform_index(5);  // 2..6 consecutive collectives
+    plan.add(e);
+  }
   return plan;
 }
 
@@ -84,8 +125,9 @@ FaultInjector::FaultInjector(FaultPlan plan) {
 void FaultInjector::on_collective(std::size_t rank, std::size_t original_rank,
                                   std::size_t seq, const char* what,
                                   std::span<double> payload,
-                                  const std::function<bool()>& cancelled) {
-  std::size_t stall_total_ms = 0;
+                                  const std::function<bool()>& cancelled,
+                                  double work_ms) {
+  double delay_ms = 0.0;
   bool kill = false;
   bool kill_permanent = false;
   std::size_t kill_collective = 0;
@@ -127,12 +169,36 @@ void FaultInjector::on_collective(std::size_t rank, std::size_t original_rank,
           break;
         }
         case FaultKind::Stall:
-          stall_total_ms += armed.event.stall_ms;
+          delay_ms += static_cast<double>(armed.event.stall_ms);
           if (++armed.fired >= armed.event.repeat && armed.event.transient)
             armed.done = true;
           ++stats_.stalls;
           obs::trace_instant("fault/stall");
           break;
+        case FaultKind::Slowdown: {
+          // Delay proportional to the CPU time the rank itself consumed
+          // since its previous collective: the rank behaves exactly
+          // slow_factor times slower, whatever the workload -- and shedding
+          // its work (the rebalance rung) shrinks the delay in proportion.
+          // Jitter is a deterministic draw from (original rank, collective
+          // index), so replays are bit-identical.
+          double scale = 1.0;
+          if (armed.event.slow_jitter > 0.0) {
+            const std::uint64_t h =
+                mix64((static_cast<std::uint64_t>(original_rank) << 32) ^ seq);
+            const double u =
+                static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+            scale = 1.0 + armed.event.slow_jitter * (2.0 * u - 1.0);
+          }
+          const double d = (armed.event.slow_factor - 1.0) * work_ms * scale;
+          delay_ms += d;
+          stats_.slowdown_ms += d;
+          if (++armed.fired >= armed.event.repeat && armed.event.transient)
+            armed.done = true;
+          ++stats_.slowdowns;
+          obs::trace_instant("fault/slowdown");
+          break;
+        }
         case FaultKind::Kill:
           ++armed.fired;
           if (armed.event.transient) armed.done = true;
@@ -145,13 +211,17 @@ void FaultInjector::on_collective(std::size_t rank, std::size_t original_rank,
       }
     }
   }
-  if (stall_total_ms > 0) {
-    // Sleep in slices so a cluster-wide failure cuts the stall short.
+  if (delay_ms > 0.0) {
+    // Sleep in <= 10 ms slices so a cluster-wide failure cuts the delay
+    // short within one slice instead of dragging the whole world behind a
+    // victim that no longer matters.
     using namespace std::chrono;
-    const auto until = steady_clock::now() + milliseconds(stall_total_ms);
+    const auto until =
+        steady_clock::now() + duration_cast<steady_clock::duration>(
+                                  duration<double, std::milli>(delay_ms));
     while (steady_clock::now() < until && !(cancelled && cancelled()))
       std::this_thread::sleep_for(milliseconds(
-          std::min<long long>(20, duration_cast<milliseconds>(
+          std::min<long long>(10, duration_cast<milliseconds>(
                                       until - steady_clock::now()).count() + 1)));
   }
   if (kill) {
@@ -196,6 +266,9 @@ obs::ScopedMetricsSource register_metrics(const FaultInjector& injector,
                        static_cast<double>(s.corruptions)});
         out.push_back({prefix + "/stalls", static_cast<double>(s.stalls)});
         out.push_back({prefix + "/kills", static_cast<double>(s.kills)});
+        out.push_back({prefix + "/slowdowns",
+                       static_cast<double>(s.slowdowns)});
+        out.push_back({prefix + "/slowdown_ms", s.slowdown_ms});
       });
 }
 

@@ -4,7 +4,8 @@
 /// Deterministic fault injection for the simulated MPI runtime. A FaultPlan
 /// is a set of FaultEvents addressed by (rank, collective sequence index);
 /// the FaultInjector attached to a Cluster replays the plan during a run:
-/// payload corruption (bit flips, NaN/Inf), rank stalls, and rank kills.
+/// payload corruption (bit flips, NaN/Inf), rank stalls, rank kills, and
+/// multiplicative rank slowdowns (stragglers).
 ///
 /// Transient events (the default) fire at most once across the injector's
 /// lifetime -- like a real transient fault -- so a recovery driver that
@@ -36,6 +37,7 @@ enum class FaultKind {
   InfPayload,  ///< overwrite one payload element with +infinity
   Stall,       ///< delay the rank at `repeat` consecutive collectives
   Kill,        ///< terminate the rank (raises RankFailure on it)
+  Slowdown,    ///< multiply the rank's compute time by `slow_factor`
 };
 
 [[nodiscard]] const char* fault_kind_name(FaultKind kind);
@@ -50,10 +52,25 @@ struct FaultEvent {
   std::size_t element = 0;     ///< payload element (taken modulo size)
   int bit = 62;                ///< bit flipped by BitFlip (0..63)
   std::size_t stall_ms = 0;    ///< stall duration per collective
-  std::size_t repeat = 1;      ///< consecutive collectives stalled (Stall)
-  /// true: fire at most once (transient fault, clean replay on retry).
+  std::size_t repeat = 1;      ///< consecutive collectives affected
+                               ///< (Stall/Slowdown)
+  /// Slowdown: the rank's compute phase takes slow_factor times as long.
+  /// The injector measures the rank's real work since its previous
+  /// collective and sleeps (slow_factor - 1) times that, so the delay
+  /// scales with the actual workload instead of a fixed stall -- a
+  /// thermally-throttled or contended node, not a hung one.
+  double slow_factor = 1.0;
+  /// Slowdown: multiplicative jitter in [0, 1). Each firing scales the
+  /// delay by 1 + slow_jitter * u with u drawn deterministically in
+  /// [-1, 1) from (rank, seq) -- an intermittently-slow node rather than a
+  /// perfectly uniform one. 0 = persistent, jitter-free slowdown.
+  double slow_jitter = 0.0;
+  /// true: fire at most once (transient fault, clean replay on retry);
+  /// Stall/Slowdown honour `repeat` consecutive firings first.
   /// false: once fired, re-fire at every later collective of the rank --
-  /// a permanent Kill is a dead node that stays dead across retries.
+  /// a permanent Kill is a dead node that stays dead across retries, a
+  /// permanent Slowdown a degraded node that stays slow until the ladder
+  /// rebalances around it.
   bool transient = true;
 };
 
@@ -76,13 +93,21 @@ public:
   /// `permanent_kills` additionally draws that many permanent Kill events
   /// on *distinct* ranks (capped at n_ranks - 1 so at least one rank
   /// survives), each at a collective index inside the same window.
+  /// `slowdowns` additionally draws that many transient Slowdown events on
+  /// ranks distinct from each other *and* from the permanent-kill victims
+  /// (capped by the ranks remaining): factor `slow_factor`, jitter 0.3,
+  /// repeat uniform in [2, 6] -- an intermittently slow node, not a dead
+  /// one, so chaos soaks exercise the rebalance rung and the kill/shrink
+  /// rung in the same run.
   static FaultPlan random(std::uint64_t seed, std::size_t n_events,
                           std::size_t n_ranks, std::size_t first_collective,
                           std::size_t last_collective,
                           std::vector<FaultKind> kinds = {
                               FaultKind::BitFlip, FaultKind::NanPayload,
                               FaultKind::InfPayload},
-                          std::size_t permanent_kills = 0);
+                          std::size_t permanent_kills = 0,
+                          std::size_t slowdowns = 0,
+                          double slow_factor = 4.0);
 
   [[nodiscard]] const std::vector<FaultEvent>& events() const { return events_; }
   [[nodiscard]] std::size_t size() const { return events_.size(); }
@@ -96,7 +121,14 @@ struct FaultInjectorStats {
   std::size_t corruptions = 0;
   std::size_t stalls = 0;
   std::size_t kills = 0;
-  [[nodiscard]] std::size_t total() const { return corruptions + stalls + kills; }
+  std::size_t slowdowns = 0;
+  /// Total delay injected by Slowdown events (ms), summed over all ranks
+  /// and collectives -- the walltime an experiment's straggler actually
+  /// cost, for calibrating defense benchmarks against the injected harm.
+  double slowdown_ms = 0.0;
+  [[nodiscard]] std::size_t total() const {
+    return corruptions + stalls + kills + slowdowns;
+  }
 };
 
 /// Replays a FaultPlan against a running cluster. Thread-safe: collectives
@@ -108,15 +140,21 @@ public:
 
   /// Called by the runtime at every collective entry with the rank's
   /// in-transit payload. May mutate the payload (corruption), sleep
-  /// (Stall; `cancelled` is polled so a failed cluster cuts the stall
-  /// short), or throw RankFailure (Kill). `rank` is the rank's id in the
-  /// *running* world, `original_rank` its id in the original (pre-shrink)
-  /// world -- events always address original ids, so plans keep meaning
-  /// the same physical ranks after a Cluster::shrink renumbering.
+  /// (Stall/Slowdown; `cancelled` is polled so a failed cluster cuts the
+  /// sleep short), or throw RankFailure (Kill). `rank` is the rank's id in
+  /// the *running* world, `original_rank` its id in the original
+  /// (pre-shrink) world -- events always address original ids, so plans
+  /// keep meaning the same physical ranks after a Cluster::shrink
+  /// renumbering. `work_ms` is the CPU time the rank's own thread consumed
+  /// since it left its previous collective (0 when unknown) -- its own
+  /// burned cycles, not the wall span, so co-scheduled peers on an
+  /// oversubscribed host never inflate the delay; Slowdown events sleep
+  /// (slow_factor - 1) * work_ms, scaled by the deterministic jitter.
   void on_collective(std::size_t rank, std::size_t original_rank,
                      std::size_t seq, const char* what,
                      std::span<double> payload,
-                     const std::function<bool()>& cancelled);
+                     const std::function<bool()>& cancelled,
+                     double work_ms = 0.0);
 
   [[nodiscard]] FaultInjectorStats stats() const;
 
@@ -140,8 +178,9 @@ private:
 };
 
 /// Register `injector`'s counters as an obs metrics source
-/// ("<prefix>/corruptions", "<prefix>/stalls", "<prefix>/kills"). The
-/// injector must outlive the returned registration.
+/// ("<prefix>/corruptions", "<prefix>/stalls", "<prefix>/kills",
+/// "<prefix>/slowdowns"). The injector must outlive the returned
+/// registration.
 [[nodiscard]] obs::ScopedMetricsSource register_metrics(
     const FaultInjector& injector, std::string prefix = "fault");
 

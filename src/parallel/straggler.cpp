@@ -1,0 +1,395 @@
+#include "parallel/straggler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+
+namespace aeqp::parallel {
+
+namespace detail {
+
+std::atomic<int> g_adaptive_timeout{-1};
+
+bool init_adaptive_timeout_from_env() {
+  const char* env = std::getenv("AEQP_ADAPTIVE_TIMEOUT");
+  int on = 0;
+  if (env != nullptr &&
+      (std::strcmp(env, "on") == 0 || std::strcmp(env, "1") == 0)) {
+    on = 1;
+  }
+  // First initializer wins; a concurrent set_adaptive_timeout sticks.
+  int expected = -1;
+  if (!g_adaptive_timeout.compare_exchange_strong(expected, on,
+                                                  std::memory_order_relaxed)) {
+    on = expected;
+  }
+  return on != 0;
+}
+
+}  // namespace detail
+
+void set_adaptive_timeout(bool on) {
+  detail::g_adaptive_timeout.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+const char* collective_class_name(CollectiveClass c) {
+  switch (c) {
+    case CollectiveClass::Barrier: return "barrier";
+    case CollectiveClass::NodeBarrier: return "node_barrier";
+    case CollectiveClass::AllreduceSum: return "allreduce_sum";
+    case CollectiveClass::AllreduceMax: return "allreduce_max";
+    case CollectiveClass::AllreduceSumLeaders: return "allreduce_sum_leaders";
+    case CollectiveClass::Broadcast: return "broadcast";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Median and MAD (median absolute deviation) of `v`; `v` is clobbered.
+/// Returns {0, 0} on an empty input.
+std::pair<double, double> median_mad(std::vector<double>& v) {
+  if (v.empty()) return {0.0, 0.0};
+  const auto mid = v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2);
+  std::nth_element(v.begin(), mid, v.end());
+  double median = *mid;
+  if (v.size() % 2 == 0) {
+    // Lower-of-the-two middle elements biases the deadline down (stricter);
+    // average the two middles instead for a symmetric estimate.
+    const double lo = *std::max_element(v.begin(), mid);
+    median = 0.5 * (lo + median);
+  }
+  for (double& x : v) x = std::fabs(x - median);
+  std::nth_element(v.begin(), mid, v.end());
+  double mad = *mid;
+  if (v.size() % 2 == 0) {
+    const double lo = *std::max_element(v.begin(), mid);
+    mad = 0.5 * (lo + mad);
+  }
+  return {median, mad};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DeadlineEstimator
+
+DeadlineEstimator::DeadlineEstimator(Options options)
+    : options_(options) {
+  AEQP_CHECK(options_.window >= 4, "DeadlineEstimator: window must be >= 4");
+  AEQP_CHECK(options_.mad_k >= 0.0, "DeadlineEstimator: mad_k must be >= 0");
+  AEQP_CHECK(options_.floor_ms >= 0.0 &&
+                 options_.ceiling_ms >= options_.floor_ms,
+             "DeadlineEstimator: need 0 <= floor_ms <= ceiling_ms");
+  AEQP_CHECK(options_.recompute_every >= 1,
+             "DeadlineEstimator: recompute_every must be >= 1");
+  rings_ = std::vector<ClassRing>(kCollectiveClassCount + 1);
+  for (auto& ring : rings_)
+    ring.slots = std::vector<std::atomic<double>>(options_.window);
+}
+
+void DeadlineEstimator::record(CollectiveClass c, double ms) {
+  const auto record_into = [&](ClassRing& ring) {
+    const std::size_t i = ring.n.fetch_add(1, std::memory_order_relaxed);
+    ring.slots[i % options_.window].store(ms, std::memory_order_relaxed);
+    // Refresh the published deadline every few records; the estimate only
+    // has to track the run's latency structure, not every sample.
+    if ((i + 1) % options_.recompute_every == 0) recompute(ring);
+  };
+  record_into(rings_[static_cast<std::size_t>(c)]);
+  record_into(rings_.back());  // the all-classes fallback ring
+}
+
+void DeadlineEstimator::recompute(ClassRing& ring) const {
+  const std::lock_guard<std::mutex> lock(recompute_mutex_);
+  const std::size_t n =
+      std::min(ring.n.load(std::memory_order_relaxed), options_.window);
+  if (n == 0) return;
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = ring.slots[i].load(std::memory_order_relaxed);
+  const auto [median, mad] = median_mad(v);
+  ring.cached_deadline_ms.store(median + options_.mad_k * mad,
+                                std::memory_order_relaxed);
+}
+
+std::chrono::milliseconds DeadlineEstimator::deadline(
+    CollectiveClass c, std::chrono::milliseconds fallback) const {
+  const ClassRing* ring = &rings_[static_cast<std::size_t>(c)];
+  if (ring->n.load(std::memory_order_relaxed) < options_.min_samples)
+    ring = &rings_.back();
+  if (ring->n.load(std::memory_order_relaxed) < options_.min_samples)
+    return fallback;
+  double est = ring->cached_deadline_ms.load(std::memory_order_relaxed);
+  if (est <= 0.0) return fallback;  // cache not yet published
+  est = std::max(est, options_.floor_ms);
+  est = std::min(est, options_.ceiling_ms);
+  // The fixed timeout is an upper bound, never a lower one: a service
+  // deadline clamp that shrank it below our floor must still win.
+  const double cap = static_cast<double>(fallback.count());
+  est = std::min(est, cap);
+  return std::chrono::milliseconds(
+      static_cast<std::chrono::milliseconds::rep>(std::ceil(est)));
+}
+
+std::size_t DeadlineEstimator::sample_count(CollectiveClass c) const {
+  return rings_[static_cast<std::size_t>(c)].n.load(std::memory_order_relaxed);
+}
+
+std::size_t DeadlineEstimator::total_samples() const {
+  return rings_.back().n.load(std::memory_order_relaxed);
+}
+
+void DeadlineEstimator::reset() {
+  const std::lock_guard<std::mutex> lock(recompute_mutex_);
+  for (auto& ring : rings_) {
+    ring.n.store(0, std::memory_order_relaxed);
+    ring.cached_deadline_ms.store(0.0, std::memory_order_relaxed);
+    for (auto& s : ring.slots) s.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// StragglerDetector
+
+StragglerDetector::StragglerDetector(std::size_t n_ranks, Options options)
+    : options_(options) {
+  AEQP_CHECK(n_ranks >= 1, "StragglerDetector: need at least one rank");
+  AEQP_CHECK(options_.ring >= 1, "StragglerDetector: ring must be >= 1");
+  AEQP_CHECK(options_.mad_k >= 0.0, "StragglerDetector: mad_k must be >= 0");
+  AEQP_CHECK(options_.min_relative >= 1.0,
+             "StragglerDetector: min_relative must be >= 1");
+  AEQP_CHECK(options_.degrade_after >= 1 && options_.recover_after >= 1,
+             "StragglerDetector: hysteresis lengths must be >= 1");
+  AEQP_CHECK(options_.weight_floor > 0.0 && options_.weight_floor <= 1.0,
+             "StragglerDetector: weight_floor must be in (0, 1]");
+  ranks_.reserve(n_ranks);
+  for (std::size_t r = 0; r < n_ranks; ++r) {
+    auto state = std::make_unique<RankState>();
+    state->ring = std::vector<std::atomic<double>>(options_.ring);
+    ranks_.push_back(std::move(state));
+  }
+}
+
+void StragglerDetector::record_work(std::size_t original_rank,
+                                    double work_ms) {
+  if (original_rank >= ranks_.size()) return;
+  RankState& s = *ranks_[original_rank];
+  const std::size_t i = s.ring_n.fetch_add(1, std::memory_order_relaxed);
+  s.ring[i % options_.ring].store(work_ms, std::memory_order_relaxed);
+  s.window_ms.fetch_add(work_ms, std::memory_order_relaxed);
+  s.window_samples.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool StragglerDetector::classify() {
+  const std::lock_guard<std::mutex> lock(classify_mutex_);
+  // Snapshot and reset the accumulating window totals first: even when this
+  // window turns out to be noise, the next one starts clean.
+  std::vector<double> totals;
+  std::vector<std::size_t> with_samples;
+  totals.reserve(ranks_.size());
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    RankState& s = *ranks_[r];
+    const double total = s.window_ms.exchange(0.0, std::memory_order_relaxed);
+    const std::size_t n =
+        s.window_samples.exchange(0, std::memory_order_relaxed);
+    stats_.samples += n;
+    s.samples_total += n;
+    if (!s.active || n == 0) continue;
+    s.last_window_ms = total;
+    totals.push_back(total);
+    with_samples.push_back(r);
+  }
+  ++stats_.windows;
+  // A one-rank world (or a window where only one rank moved) has no peers
+  // to be slower than; and a window whose median is under the noise floor
+  // carries no signal either way -- skip, streaks keep their state.
+  if (with_samples.size() < 2) return false;
+  std::vector<double> scratch = totals;
+  const auto [median, mad] = median_mad(scratch);
+  if (median < options_.min_window_ms) return false;
+
+  const double threshold = std::max(median + options_.mad_k * mad,
+                                    options_.min_relative * median);
+  bool changed = false;
+  for (std::size_t k = 0; k < with_samples.size(); ++k) {
+    RankState& s = *ranks_[with_samples[k]];
+    const bool over = totals[k] > threshold;
+    if (over) {
+      ++s.over_streak;
+      s.under_streak = 0;
+    } else {
+      ++s.under_streak;
+      s.over_streak = 0;
+    }
+    // Measured speed relative to the pack, for the rebalance weights.
+    s.weight = totals[k] > 0.0
+                   ? std::clamp(median / totals[k], options_.weight_floor, 1.0)
+                   : 1.0;
+    if (!s.degraded && s.over_streak >= options_.degrade_after) {
+      s.degraded = true;
+      changed = true;
+      ++stats_.degrade_events;
+      n_degraded_.fetch_add(1, std::memory_order_relaxed);
+      obs::trace_instant("straggler/degraded");
+    } else if (s.degraded && s.under_streak >= options_.recover_after) {
+      s.degraded = false;
+      s.weight = 1.0;
+      changed = true;
+      ++stats_.recover_events;
+      n_degraded_.fetch_sub(1, std::memory_order_relaxed);
+      obs::trace_instant("straggler/recovered");
+    }
+  }
+  return changed;
+}
+
+std::vector<std::size_t> StragglerDetector::degraded_ranks() const {
+  const std::lock_guard<std::mutex> lock(classify_mutex_);
+  std::vector<std::size_t> out;
+  for (std::size_t r = 0; r < ranks_.size(); ++r)
+    if (ranks_[r]->active && ranks_[r]->degraded) out.push_back(r);
+  return out;
+}
+
+std::vector<double> StragglerDetector::speed_weights() const {
+  const std::lock_guard<std::mutex> lock(classify_mutex_);
+  std::vector<double> w(ranks_.size(), 1.0);
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    const RankState& s = *ranks_[r];
+    if (s.active && s.degraded) w[r] = s.weight;
+  }
+  return w;
+}
+
+void StragglerDetector::retain(
+    const std::vector<std::size_t>& survivor_original_ids) {
+  const std::lock_guard<std::mutex> lock(classify_mutex_);
+  std::vector<bool> keep(ranks_.size(), false);
+  for (const std::size_t id : survivor_original_ids) {
+    AEQP_CHECK(id < ranks_.size(),
+               "StragglerDetector::retain: survivor original id " +
+                   std::to_string(id) + " outside the detector's world (" +
+                   std::to_string(ranks_.size()) + " ranks)");
+    keep[id] = true;
+  }
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    RankState& s = *ranks_[r];
+    if (keep[r] || !s.active) continue;
+    s.active = false;
+    if (s.degraded) {
+      // A dead rank's stale classification must never outlive it: it would
+      // bias the weights and the degraded count against a rank that no
+      // longer exists.
+      s.degraded = false;
+      n_degraded_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    s.over_streak = s.under_streak = 0;
+    s.weight = 1.0;
+  }
+}
+
+void StragglerDetector::reset() {
+  const std::lock_guard<std::mutex> lock(classify_mutex_);
+  for (auto& rank : ranks_) {
+    RankState& s = *rank;
+    s.ring_n.store(0, std::memory_order_relaxed);
+    for (auto& slot : s.ring) slot.store(0.0, std::memory_order_relaxed);
+    s.window_ms.store(0.0, std::memory_order_relaxed);
+    s.window_samples.store(0, std::memory_order_relaxed);
+    s.last_window_ms = 0.0;
+    s.weight = 1.0;
+    s.over_streak = s.under_streak = 0;
+    s.degraded = false;
+    s.active = true;
+    s.samples_total = 0;
+  }
+  n_degraded_.store(0, std::memory_order_relaxed);
+}
+
+StragglerStats StragglerDetector::stats() const {
+  const std::lock_guard<std::mutex> lock(classify_mutex_);
+  return stats_;
+}
+
+std::vector<StragglerRankSnapshot> StragglerDetector::snapshot() const {
+  const std::lock_guard<std::mutex> lock(classify_mutex_);
+  std::vector<StragglerRankSnapshot> out;
+  out.reserve(ranks_.size());
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    const RankState& s = *ranks_[r];
+    StragglerRankSnapshot row;
+    row.original_rank = r;
+    row.samples =
+        s.samples_total + s.window_samples.load(std::memory_order_relaxed);
+    row.last_window_ms = s.last_window_ms;
+    const std::size_t n = std::min(s.ring_n.load(std::memory_order_relaxed),
+                                   options_.ring);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      sum += s.ring[i].load(std::memory_order_relaxed);
+    row.mean_recent_ms = n > 0 ? sum / static_cast<double>(n) : 0.0;
+    row.weight = s.degraded ? s.weight : 1.0;
+    row.degraded = s.degraded;
+    row.active = s.active;
+    out.push_back(row);
+  }
+  return out;
+}
+
+obs::ScopedMetricsSource register_metrics(const StragglerDetector& detector,
+                                          std::string prefix) {
+  return obs::ScopedMetricsSource(
+      [&detector,
+       prefix = std::move(prefix)](std::vector<obs::MetricSample>& out) {
+        const StragglerStats s = detector.stats();
+        std::size_t degraded = 0;
+        for (const auto& row : detector.snapshot())
+          if (row.active && row.degraded) ++degraded;
+        out.push_back(
+            {prefix + "/degraded_ranks", static_cast<double>(degraded)});
+        out.push_back({prefix + "/degrade_events",
+                       static_cast<double>(s.degrade_events)});
+        out.push_back({prefix + "/recover_events",
+                       static_cast<double>(s.recover_events)});
+        out.push_back({prefix + "/windows", static_cast<double>(s.windows)});
+        out.push_back({prefix + "/samples", static_cast<double>(s.samples)});
+      });
+}
+
+obs::ScopedReportSection register_report_section(
+    const StragglerDetector& detector) {
+  return obs::ScopedReportSection([&detector](std::ostream& os) {
+    const auto rows = detector.snapshot();
+    bool any = false;
+    for (const auto& row : rows) any = any || row.samples > 0;
+    if (!any) return;  // never fed -- keep the report clean
+    os << "straggler lag ledger (per original rank):\n";
+    os << "  " << std::left << std::setw(6) << "rank" << std::right
+       << std::setw(10) << "samples" << std::setw(14) << "window(ms)"
+       << std::setw(14) << "recent(ms)" << std::setw(9) << "weight"
+       << std::setw(11) << "state" << "\n";
+    for (const auto& row : rows) {
+      std::ostringstream win, recent, weight;
+      win << std::fixed << std::setprecision(2) << row.last_window_ms;
+      recent << std::fixed << std::setprecision(3) << row.mean_recent_ms;
+      weight << std::fixed << std::setprecision(3) << row.weight;
+      os << "  " << std::left << std::setw(6) << row.original_rank
+         << std::right << std::setw(10) << row.samples << std::setw(14)
+         << win.str() << std::setw(14) << recent.str() << std::setw(9)
+         << weight.str() << std::setw(11)
+         << (!row.active ? "dropped"
+                         : (row.degraded ? "DEGRADED" : "healthy"))
+         << "\n";
+    }
+  });
+}
+
+}  // namespace aeqp::parallel

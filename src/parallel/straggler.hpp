@@ -1,0 +1,262 @@
+#pragma once
+
+/// \file straggler.hpp
+/// Straggler tolerance for the simulated MPI runtime: slowness as a
+/// first-class, observable, recoverable fault (the paper's 200k-atom runs
+/// die to performance *variability* before they die to hard faults -- one
+/// slow node stalls every bulk-synchronous collective).
+///
+/// Two cooperating pieces, both observe-only on the solver's numerics:
+///
+///   - DeadlineEstimator: a rolling robust estimate (median + k*MAD) of
+///     how long each collective *class* takes, fed by the runtime at every
+///     collective completion. Cluster::effective_timeout() consults it when
+///     adaptive deadlines are armed (AEQP_ADAPTIVE_TIMEOUT, or
+///     Cluster::set_adaptive_deadlines), replacing the fixed 120 s
+///     collective_timeout_ with a deadline a few robust deviations above
+///     typical -- so a merely-slow rank is *detected* in seconds instead of
+///     dragging the machine for two minutes. Floor/ceiling clamps bound the
+///     estimate, and the caller-provided fallback (the fixed timeout, which
+///     the service deadline clamp already min's) always wins when smaller.
+///     Only *completed* collectives feed the estimator: a timed-out
+///     collective never teaches it to wait longer, so the learned deadline
+///     cannot chase a slowdown upward.
+///
+///   - StragglerDetector: a per-rank arrival-lag ledger. The hot path is
+///     one relaxed ring store + one relaxed accumulate per collective (the
+///     memaudit discipline); classification happens off the hot path, at
+///     iteration boundaries: a rank whose accumulated work-window total
+///     stays beyond median + k*MAD (and beyond min_relative x median) of
+///     its peers for `degrade_after` consecutive windows is classified
+///     degraded, with hysteresis back to healthy. The measured speed
+///     weights drive mapping::rebalance_for_slow_ranks -- the recovery
+///     ladder's rebalance rung that fires *before* shrink.
+///
+/// Disabled (no detector attached, adaptive off) the runtime takes zero
+/// clock reads and the collective schedule is bit-identical to the
+/// un-instrumented baseline.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+
+namespace aeqp::parallel {
+
+namespace detail {
+/// -1 = not yet initialized from AEQP_ADAPTIVE_TIMEOUT.
+extern std::atomic<int> g_adaptive_timeout;
+bool init_adaptive_timeout_from_env();
+}  // namespace detail
+
+/// Whether adaptive collective deadlines are armed process-wide. One
+/// relaxed atomic load after first use (the memaudit gating discipline).
+[[nodiscard]] inline bool adaptive_timeout_enabled() {
+  const int m = detail::g_adaptive_timeout.load(std::memory_order_relaxed);
+  if (m >= 0) return m != 0;
+  return detail::init_adaptive_timeout_from_env();
+}
+
+/// Programmatic override (tests, benches). Takes effect for clusters
+/// constructed afterwards; existing clusters keep their armed state.
+void set_adaptive_timeout(bool on);
+
+/// Collective classes with distinct latency profiles: each learns its own
+/// deadline (a barrier completes in microseconds; a packed allreduce of a
+/// full response-Hamiltonian window does not).
+enum class CollectiveClass : int {
+  Barrier = 0,
+  NodeBarrier,
+  AllreduceSum,
+  AllreduceMax,
+  AllreduceSumLeaders,
+  Broadcast,
+};
+inline constexpr std::size_t kCollectiveClassCount = 6;
+
+[[nodiscard]] const char* collective_class_name(CollectiveClass c);
+
+/// Rolling per-class robust deadline estimator. All recording paths are
+/// lock-free (relaxed ring stores); the median + MAD recomputation runs
+/// under a mutex every `recompute_every` records and publishes the result
+/// through one cached atomic per class, so deadline() on the hot path is a
+/// single relaxed load plus clamping.
+class DeadlineEstimator {
+public:
+  struct Options {
+    std::size_t window = 64;       ///< ring capacity per class (and global)
+    double mad_k = 8.0;            ///< deadline = median + mad_k * MAD
+    std::size_t min_samples = 8;   ///< below this a class defers to global
+    double floor_ms = 2000.0;      ///< never time out faster than this
+    double ceiling_ms = 600000.0;  ///< never wait longer than this
+    std::size_t recompute_every = 8;  ///< records between cache refreshes
+  };
+
+  DeadlineEstimator() : DeadlineEstimator(Options()) {}
+  explicit DeadlineEstimator(Options options);
+  DeadlineEstimator(const DeadlineEstimator&) = delete;
+  DeadlineEstimator& operator=(const DeadlineEstimator&) = delete;
+
+  /// Record one completed collective of class `c` that took `ms`
+  /// milliseconds from entry to completion on some rank. Thread-safe,
+  /// multi-writer (every rank records).
+  void record(CollectiveClass c, double ms);
+
+  /// Effective deadline for class `c`: clamp(median + k*MAD, floor,
+  /// ceiling), never above `fallback` (the fixed collective timeout --
+  /// which a service deadline clamp may already have shrunk, and the
+  /// smaller bound must win). With fewer than min_samples class samples the
+  /// all-classes estimate is used; with no samples at all, `fallback`.
+  [[nodiscard]] std::chrono::milliseconds deadline(
+      CollectiveClass c, std::chrono::milliseconds fallback) const;
+
+  /// Samples recorded for one class (saturates at the ring window for the
+  /// estimate itself; this count keeps growing).
+  [[nodiscard]] std::size_t sample_count(CollectiveClass c) const;
+  [[nodiscard]] std::size_t total_samples() const;
+
+  /// Drop all history (a shrink renumbers the world; latency structure
+  /// learned on the old world must not leak into the new one).
+  void reset();
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+private:
+  struct ClassRing {
+    std::vector<std::atomic<double>> slots;
+    std::atomic<std::size_t> n{0};
+    std::atomic<double> cached_deadline_ms{0.0};  ///< 0 = not yet computed
+  };
+
+  void recompute(ClassRing& ring) const;
+
+  Options options_;
+  mutable std::mutex recompute_mutex_;
+  std::vector<ClassRing> rings_;  ///< kCollectiveClassCount + 1 (global last)
+};
+
+/// Counters of what the detector decided (monotonic over its lifetime).
+struct StragglerStats {
+  std::size_t samples = 0;         ///< work samples recorded
+  std::size_t windows = 0;         ///< classification windows evaluated
+  std::size_t degrade_events = 0;  ///< healthy -> degraded transitions
+  std::size_t recover_events = 0;  ///< degraded -> healthy transitions
+};
+
+/// One rank's row in the arrival-lag ledger, for reports and tests.
+struct StragglerRankSnapshot {
+  std::size_t original_rank = 0;
+  std::size_t samples = 0;        ///< work samples recorded so far
+  double last_window_ms = 0.0;    ///< work total of the last classified window
+  double mean_recent_ms = 0.0;    ///< mean of the last-K per-collective ring
+  double weight = 1.0;            ///< measured speed weight (healthy = 1)
+  bool degraded = false;
+  bool active = true;             ///< false once retain() dropped the rank
+};
+
+/// Per-rank arrival-lag ledger + degraded-rank classifier. Ranks are
+/// addressed by ORIGINAL world id (stable across Cluster::shrink
+/// renumberings, like fault plans). record_work is the hot path; classify
+/// runs at iteration boundaries (observer) and on the recovery driver's
+/// timeout catch path.
+class StragglerDetector {
+public:
+  struct Options {
+    std::size_t ring = 16;        ///< last-K per-collective samples kept
+    double mad_k = 4.0;           ///< degraded beyond median + mad_k * MAD
+    double min_relative = 2.0;    ///< ... and beyond min_relative * median
+    int degrade_after = 2;        ///< consecutive over-windows to degrade
+    int recover_after = 2;        ///< consecutive clean windows to recover
+    double min_window_ms = 5.0;   ///< windows with a smaller median are noise
+    double weight_floor = 1.0 / 16.0;  ///< slowest speed weight handed out
+  };
+
+  explicit StragglerDetector(std::size_t n_ranks)
+      : StragglerDetector(n_ranks, Options()) {}
+  StragglerDetector(std::size_t n_ranks, Options options);
+  StragglerDetector(const StragglerDetector&) = delete;
+  StragglerDetector& operator=(const StragglerDetector&) = delete;
+
+  [[nodiscard]] std::size_t rank_count() const { return ranks_.size(); }
+
+  /// Hot path: record `work_ms` of compute the rank did since it left its
+  /// previous collective (injected slowdown included -- that is the point).
+  /// One relaxed ring store + two relaxed accumulates; safe from all rank
+  /// threads concurrently (one writer per rank).
+  void record_work(std::size_t original_rank, double work_ms);
+
+  /// Close the current window and reclassify every active rank: snapshot +
+  /// reset the per-rank work accumulators, compute the cross-rank median
+  /// and MAD, advance the hysteresis counters. Returns true when any
+  /// rank's classification changed. Call once per CPSCF iteration (rank-0
+  /// observer) or after a collective timeout; NOT from the hot path.
+  bool classify();
+
+  /// Original ids of currently degraded ranks, ascending.
+  [[nodiscard]] std::vector<std::size_t> degraded_ranks() const;
+  [[nodiscard]] bool any_degraded() const {
+    return n_degraded_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Measured per-rank speed weights (original-id indexed, size
+  /// rank_count): healthy ranks weigh 1.0; a degraded rank weighs
+  /// median_window / its_window, clamped to [weight_floor, 1] -- an 8x
+  /// slower rank gets ~1/8 of the load under
+  /// mapping::rebalance_for_slow_ranks.
+  [[nodiscard]] std::vector<double> speed_weights() const;
+
+  /// Keep only `survivor_original_ids` active after a shrink: dropped
+  /// ranks lose their classification (a dead rank must never pin a stale
+  /// "degraded" verdict) and stop counting toward the cross-rank median.
+  void retain(const std::vector<std::size_t>& survivor_original_ids);
+
+  /// Forget everything (classifications, ledgers, counters stay monotonic).
+  void reset();
+
+  [[nodiscard]] StragglerStats stats() const;
+  [[nodiscard]] std::vector<StragglerRankSnapshot> snapshot() const;
+  [[nodiscard]] const Options& options() const { return options_; }
+
+private:
+  struct RankState {
+    std::vector<std::atomic<double>> ring;     ///< last-K work samples
+    std::atomic<std::size_t> ring_n{0};
+    std::atomic<double> window_ms{0.0};        ///< accumulating window total
+    std::atomic<std::size_t> window_samples{0};
+    // Classification state, written only under classify_mutex_.
+    double last_window_ms = 0.0;
+    double weight = 1.0;
+    int over_streak = 0;
+    int under_streak = 0;
+    bool degraded = false;
+    bool active = true;
+    std::size_t samples_total = 0;
+  };
+
+  Options options_;
+  std::vector<std::unique_ptr<RankState>> ranks_;
+  mutable std::mutex classify_mutex_;
+  std::atomic<std::size_t> n_degraded_{0};
+  StragglerStats stats_;
+};
+
+/// Register the detector's counters as an obs metrics source
+/// ("<prefix>/degraded_ranks", "<prefix>/degrade_events",
+/// "<prefix>/recover_events", "<prefix>/windows", "<prefix>/samples").
+/// The detector must outlive the registration.
+[[nodiscard]] obs::ScopedMetricsSource register_metrics(
+    const StragglerDetector& detector, std::string prefix = "straggler");
+
+/// Register the per-rank lag table as an extra phase-report section. The
+/// detector must outlive the registration.
+[[nodiscard]] obs::ScopedReportSection register_report_section(
+    const StragglerDetector& detector);
+
+}  // namespace aeqp::parallel

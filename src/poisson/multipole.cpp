@@ -64,10 +64,24 @@ MultipoleDensity HartreeSolver::project(const DensityFn& density) const {
 }
 
 MultipoleDensity HartreeSolver::project(const BatchDensityFn& density) const {
+  MultipoleDensity rho = project_rows(density, 0, projection_row_count());
+  finalize_splines(rho);
+  return rho;
+}
+
+std::size_t HartreeSolver::projection_row_count() const {
+  return structure_.size() * mesh_.size();
+}
+
+MultipoleDensity HartreeSolver::project_rows(const BatchDensityFn& density,
+                                             std::size_t row_begin,
+                                             std::size_t row_end) const {
   AEQP_TRACE_SCOPE("poisson/project");
   const std::size_t n_atoms = structure_.size();
   const std::size_t nlm = lm_count(spec_.l_max);
   const std::size_t nr = mesh_.size();
+  AEQP_CHECK(row_begin <= row_end && row_end <= n_atoms * nr,
+             "HartreeSolver::project_rows: row range out of bounds");
 
   MultipoleDensity rho;
   rho.samples.assign(n_atoms,
@@ -82,7 +96,7 @@ MultipoleDensity HartreeSolver::project(const BatchDensityFn& density) const {
   // so batch-level screening decisions inside the callback are identical on
   // every thread and rank. The callback must be thread-safe (pure
   // evaluation; every caller in the codebase captures only const state).
-  exec::parallel_for(0, n_atoms * nr, [&](std::size_t task) {
+  exec::parallel_for(row_begin, row_end, [&](std::size_t task) {
     const std::size_t a = task / nr;
     const std::size_t i = task % nr;
     const Vec3 center = structure_.atom(a).pos;
@@ -102,7 +116,16 @@ MultipoleDensity HartreeSolver::project(const BatchDensityFn& density) const {
       for (std::size_t lm = 0; lm < nlm; ++lm) per_lm[lm][i] += val * ylm[lm];
     }
   });
-  for (std::size_t a = 0; a < n_atoms; ++a) {
+  return rho;
+}
+
+void HartreeSolver::finalize_splines(MultipoleDensity& rho) const {
+  AEQP_CHECK(rho.atom_count() == structure_.size(),
+             "HartreeSolver::finalize_splines: density built for a different "
+             "structure");
+  const std::size_t nlm = lm_count(spec_.l_max);
+  rho.splines.resize(rho.samples.size());
+  for (std::size_t a = 0; a < rho.samples.size(); ++a) {
     rho.splines[a].resize(nlm);
     exec::parallel_for(0, nlm, [&](std::size_t lm) {
       // SDC probe + finiteness guard before the spline fit: a struck sample
@@ -113,7 +136,6 @@ MultipoleDensity HartreeSolver::project(const BatchDensityFn& density) const {
       rho.splines[a][lm] = basis::CubicSpline(mesh_.points(), rho.samples[a][lm]);
     });
   }
-  return rho;
 }
 
 PartitionedPotential HartreeSolver::solve(const MultipoleDensity& rho) const {

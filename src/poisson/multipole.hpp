@@ -82,6 +82,27 @@ public:
   [[nodiscard]] MultipoleDensity project(const BatchDensityFn& density) const;
   [[nodiscard]] MultipoleDensity project(const DensityFn& density) const;
 
+  /// Number of independent projection rows -- the (atom-major) x (radial
+  /// shell) task list -- the unit of distribution for project_rows.
+  [[nodiscard]] std::size_t projection_row_count() const;
+
+  /// Step 1, partial: project only rows [row_begin, row_end) of the task
+  /// list; every other row's samples stay exactly 0.0 and no splines are
+  /// fitted. Each owned row runs the same arithmetic in the same order as
+  /// project(), so summing disjoint partial projections across ranks
+  /// reproduces the replicated projection bit-for-bit (x + 0 is exact in
+  /// IEEE addition). Call finalize_splines on the summed samples before
+  /// solve().
+  [[nodiscard]] MultipoleDensity project_rows(const BatchDensityFn& density,
+                                              std::size_t row_begin,
+                                              std::size_t row_end) const;
+
+  /// Fit rho_multipole_spl from complete samples: SDC probe + finiteness
+  /// guard + cubic-spline fit per (atom, lm) channel -- the tail of
+  /// project(), split out so a distributed producer can run it after the
+  /// partial projections have been summed.
+  void finalize_splines(MultipoleDensity& rho) const;
+
   /// Step 2: radial Poisson solve for every (atom, l, m) channel.
   [[nodiscard]] PartitionedPotential solve(const MultipoleDensity& rho) const;
 

@@ -16,6 +16,7 @@
 #include "obs/flight.hpp"
 #include "obs/trace.hpp"
 #include "parallel/cluster.hpp"
+#include "parallel/straggler.hpp"
 #include "resilience/buddy.hpp"
 #include "resilience/membudget.hpp"
 #include "scf/diis.hpp"
@@ -32,8 +33,16 @@ struct AttemptContext {
   int checkpoint_iteration = 0;  ///< iteration of the last saved checkpoint
   bool fault = false;
   bool cancelled = false;        ///< the cancel hook tripped mid-solve
+  bool straggler = false;        ///< abort requested by the straggler rung
   std::string fault_reason;
 };
+
+/// Ascending-id subset test for degraded-rank sets (both sorted).
+bool degraded_subset_of(const std::vector<std::size_t>& degraded,
+                        const std::vector<std::size_t>& known) {
+  return std::includes(known.begin(), known.end(), degraded.begin(),
+                       degraded.end());
+}
 
 /// splitmix64 -- the deterministic hash behind backoff jitter.
 std::uint64_t mix64(std::uint64_t x) {
@@ -290,6 +299,21 @@ core::ParallelDfptResult run_elastic(CheckpointStore& store,
   if (ropt.memory_relief)
     buddy_spill.emplace("buddy_spill", [&buddy] { return buddy.spill(); });
 
+  // Straggler defense: the detector persists across attempts (slowness
+  // evidence and classifications survive rollbacks), as do the measured
+  // speed weights once the rebalance rung has fired. `last_degraded`
+  // prevents oscillation: only a degraded set with a NEW member re-fires
+  // the rung -- a rank recovering does not (the weights stay sticky, which
+  // is safe: a healthy rank merely carries a bit less work).
+  std::unique_ptr<parallel::StragglerDetector> owned_straggler;
+  parallel::StragglerDetector* straggler = base.straggler_detector;
+  if (straggler == nullptr && ropt.straggler_defense) {
+    owned_straggler = std::make_unique<parallel::StragglerDetector>(base.ranks);
+    straggler = owned_straggler.get();
+  }
+  std::vector<double> rebalance_weights;
+  std::vector<std::size_t> last_degraded;
+
   constexpr std::size_t kNone = static_cast<std::size_t>(-1);
   std::size_t repeat_rank = kNone;  // original id of the rank failing in a row
   int repeat_count = 0;
@@ -308,10 +332,19 @@ core::ParallelDfptResult run_elastic(CheckpointStore& store,
   for (int attempt = 0;; ++attempt) {
     AttemptContext ctx;
     bool oom_fault = false;
+    bool timeout_fault = false;
     core::ParallelDfptOptions popts = base;
     popts.active_ranks = active.size() == base.ranks
                              ? std::vector<std::size_t>{}
                              : active;
+    popts.straggler_detector = straggler;
+    popts.rank_speed_weights = rebalance_weights;
+    // A rebalanced world distributes the Poisson producer as well: the
+    // replicated producer runs at the slowest rank's speed no matter how
+    // the grid batches are re-homed, which would cap the rebalance win.
+    // Bit-identical by construction (see ParallelDfptOptions), so flipping
+    // it on mid-recovery never perturbs the trajectory.
+    if (!rebalance_weights.empty()) popts.distribute_rho = true;
     if (relief_drop_point_cache) popts.cache_point_evals = false;
     if (relief_pack_bytes != 0) popts.pack_bytes = relief_pack_bytes;
     if (relief_batch_points != 0) popts.batch_points = relief_batch_points;
@@ -391,6 +424,29 @@ core::ParallelDfptResult run_elastic(CheckpointStore& store,
         store.save(key, ckpt);
         ctx.checkpoint_iteration = s.iteration;
       }
+      // Straggler rung trigger: close the work window and reclassify.
+      // Placed AFTER the checkpoint save so the rebalance re-entry
+      // warm-starts at this very iteration -- a rebalance wastes zero
+      // iterations. Only a NEW degraded rank aborts; a set the rung has
+      // already rebalanced around (or a subset -- someone recovered) keeps
+      // converging under the current weights.
+      if (straggler != nullptr) {
+        straggler->classify();
+        if (straggler->any_degraded()) {
+          const auto degraded = straggler->degraded_ranks();
+          if (!degraded_subset_of(degraded, last_degraded)) {
+            ctx.straggler = true;
+            std::string who;
+            for (const auto r : degraded)
+              who += (who.empty() ? "" : ",") + std::to_string(r);
+            ctx.fault_reason = "rank(s) " + who +
+                               " classified degraded at iteration " +
+                               std::to_string(s.iteration) +
+                               "; rebalancing before any shrink";
+            return core::CpscfAction::Abort;
+          }
+        }
+      }
       return core::CpscfAction::Continue;
     };
     // Buddy replication rides the per-iteration hook: the hook runs after
@@ -425,9 +481,12 @@ core::ParallelDfptResult run_elastic(CheckpointStore& store,
         result.stats.abft_corrections = stats.abft_corrections;
         result.stats.invariant_violations = stats.invariant_violations;
         result.stats.payload_corruptions = stats.payload_corruptions;
+        result.stats.rebalances = stats.rebalances;
+        result.stats.degraded_ranks =
+            std::max(result.stats.degraded_ranks, stats.degraded_ranks);
         return result;
       }
-      last_reason = ctx.fault
+      last_reason = ctx.fault || ctx.straggler
                         ? ctx.fault_reason
                         : "solver aborted without a recovery request "
                           "(corrupted control payload?)";
@@ -451,8 +510,13 @@ core::ParallelDfptResult run_elastic(CheckpointStore& store,
         repeat_count = 1;
       }
     } catch (const parallel::CollectiveTimeout& e) {
+      // A timeout is the straggler rung's backstop signal: an extreme
+      // slowdown can blow the (adaptive) deadline before the per-iteration
+      // classification sees a full window, so the catch path reclassifies
+      // below and rebalances instead of burning plain retries.
       last_reason = e.what();
       last_rank_failure = false;
+      timeout_fault = true;
       repeat_rank = kNone;
       repeat_count = 0;
     } catch (const parallel::PayloadCorruption& e) {
@@ -486,13 +550,24 @@ core::ParallelDfptResult run_elastic(CheckpointStore& store,
       obs::trace_instant("recovery/oom");
     }
     stats.abft_corrections = abft_scope.stats().corrections;
-    ++stats.faults_detected;
-    obs::trace_instant("recovery/fault_detected");
     stats.wasted_iterations += static_cast<std::size_t>(
         std::max(0, ctx.last_iteration - ctx.checkpoint_iteration));
-    AEQP_LOG_INFO << "RecoveryDriver[elastic]: fault on attempt " << attempt + 1
-                  << " (" << last_reason << "); rolling back to iteration "
-                  << ctx.checkpoint_iteration;
+    if (ctx.straggler) {
+      // A slow rank is a performance event, not a fault: it does not count
+      // toward faults_detected, and the checkpoint taken just before the
+      // abort makes the re-entry resume at the same iteration.
+      AEQP_LOG_INFO << "RecoveryDriver[elastic]: straggler on attempt "
+                    << attempt + 1 << " (" << last_reason
+                    << "); re-entering from iteration "
+                    << ctx.checkpoint_iteration;
+    } else {
+      ++stats.faults_detected;
+      obs::trace_instant("recovery/fault_detected");
+      AEQP_LOG_INFO << "RecoveryDriver[elastic]: fault on attempt "
+                    << attempt + 1 << " (" << last_reason
+                    << "); rolling back to iteration "
+                    << ctx.checkpoint_iteration;
+    }
 
     // --- Pressure-relief ladder: one more rung per OOM fault. Rung 1
     //     sheds the point-eval cache (bit-identical re-evaluation), rung 2
@@ -513,6 +588,41 @@ core::ParallelDfptResult run_elastic(CheckpointStore& store,
             tune::grid_batch_points(base.batch_points) / 2, std::size_t{16});
         ++stats.relief_actions;
         obs::trace_instant("membudget/relief_shrink_windows");
+      }
+    }
+
+    // --- Rebalance rung: fires BEFORE the shrink rung. A degraded-but-
+    //     alive rank keeps its place in the world; the next attempt re-homes
+    //     grid batches around the measured speed weights
+    //     (mapping::rebalance_for_slow_ranks), so the run completes at full
+    //     world size with bit-identical results. The timeout backstop
+    //     reclassifies here because an extreme slowdown may have surfaced
+    //     as CollectiveTimeout between iteration boundaries. ---
+    if (straggler != nullptr && (ctx.straggler || timeout_fault)) {
+      if (timeout_fault) straggler->classify();
+      const auto degraded = straggler->degraded_ranks();
+      if (!degraded.empty() && degraded != last_degraded) {
+        rebalance_weights = straggler->speed_weights();
+        // Shed policy: a rank that earned a degraded verdict keeps only a
+        // token share (see RecoveryOptions::rebalance_shed_weight) -- the
+        // measured ratio understates how sick it is, and healthy ranks
+        // absorb the shed work at full speed.
+        for (const std::size_t r : degraded)
+          if (r < rebalance_weights.size())
+            rebalance_weights[r] =
+                std::min(rebalance_weights[r], ropt.rebalance_shed_weight);
+        last_degraded = degraded;
+        ++stats.rebalances;
+        stats.degraded_ranks =
+            std::max(stats.degraded_ranks, degraded.size());
+        obs::trace_instant("recovery/rebalance");
+        std::string who;
+        for (const auto r : degraded)
+          who += (who.empty() ? "" : ",") + std::to_string(r);
+        AEQP_LOG_INFO << "RecoveryDriver[elastic]: rebalancing around "
+                         "degraded rank(s) "
+                      << who << " at full world size ("
+                      << active.size() << " ranks) before any shrink";
       }
     }
 
@@ -540,6 +650,15 @@ core::ParallelDfptResult run_elastic(CheckpointStore& store,
         store.remove(key);
       }
       active.erase(std::find(active.begin(), active.end(), repeat_rank));
+      if (straggler != nullptr) {
+        // The dead rank must not pin a stale "degraded" verdict, and its
+        // slowness samples must stop counting toward the cross-rank median.
+        straggler->retain(active);
+        last_degraded.erase(
+            std::remove(last_degraded.begin(), last_degraded.end(),
+                        repeat_rank),
+            last_degraded.end());
+      }
       ++stats.shrinks;
       ++stats.lost_ranks;
       obs::trace_instant("recovery/shrink");
@@ -685,6 +804,8 @@ obs::ScopedMetricsSource register_metrics(const RecoveryStats& stats,
              static_cast<double>(stats.payload_corruptions));
         push("oom_events", static_cast<double>(stats.oom_events));
         push("relief_actions", static_cast<double>(stats.relief_actions));
+        push("rebalances", static_cast<double>(stats.rebalances));
+        push("degraded_ranks", static_cast<double>(stats.degraded_ranks));
       });
 }
 

@@ -23,7 +23,16 @@
 /// retry at the same world size):
 ///
 ///   correct in place  ->  local recompute  ->  retry  ->  damped retry
-///     ->  shrink + buddy-restore + re-map + resume
+///     ->  rebalance around stragglers  ->  shrink + buddy-restore
+///       + re-map + resume
+///
+/// The rebalance rung fires BEFORE any shrink: a rank that is merely slow
+/// (straggler, detected by the per-rank arrival-lag ledger or surfaced by
+/// an adaptive collective deadline) keeps its place in the world, and the
+/// grid batches are re-homed around its measured speed with
+/// mapping::rebalance_for_slow_ranks -- full world size, no renumbering,
+/// bit-identical results. Only a rank that actually FAILS repeatedly is
+/// shrunk away.
 ///
 /// A rank is classified permanent when the same original rank fails on
 /// `permanent_failure_threshold` consecutive attempts. The driver then
@@ -92,6 +101,26 @@ struct RecoveryOptions {
   /// between iterations and relieve pre-emptively. Disable to surface the
   /// first breach unrelieved.
   bool memory_relief = true;
+  /// Straggler defense (elastic parallel runs only): attach a
+  /// parallel::StragglerDetector, classify at every iteration boundary, and
+  /// when a rank degrades, checkpoint + re-enter with measured speed
+  /// weights (the rebalance rung) instead of timing the rank out and
+  /// shrinking it away. Uses the caller's
+  /// ParallelDfptOptions::straggler_detector when set, otherwise the driver
+  /// owns one for the solve. Disable for a bit-identical collective
+  /// schedule to an undefended run.
+  bool straggler_defense = true;
+  /// Weight ceiling the rebalance rung applies to a degraded rank:
+  /// re-entry uses min(measured speed weight, rebalance_shed_weight). The
+  /// arrival-lag ratio the ledger measures is a LOWER bound on the true
+  /// slowdown whenever compute and collective waiting interleave, and the
+  /// loss is asymmetric -- leaving too much work on a sick rank stalls the
+  /// whole world at its pace, while shedding too much merely adds
+  /// share/(N-1) to each healthy rank. So the rung sheds to a token share
+  /// (the detector's weight floor), the same call speculative-execution
+  /// schedulers make once a task is flagged slow. Set to 1.0 to trust the
+  /// measured weights unclamped.
+  double rebalance_shed_weight = 1.0 / 16.0;
 };
 
 /// What recovery cost: mirrored into ParallelDfptStats for parallel runs.
@@ -112,6 +141,9 @@ struct RecoveryStats {
   // Memory-budget governor rungs (docs/resilience.md "Memory budget").
   std::size_t oom_events = 0;     ///< OutOfMemoryBudget faults caught
   std::size_t relief_actions = 0; ///< pressure-relief rungs applied
+  // Straggler-defense rung (docs/resilience.md "Straggler defense").
+  std::size_t rebalances = 0;     ///< weighted re-mappings around slow ranks
+  std::size_t degraded_ranks = 0; ///< peak simultaneously degraded ranks
 };
 
 /// Wraps DfptSolver / solve_direction_parallel in checkpointed retry.

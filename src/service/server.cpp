@@ -62,6 +62,8 @@ void accumulate(resilience::RecoveryStats& into,
   into.payload_corruptions += from.payload_corruptions;
   into.oom_events += from.oom_events;
   into.relief_actions += from.relief_actions;
+  into.rebalances += from.rebalances;
+  into.degraded_ranks = std::max(into.degraded_ranks, from.degraded_ranks);
 }
 
 }  // namespace
@@ -293,6 +295,9 @@ void SolveServer::finish(JobRecord& rec, JobOutcome&& outcome) {
     --stats_.in_flight;
     ++stats_.completed;
     stats_.degradations += static_cast<std::size_t>(rec.outcome.degradations);
+    stats_.rebalances += rec.outcome.recovery.rebalances;
+    stats_.degraded_ranks_seen = std::max(stats_.degraded_ranks_seen,
+                                          rec.outcome.recovery.degraded_ranks);
     switch (rec.outcome.state) {
       case JobState::Succeeded: ++stats_.succeeded; break;
       case JobState::Failed: ++stats_.failed; break;
@@ -427,11 +432,28 @@ void SolveServer::execute(JobRecord& rec) {
       resilience::RecoveryDriver driver(job_store, ropt);
       try {
         core::DfptDirectionResult r;
-        if (rung.ranks > 1) {
+        std::size_t rung_ranks = rung.ranks;
+        // Degraded-rank awareness: when an earlier tier reported N degraded
+        // (slow but alive) ranks, the ReducedRanks rung drops only those N
+        // instead of blindly halving -- losing the minimum compute the
+        // evidence justifies. A larger world than the pre-checked half has
+        // a LOWER per-rank footprint, so the admission memory estimate
+        // still holds.
+        if (rung.tier == ServiceTier::ReducedRanks &&
+            out.recovery.degraded_ranks > 0 &&
+            rec.spec.ranks > out.recovery.degraded_ranks) {
+          const std::size_t spared =
+              rec.spec.ranks - out.recovery.degraded_ranks;
+          if (spared > rung_ranks) {
+            rung_ranks = spared;
+            obs::trace_instant("service/degraded_aware_ranks");
+          }
+        }
+        if (rung_ranks > 1) {
           core::ParallelDfptOptions popts;
           popts.dfpt = rung.dfpt;
-          popts.ranks = rung.ranks;
-          popts.ranks_per_node = std::min(rec.spec.ranks_per_node, rung.ranks);
+          popts.ranks = rung_ranks;
+          popts.ranks_per_node = std::min(rec.spec.ranks_per_node, rung_ranks);
           popts.fault_injector = rec.spec.fault_injector;
           // A collective may not out-wait the job: clamp its timeout to the
           // remaining budget so a stalled rank surfaces as a recoverable
@@ -522,6 +544,9 @@ obs::ScopedMetricsSource register_metrics(const SolveServer& server,
         push("failed", static_cast<double>(s.failed));
         push("deadline_expired", static_cast<double>(s.deadline_expired));
         push("degradations", static_cast<double>(s.degradations));
+        push("rebalances", static_cast<double>(s.rebalances));
+        push("degraded_ranks_seen",
+             static_cast<double>(s.degraded_ranks_seen));
         push("shed_on_shutdown", static_cast<double>(s.shed_on_shutdown));
         push("checkpoint_gc_failures",
              static_cast<double>(s.checkpoint_gc_failures));

@@ -105,6 +105,8 @@ struct ServerStats {
   std::size_t failed = 0;
   std::size_t deadline_expired = 0;
   std::size_t degradations = 0;         ///< ladder rungs taken, fleet-wide
+  std::size_t rebalances = 0;           ///< straggler rebalances, fleet-wide
+  std::size_t degraded_ranks_seen = 0;  ///< peak degraded ranks in one job
   std::size_t shed_on_shutdown = 0;     ///< queued jobs rejected by shutdown()
   std::size_t checkpoint_gc_failures = 0;  ///< clear() errors (logged, non-fatal)
   std::size_t queue_depth = 0;          ///< gauge: waiting jobs

@@ -28,6 +28,7 @@
 #include "mapping/task_mapping.hpp"
 #include "parallel/cluster.hpp"
 #include "parallel/fault.hpp"
+#include "parallel/straggler.hpp"
 #include "resilience/buddy.hpp"
 #include "resilience/checkpoint.hpp"
 #include "resilience/recovery.hpp"
@@ -87,6 +88,55 @@ TEST(ClusterShrink, RenumbersSurvivorsAndTracksOrigins) {
 
   EXPECT_THROW((void)cluster.shrink({4}), Error);          // out of range
   EXPECT_THROW((void)cluster.shrink({0, 1, 2, 3}), Error); // nobody left
+}
+
+TEST(ClusterShrink, CarriesStragglerStateAndAdaptiveArmToSurvivors) {
+  parallel::StragglerDetector::Options dopt;
+  dopt.min_window_ms = 1.0;
+  parallel::StragglerDetector detector(4, dopt);
+  parallel::Cluster cluster(4, 2);
+  cluster.set_straggler_detector(&detector);
+  cluster.set_adaptive_deadlines(true, /*floor_ms=*/100.0);
+
+  // Give the old world some learned latency structure and a degraded rank.
+  cluster.run([](parallel::Communicator& comm) {
+    for (int i = 0; i < 8; ++i) comm.barrier();
+  });
+  ASSERT_NE(cluster.deadline_estimator(), nullptr);
+  EXPECT_GT(cluster.deadline_estimator()->total_samples(), 0u);
+  for (int w = 0; w < 2; ++w) {
+    for (std::size_t r = 0; r < 4; ++r)
+      detector.record_work(r, r == 1 ? 50.0 : 10.0);
+    detector.classify();
+  }
+  ASSERT_EQ(detector.degraded_ranks(), (std::vector<std::size_t>{1}));
+
+  const auto shrunk = cluster.shrink({1});
+
+  // The detector carries over -- same ledger, original-id addressing -- but
+  // the dead rank is retired and its stale verdict cleared.
+  EXPECT_EQ(shrunk->straggler_detector(), &detector);
+  EXPECT_FALSE(detector.any_degraded());
+  EXPECT_FALSE(detector.snapshot()[1].active);
+  EXPECT_TRUE(detector.snapshot()[2].active);
+
+  // The adaptive-deadline ARM carries, but with a FRESH estimator: latency
+  // structure learned on the 4-rank world must not time out the 3-rank one.
+  EXPECT_TRUE(shrunk->adaptive_deadlines());
+  ASSERT_NE(shrunk->deadline_estimator(), nullptr);
+  EXPECT_NE(shrunk->deadline_estimator(), cluster.deadline_estimator());
+  EXPECT_EQ(shrunk->deadline_estimator()->total_samples(), 0u);
+  EXPECT_DOUBLE_EQ(shrunk->deadline_estimator()->options().floor_ms, 100.0);
+
+  // Survivors keep feeding the carried ledger under their ORIGINAL ids;
+  // the dead rank's row stays quiet.
+  const auto survivor_before = detector.snapshot()[3].samples;
+  const auto dead_before = detector.snapshot()[1].samples;
+  shrunk->run([](parallel::Communicator& comm) {
+    for (int i = 0; i < 4; ++i) comm.barrier();
+  });
+  EXPECT_GT(detector.snapshot()[3].samples, survivor_before);
+  EXPECT_EQ(detector.snapshot()[1].samples, dead_before);
 }
 
 TEST(ClusterShrink, FaultPlanKeepsAddressingOriginalRanks) {

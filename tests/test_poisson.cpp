@@ -156,6 +156,57 @@ TEST(Hartree, DipoleDensityProducesDipolarPotential) {
   }
 }
 
+TEST(Hartree, PartialRowProjectionsSumToTheReplicatedProjection) {
+  // The distributed Rho producer's contract: disjoint (atom, radial shell)
+  // row shares, summed elementwise, reproduce project() bit-for-bit. Every
+  // row is computed by exactly one share with identical arithmetic and
+  // loop order, unowned rows stay exactly 0.0, and x + 0 is exact in IEEE
+  // addition -- so the summed projection carries no tolerance at all.
+  grid::Structure s;
+  s.add_atom(1, {0, 0, -1.1});
+  s.add_atom(2, {0, 0, 1.1});
+  PoissonSpec spec;
+  spec.l_max = 4;
+  spec.radial_points = 48;
+  const HartreeSolver solver(s, spec);
+  const BatchDensityFn density = [](const Vec3* pts, std::size_t n,
+                                    double* out) {
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] = std::exp(-pts[i].norm2()) +
+               0.5 * pts[i].z *
+                   std::exp(-0.7 * (pts[i] - Vec3{0, 0, 1.1}).norm2());
+  };
+  const auto whole = solver.project(density);
+  const std::size_t nrows = solver.projection_row_count();
+  ASSERT_EQ(nrows, 2u * 48u);
+
+  // Four uneven shares, one of them empty -- the kind of split a rebalanced
+  // world's speed weights produce.
+  const std::size_t cut[] = {0, 7, 7, 61, nrows};
+  auto sum = solver.project_rows(density, cut[0], cut[1]);
+  for (int r = 1; r < 4; ++r) {
+    const auto part = solver.project_rows(density, cut[r], cut[r + 1]);
+    for (std::size_t a = 0; a < sum.samples.size(); ++a)
+      for (std::size_t lm = 0; lm < sum.samples[a].size(); ++lm)
+        for (std::size_t i = 0; i < sum.samples[a][lm].size(); ++i)
+          sum.samples[a][lm][i] += part.samples[a][lm][i];
+  }
+  solver.finalize_splines(sum);
+
+  for (std::size_t a = 0; a < whole.samples.size(); ++a)
+    for (std::size_t lm = 0; lm < whole.samples[a].size(); ++lm)
+      for (std::size_t i = 0; i < whole.samples[a][lm].size(); ++i)
+        ASSERT_EQ(sum.samples[a][lm][i], whole.samples[a][lm][i])
+            << "atom " << a << " lm " << lm << " sample " << i;
+
+  // Bit-identical samples make bit-identical splines and potentials.
+  const auto va = solver.solve(whole);
+  const auto vb = solver.solve(sum);
+  for (const Vec3 p :
+       {Vec3{0, 0, 0.3}, Vec3{1.2, -0.4, 0.8}, Vec3{0, 0, 5.0}})
+    EXPECT_EQ(solver.potential(va, p), solver.potential(vb, p)) << p;
+}
+
 TEST(Hartree, SplineBytesScaleWithLmax) {
   const auto density = [](const Vec3& p) { return std::exp(-p.norm2()); };
   std::size_t prev = 0;
